@@ -1,0 +1,384 @@
+// Command osr is the one-sided-recursion workbench: it classifies
+// recursions (Theorem 3.1 / 3.3 / 3.4), renders A/V graphs (Figs. 2–6),
+// prints expansion prefixes (Fig. 1), and evaluates queries with the
+// paper's one-sided schema or the baseline engines.
+//
+// Usage:
+//
+//	osr classify file.dl            # per-predicate classification + decision
+//	osr graph -pred t [-plain] file.dl
+//	osr expand -pred t -k 4 file.dl
+//	osr query [-engine onesided|magic|seminaive|naive] file.dl
+//
+// Input files use Prolog syntax; facts live alongside rules and queries
+// are written "?- t(a, Y).".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	onesided "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "classify":
+		err = cmdClassify(os.Args[2:])
+	case "graph":
+		err = cmdGraph(os.Args[2:])
+	case "expand":
+		err = cmdExpand(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "prove":
+		err = cmdProve(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osr:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `osr - one-sided recursion workbench
+subcommands:
+  classify <file>                      classify every recursion in the file
+  graph -pred <p> [-plain] <file>      render the (full) A/V graph
+  expand -pred <p> [-k n] <file>       print expansion strings
+  query [-engine e] <file>             answer the file's ?- queries
+  prove -tuple "t(a, b)" <file>        find and minimize a derivation
+engines: onesided (default), magic, seminaive, naive`)
+}
+
+func loadSource(path string) (*onesided.Program, []onesided.Atom, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return onesided.ParseSource(string(data))
+}
+
+// definitions extracts every two-rule recursion in the program.
+func definitions(p *onesided.Program) map[string]*onesided.Definition {
+	preds := make(map[string]bool)
+	for _, r := range p.Rules {
+		if len(r.Body) > 0 {
+			preds[r.Head.Pred] = true
+		}
+	}
+	out := make(map[string]*onesided.Definition)
+	for pred := range preds {
+		if d, err := onesided.ExtractDefinition(p, pred); err == nil {
+			out[pred] = d
+		}
+	}
+	return out
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("classify needs exactly one file")
+	}
+	prog, _, err := loadSource(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	preds := make(map[string]bool)
+	for _, r := range prog.Rules {
+		if len(r.Body) > 0 {
+			preds[r.Head.Pred] = true
+		}
+	}
+	names := make([]string, 0, len(preds))
+	for n := range preds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	reported := 0
+	for _, name := range names {
+		if d, err := onesided.ExtractDefinition(prog, name); err == nil {
+			if err := classifySingle(d); err != nil {
+				return err
+			}
+			reported++
+			continue
+		}
+		if md, err := onesided.ExtractMulti(prog, name); err == nil {
+			if err := classifyMulti(name, md); err != nil {
+				return err
+			}
+			reported++
+		}
+	}
+	if reported == 0 {
+		return fmt.Errorf("no linear recursion found")
+	}
+	return nil
+}
+
+func classifySingle(d *onesided.Definition) error {
+	cls, err := onesided.Classify(d)
+	if err != nil {
+		return err
+	}
+	fmt.Println(cls.Summary())
+	dec, err := onesided.Decide(d)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  decision: %v\n", dec.Verdict)
+	for _, rm := range dec.Removed {
+		fmt.Printf("  removed redundant atom: %v\n", rm)
+	}
+	if dec.Verdict == onesided.VerdictConverted {
+		fmt.Printf("  optimized rule: %v\n", dec.Optimized.Recursive)
+	}
+	if k, ok := onesided.BoundednessLevel(d, 3); ok {
+		fmt.Printf("  expansion collapses at depth %d (uniformly bounded)\n", k)
+	}
+	return nil
+}
+
+func classifyMulti(name string, md *onesided.MultiDefinition) error {
+	cls, err := onesided.ClassifyMulti(md)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("predicate %s: %d recursive rules (Section 5 extension)\n", name, len(md.Recursive))
+	for i, pr := range cls.PerRule {
+		tag := "many-sided"
+		if pr.OneSided {
+			tag = "one-sided"
+		}
+		fmt.Printf("  rule %d alone: %d-sided (%s)\n", i+1, pr.Sidedness, tag)
+	}
+	fmt.Printf("  combination (union graph): %d-sided", cls.UnionSidedness)
+	if cls.UnionOneSided {
+		fmt.Printf(" — one-sided")
+	}
+	fmt.Println()
+	return nil
+}
+
+func cmdProve(args []string) error {
+	fs := flag.NewFlagSet("prove", flag.ExitOnError)
+	tuple := fs.String("tuple", "", `ground goal, e.g. "t(a, b)"`)
+	pred := fs.String("pred", "", "recursive predicate (default: the only one)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *tuple == "" {
+		return fmt.Errorf("prove needs -tuple and exactly one file")
+	}
+	prog, _, err := loadSource(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	goal, err := onesided.ParseQuery(*tuple)
+	if err != nil {
+		return err
+	}
+	db := onesided.NewDatabase()
+	rules := onesided.LoadFacts(prog, db)
+	want := *pred
+	if want == "" {
+		want = goal.Pred
+	}
+	d, err := onesided.ExtractDefinition(rules, want)
+	if err != nil {
+		return err
+	}
+	consts := make([]string, goal.Arity())
+	for i, a := range goal.Args {
+		if a.IsVar() {
+			return fmt.Errorf("prove needs a ground tuple; %v contains variable %s", goal, a.Name)
+		}
+		consts[i] = a.Name
+	}
+	p := onesided.FindProof(d, db, consts)
+	if p == nil {
+		fmt.Printf("no derivation of %v\n", goal)
+		return nil
+	}
+	report := func(tag string, pr *onesided.Proof) {
+		fmt.Printf("%s derivation (depth %d):\n", tag, pr.Depth())
+		for _, a := range pr.GroundAtoms() {
+			fmt.Printf("  %v\n", a)
+		}
+	}
+	report("found", p)
+	min := p.Minimize()
+	if min.Depth() < p.Depth() {
+		report("after Lemma 4.1 splicing", min)
+	} else {
+		fmt.Println("no repeated call context: already splice-minimal")
+	}
+	return nil
+}
+
+func cmdGraph(args []string) error {
+	fs := flag.NewFlagSet("graph", flag.ExitOnError)
+	pred := fs.String("pred", "", "recursive predicate (default: the only one)")
+	plain := fs.Bool("plain", false, "render the plain A/V graph instead of the full one")
+	dot := fs.Bool("dot", false, "emit Graphviz DOT instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("graph needs exactly one file")
+	}
+	prog, _, err := loadSource(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	d, err := pickDefinition(prog, *pred)
+	if err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Print(onesided.FullAVGraphDOT(d))
+		return nil
+	}
+	if *plain {
+		fmt.Print(onesided.AVGraph(d))
+	} else {
+		fmt.Print(onesided.FullAVGraph(d))
+	}
+	return nil
+}
+
+func cmdExpand(args []string) error {
+	fs := flag.NewFlagSet("expand", flag.ExitOnError)
+	pred := fs.String("pred", "", "recursive predicate (default: the only one)")
+	k := fs.Int("k", 3, "number of recursive applications")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expand needs exactly one file")
+	}
+	prog, _, err := loadSource(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	d, err := pickDefinition(prog, *pred)
+	if err != nil {
+		return err
+	}
+	for i, s := range onesided.ExpandStrings(d, *k) {
+		fmt.Printf("s%d: %s\n", i, s)
+	}
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	engine := fs.String("engine", "onesided", "onesided | magic | seminaive | naive")
+	verbose := fs.Bool("v", false, "print instrumentation counters")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("query needs exactly one file")
+	}
+	prog, queries, err := loadSource(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("no ?- queries in file")
+	}
+	db := onesided.NewDatabase()
+	rules := onesided.LoadFacts(prog, db)
+	for _, q := range queries {
+		db.Stats.Reset()
+		var (
+			ans  *onesided.Relation
+			note string
+		)
+		switch *engine {
+		case "onesided":
+			d, derr := onesided.ExtractDefinition(rules, q.Pred)
+			if derr != nil {
+				return fmt.Errorf("query %v: %v (try -engine magic)", q, derr)
+			}
+			plan, perr := onesided.CompileSelection(d, q)
+			if perr != nil {
+				// Fall back to magic, as the paper prescribes for
+				// many-sided shapes.
+				ans, _, err = onesided.MagicEval(rules, q, db)
+				note = fmt.Sprintf("fell back to magic (%v)", perr)
+			} else {
+				var stats onesided.EvalStats
+				ans, stats, err = plan.Eval(db)
+				note = fmt.Sprintf("mode=%v carry-arity=%d iterations=%d seen=%d",
+					plan.Mode, plan.CarryArity, stats.Iterations, stats.SeenSize)
+			}
+		case "magic":
+			ans, _, err = onesided.MagicEval(rules, q, db)
+		case "seminaive":
+			ans, _, err = onesided.SelectEval(rules, q, db)
+		case "naive":
+			var res *onesided.EvalResult
+			res, err = onesided.Naive(rules, db)
+			if err == nil {
+				ans, _, err = onesided.SelectEval(rules, q, db)
+				_ = res
+			}
+		default:
+			return fmt.Errorf("unknown engine %q", *engine)
+		}
+		if err != nil {
+			return fmt.Errorf("query %v: %v", q, err)
+		}
+		fmt.Printf("?- %v.\n", q)
+		if note != "" {
+			fmt.Printf("   [%s]\n", note)
+		}
+		for _, row := range onesided.Answers(ans, db) {
+			fmt.Printf("   %s\n", row)
+		}
+		if ans.Len() == 0 {
+			fmt.Println("   (no answers)")
+		}
+		if *verbose {
+			fmt.Printf("   counters: examined=%d lookups=%d full-scans=%d inserts=%d\n",
+				db.Stats.TuplesExamined, db.Stats.IndexLookups, db.Stats.FullScans, db.Stats.Inserts)
+		}
+	}
+	return nil
+}
+
+func pickDefinition(p *onesided.Program, pred string) (*onesided.Definition, error) {
+	defs := definitions(p)
+	if pred != "" {
+		d, ok := defs[pred]
+		if !ok {
+			return nil, fmt.Errorf("no two-rule linear recursion for %q", pred)
+		}
+		return d, nil
+	}
+	if len(defs) == 1 {
+		for _, d := range defs {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("found %d recursions; use -pred to choose", len(defs))
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// write saves a source file in a temp dir.
+func write(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const tcFile = `
+	t(X, Y) :- a(X, Z), t(Z, Y).
+	t(X, Y) :- b(X, Y).
+	a(u, w). a(w, v). b(v, goal).
+	?- t(u, Y).
+`
+
+func TestCmdClassify(t *testing.T) {
+	path := write(t, "tc.dl", tcFile)
+	if err := cmdClassify([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdClassify([]string{}); err == nil {
+		t.Fatal("expected error without file")
+	}
+	if err := cmdClassify([]string{filepath.Join(t.TempDir(), "missing.dl")}); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestCmdClassifyMulti(t *testing.T) {
+	path := write(t, "multi.dl", `
+		t(X, Y) :- a(X, Z), t(Z, Y).
+		t(X, Y) :- c(X, Z), t(Z, Y).
+		t(X, Y) :- b(X, Y).
+	`)
+	if err := cmdClassify([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdGraphAndExpand(t *testing.T) {
+	path := write(t, "tc.dl", tcFile)
+	if err := cmdGraph([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGraph([]string{"-plain", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGraph([]string{"-pred", "nosuch", path}); err == nil {
+		t.Fatal("expected error for unknown predicate")
+	}
+	if err := cmdExpand([]string{"-k", "2", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdQueryEngines(t *testing.T) {
+	path := write(t, "tc.dl", tcFile)
+	for _, engine := range []string{"onesided", "magic", "seminaive", "naive"} {
+		if err := cmdQuery([]string{"-engine", engine, path}); err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+	}
+	if err := cmdQuery([]string{"-engine", "bogus", path}); err == nil {
+		t.Fatal("expected error for unknown engine")
+	}
+	empty := write(t, "noquery.dl", `p(a, b).`)
+	if err := cmdQuery([]string{empty}); err == nil {
+		t.Fatal("expected error for file without queries")
+	}
+}
+
+func TestCmdQueryFallsBackToMagic(t *testing.T) {
+	// A repeated-variable query is outside the one-sided compiler's class;
+	// the CLI must fall back to magic rather than fail.
+	path := write(t, "loop.dl", `
+		t(X, Y) :- a(X, Z), t(Z, Y).
+		t(X, Y) :- b(X, Y).
+		a(u, w). b(w, u).
+		?- t(X, X).
+	`)
+	if err := cmdQuery([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdProve(t *testing.T) {
+	path := write(t, "tc.dl", tcFile)
+	if err := cmdProve([]string{"-tuple", "t(u, goal)", path}); err != nil {
+		t.Fatal(err)
+	}
+	// Non-derivable tuple: reports, does not error.
+	if err := cmdProve([]string{"-tuple", "t(goal, u)", path}); err != nil {
+		t.Fatal(err)
+	}
+	// Variables rejected.
+	if err := cmdProve([]string{"-tuple", "t(u, Y)", path}); err == nil {
+		t.Fatal("expected error for non-ground tuple")
+	}
+	if err := cmdProve([]string{path}); err == nil {
+		t.Fatal("expected error without -tuple")
+	}
+}
+
+func TestPickDefinition(t *testing.T) {
+	prog, _, err := loadSource(write(t, "two.dl", `
+		t(X, Y) :- a(X, Z), t(Z, Y).
+		t(X, Y) :- b(X, Y).
+		s(X) :- c(X, Z), s(Z).
+		s(X) :- d(X).
+	`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pickDefinition(prog, ""); err == nil {
+		t.Fatal("expected ambiguity error with two recursions")
+	}
+	d, err := pickDefinition(prog, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Pred() != "s" {
+		t.Fatalf("picked %s", d.Pred())
+	}
+}

@@ -1,0 +1,137 @@
+package onesided
+
+import (
+	"testing"
+)
+
+// TestPublicAPIProofs exercises the proof facade: find, verify, minimize.
+func TestPublicAPIProofs(t *testing.T) {
+	def, err := ParseDefinition(tcSrc, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase()
+	db.AddFact("a", "s", "c0")
+	db.AddFact("a", "c0", "c1")
+	db.AddFact("a", "c1", "c0")
+	db.AddFact("b", "c1", "out")
+
+	p := FindProof(def, db, []string{"s", "out"})
+	if p == nil {
+		t.Fatal("no proof for t(s, out)")
+	}
+	if err := p.Verify(db); err != nil {
+		t.Fatal(err)
+	}
+	min := p.Minimize()
+	if err := min.Verify(db); err != nil {
+		t.Fatal(err)
+	}
+	for c, n := range min.ColumnOccurrences("a", 0) {
+		if n > 1 {
+			t.Fatalf("Lemma 4.1: %s repeats %d times after splicing", c, n)
+		}
+	}
+	if FindProof(def, db, []string{"out", "s"}) != nil {
+		t.Fatal("reverse tuple should have no proof")
+	}
+}
+
+// TestPublicAPIBoundedness exercises the boundedness facade.
+func TestPublicAPIBoundedness(t *testing.T) {
+	bounded, err := ParseDefinition(`
+		t(X, Y) :- e(W1, W2), t(X, Y).
+		t(X, Y) :- b(X, Y).
+	`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, ok := BoundednessLevel(bounded, 4)
+	if !ok || k != 0 {
+		t.Fatalf("level=%d ok=%v", k, ok)
+	}
+	tc, err := ParseDefinition(tcSrc, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := BoundednessLevel(tc, 4); ok {
+		t.Fatal("transitive closure must not be bounded")
+	}
+}
+
+// TestPublicAPIMultiRule exercises the Section 5 extension facade.
+func TestPublicAPIMultiRule(t *testing.T) {
+	prog, err := ParseProgram(`
+		t(X, Y) :- rail(X, Z), t(Z, Y).
+		t(X, Y) :- bus(X, Z), t(Z, Y).
+		t(X, Y) :- home(X, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := ExtractMulti(prog, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := ClassifyMulti(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cls.UnionOneSided || cls.UnionSidedness != 1 {
+		t.Fatalf("union: %+v", cls)
+	}
+
+	db := NewDatabase()
+	db.AddFact("rail", "x", "y")
+	db.AddFact("bus", "y", "z")
+	db.AddFact("home", "z", "base")
+	q, _ := ParseQuery("t(X, base)")
+	ans, mode, err := EvalMultiSelection(md, q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != "reduced" {
+		t.Fatalf("mode = %s", mode)
+	}
+	got := Answers(ans, db)
+	if len(got) != 3 {
+		t.Fatalf("answers = %v", got)
+	}
+	// Same answers through magic.
+	want, _, err := MagicEval(md.Program(), q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Equal(want) {
+		t.Fatal("reduced multi evaluation disagrees with magic")
+	}
+}
+
+// TestPublicAPICountingAblation exercises EvalCounting through a compiled
+// plan obtained from the facade.
+func TestPublicAPICountingAblation(t *testing.T) {
+	def, err := ParseDefinition(tcSrc, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase()
+	db.AddFact("a", "n0", "n1")
+	db.AddFact("a", "n1", "n2")
+	db.AddFact("b", "n2", "end")
+	q, _ := ParseQuery("t(n0, Y)")
+	plan, err := CompileSelection(def, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen, _, err := plan.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counted, _, err := plan.EvalCounting(db, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seen.Equal(counted) {
+		t.Fatal("counting and seen-set answers differ on a DAG")
+	}
+}

@@ -1,0 +1,238 @@
+// Package analysis implements the paper's decision procedures over full
+// A/V graphs: one-sidedness detection (Theorem 3.1), sidedness counting,
+// recursive-redundancy detection (Theorem 3.3), and the uniform-boundedness
+// test for the decidable subclass used by Theorem 3.4.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/avgraph"
+)
+
+// TriState is a three-valued answer for properties that are only decidable
+// under side conditions.
+type TriState int
+
+const (
+	// Unknown means the side conditions for deciding the property fail.
+	Unknown TriState = iota
+	// False means the property provably does not hold.
+	False
+	// True means the property provably holds.
+	True
+)
+
+func (t TriState) String() string {
+	switch t {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	}
+	return "unknown"
+}
+
+// Classification is the full analysis report for a recursion.
+type Classification struct {
+	// Def is the analyzed definition.
+	Def *ast.Definition
+	// Full is the full A/V graph of the recursive rule.
+	Full *avgraph.Graph
+	// Components are the full graph's components with cycle analysis.
+	Components []avgraph.Component
+	// Sidedness is k such that the definition is k-sided: the sum over
+	// components of their cycle-weight generators (Theorem 3.1's proof: a
+	// component with minimal positive cycle weight w contributes w
+	// unbounded connected sets). Sidedness 0 means every connected set in
+	// the expansion is bounded.
+	Sidedness int
+	// OneSided reports the Theorem 3.1 test: exactly one component with a
+	// nonzero-weight cycle, and that component has a cycle of weight 1.
+	OneSided bool
+	// HasUnboundedConnectedSets reports whether some component has a
+	// nonzero-weight cycle (Lemma 3.1).
+	HasUnboundedConnectedSets bool
+	// RecursivelyRedundant lists the nonrecursive predicates of the
+	// recursive rule that are recursively redundant per Theorem 3.3,
+	// sorted. Only populated when the recursive rule has no repeated
+	// nonrecursive predicates (the theorem's hypothesis).
+	RecursivelyRedundant []string
+	// RedundancyDecidable reports whether Theorem 3.3 applied (no repeated
+	// nonrecursive predicates).
+	RedundancyDecidable bool
+	// UniformlyBounded is the uniform-boundedness verdict: True when no
+	// component has a nonzero-weight cycle (no unbounded connected sets
+	// implies uniform boundedness, Appendix B); False when the definition
+	// has unbounded connected sets and provably no recursively redundant
+	// predicates (so the growth is real); Unknown otherwise (optimize
+	// first, then re-classify).
+	UniformlyBounded TriState
+}
+
+// Classify runs the complete graph analysis for a definition.
+func Classify(d *ast.Definition) (*Classification, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	full := avgraph.NewFull(d)
+	comps := full.Components()
+	c := &Classification{Def: d, Full: full, Components: comps}
+
+	nonzero := 0
+	weightOne := false
+	for _, comp := range comps {
+		if comp.CycleGCD != 0 {
+			nonzero++
+			c.Sidedness += comp.CycleGCD
+			if comp.CycleGCD == 1 {
+				weightOne = true
+			}
+		}
+	}
+	c.HasUnboundedConnectedSets = nonzero > 0
+	c.OneSided = nonzero == 1 && weightOne
+
+	c.RedundancyDecidable = !d.HasRepeatedNonrecursivePredicates()
+	if c.RedundancyDecidable {
+		c.RecursivelyRedundant = redundantPreds(d, full)
+	}
+
+	switch {
+	case !c.HasUnboundedConnectedSets:
+		c.UniformlyBounded = True
+	case c.RedundancyDecidable && len(c.RecursivelyRedundant) == 0:
+		c.UniformlyBounded = False
+	default:
+		c.UniformlyBounded = Unknown
+	}
+	return c, nil
+}
+
+// redundantPreds applies Theorem 3.3: a nonrecursive predicate p of the
+// recursive rule is recursively redundant iff the component of the full A/V
+// graph containing p's argument nodes has no nonzero-weight cycle through a
+// nondistinguished-variable node. In a connected component, a
+// nonzero-weight closed walk through a given node exists iff the component
+// has any nonzero-weight cycle and contains that node; so the condition is:
+// NOT (CycleGCD != 0 AND component contains a nondistinguished variable).
+func redundantPreds(d *ast.Definition, full *avgraph.Graph) []string {
+	recIdx := d.Recursive.RecursiveAtomIndex()
+	flags := atomRedundancy(d, full)
+	verdict := make(map[string]bool)
+	i := 0
+	for bi, atom := range d.Recursive.Body {
+		if bi == recIdx {
+			continue
+		}
+		verdict[atom.Pred] = flags[i]
+		i++
+	}
+	var out []string
+	for pred, red := range verdict {
+		if red {
+			out = append(out, pred)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// atomRedundancy evaluates the Theorem 3.3 graph condition for each
+// nonrecursive body atom (in NonrecursiveBody order).
+func atomRedundancy(d *ast.Definition, full *avgraph.Graph) []bool {
+	recIdx := d.Recursive.RecursiveAtomIndex()
+	var out []bool
+	for bi := range d.Recursive.Body {
+		if bi == recIdx {
+			continue
+		}
+		comp := componentOfBodyAtom(full, bi)
+		red := true
+		if comp != nil && comp.CycleGCD != 0 && comp.HasNondistinguishedVar {
+			red = false
+		}
+		out = append(out, red)
+	}
+	return out
+}
+
+// RedundantAtoms applies the Theorem 3.3 condition to each nonrecursive
+// atom of the recursive rule individually, in NonrecursiveBody order. For
+// rules without repeated nonrecursive predicates this coincides with
+// Theorem 3.3 exactly; for rules with repeats (such as same generation) it
+// is the per-atom graph condition the paper itself applies to Example 3.3
+// in the discussion after Theorem 3.4.
+func RedundantAtoms(d *ast.Definition) ([]bool, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return atomRedundancy(d, avgraph.NewFull(d)), nil
+}
+
+// componentOfBodyAtom finds the component containing any argument node of
+// the body atom at index bi, or nil when the atom has arity 0 (an
+// argument-free atom belongs to no component and is trivially redundant).
+func componentOfBodyAtom(full *avgraph.Graph, bi int) *avgraph.Component {
+	for i, n := range full.Nodes {
+		if n.Kind == avgraph.ArgNode && n.BodyIndex == bi {
+			for _, c := range full.Components() {
+				for _, cn := range c.Nodes {
+					if cn == i {
+						cc := c
+						return &cc
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// IsOneSided runs the Theorem 3.1 test.
+func IsOneSided(d *ast.Definition) (bool, error) {
+	c, err := Classify(d)
+	if err != nil {
+		return false, err
+	}
+	return c.OneSided, nil
+}
+
+// Sidedness returns k such that the definition is k-sided (0 means every
+// connected set is bounded).
+func Sidedness(d *ast.Definition) (int, error) {
+	c, err := Classify(d)
+	if err != nil {
+		return 0, err
+	}
+	return c.Sidedness, nil
+}
+
+// RecursivelyRedundantPredicates applies Theorem 3.3 and returns the sorted
+// redundant predicate names. It errors when the recursive rule repeats a
+// nonrecursive predicate (outside the theorem's hypothesis).
+func RecursivelyRedundantPredicates(d *ast.Definition) ([]string, error) {
+	c, err := Classify(d)
+	if err != nil {
+		return nil, err
+	}
+	if !c.RedundancyDecidable {
+		return nil, fmt.Errorf("analysis: %s repeats a nonrecursive predicate; Theorem 3.3 does not apply", d.Pred())
+	}
+	return c.RecursivelyRedundant, nil
+}
+
+// Summary renders a human-readable report, used by the CLI.
+func (c *Classification) Summary() string {
+	s := fmt.Sprintf("predicate %s: %d-sided", c.Def.Pred(), c.Sidedness)
+	if c.OneSided {
+		s += " (one-sided: Theorem 3.1 holds)"
+	}
+	s += fmt.Sprintf("; uniformly bounded: %s", c.UniformlyBounded)
+	if len(c.RecursivelyRedundant) > 0 {
+		s += fmt.Sprintf("; recursively redundant: %v", c.RecursivelyRedundant)
+	}
+	return s
+}

@@ -1,0 +1,315 @@
+package analysis
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/expand"
+	"repro/internal/parser"
+)
+
+func def(t *testing.T, src, pred string) *ast.Definition {
+	t.Helper()
+	d, err := parser.ParseDefinition(src, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+const tcSrc = `
+	t(X, Y) :- a(X, Z), t(Z, Y).
+	t(X, Y) :- b(X, Y).
+`
+
+const sgSrc = `
+	sg(X, Y) :- p(X, W), p(Y, Z), sg(W, Z).
+	sg(X, Y) :- sg0(X, Y).
+`
+
+const buysSrc = `
+	buys(X, Y) :- knows(X, W), buys(W, Y), cheap(Y).
+	buys(X, Y) :- likes(X, Y), cheap(Y).
+`
+
+const buysOptimizedSrc = `
+	buys(X, Y) :- knows(X, W), buys(W, Y).
+	buys(X, Y) :- likes(X, Y), cheap(Y).
+`
+
+const ex34Src = `
+	t(X, Y, Z) :- t(X, U, W), e(U, Y), d(Z).
+	t(X, Y, Z) :- t0(X, Y, Z).
+`
+
+const ex35Src = `
+	t(X, Y) :- e(X, W), t(Y, W).
+	t(X, Y) :- t0(X, Y).
+`
+
+// permSrc is the reconstructed Example 4.1 (transitive closure with
+// permissions); see DESIGN.md substitution 1.
+const permSrc = `
+	t(X, Y) :- a(X, Z), t(Z, Y), p(X, Y).
+	t(X, Y) :- b(X, Y).
+`
+
+// TestExpE07Theorem31Corpus runs the Theorem 3.1 test on every worked
+// example in the paper (Example 3.6 summarises the expected verdicts).
+func TestExpE07Theorem31Corpus(t *testing.T) {
+	cases := []struct {
+		name, src, pred string
+		oneSided        bool
+		sidedness       int
+	}{
+		{"transitive closure (Ex 2.1)", tcSrc, "t", true, 1},
+		{"same generation (Ex 3.3)", sgSrc, "sg", false, 2},
+		{"example 3.4", ex34Src, "t", true, 1},
+		{"example 3.5", ex35Src, "t", false, 2},
+		{"buys unoptimized", buysSrc, "buys", false, 2},
+		{"buys optimized", buysOptimizedSrc, "buys", true, 1},
+		{"TC with permissions (Ex 4.1)", permSrc, "t", true, 1},
+	}
+	for _, c := range cases {
+		d := def(t, c.src, c.pred)
+		cls, err := Classify(d)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if cls.OneSided != c.oneSided {
+			t.Errorf("%s: one-sided = %v, want %v", c.name, cls.OneSided, c.oneSided)
+		}
+		if cls.Sidedness != c.sidedness {
+			t.Errorf("%s: sidedness = %d, want %d", c.name, cls.Sidedness, c.sidedness)
+		}
+	}
+}
+
+// TestExpE08Theorem33Buys reproduces the Theorem 3.3 worked example:
+// cheap is recursively redundant in the buys recursion, knows is not; after
+// the [Nau89b] optimization nothing is redundant and the result is
+// one-sided.
+func TestExpE08Theorem33Buys(t *testing.T) {
+	d := def(t, buysSrc, "buys")
+	red, err := RecursivelyRedundantPredicates(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red) != 1 || red[0] != "cheap" {
+		t.Fatalf("redundant = %v, want [cheap]", red)
+	}
+	opt := def(t, buysOptimizedSrc, "buys")
+	red, err = RecursivelyRedundantPredicates(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red) != 0 {
+		t.Fatalf("optimized redundant = %v, want none", red)
+	}
+	if ok, _ := IsOneSided(opt); !ok {
+		t.Fatal("optimized buys should be one-sided")
+	}
+}
+
+// TestTheorem33DisconnectedAtom: a predicate whose component has no
+// nonzero cycle is redundant (d in Example 3.4 is NOT redundant under
+// Theorem 3.3? d's component has cycle gcd 0, so d IS recursively
+// redundant: only finitely many d tuples matter for any t tuple).
+func TestTheorem33DisconnectedAtom(t *testing.T) {
+	d := def(t, ex34Src, "t")
+	red, err := RecursivelyRedundantPredicates(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red) != 1 || red[0] != "d" {
+		t.Fatalf("redundant = %v, want [d]", red)
+	}
+}
+
+// TestTheorem33RequiresNoRepeats: same generation repeats p, so Theorem 3.3
+// does not apply.
+func TestTheorem33RequiresNoRepeats(t *testing.T) {
+	d := def(t, sgSrc, "sg")
+	if _, err := RecursivelyRedundantPredicates(d); err == nil {
+		t.Fatal("expected an error for repeated nonrecursive predicates")
+	}
+}
+
+// TestUniformBoundedness exercises the tri-state verdict.
+func TestUniformBoundedness(t *testing.T) {
+	// A recursion with no unbounded connected sets: the e atom touches only
+	// fresh variables, so every e instance is a disconnected pair and the
+	// recursion is uniformly bounded (t = b when e is nonempty).
+	bounded := def(t, `
+		t(X, Y) :- e(W1, W2), t(X, Y).
+		t(X, Y) :- b(X, Y).
+	`, "t")
+	cls, err := Classify(bounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.UniformlyBounded != True {
+		t.Fatalf("bounded recursion verdict = %v", cls.UniformlyBounded)
+	}
+	if cls.Sidedness != 0 {
+		t.Fatalf("bounded recursion sidedness = %d", cls.Sidedness)
+	}
+
+	// TC: unbounded, no redundant predicates -> False.
+	cls, err = Classify(def(t, tcSrc, "t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.UniformlyBounded != False {
+		t.Fatalf("TC verdict = %v", cls.UniformlyBounded)
+	}
+
+	// buys: unbounded sets exist but cheap is redundant -> Unknown until
+	// optimized.
+	cls, err = Classify(def(t, buysSrc, "buys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.UniformlyBounded != Unknown {
+		t.Fatalf("buys verdict = %v", cls.UniformlyBounded)
+	}
+
+	// The e(X,X) pathology: a weight-1 cycle with no nondistinguished
+	// variable. The recursion is one-sided by the graph test but e is
+	// redundant, so boundedness is Unknown (and indeed the recursion is
+	// uniformly bounded after optimization).
+	path := def(t, `
+		t(X) :- e(X, X), t(X).
+		t(X) :- b(X).
+	`, "t")
+	cls, err = Classify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.UniformlyBounded != Unknown {
+		t.Fatalf("e(X,X) verdict = %v", cls.UniformlyBounded)
+	}
+	if len(cls.RecursivelyRedundant) != 1 || cls.RecursivelyRedundant[0] != "e" {
+		t.Fatalf("redundant = %v", cls.RecursivelyRedundant)
+	}
+}
+
+// TestExpE07RandomRules cross-validates Theorem 3.1 against the
+// definitional sidedness (Definition 3.3, sampled from the expansion) on
+// randomly generated linear recursive rules.
+func TestExpE07RandomRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	checked := 0
+	for trial := 0; trial < 400 && checked < 120; trial++ {
+		d := randomDefinition(rng)
+		if d == nil {
+			continue
+		}
+		cls, err := Classify(d)
+		if err != nil {
+			continue
+		}
+		want := expand.SampleSidedness(d, 48)
+		if want < 0 {
+			continue // unstable sample; skip
+		}
+		checked++
+		if cls.Sidedness != want {
+			t.Fatalf("rule %v: graph sidedness %d != sampled %d", d.Recursive, cls.Sidedness, want)
+		}
+		if cls.OneSided != (want == 1 && onlyOneNonzeroComponent(cls)) {
+			// OneSided must at least imply sampled sidedness 1.
+			if cls.OneSided && want != 1 {
+				t.Fatalf("rule %v: one-sided but sampled sidedness %d", d.Recursive, want)
+			}
+		}
+	}
+	if checked < 60 {
+		t.Fatalf("only %d random rules checked", checked)
+	}
+}
+
+func onlyOneNonzeroComponent(c *Classification) bool {
+	n := 0
+	for _, comp := range c.Components {
+		if comp.CycleGCD != 0 {
+			n++
+		}
+	}
+	return n == 1
+}
+
+// randomDefinition builds a random linear recursion over binary EDB
+// predicates: head t(V...) with distinct variables, body = recursive atom
+// with a random permutation/selection of head and fresh variables plus a
+// few EDB atoms over the variable pool.
+func randomDefinition(rng *rand.Rand) *ast.Definition {
+	arity := 2 + rng.Intn(2)
+	headVars := make([]ast.Term, arity)
+	for i := range headVars {
+		headVars[i] = ast.V("H" + strconv.Itoa(i))
+	}
+	pool := append([]ast.Term{}, headVars...)
+	nFresh := 1 + rng.Intn(3)
+	for i := 0; i < nFresh; i++ {
+		pool = append(pool, ast.V("F"+strconv.Itoa(i)))
+	}
+	pick := func() ast.Term { return pool[rng.Intn(len(pool))] }
+
+	recArgs := make([]ast.Term, arity)
+	for i := range recArgs {
+		recArgs[i] = pick()
+	}
+	nEDB := 1 + rng.Intn(3)
+	body := make([]ast.Atom, 0, nEDB+1)
+	for i := 0; i < nEDB; i++ {
+		body = append(body, ast.NewAtom("e"+strconv.Itoa(i), pick(), pick()))
+	}
+	// Insert the recursive atom at a random position.
+	pos := rng.Intn(len(body) + 1)
+	body = append(body[:pos], append([]ast.Atom{ast.NewAtom("t", recArgs...)}, body[pos:]...)...)
+
+	exitArgs := make([]ast.Term, arity)
+	copy(exitArgs, headVars)
+	d := &ast.Definition{
+		Recursive: ast.Rule{Head: ast.NewAtom("t", headVars...), Body: body},
+		Exit:      ast.NewRule(ast.NewAtom("t", headVars...), ast.NewAtom("t0", exitArgs...)),
+	}
+	if err := d.Validate(); err != nil {
+		return nil
+	}
+	return d
+}
+
+func TestSummary(t *testing.T) {
+	cls, err := Classify(def(t, tcSrc, "t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cls.Summary()
+	if s == "" {
+		t.Fatal("empty summary")
+	}
+	for _, want := range []string{"1-sided", "one-sided", "uniformly bounded: false"} {
+		if !containsStr(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTriStateString(t *testing.T) {
+	if True.String() != "true" || False.String() != "false" || Unknown.String() != "unknown" {
+		t.Fatal("TriState strings wrong")
+	}
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"repro/internal/ast"
+	"repro/internal/cq"
+	"repro/internal/expand"
+)
+
+// BoundedAt reports whether string k+1 of the definition's expansion is
+// contained in the union of strings 0..k (by Sagiv–Yannakakis, each
+// conjunctive query of a union must be contained in some member). When it
+// holds, depth-(k+1) derivations are subsumed by shallower ones; for a
+// linear recursive rule the same containment mapping applies under every
+// deeper unfolding, so the whole expansion collapses to its first k+1
+// strings and the definition is uniformly bounded at depth k (this is the
+// combinatorial argument of Appendix B, after [Nau89a] Theorem 2.1).
+func BoundedAt(d *ast.Definition, k int) bool {
+	ss := expand.Expand(d, k+1)
+	union := make([]ast.Rule, 0, k+1)
+	for _, s := range ss[:k+1] {
+		union = append(union, s.Rule())
+	}
+	return cq.ContainedInUnion(ss[k+1].Rule(), union)
+}
+
+// BoundednessLevel searches for the smallest k <= maxK with BoundedAt(d, k),
+// additionally verifying the collapse on a window of deeper strings as a
+// belt-and-braces check. It returns the level and true, or 0 and false
+// when no bound is found within maxK.
+func BoundednessLevel(d *ast.Definition, maxK int) (int, bool) {
+	const window = 3
+	for k := 0; k <= maxK; k++ {
+		if !BoundedAt(d, k) {
+			continue
+		}
+		// Verify the next few strings are subsumed too.
+		ss := expand.Expand(d, k+1+window)
+		union := make([]ast.Rule, 0, k+1)
+		for _, s := range ss[:k+1] {
+			union = append(union, s.Rule())
+		}
+		ok := true
+		for j := k + 1; j <= k+1+window; j++ {
+			if !cq.ContainedInUnion(ss[j].Rule(), union) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return k, true
+		}
+	}
+	return 0, false
+}

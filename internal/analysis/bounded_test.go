@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestBoundedAtDetectsCollapse: recursions whose expansions collapse are
+// caught at the right level.
+func TestBoundedAtDetectsCollapse(t *testing.T) {
+	cases := []struct {
+		name, src, pred string
+		level           int
+	}{
+		// The disconnected-pair recursion: s1 already subsumed by s0? No:
+		// s0 = b(X,Y); s1 = e(W1_0,W2_0), b(X,Y): s1 ⊑ s0 (mapping s0 ->
+		// s1 exists trivially: need mapping FROM s0 strings... s1 ⊑ s0
+		// means mapping from s0 to s1: b(X,Y) -> b(X,Y). Yes: level 0.
+		{"fresh pair", `
+			t(X, Y) :- e(W1, W2), t(X, Y).
+			t(X, Y) :- b(X, Y).
+		`, "t", 0},
+		// The e(X,X) pathology: s1 = e(X,X), b(X)? exit t(X) :- b(X):
+		// s0 = b(X); s1 = e(X,X), b(X) ⊑ s0: level 0.
+		{"self-loop filter", `
+			t(X) :- e(X, X), t(X).
+			t(X) :- b(X).
+		`, "t", 0},
+		// s1 = e(X,Y), b(X,Y) is contained in s0 = b(X,Y) outright (the
+		// conjunction only shrinks the relation), so the union collapses
+		// to the exit rule alone.
+		{"idempotent step", `
+			t(X, Y) :- e(X, Y), t(X, Y).
+			t(X, Y) :- b(X, Y).
+		`, "t", 0},
+	}
+	for _, c := range cases {
+		d := def(t, c.src, c.pred)
+		k, ok := BoundednessLevel(d, 5)
+		if !ok {
+			t.Errorf("%s: expected bounded", c.name)
+			continue
+		}
+		if k != c.level {
+			t.Errorf("%s: level = %d, want %d", c.name, k, c.level)
+		}
+	}
+}
+
+// TestBoundedAtRejectsUnbounded: genuinely recursive definitions are not
+// flagged bounded at any small level.
+func TestBoundedAtRejectsUnbounded(t *testing.T) {
+	cases := []struct{ name, src, pred string }{
+		{"transitive closure", tcSrc, "t"},
+		{"same generation", sgSrc, "sg"},
+		{"example 3.5", ex35Src, "t"},
+		{"buys", buysSrc, "buys"},
+	}
+	for _, c := range cases {
+		d := def(t, c.src, c.pred)
+		if k, ok := BoundednessLevel(d, 4); ok {
+			t.Errorf("%s: wrongly bounded at %d", c.name, k)
+		}
+	}
+}
+
+// TestBoundedAgreesWithGraphVerdict: when the graph analysis proves
+// uniform boundedness (no nonzero-weight cycles), the CQ-based search
+// confirms it, and when the graph analysis proves unboundedness (no
+// redundant atoms + unbounded connected sets), the search fails.
+func TestBoundedAgreesWithGraphVerdict(t *testing.T) {
+	srcs := []struct{ src, pred string }{
+		{tcSrc, "t"},
+		{sgSrc, "sg"},
+		{`t(X, Y) :- e(W1, W2), t(X, Y).
+		  t(X, Y) :- b(X, Y).`, "t"},
+		{ex34Src, "t"},
+	}
+	for _, s := range srcs {
+		d := def(t, s.src, s.pred)
+		cls, err := Classify(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, bounded := BoundednessLevel(d, 4)
+		switch cls.UniformlyBounded {
+		case True:
+			if !bounded {
+				t.Errorf("%s: graph says bounded, CQ search disagrees", s.pred)
+			}
+		case False:
+			if bounded {
+				t.Errorf("%s: graph says unbounded, CQ search disagrees", s.pred)
+			}
+		}
+	}
+}
+
+// TestBoundedPathologyResolved: the e(X,X) recursion that Theorem 3.1
+// alone misclassifies (Unknown boundedness) is resolved by the CQ search.
+func TestBoundedPathologyResolved(t *testing.T) {
+	d := def(t, `
+		t(X) :- e(X, X), t(X).
+		t(X) :- b(X).
+	`, "t")
+	cls, err := Classify(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.UniformlyBounded != Unknown {
+		t.Fatalf("graph verdict = %v, want unknown", cls.UniformlyBounded)
+	}
+	k, ok := BoundednessLevel(d, 3)
+	if !ok || k != 0 {
+		t.Fatalf("CQ search: level=%d ok=%v, want 0 true", k, ok)
+	}
+}

@@ -1,0 +1,379 @@
+// Package ast defines the abstract syntax of function-free Horn clause
+// (Datalog) programs as used throughout the reproduction of Naughton's
+// "One-Sided Recursions" (PODS 1987 / JCSS 1991).
+//
+// The paper considers programs whose predicates split into IDB predicates
+// (appearing in some rule head) and EDB predicates (defined by their extent).
+// Terms are variables or constants; there are no function symbols. Rule
+// heads contain no repeated variables and no constants (paper, Section 2);
+// that restriction is checked by Rule.Validate and Program.Validate.
+package ast
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TermKind discriminates variables from constants.
+type TermKind int
+
+const (
+	// Var is a logical variable (written with a leading upper-case letter
+	// or underscore in the concrete syntax).
+	Var TermKind = iota
+	// Const is a constant symbol (lower-case atom, number, or quoted).
+	Const
+)
+
+// Term is a variable or a constant. Terms are small value types and are
+// compared with ==.
+type Term struct {
+	Kind TermKind
+	Name string
+}
+
+// V constructs a variable term.
+func V(name string) Term { return Term{Kind: Var, Name: name} }
+
+// C constructs a constant term.
+func C(name string) Term { return Term{Kind: Const, Name: name} }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Kind == Var }
+
+// IsConst reports whether the term is a constant.
+func (t Term) IsConst() bool { return t.Kind == Const }
+
+// String renders the term in concrete syntax.
+func (t Term) String() string { return t.Name }
+
+// Atom is a predicate applied to a list of terms, e.g. t(X, Y).
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// NewAtom constructs an atom.
+func NewAtom(pred string, args ...Term) Atom {
+	return Atom{Pred: pred, Args: args}
+}
+
+// Arity returns the number of arguments.
+func (a Atom) Arity() int { return len(a.Args) }
+
+// Clone returns a deep copy of the atom (Args is freshly allocated).
+func (a Atom) Clone() Atom {
+	args := make([]Term, len(a.Args))
+	copy(args, a.Args)
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// Equal reports structural equality of two atoms.
+func (a Atom) Equal(b Atom) bool {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the atom in concrete syntax, e.g. "t(X, Y)".
+func (a Atom) String() string {
+	if len(a.Args) == 0 {
+		return a.Pred
+	}
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Pred + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Vars appends the variables of the atom to dst, in argument order, with
+// duplicates preserved. Pass nil to allocate.
+func (a Atom) Vars(dst []Term) []Term {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}
+
+// VarSet returns the set of variable names appearing in the atom.
+func (a Atom) VarSet() map[string]bool {
+	s := make(map[string]bool)
+	for _, t := range a.Args {
+		if t.IsVar() {
+			s[t.Name] = true
+		}
+	}
+	return s
+}
+
+// Rule is a Horn clause: Head :- Body. An empty body denotes a fact.
+type Rule struct {
+	Head Atom
+	Body []Atom
+}
+
+// NewRule constructs a rule.
+func NewRule(head Atom, body ...Atom) Rule {
+	return Rule{Head: head, Body: body}
+}
+
+// Clone returns a deep copy of the rule.
+func (r Rule) Clone() Rule {
+	body := make([]Atom, len(r.Body))
+	for i, a := range r.Body {
+		body[i] = a.Clone()
+	}
+	return Rule{Head: r.Head.Clone(), Body: body}
+}
+
+// IsFact reports whether the rule has an empty body and a ground head.
+func (r Rule) IsFact() bool {
+	if len(r.Body) != 0 {
+		return false
+	}
+	for _, t := range r.Head.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// BodyOccurrences returns the number of body atoms whose predicate is pred.
+func (r Rule) BodyOccurrences(pred string) int {
+	n := 0
+	for _, a := range r.Body {
+		if a.Pred == pred {
+			n++
+		}
+	}
+	return n
+}
+
+// IsRecursiveFor reports whether the rule's head predicate appears in its
+// body (i.e. the rule is directly recursive).
+func (r Rule) IsRecursiveFor() bool { return r.BodyOccurrences(r.Head.Pred) > 0 }
+
+// IsLinearFor reports whether the rule is linear recursive: the head
+// predicate occurs exactly once in the body.
+func (r Rule) IsLinearFor() bool { return r.BodyOccurrences(r.Head.Pred) == 1 }
+
+// RecursiveAtomIndex returns the body index of the single occurrence of the
+// head predicate, or -1 if the rule is not linear recursive.
+func (r Rule) RecursiveAtomIndex() int {
+	idx := -1
+	for i, a := range r.Body {
+		if a.Pred == r.Head.Pred {
+			if idx >= 0 {
+				return -1
+			}
+			idx = i
+		}
+	}
+	return idx
+}
+
+// Vars returns the set of variable names appearing anywhere in the rule.
+func (r Rule) Vars() map[string]bool {
+	s := r.Head.VarSet()
+	for _, a := range r.Body {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				s[t.Name] = true
+			}
+		}
+	}
+	return s
+}
+
+// SortedVars returns the rule's variable names in sorted order, for
+// deterministic iteration.
+func (r Rule) SortedVars() []string {
+	set := r.Vars()
+	names := make([]string, 0, len(set))
+	for v := range set {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DistinguishedVars returns the set of variables appearing in the head.
+// Variables not in the head are nondistinguished (paper, Section 2).
+func (r Rule) DistinguishedVars() map[string]bool { return r.Head.VarSet() }
+
+// Validate checks the paper's head restrictions: the head contains no
+// constants and no repeated variables, and every head variable should appear
+// in the body (range restriction) unless the body is empty.
+func (r Rule) Validate() error {
+	seen := make(map[string]bool)
+	for _, t := range r.Head.Args {
+		if t.IsConst() {
+			return fmt.Errorf("ast: rule %v: head contains constant %s", r, t.Name)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("ast: rule %v: head repeats variable %s", r, t.Name)
+		}
+		seen[t.Name] = true
+	}
+	if len(r.Body) == 0 {
+		return nil
+	}
+	bodyVars := make(map[string]bool)
+	for _, a := range r.Body {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				bodyVars[t.Name] = true
+			}
+		}
+	}
+	for v := range seen {
+		if !bodyVars[v] {
+			return fmt.Errorf("ast: rule %v: head variable %s does not appear in body", r, v)
+		}
+	}
+	return nil
+}
+
+// String renders the rule in concrete syntax, e.g. "t(X, Y) :- a(X, Z), t(Z, Y).".
+func (r Rule) String() string {
+	if len(r.Body) == 0 {
+		return r.Head.String() + "."
+	}
+	parts := make([]string, len(r.Body))
+	for i, a := range r.Body {
+		parts[i] = a.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// Program is a list of rules (facts are rules with empty bodies).
+type Program struct {
+	Rules []Rule
+}
+
+// NewProgram constructs a program from rules.
+func NewProgram(rules ...Rule) *Program { return &Program{Rules: rules} }
+
+// Clone returns a deep copy of the program.
+func (p *Program) Clone() *Program {
+	rules := make([]Rule, len(p.Rules))
+	for i, r := range p.Rules {
+		rules[i] = r.Clone()
+	}
+	return &Program{Rules: rules}
+}
+
+// IDBPreds returns the set of predicates appearing in some rule head.
+func (p *Program) IDBPreds() map[string]bool {
+	s := make(map[string]bool)
+	for _, r := range p.Rules {
+		if len(r.Body) > 0 {
+			s[r.Head.Pred] = true
+		}
+	}
+	return s
+}
+
+// EDBPreds returns the set of predicates appearing only in rule bodies (or
+// as facts), i.e. defined by their extent.
+func (p *Program) EDBPreds() map[string]bool {
+	idb := p.IDBPreds()
+	s := make(map[string]bool)
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			if !idb[a.Pred] {
+				s[a.Pred] = true
+			}
+		}
+		if len(r.Body) == 0 && !idb[r.Head.Pred] {
+			s[r.Head.Pred] = true
+		}
+	}
+	return s
+}
+
+// RulesFor returns the rules whose head predicate is pred, excluding facts.
+func (p *Program) RulesFor(pred string) []Rule {
+	var out []Rule
+	for _, r := range p.Rules {
+		if r.Head.Pred == pred && len(r.Body) > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Facts returns the ground facts of the program.
+func (p *Program) Facts() []Rule {
+	var out []Rule
+	for _, r := range p.Rules {
+		if r.IsFact() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Arities returns the arity of each predicate and an error if a predicate is
+// used with inconsistent arities.
+func (p *Program) Arities() (map[string]int, error) {
+	ar := make(map[string]int)
+	check := func(a Atom) error {
+		if n, ok := ar[a.Pred]; ok {
+			if n != a.Arity() {
+				return fmt.Errorf("ast: predicate %s used with arities %d and %d", a.Pred, n, a.Arity())
+			}
+			return nil
+		}
+		ar[a.Pred] = a.Arity()
+		return nil
+	}
+	for _, r := range p.Rules {
+		if err := check(r.Head); err != nil {
+			return nil, err
+		}
+		for _, a := range r.Body {
+			if err := check(a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ar, nil
+}
+
+// Validate checks every rule and arity consistency.
+func (p *Program) Validate() error {
+	for _, r := range p.Rules {
+		if len(r.Body) == 0 {
+			continue // facts may contain constants in the head
+		}
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	_, err := p.Arities()
+	return err
+}
+
+// String renders the program one rule per line.
+func (p *Program) String() string {
+	var b strings.Builder
+	for i, r := range p.Rules {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(r.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package ast
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Subst is a substitution: a finite mapping from variable names to terms.
+// Application is parallel (single-step): bindings are not chased
+// transitively, so {X->Y, Y->a} maps X to Y, not to a. Unification
+// normalizes its result to an idempotent substitution before returning it.
+type Subst map[string]Term
+
+// Lookup resolves a term under the substitution (single step).
+func (s Subst) Lookup(t Term) Term {
+	if t.IsVar() {
+		if b, ok := s[t.Name]; ok {
+			return b
+		}
+	}
+	return t
+}
+
+// ApplyTerm applies the substitution to a single term.
+func (s Subst) ApplyTerm(t Term) Term { return s.Lookup(t) }
+
+// ApplyAtom applies the substitution to every argument of an atom, returning
+// a new atom.
+func (s Subst) ApplyAtom(a Atom) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = s.Lookup(t)
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// ApplyAtoms applies the substitution to a slice of atoms.
+func (s Subst) ApplyAtoms(atoms []Atom) []Atom {
+	out := make([]Atom, len(atoms))
+	for i, a := range atoms {
+		out[i] = s.ApplyAtom(a)
+	}
+	return out
+}
+
+// ApplyRule applies the substitution to the head and body of a rule.
+func (s Subst) ApplyRule(r Rule) Rule {
+	return Rule{Head: s.ApplyAtom(r.Head), Body: s.ApplyAtoms(r.Body)}
+}
+
+// Bind returns a copy of s extended with v -> t. The receiver is not
+// modified; substitutions are treated as persistent values by callers that
+// need backtracking.
+func (s Subst) Bind(v string, t Term) Subst {
+	out := make(Subst, len(s)+1)
+	for k, x := range s {
+		out[k] = x
+	}
+	out[v] = t
+	return out
+}
+
+// Clone returns a copy of the substitution.
+func (s Subst) Clone() Subst {
+	out := make(Subst, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the substitution deterministically, e.g. "{X->a, Y->Z}".
+func (s Subst) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s->%s", k, s[k])
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// RenameApart returns a copy of the rule with every variable renamed by
+// appending the given suffix. The expansion procedure of Fig. 1 uses this to
+// give all rule variables subscript i on iteration i.
+func RenameApart(r Rule, suffix string) Rule {
+	s := make(Subst)
+	for v := range r.Vars() {
+		s[v] = V(v + suffix)
+	}
+	return s.ApplyRule(r)
+}

@@ -1,0 +1,489 @@
+// Package avgraph implements the argument/variable (A/V) graph and the full
+// A/V graph of a linear recursive rule (paper Sections 2 and 3), together
+// with the weighted-cycle analysis that powers the paper's detection
+// theorems.
+//
+// Nodes are variable nodes (one per rule variable) and argument nodes (one
+// per argument position of each body atom). Edges:
+//
+//   - identity edges (weight 0) between each argument node and the variable
+//     appearing in that position;
+//   - unification edges (directed, weight +1 traversed forward, -1
+//     reversed) from each argument node of the recursive body atom to the
+//     distinguished variable in that head position;
+//   - predicate edges (weight 0; full A/V graph only) between adjacent
+//     argument nodes of each nonrecursive body atom.
+//
+// The full A/V graph additionally removes every connected component that
+// contains no argument node of a nonrecursive predicate.
+//
+// The weights of closed walks through a connected component form a subgroup
+// g·Z of the integers; CycleGCD computes the generator g per component with
+// spanning-tree potentials. The paper's cycle conditions translate as:
+// "has a cycle of nonzero weight" iff g != 0, and "has a cycle of weight 1"
+// iff g == 1 (the paper's proofs splice cycles traversed repeatedly and in
+// reverse, i.e. they reason about closed walks).
+package avgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// NodeKind discriminates variable nodes from argument nodes.
+type NodeKind int
+
+const (
+	// VarNode is a node for a rule variable.
+	VarNode NodeKind = iota
+	// ArgNode is a node for an argument position in the rule body.
+	ArgNode
+)
+
+// Node is a node of an A/V graph.
+type Node struct {
+	Kind NodeKind
+	// Name is the variable name (VarNode) or the position label (ArgNode),
+	// e.g. "a.1" for the first argument of the body's only a-atom, or
+	// "p[2].1" for the first argument of the second p-atom.
+	Name string
+	// Pred, BodyIndex, ArgIndex locate an ArgNode: predicate name, index of
+	// the atom in the rule body, and 0-based argument position.
+	Pred      string
+	BodyIndex int
+	ArgIndex  int
+	// Distinguished marks VarNodes whose variable appears in the rule head.
+	Distinguished bool
+	// Recursive marks ArgNodes belonging to the recursive body atom.
+	Recursive bool
+}
+
+// EdgeKind discriminates the three edge types.
+type EdgeKind int
+
+const (
+	// Identity edges join argument nodes to their variables (weight 0).
+	Identity EdgeKind = iota
+	// Unification edges run from recursive-atom argument nodes to head
+	// variables (weight +1 forward, -1 reversed).
+	Unification
+	// Predicate edges join adjacent argument nodes of a nonrecursive atom
+	// (weight 0; full A/V graph only).
+	Predicate
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case Identity:
+		return "identity"
+	case Unification:
+		return "unification"
+	case Predicate:
+		return "predicate"
+	}
+	return "unknown"
+}
+
+// Edge is an edge of the graph. Unification edges are directed From -> To
+// with weight +1 in that orientation; identity and predicate edges are
+// undirected with weight 0 (stored From/To in construction order).
+type Edge struct {
+	From, To int
+	Kind     EdgeKind
+}
+
+// Weight returns the edge weight in the From -> To orientation.
+func (e Edge) Weight() int {
+	if e.Kind == Unification {
+		return 1
+	}
+	return 0
+}
+
+// Graph is an A/V graph or full A/V graph.
+type Graph struct {
+	// Rule is the recursive rule the graph was built from.
+	Rule ast.Rule
+	// Full records whether predicate edges were added and acyclic
+	// variable-only components removed (full A/V graph).
+	Full  bool
+	Nodes []Node
+	Edges []Edge
+
+	adj [][]halfEdge
+}
+
+// halfEdge is an adjacency entry: traversing to node `to` adds `weight`.
+type halfEdge struct {
+	to     int
+	weight int
+	edge   int // index into Edges
+}
+
+// Component is a connected component of the graph with its cycle analysis.
+type Component struct {
+	// Nodes are node indices, ascending.
+	Nodes []int
+	// CycleGCD is the generator g of the subgroup of closed-walk weights:
+	// 0 if every cycle has weight 0 (or the component is a tree).
+	CycleGCD int
+	// HasNonrecursiveArg reports whether the component contains an argument
+	// node of a nonrecursive body atom.
+	HasNonrecursiveArg bool
+	// HasNondistinguishedVar reports whether the component contains a
+	// variable node for a nondistinguished variable.
+	HasNondistinguishedVar bool
+}
+
+// New builds the A/V graph of the recursive rule of d (Section 2).
+func New(d *ast.Definition) *Graph {
+	g := build(d)
+	g.finish()
+	return g
+}
+
+// NewFull builds the full A/V graph of the recursive rule of d (Section 3):
+// the A/V graph plus predicate edges, with components lacking nonrecursive
+// argument nodes removed.
+func NewFull(d *ast.Definition) *Graph {
+	g := build(d)
+	g.Full = true
+	// Predicate edges between adjacent argument nodes of nonrecursive atoms.
+	recIdx := d.Recursive.RecursiveAtomIndex()
+	argNode := make(map[[2]int]int) // (bodyIdx, argIdx) -> node
+	for i, n := range g.Nodes {
+		if n.Kind == ArgNode {
+			argNode[[2]int{n.BodyIndex, n.ArgIndex}] = i
+		}
+	}
+	for bi, atom := range d.Recursive.Body {
+		if bi == recIdx {
+			continue
+		}
+		for ai := 0; ai+1 < atom.Arity(); ai++ {
+			g.Edges = append(g.Edges, Edge{
+				From: argNode[[2]int{bi, ai}],
+				To:   argNode[[2]int{bi, ai + 1}],
+				Kind: Predicate,
+			})
+		}
+	}
+	g.finish()
+	// Remove components without nonrecursive argument nodes.
+	keep := make([]bool, len(g.Nodes))
+	for _, c := range g.components() {
+		if c.HasNonrecursiveArg {
+			for _, n := range c.Nodes {
+				keep[n] = true
+			}
+		}
+	}
+	g.restrict(keep)
+	g.finish()
+	return g
+}
+
+// build constructs nodes, identity edges, and unification edges.
+func build(d *ast.Definition) *Graph {
+	rule := d.Recursive.Clone()
+	g := &Graph{Rule: rule}
+	recIdx := rule.RecursiveAtomIndex()
+	dist := rule.DistinguishedVars()
+
+	// Variable nodes, in first-appearance order (head, then body).
+	varNode := make(map[string]int)
+	addVar := func(t ast.Term) {
+		if !t.IsVar() {
+			return
+		}
+		if _, ok := varNode[t.Name]; ok {
+			return
+		}
+		varNode[t.Name] = len(g.Nodes)
+		g.Nodes = append(g.Nodes, Node{
+			Kind:          VarNode,
+			Name:          t.Name,
+			Distinguished: dist[t.Name],
+		})
+	}
+	for _, t := range rule.Head.Args {
+		addVar(t)
+	}
+	for _, a := range rule.Body {
+		for _, t := range a.Args {
+			addVar(t)
+		}
+	}
+
+	// Argument nodes for each body position, with disambiguated labels.
+	occTotal := make(map[string]int)
+	for _, a := range rule.Body {
+		occTotal[a.Pred]++
+	}
+	occSeen := make(map[string]int)
+	for bi, a := range rule.Body {
+		occSeen[a.Pred]++
+		for ai := range a.Args {
+			label := fmt.Sprintf("%s.%d", a.Pred, ai+1)
+			if occTotal[a.Pred] > 1 {
+				label = fmt.Sprintf("%s[%d].%d", a.Pred, occSeen[a.Pred], ai+1)
+			}
+			idx := len(g.Nodes)
+			g.Nodes = append(g.Nodes, Node{
+				Kind:      ArgNode,
+				Name:      label,
+				Pred:      a.Pred,
+				BodyIndex: bi,
+				ArgIndex:  ai,
+				Recursive: bi == recIdx,
+			})
+			// Identity edge to the variable in this position (skipped for
+			// constants, which have no variable node).
+			if t := a.Args[ai]; t.IsVar() {
+				g.Edges = append(g.Edges, Edge{From: idx, To: varNode[t.Name], Kind: Identity})
+			}
+			// Unification edge from recursive-atom positions to the head
+			// variable in the same position.
+			if bi == recIdx {
+				hv := rule.Head.Args[ai]
+				g.Edges = append(g.Edges, Edge{From: idx, To: varNode[hv.Name], Kind: Unification})
+			}
+		}
+	}
+	return g
+}
+
+// finish (re)builds the adjacency lists.
+func (g *Graph) finish() {
+	g.adj = make([][]halfEdge, len(g.Nodes))
+	for ei, e := range g.Edges {
+		w := e.Weight()
+		g.adj[e.From] = append(g.adj[e.From], halfEdge{to: e.To, weight: w, edge: ei})
+		g.adj[e.To] = append(g.adj[e.To], halfEdge{to: e.From, weight: -w, edge: ei})
+	}
+}
+
+// restrict keeps only the marked nodes (and edges among them), renumbering.
+func (g *Graph) restrict(keep []bool) {
+	remap := make([]int, len(g.Nodes))
+	var nodes []Node
+	for i, n := range g.Nodes {
+		if keep[i] {
+			remap[i] = len(nodes)
+			nodes = append(nodes, n)
+		} else {
+			remap[i] = -1
+		}
+	}
+	var edges []Edge
+	for _, e := range g.Edges {
+		if keep[e.From] && keep[e.To] {
+			edges = append(edges, Edge{From: remap[e.From], To: remap[e.To], Kind: e.Kind})
+		}
+	}
+	g.Nodes, g.Edges = nodes, edges
+}
+
+// components computes connected components with cycle analysis.
+func (g *Graph) components() []Component {
+	visited := make([]bool, len(g.Nodes))
+	pot := make([]int, len(g.Nodes))
+	var comps []Component
+	for start := range g.Nodes {
+		if visited[start] {
+			continue
+		}
+		c := Component{}
+		gcd := 0
+		// BFS assigning potentials; non-tree edges contribute cycle weights.
+		visited[start] = true
+		pot[start] = 0
+		queue := []int{start}
+		inComp := []int{start}
+		usedEdge := make(map[int]bool)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, he := range g.adj[u] {
+				if !visited[he.to] {
+					visited[he.to] = true
+					pot[he.to] = pot[u] + he.weight
+					usedEdge[he.edge] = true
+					queue = append(queue, he.to)
+					inComp = append(inComp, he.to)
+					continue
+				}
+				if usedEdge[he.edge] {
+					continue
+				}
+				usedEdge[he.edge] = true
+				d := pot[u] + he.weight - pot[he.to]
+				gcd = gcdInt(gcd, abs(d))
+			}
+		}
+		sort.Ints(inComp)
+		c.Nodes = inComp
+		c.CycleGCD = gcd
+		for _, n := range inComp {
+			node := g.Nodes[n]
+			if node.Kind == ArgNode && !node.Recursive {
+				c.HasNonrecursiveArg = true
+			}
+			if node.Kind == VarNode && !node.Distinguished {
+				c.HasNondistinguishedVar = true
+			}
+		}
+		comps = append(comps, c)
+	}
+	return comps
+}
+
+// Components returns the connected components of the graph, each with its
+// cycle-weight generator, in order of their smallest node index.
+func (g *Graph) Components() []Component { return g.components() }
+
+// ComponentOf returns the component containing the named node, or nil.
+func (g *Graph) ComponentOf(name string) *Component {
+	idx := g.NodeIndex(name)
+	if idx < 0 {
+		return nil
+	}
+	for _, c := range g.components() {
+		for _, n := range c.Nodes {
+			if n == idx {
+				cc := c
+				return &cc
+			}
+		}
+	}
+	return nil
+}
+
+// NodeIndex returns the index of the node with the given label, or -1.
+func (g *Graph) NodeIndex(name string) int {
+	for i, n := range g.Nodes {
+		if n.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// PathWeights characterizes the weights of walks from node u to node v: any
+// walk weight has the form base + n*gcd for integer n (gcd 0 means exactly
+// base). ok is false when u and v are disconnected or unknown.
+func (g *Graph) PathWeights(uName, vName string) (base, gcd int, ok bool) {
+	u, v := g.NodeIndex(uName), g.NodeIndex(vName)
+	if u < 0 || v < 0 {
+		return 0, 0, false
+	}
+	for _, c := range g.components() {
+		hasU, hasV := false, false
+		for _, n := range c.Nodes {
+			if n == u {
+				hasU = true
+			}
+			if n == v {
+				hasV = true
+			}
+		}
+		if hasU && hasV {
+			pots := g.potentials(c.Nodes[0])
+			return pots[v] - pots[u], c.CycleGCD, true
+		}
+		if hasU || hasV {
+			return 0, 0, false
+		}
+	}
+	return 0, 0, false
+}
+
+// potentials returns BFS potentials from start (meaningful within start's
+// component only).
+func (g *Graph) potentials(start int) map[int]int {
+	pot := map[int]int{start: 0}
+	queue := []int{start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, he := range g.adj[u] {
+			if _, ok := pot[he.to]; ok {
+				continue
+			}
+			pot[he.to] = pot[u] + he.weight
+			queue = append(queue, he.to)
+		}
+	}
+	return pot
+}
+
+// Render produces a deterministic text rendering of the graph, used to
+// regenerate the paper's figures (Figs. 2–6) as goldens.
+func (g *Graph) Render() string {
+	var b strings.Builder
+	kind := "A/V graph"
+	if g.Full {
+		kind = "full A/V graph"
+	}
+	fmt.Fprintf(&b, "%s for %s\n", kind, g.Rule)
+	for ci, c := range g.components() {
+		fmt.Fprintf(&b, "component %d (cycle gcd %d):\n", ci+1, c.CycleGCD)
+		var vars, args []string
+		for _, n := range c.Nodes {
+			node := g.Nodes[n]
+			if node.Kind == VarNode {
+				tag := ""
+				if node.Distinguished {
+					tag = "*"
+				}
+				vars = append(vars, node.Name+tag)
+			} else {
+				args = append(args, node.Name)
+			}
+		}
+		sort.Strings(vars)
+		sort.Strings(args)
+		fmt.Fprintf(&b, "  vars: %s\n", strings.Join(vars, " "))
+		fmt.Fprintf(&b, "  args: %s\n", strings.Join(args, " "))
+		var lines []string
+		for _, e := range g.Edges {
+			if !contains(c.Nodes, e.From) {
+				continue
+			}
+			arrow := "--"
+			if e.Kind == Unification {
+				arrow = "->"
+			}
+			lines = append(lines, fmt.Sprintf("  %s %s %s  (%s)",
+				g.Nodes[e.From].Name, arrow, g.Nodes[e.To].Name, e.Kind))
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func contains(sorted []int, x int) bool {
+	i := sort.SearchInts(sorted, x)
+	return i < len(sorted) && sorted[i] == x
+}
+
+func gcdInt(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,386 @@
+package avgraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/expand"
+	"repro/internal/parser"
+)
+
+func def(t *testing.T, src, pred string) *ast.Definition {
+	t.Helper()
+	d, err := parser.ParseDefinition(src, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+const tcSrc = `
+	t(X, Y) :- a(X, Z), t(Z, Y).
+	t(X, Y) :- b(X, Y).
+`
+
+const sgSrc = `
+	sg(X, Y) :- p(X, W), p(Y, Z), sg(W, Z).
+	sg(X, Y) :- sg0(X, Y).
+`
+
+const ex34Src = `
+	t(X, Y, Z) :- t(X, U, W), e(U, Y), d(Z).
+	t(X, Y, Z) :- t0(X, Y, Z).
+`
+
+const ex35Src = `
+	t(X, Y) :- e(X, W), t(Y, W).
+	t(X, Y) :- t0(X, Y).
+`
+
+// TestExpE02Fig2 reproduces Fig. 2 / Example 2.3: the A/V graph of the
+// canonical recursion, with its exact node and edge inventory.
+func TestExpE02Fig2(t *testing.T) {
+	g := New(def(t, tcSrc, "t"))
+	// Nodes: variables X, Y, Z and argument positions a.1 a.2 t.1 t.2.
+	wantNodes := map[string]NodeKind{
+		"X": VarNode, "Y": VarNode, "Z": VarNode,
+		"a.1": ArgNode, "a.2": ArgNode, "t.1": ArgNode, "t.2": ArgNode,
+	}
+	if len(g.Nodes) != len(wantNodes) {
+		t.Fatalf("got %d nodes", len(g.Nodes))
+	}
+	for name, kind := range wantNodes {
+		i := g.NodeIndex(name)
+		if i < 0 || g.Nodes[i].Kind != kind {
+			t.Fatalf("missing node %s", name)
+		}
+	}
+	// Edges: identity a.1-X, a.2-Z, t.1-Z, t.2-Y; unification t.1->X, t.2->Y.
+	type e struct {
+		from, to string
+		kind     EdgeKind
+	}
+	want := []e{
+		{"a.1", "X", Identity}, {"a.2", "Z", Identity},
+		{"t.1", "Z", Identity}, {"t.2", "Y", Identity},
+		{"t.1", "X", Unification}, {"t.2", "Y", Unification},
+	}
+	if len(g.Edges) != len(want) {
+		t.Fatalf("got %d edges: %+v", len(g.Edges), g.Edges)
+	}
+	for _, w := range want {
+		found := false
+		for _, ge := range g.Edges {
+			if g.Nodes[ge.From].Name == w.from && g.Nodes[ge.To].Name == w.to && ge.Kind == w.kind {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing edge %v", w)
+		}
+	}
+	// In the plain A/V graph the a-side component is a tree (the +1 cycle
+	// needs the predicate edge of the full graph), while the {Y, t.2}
+	// component has a weight-1 cycle (identity plus unification edge):
+	// that is why Y persists across iterations.
+	if c := g.ComponentOf("a.1"); c == nil || c.CycleGCD != 0 {
+		t.Fatalf("a-side component = %+v, want cycle gcd 0", c)
+	}
+	if c := g.ComponentOf("Y"); c == nil || c.CycleGCD != 1 {
+		t.Fatalf("Y component = %+v, want cycle gcd 1", c)
+	}
+}
+
+// TestExpE03Fig3 reproduces Fig. 3 / Example 3.2: the full A/V graph of the
+// canonical recursion. The a.1-a.2 predicate edge appears and the component
+// containing Y and t.2 is deleted; the surviving component has a cycle of
+// weight 1.
+func TestExpE03Fig3(t *testing.T) {
+	g := NewFull(def(t, tcSrc, "t"))
+	if g.NodeIndex("Y") >= 0 || g.NodeIndex("t.2") >= 0 {
+		t.Fatal("Y / t.2 component should have been removed")
+	}
+	for _, name := range []string{"X", "Z", "a.1", "a.2", "t.1"} {
+		if g.NodeIndex(name) < 0 {
+			t.Fatalf("missing node %s", name)
+		}
+	}
+	comps := g.Components()
+	if len(comps) != 1 {
+		t.Fatalf("got %d components", len(comps))
+	}
+	if comps[0].CycleGCD != 1 {
+		t.Fatalf("cycle gcd = %d, want 1", comps[0].CycleGCD)
+	}
+	// Predicate edge present.
+	found := false
+	for _, e := range g.Edges {
+		if e.Kind == Predicate {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing predicate edge a.1 -- a.2")
+	}
+}
+
+// TestExpE04Fig4 reproduces Fig. 4: the same-generation full A/V graph has
+// two connected components, each with a cycle of weight 1.
+func TestExpE04Fig4(t *testing.T) {
+	g := NewFull(def(t, sgSrc, "sg"))
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	for i, c := range comps {
+		if c.CycleGCD != 1 {
+			t.Fatalf("component %d cycle gcd = %d, want 1", i, c.CycleGCD)
+		}
+		if !c.HasNondistinguishedVar {
+			t.Fatalf("component %d should contain a nondistinguished variable", i)
+		}
+	}
+	// X goes with p[1] and W; Y with p[2] and Z.
+	cx := g.ComponentOf("X")
+	if cx == nil {
+		t.Fatal("no component for X")
+	}
+	names := nodeNames(g, cx.Nodes)
+	for _, want := range []string{"W", "p[1].1", "p[1].2", "sg.1"} {
+		if !names[want] {
+			t.Fatalf("X's component = %v, missing %s", names, want)
+		}
+	}
+	if names["Y"] || names["Z"] {
+		t.Fatalf("X's component should not contain Y or Z: %v", names)
+	}
+}
+
+// TestExpE05Fig5 reproduces Fig. 5 (Example 3.4): after removing the
+// X/t.1-only component, the graph has the e-component with a weight-1 cycle
+// and the d-component with no nonzero cycle.
+func TestExpE05Fig5(t *testing.T) {
+	g := NewFull(def(t, ex34Src, "t"))
+	if g.NodeIndex("X") >= 0 || g.NodeIndex("t.1") >= 0 {
+		t.Fatal("X / t.1 component should have been removed")
+	}
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	ce := g.ComponentOf("e.1")
+	cd := g.ComponentOf("d.1")
+	if ce == nil || cd == nil {
+		t.Fatal("missing e/d components")
+	}
+	if ce.CycleGCD != 1 {
+		t.Fatalf("e component cycle gcd = %d, want 1", ce.CycleGCD)
+	}
+	if cd.CycleGCD != 0 {
+		t.Fatalf("d component cycle gcd = %d, want 0", cd.CycleGCD)
+	}
+	names := nodeNames(g, ce.Nodes)
+	for _, want := range []string{"U", "Y", "e.1", "e.2", "t.2"} {
+		if !names[want] {
+			t.Fatalf("e component = %v, missing %s", names, want)
+		}
+	}
+	names = nodeNames(g, cd.Nodes)
+	for _, want := range []string{"Z", "W", "d.1", "t.3"} {
+		if !names[want] {
+			t.Fatalf("d component = %v, missing %s", names, want)
+		}
+	}
+}
+
+// TestExpE06Fig6 reproduces Fig. 6 (Example 3.5): a single component whose
+// minimal cycle weight is 2.
+func TestExpE06Fig6(t *testing.T) {
+	g := NewFull(def(t, ex35Src, "t"))
+	comps := g.Components()
+	if len(comps) != 1 {
+		t.Fatalf("got %d components, want 1", len(comps))
+	}
+	if comps[0].CycleGCD != 2 {
+		t.Fatalf("cycle gcd = %d, want 2", comps[0].CycleGCD)
+	}
+}
+
+// TestFact22PathWeights verifies Facts 2.1/2.2 on the canonical recursion:
+// achievable walk weights between variable and argument nodes predict where
+// variable instances appear in the expansion.
+func TestFact22PathWeights(t *testing.T) {
+	g := New(def(t, tcSrc, "t"))
+	// Z (instance Z_i) appears in a.1 on iteration i+1: unique path weight 1.
+	base, gcd, ok := g.PathWeights("Z", "a.1")
+	if !ok || base != 1 || gcd != 0 {
+		t.Fatalf("Z->a.1 = (%d,%d,%v), want (1,0,true)", base, gcd, ok)
+	}
+	// Z_i appears in a.2 on iteration i: weight 0.
+	base, gcd, ok = g.PathWeights("Z", "a.2")
+	if !ok || base != 0 || gcd != 0 {
+		t.Fatalf("Z->a.2 = (%d,%d,%v)", base, gcd, ok)
+	}
+	// X appears in a.1 only on iteration 0: weight 0.
+	base, gcd, ok = g.PathWeights("X", "a.1")
+	if !ok || base != 0 || gcd != 0 {
+		t.Fatalf("X->a.1 = (%d,%d,%v)", base, gcd, ok)
+	}
+	// Y never appears in a: disconnected in the plain A/V graph.
+	if _, _, ok := g.PathWeights("Y", "a.1"); ok {
+		t.Fatal("Y and a.1 should be disconnected")
+	}
+}
+
+// TestLemma22AgainstExpansion cross-validates Lemma 2.2's necessity
+// direction empirically: whenever two recursive-rule instances in an
+// expansion string share a variable, the full A/V graph admits the
+// corresponding path weight.
+func TestLemma22AgainstExpansion(t *testing.T) {
+	for _, src := range []struct{ src, pred string }{
+		{tcSrc, "t"}, {sgSrc, "sg"}, {ex34Src, "t"}, {ex35Src, "t"},
+	} {
+		d := def(t, src.src, src.pred)
+		g := NewFull(d)
+		s := expand.Nth(d, 8)
+		insts := s.Instances
+		for i := 0; i < len(insts); i++ {
+			for j := i + 1; j < len(insts); j++ {
+				a, b := insts[i], insts[j]
+				if a.Exit || b.Exit {
+					continue
+				}
+				if a.Iter > b.Iter {
+					a, b = b, a
+				}
+				k := b.Iter - a.Iter
+				for ai, at := range a.Atom.Args {
+					for bi, bt := range b.Atom.Args {
+						if !at.IsVar() || at != bt {
+							continue
+						}
+						p1 := argLabel(d, a.BodyIndex, ai)
+						p2 := argLabel(d, b.BodyIndex, bi)
+						base, gcd, ok := g.PathWeights(p1, p2)
+						if !ok {
+							t.Fatalf("%s: shared var %v between %s and %s but nodes disconnected",
+								src.pred, at, p1, p2)
+						}
+						if !achievable(base, gcd, k) {
+							t.Fatalf("%s: shared var %v between %s(iter %d) and %s(iter %d): weight %d not in %d+%dZ",
+								src.pred, at, p1, a.Iter, p2, b.Iter, k, base, gcd)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// argLabel reconstructs the node label used by the graph builder.
+func argLabel(d *ast.Definition, bodyIdx, argIdx int) string {
+	rule := d.Recursive
+	occTotal := make(map[string]int)
+	for _, a := range rule.Body {
+		occTotal[a.Pred]++
+	}
+	occ := 0
+	pred := rule.Body[bodyIdx].Pred
+	for i := 0; i <= bodyIdx; i++ {
+		if rule.Body[i].Pred == pred {
+			occ++
+		}
+	}
+	if occTotal[pred] > 1 {
+		return pred + "[" + itoa(occ) + "]." + itoa(argIdx+1)
+	}
+	return pred + "." + itoa(argIdx+1)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func achievable(base, gcd, k int) bool {
+	if gcd == 0 {
+		return k == base || k == -base
+	}
+	return (k-base)%gcd == 0 || (k+base)%gcd == 0
+}
+
+func nodeNames(g *Graph, nodes []int) map[string]bool {
+	m := make(map[string]bool)
+	for _, n := range nodes {
+		m[g.Nodes[n].Name] = true
+	}
+	return m
+}
+
+// TestRenderGolden pins the text rendering of Fig. 3 used by the CLI.
+func TestRenderGolden(t *testing.T) {
+	g := NewFull(def(t, tcSrc, "t"))
+	out := g.Render()
+	for _, want := range []string{
+		"full A/V graph for t(X, Y) :- a(X, Z), t(Z, Y).",
+		"component 1 (cycle gcd 1):",
+		"vars: X* Z",
+		"args: a.1 a.2 t.1",
+		"t.1 -> X  (unification)",
+		"a.1 -- a.2  (predicate)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConstantsInBody: argument positions holding constants get no identity
+// edge but predicate edges still connect them.
+func TestConstantsInBody(t *testing.T) {
+	d := def(t, `
+		t(X, Y) :- a(X, c0, Z), t(Z, Y).
+		t(X, Y) :- b(X, Y).
+	`, "t")
+	g := NewFull(d)
+	comps := g.Components()
+	if len(comps) != 1 {
+		t.Fatalf("got %d components", len(comps))
+	}
+	if comps[0].CycleGCD != 1 {
+		t.Fatalf("cycle gcd = %d", comps[0].CycleGCD)
+	}
+	if g.NodeIndex("a.2") < 0 {
+		t.Fatal("constant position should still have an argument node")
+	}
+}
+
+// TestBuysComponents reproduces the Theorem 3.3 worked example: in the buys
+// recursion the cheap component has a nonzero cycle but no nondistinguished
+// variable, while the knows component has both.
+func TestBuysComponents(t *testing.T) {
+	d := def(t, `
+		buys(X, Y) :- knows(X, W), buys(W, Y), cheap(Y).
+		buys(X, Y) :- likes(X, Y), cheap(Y).
+	`, "buys")
+	g := NewFull(d)
+	ck := g.ComponentOf("knows.1")
+	cc := g.ComponentOf("cheap.1")
+	if ck == nil || cc == nil {
+		t.Fatal("missing components")
+	}
+	if ck.CycleGCD != 1 || !ck.HasNondistinguishedVar {
+		t.Fatalf("knows component: gcd=%d nondist=%v", ck.CycleGCD, ck.HasNondistinguishedVar)
+	}
+	if cc.CycleGCD != 1 || cc.HasNondistinguishedVar {
+		t.Fatalf("cheap component: gcd=%d nondist=%v", cc.CycleGCD, cc.HasNondistinguishedVar)
+	}
+}

@@ -1,0 +1,60 @@
+package avgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz format, one cluster per connected
+// component, for regenerating the paper's figures graphically: variable
+// nodes are ellipses (distinguished ones double-ringed), argument nodes
+// are boxes, unification edges are directed and labeled +1, identity and
+// predicate edges are undirected (predicate edges dashed).
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n")
+	comps := g.Components()
+	for ci, c := range comps {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n", ci)
+		fmt.Fprintf(&b, "    label=\"component %d (cycle gcd %d)\";\n", ci+1, c.CycleGCD)
+		var lines []string
+		for _, n := range c.Nodes {
+			node := g.Nodes[n]
+			attr := "shape=box"
+			if node.Kind == VarNode {
+				attr = "shape=ellipse"
+				if node.Distinguished {
+					attr = "shape=doublecircle"
+				}
+			}
+			lines = append(lines, fmt.Sprintf("    %q [%s];", node.Name, attr))
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+		b.WriteString("  }\n")
+	}
+	var edges []string
+	for _, e := range g.Edges {
+		from, to := g.Nodes[e.From].Name, g.Nodes[e.To].Name
+		switch e.Kind {
+		case Unification:
+			edges = append(edges, fmt.Sprintf("  %q -- %q [dir=forward, label=\"+1\"];", from, to))
+		case Predicate:
+			edges = append(edges, fmt.Sprintf("  %q -- %q [style=dashed];", from, to))
+		default:
+			edges = append(edges, fmt.Sprintf("  %q -- %q;", from, to))
+		}
+	}
+	sort.Strings(edges)
+	for _, e := range edges {
+		b.WriteString(e)
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

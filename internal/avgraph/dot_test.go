@@ -1,0 +1,37 @@
+package avgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTExport(t *testing.T) {
+	g := NewFull(def(t, tcSrc, "t"))
+	out := g.DOT("fig3")
+	for _, want := range []string{
+		`graph "fig3" {`,
+		"cluster_0",
+		"component 1 (cycle gcd 1)",
+		`"X" [shape=doublecircle];`,
+		`"Z" [shape=ellipse];`,
+		`"a.1" [shape=box];`,
+		`"t.1" -- "X" [dir=forward, label="+1"];`,
+		`"a.1" -- "a.2" [style=dashed];`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Fatal("unbalanced braces in DOT output")
+	}
+}
+
+func TestDOTTwoComponents(t *testing.T) {
+	g := NewFull(def(t, sgSrc, "sg"))
+	out := g.DOT("fig4")
+	if !strings.Contains(out, "cluster_0") || !strings.Contains(out, "cluster_1") {
+		t.Fatalf("expected two clusters:\n%s", out)
+	}
+}

@@ -1,0 +1,156 @@
+package avgraph
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+// randomLinearDef builds a random linear recursion (mirroring the
+// generator in the analysis tests, kept local to avoid an import cycle).
+func randomLinearDef(rng *rand.Rand) *ast.Definition {
+	arity := 2 + rng.Intn(2)
+	headVars := make([]ast.Term, arity)
+	for i := range headVars {
+		headVars[i] = ast.V("H" + strconv.Itoa(i))
+	}
+	pool := append([]ast.Term{}, headVars...)
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		pool = append(pool, ast.V("F"+strconv.Itoa(i)))
+	}
+	pick := func() ast.Term { return pool[rng.Intn(len(pool))] }
+	recArgs := make([]ast.Term, arity)
+	for i := range recArgs {
+		recArgs[i] = pick()
+	}
+	nEDB := 1 + rng.Intn(3)
+	body := make([]ast.Atom, 0, nEDB+1)
+	for i := 0; i < nEDB; i++ {
+		body = append(body, ast.NewAtom("e"+strconv.Itoa(i), pick(), pick()))
+	}
+	pos := rng.Intn(len(body) + 1)
+	body = append(body[:pos], append([]ast.Atom{ast.NewAtom("t", recArgs...)}, body[pos:]...)...)
+	d := &ast.Definition{
+		Recursive: ast.Rule{Head: ast.NewAtom("t", headVars...), Body: body},
+		Exit:      ast.NewRule(ast.NewAtom("t", headVars...), ast.NewAtom("t0", headVars...)),
+	}
+	if d.Validate() != nil {
+		return nil
+	}
+	return d
+}
+
+// TestQuickRenamingInvariance: the component structure (count and cycle
+// gcds) of the full A/V graph is invariant under variable renaming of the
+// rule.
+func TestQuickRenamingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	checked := 0
+	for i := 0; i < 300 && checked < 100; i++ {
+		d := randomLinearDef(rng)
+		if d == nil {
+			continue
+		}
+		checked++
+		g1 := NewFull(d)
+		s := make(ast.Subst)
+		for v := range d.Recursive.Vars() {
+			s[v] = ast.V("R_" + v)
+		}
+		d2 := &ast.Definition{Recursive: s.ApplyRule(d.Recursive), Exit: d.Exit.Clone()}
+		// The exit head variables must track the renamed recursive head.
+		d2.Exit = s.ApplyRule(d.Exit)
+		g2 := NewFull(d2)
+		if !sameProfile(g1, g2) {
+			t.Fatalf("renaming changed the component profile:\n%v\nvs\n%v",
+				profile(g1), profile(g2))
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d rules checked", checked)
+	}
+}
+
+// profile summarizes a graph as the multiset of component cycle gcds.
+func profile(g *Graph) []int {
+	var out []int
+	for _, c := range g.Components() {
+		out = append(out, c.CycleGCD)
+	}
+	// Insertion sort (tiny slices).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func sameProfile(a, b *Graph) bool {
+	pa, pb := profile(a), profile(b)
+	if len(pa) != len(pb) {
+		return false
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickBodyOrderInvariance: permuting the nonrecursive body atoms does
+// not change the component profile.
+func TestQuickBodyOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	checked := 0
+	for i := 0; i < 300 && checked < 100; i++ {
+		d := randomLinearDef(rng)
+		if d == nil {
+			continue
+		}
+		checked++
+		g1 := NewFull(d)
+		// Reverse the body.
+		d2 := d.Clone()
+		for l, r := 0, len(d2.Recursive.Body)-1; l < r; l, r = l+1, r-1 {
+			d2.Recursive.Body[l], d2.Recursive.Body[r] = d2.Recursive.Body[r], d2.Recursive.Body[l]
+		}
+		g2 := NewFull(d2)
+		if !sameProfile(g1, g2) {
+			t.Fatalf("body order changed the profile for %v", d.Recursive)
+		}
+	}
+}
+
+// TestQuickUnificationEdgeCount: the full A/V graph has at most one
+// unification edge per recursive-atom position, and every unification edge
+// points at a distinguished variable.
+func TestQuickUnificationEdgeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 200; i++ {
+		d := randomLinearDef(rng)
+		if d == nil {
+			continue
+		}
+		g := New(d)
+		unif := 0
+		for _, e := range g.Edges {
+			if e.Kind != Unification {
+				continue
+			}
+			unif++
+			if g.Nodes[e.To].Kind != VarNode || !g.Nodes[e.To].Distinguished {
+				t.Fatalf("unification edge to non-distinguished node in %v", d.Recursive)
+			}
+			if !g.Nodes[e.From].Recursive {
+				t.Fatalf("unification edge from non-recursive argument in %v", d.Recursive)
+			}
+		}
+		if unif != d.Arity() {
+			t.Fatalf("%d unification edges for arity %d in %v", unif, d.Arity(), d.Recursive)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package cq implements conjunctive-query containment via containment
+// mappings (paper Definition 2.1 and Lemma 2.1, after Chandra–Merlin [CM77]
+// and Aho–Sagiv–Ullman [ASU79]).
+//
+// A conjunctive query is represented as an ast.Rule: the head lists the
+// distinguished variables (and possibly constants, after selections have
+// been applied), the body is the conjunction. The relation specified by a
+// string s1 is contained in the relation specified by s2 if and only if
+// there is a containment mapping from s2 to s1.
+package cq
+
+import (
+	"sort"
+
+	"repro/internal/ast"
+)
+
+// FindContainmentMapping searches for a containment mapping from query
+// `from` to query `to`: a substitution h over from's variables such that
+// h(from.Head) == to.Head argument-wise and every atom of h(from.Body)
+// appears in to.Body. Constants map to themselves. It returns the mapping
+// and whether one exists.
+func FindContainmentMapping(from, to ast.Rule) (ast.Subst, bool) {
+	if from.Head.Pred != to.Head.Pred || from.Head.Arity() != to.Head.Arity() {
+		return nil, false
+	}
+	// Seed the mapping with the head correspondence: distinguished
+	// variables map to the corresponding head terms of `to` (for strings in
+	// an expansion both heads are t(V1..Vn) and the mapping fixes each Vi).
+	h := make(ast.Subst)
+	for i := range from.Head.Args {
+		x, y := from.Head.Args[i], to.Head.Args[i]
+		if x.IsConst() {
+			if x != y {
+				return nil, false
+			}
+			continue
+		}
+		if bound, ok := h[x.Name]; ok {
+			if bound != y {
+				return nil, false
+			}
+			continue
+		}
+		h[x.Name] = y
+	}
+
+	// Index target atoms by predicate for candidate generation.
+	byPred := make(map[string][]ast.Atom)
+	for _, a := range to.Body {
+		byPred[a.Pred] = append(byPred[a.Pred], a)
+	}
+
+	// Order source atoms by ascending candidate count, then by boundness,
+	// to fail fast.
+	atoms := make([]ast.Atom, len(from.Body))
+	copy(atoms, from.Body)
+	sort.SliceStable(atoms, func(i, j int) bool {
+		return len(byPred[atoms[i].Pred]) < len(byPred[atoms[j].Pred])
+	})
+
+	var search func(i int) bool
+	search = func(i int) bool {
+		if i == len(atoms) {
+			return true
+		}
+		a := atoms[i]
+		for _, cand := range byPred[a.Pred] {
+			if len(cand.Args) != len(a.Args) {
+				continue
+			}
+			// Try to extend h to map a onto cand; record new bindings for
+			// backtracking.
+			var added []string
+			ok := true
+			for k := range a.Args {
+				x, y := a.Args[k], cand.Args[k]
+				if x.IsConst() {
+					if x != y {
+						ok = false
+						break
+					}
+					continue
+				}
+				if bound, bok := h[x.Name]; bok {
+					if bound != y {
+						ok = false
+						break
+					}
+					continue
+				}
+				h[x.Name] = y
+				added = append(added, x.Name)
+			}
+			if ok && search(i+1) {
+				return true
+			}
+			for _, v := range added {
+				delete(h, v)
+			}
+		}
+		return false
+	}
+	if !search(0) {
+		return nil, false
+	}
+	return h.Clone(), true
+}
+
+// IsContainedIn reports whether q1 ⊑ q2 (the relation specified by q1 is
+// contained in the relation specified by q2, for all databases). By
+// Lemma 2.1 this holds iff there is a containment mapping from q2 to q1.
+func IsContainedIn(q1, q2 ast.Rule) bool {
+	_, ok := FindContainmentMapping(q2, q1)
+	return ok
+}
+
+// Equivalent reports whether two conjunctive queries specify the same
+// relation on every database.
+func Equivalent(q1, q2 ast.Rule) bool {
+	return IsContainedIn(q1, q2) && IsContainedIn(q2, q1)
+}
+
+// Minimize returns an equivalent subquery of q with a minimal number of
+// body atoms (the Chandra–Merlin core). The head is unchanged. The input is
+// not modified.
+func Minimize(q ast.Rule) ast.Rule {
+	cur := q.Clone()
+	for {
+		removed := false
+		for i := 0; i < len(cur.Body); i++ {
+			cand := ast.Rule{Head: cur.Head, Body: without(cur.Body, i)}
+			// Removing an atom can only grow the relation, so cur ⊑ cand
+			// always holds; equivalence needs cand ⊑ cur.
+			if IsContainedIn(cand, cur) {
+				cur = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}
+
+// without returns body with the atom at index i removed (fresh slice).
+func without(body []ast.Atom, i int) []ast.Atom {
+	out := make([]ast.Atom, 0, len(body)-1)
+	out = append(out, body[:i]...)
+	out = append(out, body[i+1:]...)
+	return out
+}
+
+// ContainedInUnion reports whether conjunctive query q is contained in the
+// union of the conjunctive queries us (Sagiv–Yannakakis [SY80]: for unions
+// of CQs, q ⊑ ∪us iff q ⊑ u for some u in us).
+func ContainedInUnion(q ast.Rule, us []ast.Rule) bool {
+	for _, u := range us {
+		if IsContainedIn(q, u) {
+			return true
+		}
+	}
+	return false
+}
+
+// UnionContainedInUnion reports whether ∪qs ⊑ ∪us.
+func UnionContainedInUnion(qs, us []ast.Rule) bool {
+	for _, q := range qs {
+		if !ContainedInUnion(q, us) {
+			return false
+		}
+	}
+	return true
+}

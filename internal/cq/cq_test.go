@@ -1,0 +1,225 @@
+package cq
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// q parses a conjunctive query written as a rule. Head constants are
+// allowed (they denote selections already applied).
+func q(t *testing.T, src string) ast.Rule {
+	t.Helper()
+	r, err := parser.ParseRule(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return r
+}
+
+func TestContainmentIdentity(t *testing.T) {
+	a := q(t, "q(X, Y) :- a(X, Z), b(Z, Y).")
+	if !IsContainedIn(a, a) {
+		t.Fatal("every query contains itself")
+	}
+	if !Equivalent(a, a) {
+		t.Fatal("every query is equivalent to itself")
+	}
+}
+
+func TestContainmentRenaming(t *testing.T) {
+	a := q(t, "q(X, Y) :- a(X, Z), b(Z, Y).")
+	b := q(t, "q(U, V) :- a(U, W), b(W, V).")
+	if !Equivalent(a, b) {
+		t.Fatal("alpha-renamed queries must be equivalent")
+	}
+}
+
+func TestContainmentStrictSubsumption(t *testing.T) {
+	// Longer path is contained in shorter pattern only when a mapping
+	// exists; a(X,Z),a(Z,Y) vs a(X,Y): neither contains the other.
+	long := q(t, "q(X, Y) :- a(X, Z), a(Z, Y).")
+	short := q(t, "q(X, Y) :- a(X, Y).")
+	if IsContainedIn(long, short) {
+		t.Fatal("2-path is not contained in 1-edge")
+	}
+	if IsContainedIn(short, long) {
+		t.Fatal("1-edge is not contained in 2-path")
+	}
+}
+
+func TestContainmentWithRedundancy(t *testing.T) {
+	// q2 has a redundant extra atom: equivalent to q1.
+	q1 := q(t, "q(X, Y) :- a(X, Y).")
+	q2 := q(t, "q(X, Y) :- a(X, Y), a(X, W).")
+	if !Equivalent(q1, q2) {
+		t.Fatal("redundant atom should not change the relation")
+	}
+}
+
+func TestContainmentConstants(t *testing.T) {
+	// Selections: q(X) :- a(X, c) vs q(X) :- a(X, Y): the first is contained
+	// in the second, not vice versa.
+	sel := q(t, "q(X) :- a(X, c).")
+	free := q(t, "q(X) :- a(X, Y).")
+	if !IsContainedIn(sel, free) {
+		t.Fatal("selected query is contained in free query")
+	}
+	if IsContainedIn(free, sel) {
+		t.Fatal("free query is not contained in selected query")
+	}
+}
+
+func TestContainmentHeadConstants(t *testing.T) {
+	// Heads with constants (used for strings with selections applied).
+	a := q(t, "q(n0, Y) :- a(n0, Y).")
+	b := q(t, "q(n0, Y) :- a(n0, Y), a(n0, W).")
+	if !Equivalent(a, b) {
+		t.Fatal("expected equivalence")
+	}
+	c := q(t, "q(n1, Y) :- a(n1, Y).")
+	if IsContainedIn(a, c) || IsContainedIn(c, a) {
+		t.Fatal("different head constants cannot be contained")
+	}
+}
+
+func TestFindContainmentMappingWitness(t *testing.T) {
+	from := q(t, "q(X, Y) :- a(X, Z), b(Z, Y).")
+	to := q(t, "q(X, Y) :- a(X, W1), b(W1, Y), a(X, W2).")
+	h, ok := FindContainmentMapping(from, to)
+	if !ok {
+		t.Fatal("expected a containment mapping")
+	}
+	// Verify the witness: h(from.Head) == to.Head and h(body) ⊆ to.Body.
+	if got := h.ApplyAtom(from.Head); !got.Equal(to.Head) {
+		t.Fatalf("head maps to %v", got)
+	}
+	for _, atom := range from.Body {
+		mapped := h.ApplyAtom(atom)
+		found := false
+		for _, b := range to.Body {
+			if mapped.Equal(b) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("mapped atom %v not in target body", mapped)
+		}
+	}
+}
+
+// TestPaperExpansionContainment reproduces the containment structure of the
+// canonical one-sided recursion's expansion (paper Section 4): for i >= 1
+// there is a containment mapping from the rightmost i-1 predicate instances
+// of string i to the rightmost i-1 instances of string i-1, but the strings
+// themselves are pairwise incomparable.
+func TestPaperExpansionContainment(t *testing.T) {
+	s1 := q(t, "t(X, Y) :- a(X, Z0), b(Z0, Y).")
+	s2 := q(t, "t(X, Y) :- a(X, Z0), a(Z0, Z1), b(Z1, Y).")
+	if IsContainedIn(s1, s2) || IsContainedIn(s2, s1) {
+		t.Fatal("distinct TC strings must be incomparable (containment-free)")
+	}
+	// Rightmost suffix (dropping the leading a and freeing the left end):
+	suffix1 := q(t, "s(Y) :- b(Z0, Y).")
+	suffix2 := q(t, "s(Y) :- a(Z0, Z1), b(Z1, Y).")
+	if !IsContainedIn(suffix2, suffix1) {
+		t.Fatal("suffix of string 2 should be contained in suffix of string 1")
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	// The cheap(Y) duplication from the paper's buys example: string 2 has
+	// redundant repeated cheap atoms.
+	r := q(t, "buys(X, Y) :- knows(X, W0), likes(W0, Y), cheap(Y), cheap(Y).")
+	m := Minimize(r)
+	if len(m.Body) != 3 {
+		t.Fatalf("minimized body = %v", m.Body)
+	}
+	if !Equivalent(r, m) {
+		t.Fatal("minimization must preserve equivalence")
+	}
+	// A core computation: triangle query with a duplicated edge pattern.
+	r2 := q(t, "q(X) :- e(X, A), e(A, X), e(X, B), e(B, X).")
+	m2 := Minimize(r2)
+	if len(m2.Body) != 2 {
+		t.Fatalf("expected core of size 2, got %v", m2.Body)
+	}
+	// Already-minimal query is unchanged.
+	r3 := q(t, "q(X, Y) :- a(X, Z), a(Z, Y).")
+	if got := Minimize(r3); len(got.Body) != 2 {
+		t.Fatalf("minimal query shrank: %v", got)
+	}
+}
+
+func TestUnionContainment(t *testing.T) {
+	u1 := q(t, "t(X, Y) :- b(X, Y).")
+	u2 := q(t, "t(X, Y) :- a(X, Z), b(Z, Y).")
+	// b(X,Y),a(X,W) is contained in u1.
+	probe := q(t, "t(X, Y) :- b(X, Y), a(X, W).")
+	if !ContainedInUnion(probe, []ast.Rule{u1, u2}) {
+		t.Fatal("probe should be contained in the union")
+	}
+	other := q(t, "t(X, Y) :- a(X, Y).")
+	if ContainedInUnion(other, []ast.Rule{u1, u2}) {
+		t.Fatal("a(X,Y) is not contained in the union")
+	}
+	if !UnionContainedInUnion([]ast.Rule{probe, u1}, []ast.Rule{u1, u2}) {
+		t.Fatal("expected union containment")
+	}
+	if UnionContainedInUnion([]ast.Rule{probe, other}, []ast.Rule{u1, u2}) {
+		t.Fatal("union with a(X,Y) is not contained")
+	}
+}
+
+func TestPredicateMismatchHeads(t *testing.T) {
+	a := q(t, "p(X) :- a(X).")
+	b := q(t, "r(X) :- a(X).")
+	if IsContainedIn(a, b) {
+		t.Fatal("different head predicates are incomparable")
+	}
+}
+
+// TestContainmentFreeChains checks Lemma-style containment-freeness: chains
+// of distinct lengths with both endpoints distinguished are incomparable,
+// for several lengths.
+func TestContainmentFreeChains(t *testing.T) {
+	mk := func(n int) ast.Rule {
+		body := make([]ast.Atom, n)
+		prev := ast.V("X")
+		for i := 0; i < n; i++ {
+			var next ast.Term
+			if i == n-1 {
+				next = ast.V("Y")
+			} else {
+				next = ast.V("Z" + string(rune('0'+i)))
+			}
+			body[i] = ast.NewAtom("a", prev, next)
+			prev = next
+		}
+		return ast.Rule{Head: ast.NewAtom("t", ast.V("X"), ast.V("Y")), Body: body}
+	}
+	for i := 1; i <= 4; i++ {
+		for j := 1; j <= 4; j++ {
+			got := IsContainedIn(mk(i), mk(j))
+			if (i == j) != got {
+				t.Fatalf("chain %d ⊑ chain %d = %v", i, j, got)
+			}
+		}
+	}
+}
+
+// TestCyclicTargetContainment: a chain maps into a self-loop when the ends
+// are free, demonstrating non-injective containment mappings.
+func TestCyclicTargetContainment(t *testing.T) {
+	loop := q(t, "q :- a(X, X).")
+	chain := q(t, "q :- a(X, Y), a(Y, Z).")
+	// chain's relation ⊇ loop's? Mapping from chain to loop: X,Y,Z -> X. So
+	// loop ⊑ chain.
+	if !IsContainedIn(loop, chain) {
+		t.Fatal("loop should be contained in chain")
+	}
+	if IsContainedIn(chain, loop) {
+		t.Fatal("chain is not contained in loop")
+	}
+}

@@ -1,0 +1,134 @@
+package cq
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+)
+
+// randomCQ builds a random conjunctive query over binary predicates p0..p2
+// with nvars variables, the first two distinguished.
+func randomCQ(rng *rand.Rand, natoms, nvars int) ast.Rule {
+	vars := make([]ast.Term, nvars)
+	for i := range vars {
+		vars[i] = ast.V("V" + strconv.Itoa(i))
+	}
+	body := make([]ast.Atom, natoms)
+	for i := range body {
+		body[i] = ast.NewAtom("p"+strconv.Itoa(rng.Intn(3)),
+			vars[rng.Intn(nvars)], vars[rng.Intn(nvars)])
+	}
+	// Head uses only variables that appear in the body (safety).
+	used := make(map[string]bool)
+	for _, a := range body {
+		for _, t := range a.Args {
+			used[t.Name] = true
+		}
+	}
+	var headArgs []ast.Term
+	for _, v := range vars {
+		if used[v.Name] && len(headArgs) < 2 {
+			headArgs = append(headArgs, v)
+		}
+	}
+	return ast.Rule{Head: ast.Atom{Pred: "q", Args: headArgs}, Body: body}
+}
+
+// TestQuickContainmentReflexive: every random CQ is contained in itself.
+func TestQuickContainmentReflexive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(natoms, nvars uint8) bool {
+		q := randomCQ(rng, 1+int(natoms)%5, 2+int(nvars)%4)
+		return IsContainedIn(q, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickContainmentTransitive: containment is transitive on random
+// triples (vacuously true pairs included; the interesting cases arise
+// often enough at this sample size).
+func TestQuickContainmentTransitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		a := randomCQ(rng, 1+rng.Intn(4), 2+rng.Intn(3))
+		b := randomCQ(rng, 1+rng.Intn(4), 2+rng.Intn(3))
+		c := randomCQ(rng, 1+rng.Intn(4), 2+rng.Intn(3))
+		if IsContainedIn(a, b) && IsContainedIn(b, c) && !IsContainedIn(a, c) {
+			t.Fatalf("transitivity violated:\n%v\n%v\n%v", a, b, c)
+		}
+	}
+}
+
+// TestQuickSubsetBodyContainment: dropping body atoms can only grow the
+// relation: q ⊑ q-minus-atom always.
+func TestQuickSubsetBodyContainment(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		q := randomCQ(rng, 2+rng.Intn(4), 2+rng.Intn(3))
+		for drop := 0; drop < len(q.Body); drop++ {
+			sub := ast.Rule{Head: q.Head, Body: without(q.Body, drop)}
+			// Head safety: skip if a head variable vanished.
+			safe := true
+			bodyVars := make(map[string]bool)
+			for _, a := range sub.Body {
+				for _, tm := range a.Args {
+					bodyVars[tm.Name] = true
+				}
+			}
+			for _, tm := range q.Head.Args {
+				if !bodyVars[tm.Name] {
+					safe = false
+				}
+			}
+			if !safe {
+				continue
+			}
+			if !IsContainedIn(q, sub) {
+				t.Fatalf("dropping an atom shrank the relation?\n%v\n%v", q, sub)
+			}
+		}
+	}
+}
+
+// TestQuickMinimizeSoundAndIdempotent: minimization preserves equivalence
+// and is idempotent on random CQs.
+func TestQuickMinimizeSoundAndIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 150; i++ {
+		q := randomCQ(rng, 1+rng.Intn(5), 2+rng.Intn(3))
+		m := Minimize(q)
+		if !Equivalent(q, m) {
+			t.Fatalf("minimize broke equivalence:\n%v\n%v", q, m)
+		}
+		m2 := Minimize(m)
+		if len(m2.Body) != len(m.Body) {
+			t.Fatalf("minimize not idempotent:\n%v\n%v", m, m2)
+		}
+	}
+}
+
+// TestQuickRenamingInvariance: containment is invariant under variable
+// renaming of either side.
+func TestQuickRenamingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 150; i++ {
+		a := randomCQ(rng, 1+rng.Intn(4), 2+rng.Intn(3))
+		b := randomCQ(rng, 1+rng.Intn(4), 2+rng.Intn(3))
+		s := make(ast.Subst)
+		for v := range b.Vars() {
+			s[v] = ast.V(v + "_renamed")
+		}
+		b2 := s.ApplyRule(b)
+		if IsContainedIn(a, b) != IsContainedIn(a, b2) {
+			t.Fatalf("renaming changed containment:\n%v\n%v", a, b)
+		}
+		if IsContainedIn(b, a) != IsContainedIn(b2, a) {
+			t.Fatalf("renaming changed containment (reverse):\n%v\n%v", a, b)
+		}
+	}
+}

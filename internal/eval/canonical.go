@@ -1,0 +1,271 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// This file transcribes the paper's Figs. 7 and 8 literally for the
+// canonical one-sided recursion
+//
+//	t(X, Y) :- a(X, W), t(W, Y).
+//	t(X, Y) :- b(X, Y).
+//
+// plus the Counting method for the same recursion and the deliberately
+// naive unary-carry algorithm whose incompleteness on the canonical
+// two-sided recursion is the content of Lemma 4.2.
+
+// unary is a set of values with insertion order (a unary relation).
+type unary struct {
+	order []storage.Value
+	set   map[storage.Value]bool
+}
+
+func newUnary() *unary { return &unary{set: make(map[storage.Value]bool)} }
+
+func (u *unary) insert(v storage.Value) bool {
+	if u.set[v] {
+		return false
+	}
+	u.set[v] = true
+	u.order = append(u.order, v)
+	return true
+}
+
+func (u *unary) empty() bool { return len(u.order) == 0 }
+
+// Fig7AhoUllman evaluates the selection t(X, n0) on the canonical
+// recursion, transcribing Fig. 7:
+//
+//  1. carry := pi_1(sigma_{$2=n0}(b));
+//  2. seen  := carry;
+//  3. ans   := empty;
+//  4. while carry not empty do
+//  5. carry := pi_1(a join_{$2=$1} carry);
+//  6. carry := carry - seen;
+//  7. seen  := seen U carry;
+//  8. endwhile;
+//  9. ans := seen;
+//
+// The answer is the set of X with t(X, n0). aPred/bPred name the EDB
+// relations playing a and b.
+func Fig7AhoUllman(db *storage.Database, aPred, bPred, n0 string) []storage.Value {
+	a := db.Relation(aPred)
+	b := db.Relation(bPred)
+	seen := newUnary()
+	var carry []storage.Value
+
+	// Line 1: carry := pi_1(sigma_{$2=n0}(b)).
+	if b != nil {
+		if v, ok := db.Syms.Lookup(n0); ok {
+			b.Lookup([]storage.Binding{{Col: 1, Val: v}}, func(t storage.Tuple) bool {
+				if seen.insert(t[0]) {
+					carry = append(carry, t[0])
+				}
+				return true
+			})
+		}
+	}
+	// Lines 4-8.
+	for len(carry) > 0 && a != nil {
+		var next []storage.Value
+		for _, w := range carry {
+			// carry := pi_1(a join_{$2=$1} carry): predecessors of w.
+			a.Lookup([]storage.Binding{{Col: 1, Val: w}}, func(t storage.Tuple) bool {
+				if seen.insert(t[0]) {
+					next = append(next, t[0])
+				}
+				return true
+			})
+		}
+		carry = next
+	}
+	// Line 9: ans := seen.
+	return seen.order
+}
+
+// Fig8HenschenNaqvi evaluates the selection t(n0, Y) on the canonical
+// recursion, transcribing Fig. 8:
+//
+//  1. carry := pi_2(sigma_{$1=n0}(a));
+//  2. seen  := carry;
+//  3. ans   := pi_2(sigma_{$1=n0}(b));
+//  4. while carry not empty do
+//  5. carry := pi_2(carry join_{$1=$1} a);
+//  6. carry := carry - seen;
+//  7. seen  := seen U carry;
+//  8. endwhile;
+//  9. ans := ans U pi_2(seen join_{$1=$1} b);
+//
+// The answer is the set of Y with t(n0, Y).
+func Fig8HenschenNaqvi(db *storage.Database, aPred, bPred, n0 string) []storage.Value {
+	a := db.Relation(aPred)
+	b := db.Relation(bPred)
+	seen := newUnary()
+	ans := newUnary()
+	var carry []storage.Value
+
+	v, okV := db.Syms.Lookup(n0)
+	// Line 1: carry := pi_2(sigma_{$1=n0}(a)).
+	if a != nil && okV {
+		a.Lookup([]storage.Binding{{Col: 0, Val: v}}, func(t storage.Tuple) bool {
+			if seen.insert(t[1]) {
+				carry = append(carry, t[1])
+			}
+			return true
+		})
+	}
+	// Line 3: ans := pi_2(sigma_{$1=n0}(b)).
+	if b != nil && okV {
+		b.Lookup([]storage.Binding{{Col: 0, Val: v}}, func(t storage.Tuple) bool {
+			ans.insert(t[1])
+			return true
+		})
+	}
+	// Lines 4-8.
+	for len(carry) > 0 && a != nil {
+		var next []storage.Value
+		for _, w := range carry {
+			a.Lookup([]storage.Binding{{Col: 0, Val: w}}, func(t storage.Tuple) bool {
+				if seen.insert(t[1]) {
+					next = append(next, t[1])
+				}
+				return true
+			})
+		}
+		carry = next
+	}
+	// Line 9: ans := ans U pi_2(seen join b).
+	if b != nil {
+		for _, w := range seen.order {
+			b.Lookup([]storage.Binding{{Col: 0, Val: w}}, func(t storage.Tuple) bool {
+				ans.insert(t[1])
+				return true
+			})
+		}
+	}
+	return ans.order
+}
+
+// CountingTC evaluates t(n0, Y) on the canonical recursion with the
+// Counting method [BMSU86, SZ86]: the magic set is partitioned by
+// derivation depth (the "count"), and the answer phase consults each level
+// separately. Counting does not deduplicate across levels, so it diverges
+// on cyclic data; maxDepth bounds the levels and an error reports the
+// divergence.
+func CountingTC(db *storage.Database, aPred, bPred, n0 string, maxDepth int) ([]storage.Value, error) {
+	a := db.Relation(aPred)
+	b := db.Relation(bPred)
+	ans := newUnary()
+	v, okV := db.Syms.Lookup(n0)
+	if !okV {
+		return nil, nil
+	}
+	level := map[storage.Value]bool{v: true}
+	for depth := 0; ; depth++ {
+		// Answer phase for this level: b joined against the level's nodes.
+		if b != nil {
+			for w := range level {
+				b.Lookup([]storage.Binding{{Col: 0, Val: w}}, func(t storage.Tuple) bool {
+					ans.insert(t[1])
+					return true
+				})
+			}
+		}
+		// Next level: successors, with no cross-level dedup (counting keeps
+		// one set per count value).
+		next := make(map[storage.Value]bool)
+		if a != nil {
+			for w := range level {
+				a.Lookup([]storage.Binding{{Col: 0, Val: w}}, func(t storage.Tuple) bool {
+					next[t[1]] = true
+					return true
+				})
+			}
+		}
+		if len(next) == 0 {
+			return ans.order, nil
+		}
+		if depth >= maxDepth {
+			return nil, fmt.Errorf("eval: counting exceeded depth %d (cyclic data)", maxDepth)
+		}
+		level = next
+	}
+}
+
+// NaiveChainTwoSided is the algorithm Lemma 4.2 proves inadequate: it
+// evaluates t(n0, Y) on the canonical TWO-sided recursion
+//
+//	t(X, Y) :- a(X, W), t(W, Z), c(Z, Y).
+//	t(X, Y) :- b(X, Y).
+//
+// by a left-to-right walk that maintains only the unary carry of reached
+// a-nodes with cross-iteration dedup (Properties 2 and 3 enforced), then
+// closes each candidate with b and walks the c-side back the same number
+// of levels — but, crucially, reuses a single seen-set. On Lemma 4.2's
+// database family it returns incomplete answers, which is the point: no
+// algorithm of this shape can be complete for many-sided recursions.
+func NaiveChainTwoSided(db *storage.Database, aPred, bPred, cPred, n0 string) []storage.Value {
+	a := db.Relation(aPred)
+	b := db.Relation(bPred)
+	c := db.Relation(cPred)
+	ans := newUnary()
+	v, okV := db.Syms.Lookup(n0)
+	if !okV {
+		return nil
+	}
+	// Depth 0: direct b edges.
+	if b != nil {
+		b.Lookup([]storage.Binding{{Col: 0, Val: v}}, func(t storage.Tuple) bool {
+			ans.insert(t[1])
+			return true
+		})
+	}
+	if a == nil || b == nil || c == nil {
+		return ans.order
+	}
+	// Left-to-right walk with the one-sided state discipline: carry is the
+	// unary frontier, seen dedups across iterations (this is what
+	// Lemma 4.1 justifies for one-sided recursions and Lemma 4.2 refutes
+	// here).
+	seen := newUnary()
+	seen.insert(v)
+	carry := []storage.Value{v}
+	depth := 0
+	for len(carry) > 0 {
+		depth++
+		var next []storage.Value
+		for _, w := range carry {
+			a.Lookup([]storage.Binding{{Col: 0, Val: w}}, func(t storage.Tuple) bool {
+				if seen.insert(t[1]) {
+					next = append(next, t[1])
+				}
+				return true
+			})
+		}
+		// Close: b then depth applications of c.
+		for _, w := range next {
+			var mids []storage.Value
+			b.Lookup([]storage.Binding{{Col: 0, Val: w}}, func(t storage.Tuple) bool {
+				mids = append(mids, t[1])
+				return true
+			})
+			for i := 0; i < depth; i++ {
+				var out []storage.Value
+				for _, m := range mids {
+					c.Lookup([]storage.Binding{{Col: 0, Val: m}}, func(t storage.Tuple) bool {
+						out = append(out, t[1])
+						return true
+					})
+				}
+				mids = out
+			}
+			for _, m := range mids {
+				ans.insert(m)
+			}
+		}
+		carry = next
+	}
+	return ans.order
+}

@@ -1,0 +1,242 @@
+package eval
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+func TestMagicTCBoundFirst(t *testing.T) {
+	p := mustProgram(t, tcSrc)
+	db := chainDB(5)
+	q := parser.MustParseAtom("t(n0, Y)")
+	ans, _, err := MagicEval(p, q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := SelectEval(p, q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Equal(want) {
+		t.Fatalf("magic answers %v != full %v",
+			AnswerStrings(ans, db.Syms), AnswerStrings(want, db.Syms))
+	}
+	if ans.Len() != 1 {
+		t.Fatalf("expected 1 answer, got %v", AnswerStrings(ans, db.Syms))
+	}
+}
+
+func TestMagicTCBoundSecond(t *testing.T) {
+	p := mustProgram(t, tcSrc)
+	db := chainDB(5)
+	q := parser.MustParseAtom("t(X, end)")
+	ans, _, err := MagicEval(p, q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := SelectEval(p, q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Equal(want) {
+		t.Fatalf("magic %v != full %v", AnswerStrings(ans, db.Syms), AnswerStrings(want, db.Syms))
+	}
+	if ans.Len() != 6 {
+		t.Fatalf("expected 6 answers, got %v", AnswerStrings(ans, db.Syms))
+	}
+}
+
+func TestMagicRestrictsComputation(t *testing.T) {
+	// Two disjoint chains; a query on the first must not derive tuples
+	// about the second.
+	p := mustProgram(t, tcSrc)
+	db := storage.NewDatabase()
+	for i := 0; i < 50; i++ {
+		db.AddFact("a", "x"+strconv.Itoa(i), "x"+strconv.Itoa(i+1))
+		db.AddFact("a", "y"+strconv.Itoa(i), "y"+strconv.Itoa(i+1))
+	}
+	db.AddFact("b", "x50", "endx")
+	db.AddFact("b", "y50", "endy")
+
+	mr, err := MagicTransform(p, parser.MustParseAtom("t(x0, W)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SemiNaive(mr.Program, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adorned answer relation must only contain x-chain tuples.
+	rel := res.IDB.Relation(mr.AnswerPred)
+	for _, tup := range rel.Tuples() {
+		name := db.Syms.Name(tup[0])
+		if name[0] != 'x' {
+			t.Fatalf("magic derived irrelevant tuple starting at %s", name)
+		}
+	}
+	// And the magic set is exactly the x-chain suffix from x0.
+	magic := res.IDB.Relation("m_t__bf")
+	if magic == nil || magic.Len() != 51 {
+		t.Fatalf("magic set size = %v, want 51", magic)
+	}
+}
+
+func TestMagicSameGenerationBothBound(t *testing.T) {
+	// Section 5's remark: sg(john, june)-style queries have constants on
+	// both sides; magic handles them with a bb adornment.
+	p := mustProgram(t, `
+		sg(X, Y) :- p(X, W), p(Y, Z), sg(W, Z).
+		sg(X, Y) :- sg0(X, Y).
+	`)
+	db := storage.NewDatabase()
+	db.AddFact("p", "john", "jp")
+	db.AddFact("p", "june", "up")
+	db.AddFact("p", "jp", "root")
+	db.AddFact("p", "up", "root")
+	db.AddFact("sg0", "root", "root")
+
+	q := parser.MustParseAtom("sg(john, june)")
+	ans, _, err := MagicEval(p, q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 1 {
+		t.Fatalf("sg(john, june) should hold: %v", AnswerStrings(ans, db.Syms))
+	}
+	// Negative case.
+	db2 := storage.NewDatabase()
+	db2.AddFact("p", "john", "jp")
+	db2.AddFact("p", "june", "up")
+	db2.AddFact("p", "jp", "root1")
+	db2.AddFact("p", "up", "root2")
+	db2.AddFact("sg0", "root1", "root1")
+	ans2, _, err := MagicEval(p, q, db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans2.Len() != 0 {
+		t.Fatalf("sg(john, june) should not hold: %v", AnswerStrings(ans2, db2.Syms))
+	}
+}
+
+func TestMagicTwoSidedCanonical(t *testing.T) {
+	// The canonical two-sided recursion (Section 4).
+	p := mustProgram(t, `
+		t(X, Y) :- a(X, W), t(W, Z), c(Z, Y).
+		t(X, Y) :- b(X, Y).
+	`)
+	for seed := int64(0); seed < 5; seed++ {
+		db := randomEDBFor(p, 8, 20, seed)
+		q := parser.MustParseAtom("t(d0, Y)")
+		ans, _, err := MagicEval(p, q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := SelectEval(p, q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ans.Equal(want) {
+			t.Fatalf("seed %d: magic %v != full %v", seed,
+				AnswerStrings(ans, db.Syms), AnswerStrings(want, db.Syms))
+		}
+	}
+}
+
+func TestMagicFreeQuery(t *testing.T) {
+	// A query with no constants: magic degenerates gracefully.
+	p := mustProgram(t, tcSrc)
+	db := chainDB(3)
+	q := parser.MustParseAtom("t(X, Y)")
+	ans, _, err := MagicEval(p, q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := SelectEval(p, q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Equal(want) {
+		t.Fatal("free-query magic disagrees with full evaluation")
+	}
+}
+
+func TestMagicRepeatedQueryVariable(t *testing.T) {
+	// t(X, X): answers restricted to loops.
+	p := mustProgram(t, tcSrc)
+	db := storage.NewDatabase()
+	db.AddFact("a", "u", "w")
+	db.AddFact("b", "w", "u")
+	db.AddFact("b", "w", "w")
+	q := parser.MustParseAtom("t(X, X)")
+	ans, _, err := MagicEval(p, q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := SelectEval(p, q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Equal(want) {
+		t.Fatalf("magic %v != full %v", AnswerStrings(ans, db.Syms), AnswerStrings(want, db.Syms))
+	}
+	got := AnswerStrings(ans, db.Syms)
+	if !reflect.DeepEqual(got, []string{"u,u", "w,w"}) {
+		t.Fatalf("answers = %v", got)
+	}
+}
+
+func TestMagicUnknownPredicate(t *testing.T) {
+	p := mustProgram(t, tcSrc)
+	if _, err := MagicTransform(p, parser.MustParseAtom("nosuch(X)")); err == nil {
+		t.Fatal("expected error for unknown query predicate")
+	}
+}
+
+// TestMagicRandomPrograms property-tests magic against full evaluation on
+// the paper's recursions with random data and random selections.
+func TestMagicRandomPrograms(t *testing.T) {
+	srcs := []string{
+		tcSrc,
+		`t(X, Y) :- a(X, W), t(W, Z), c(Z, Y).
+		 t(X, Y) :- b(X, Y).`,
+		`sg(X, Y) :- p(X, W), p(Y, Z), sg(W, Z).
+		 sg(X, Y) :- sg0(X, Y).`,
+		`t(X, Y, Z) :- t(X, U, W), e(U, Y), d(Z).
+		 t(X, Y, Z) :- t0(X, Y, Z).`,
+		`t(X, Y) :- a(X, Z), t(Z, Y), p(X, Y).
+		 t(X, Y) :- b(X, Y).`,
+	}
+	queries := map[string][]string{
+		srcs[0]: {"t(d0, Y)", "t(X, d1)", "t(d2, d3)"},
+		srcs[1]: {"t(d0, Y)", "t(X, d1)"},
+		srcs[2]: {"sg(d0, Y)", "sg(d0, d1)"},
+		srcs[3]: {"t(d0, Y, Z)", "t(X, d1, Z)", "t(X, Y, d2)"},
+		srcs[4]: {"t(d0, Y)", "t(X, d1)"},
+	}
+	for _, src := range srcs {
+		p := mustProgram(t, src)
+		for seed := int64(0); seed < 3; seed++ {
+			db := randomEDBFor(p, 6, 18, seed)
+			for _, qs := range queries[src] {
+				q := parser.MustParseAtom(qs)
+				ans, _, err := MagicEval(p, q, db)
+				if err != nil {
+					t.Fatalf("%s %s: %v", src, qs, err)
+				}
+				want, _, err := SelectEval(p, q, db)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ans.Equal(want) {
+					t.Fatalf("%s %s seed %d: magic %v != full %v", src, qs, seed,
+						AnswerStrings(ans, db.Syms), AnswerStrings(want, db.Syms))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,823 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// Mode identifies which instantiation of the Fig. 9 schema a compiled
+// selection uses.
+type Mode int
+
+const (
+	// ModeFull: the query binds no column; plain semi-naive evaluation.
+	ModeFull Mode = iota
+	// ModeReduced: every bound column is persistent (the same variable in
+	// that position of the head and the recursive body atom). The constant
+	// is substituted into both rules, the column dropped, and the reduced
+	// recursion evaluated bottom-up — the Aho–Ullman (Fig. 7) shape: the
+	// selection constant surfaces in the exit-rule instances and evaluation
+	// proceeds from that end of the expansion strings.
+	ModeReduced
+	// ModeContext: some bound column is not persistent. The evaluation
+	// walks the expansion strings from the selection end, carrying the
+	// distinct bindings of the recursive call's constrained columns — the
+	// Henschen–Naqvi (Fig. 8) shape.
+	ModeContext
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeFull:
+		return "full"
+	case ModeReduced:
+		return "reduced"
+	case ModeContext:
+		return "context"
+	}
+	return "unknown"
+}
+
+// ErrUnsupported is returned by CompileSelection for queries outside the
+// compiler's class (repeated query variables, or recursions that shuffle a
+// free head variable into a different recursive-call column — a shape that
+// Theorem 3.1 excludes from the one-sided class).
+type ErrUnsupported struct{ Reason string }
+
+func (e *ErrUnsupported) Error() string { return "eval: unsupported selection: " + e.Reason }
+
+// Plan is a compiled selection on a recursion, an instantiation of the
+// paper's Fig. 9 schema.
+type Plan struct {
+	// Def is the original definition.
+	Def *ast.Definition
+	// Query is the selection atom (constants at bound columns).
+	Query ast.Atom
+	// Mode is the chosen schema instantiation.
+	Mode Mode
+	// CarryArity is the arity of the carry/seen state the plan maintains:
+	// the paper's headline metric (1 for the canonical recursion, 2 for
+	// transitive closure with permissions, wider for many-sided shapes).
+	CarryArity int
+
+	// Reduction (ModeReduced/ModeContext): the definition after persistent
+	// bound columns were substituted and dropped.
+	reduced  *ast.Definition
+	keepCols []int // original column index of each reduced column
+
+	// Context mode internals.
+	ctxCols       []int          // reduced recursive-call columns carried, sorted
+	fixedCols     map[int]string // reduced call columns holding constants
+	foldedAnchors []string       // anchor variables carried with the context
+	factored      []factorGroup
+	boundCols     map[int]string // reduced head columns bound by the query
+}
+
+// factorGroup is a set of recursive-rule EDB atoms independent of the
+// context columns; it is evaluated once and cross-multiplied into the
+// answers (the d(Z) case of Example 3.4).
+type factorGroup struct {
+	atoms   []ast.Atom
+	anchors []string // anchor variables bound by this group (may be empty)
+}
+
+// EvalStats reports the work a plan evaluation performed.
+type EvalStats struct {
+	// Iterations is the number of Fig. 9 while-loop iterations.
+	Iterations int
+	// SeenSize is the number of tuples accumulated in seen (state size).
+	SeenSize int
+	// CarryArity echoes the plan's state arity.
+	CarryArity int
+}
+
+// CompileSelection compiles a "column = constant" selection (possibly
+// binding several columns) on the recursion into a Fig. 9 plan. The query
+// atom must use the definition's predicate with constants at bound columns
+// and distinct variables elsewhere.
+func CompileSelection(d *ast.Definition, query ast.Atom) (*Plan, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if query.Pred != d.Pred() || query.Arity() != d.Arity() {
+		return nil, fmt.Errorf("eval: query %v does not match predicate %s/%d", query, d.Pred(), d.Arity())
+	}
+	seenVar := make(map[string]bool)
+	for _, a := range query.Args {
+		if a.IsVar() {
+			if seenVar[a.Name] {
+				return nil, &ErrUnsupported{Reason: fmt.Sprintf("repeated query variable %s", a.Name)}
+			}
+			seenVar[a.Name] = true
+		}
+	}
+
+	p := &Plan{Def: d, Query: query.Clone()}
+	persistent := d.PersistentColumns()
+	var persistentBound, otherBound []int
+	for i, a := range query.Args {
+		if !a.IsConst() {
+			continue
+		}
+		if persistent[i] {
+			persistentBound = append(persistentBound, i)
+		} else {
+			otherBound = append(otherBound, i)
+		}
+	}
+	if len(persistentBound) == 0 && len(otherBound) == 0 {
+		p.Mode = ModeFull
+		p.CarryArity = d.Arity()
+		p.reduced = d.Clone()
+		p.keepCols = identityCols(d.Arity())
+		return p, nil
+	}
+
+	// Reduce persistent bound columns: substitute the constant for the
+	// head variable in each rule, then drop the column everywhere.
+	p.reduced, p.keepCols = reduceDefinition(d, persistentBound, query)
+
+	if len(otherBound) == 0 {
+		p.Mode = ModeReduced
+		p.CarryArity = p.reduced.Arity()
+		return p, nil
+	}
+
+	p.Mode = ModeContext
+	if err := p.compileContext(otherBound, query); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func identityCols(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// reduceDefinition substitutes query constants for the head variables of
+// the persistent bound columns in both rules and drops those columns from
+// the head and the recursive body atom.
+func reduceDefinition(d *ast.Definition, persistentBound []int, query ast.Atom) (*ast.Definition, []int) {
+	drop := make(map[int]bool)
+	for _, c := range persistentBound {
+		drop[c] = true
+	}
+	substRule := func(r ast.Rule) ast.Rule {
+		s := make(ast.Subst)
+		for _, c := range persistentBound {
+			if v := r.Head.Args[c]; v.IsVar() {
+				s[v.Name] = ast.C(query.Args[c].Name)
+			}
+		}
+		return s.ApplyRule(r)
+	}
+	dropCols := func(a ast.Atom) ast.Atom {
+		var args []ast.Term
+		for i, t := range a.Args {
+			if !drop[i] {
+				args = append(args, t)
+			}
+		}
+		return ast.Atom{Pred: a.Pred, Args: args}
+	}
+	rec := substRule(d.Recursive)
+	exit := substRule(d.Exit)
+	recIdx := d.Recursive.RecursiveAtomIndex()
+	rec.Head = dropCols(rec.Head)
+	rec.Body[recIdx] = dropCols(rec.Body[recIdx])
+	exit.Head = dropCols(exit.Head)
+
+	var keep []int
+	for i := 0; i < d.Arity(); i++ {
+		if !drop[i] {
+			keep = append(keep, i)
+		}
+	}
+	return &ast.Definition{Recursive: rec, Exit: exit}, keep
+}
+
+// compileContext performs the context-mode analysis on the reduced
+// definition: which recursive-call columns to carry, which free head
+// variables are anchors, and which atom groups factor out.
+func (p *Plan) compileContext(otherBoundOrig []int, query ast.Atom) error {
+	red := p.reduced
+	head := red.Recursive.Head
+	rec := red.RecursiveAtom()
+	edbAtoms := red.NonrecursiveBody()
+	persistent := red.PersistentColumns()
+
+	// Reduced column index of each original bound column.
+	origToRed := make(map[int]int)
+	for ri, oi := range p.keepCols {
+		origToRed[oi] = ri
+	}
+	p.boundCols = make(map[int]string)
+	for _, oc := range otherBoundOrig {
+		p.boundCols[origToRed[oc]] = query.Args[oc].Name
+	}
+
+	boundHeadVars := make(map[string]bool)
+	for rc := range p.boundCols {
+		if v := head.Args[rc]; v.IsVar() {
+			boundHeadVars[v.Name] = true
+		}
+	}
+	edbVars := make(map[string]bool)
+	for _, a := range edbAtoms {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				edbVars[t.Name] = true
+			}
+		}
+	}
+
+	// Carried call columns and fixed (constant) call columns.
+	p.fixedCols = make(map[int]string)
+	inS := make(map[int]bool)
+	for j, t := range rec.Args {
+		if t.IsConst() {
+			p.fixedCols[j] = t.Name
+			continue
+		}
+		if edbVars[t.Name] || boundHeadVars[t.Name] {
+			p.ctxCols = append(p.ctxCols, j)
+			inS[j] = true
+		}
+	}
+	sort.Ints(p.ctxCols)
+
+	// A carried variable that no EDB atom constrains is only determined
+	// below depth 1 if its own head column is also carried (its value then
+	// flows from the context); otherwise the deeper value is existential
+	// and the selection cannot drive this recursion from this side.
+	headCol := make(map[string]int)
+	for i, t := range head.Args {
+		if t.IsVar() {
+			headCol[t.Name] = i
+		}
+	}
+	for _, j := range p.ctxCols {
+		v := rec.Args[j].Name
+		if edbVars[v] {
+			continue
+		}
+		if i, ok := headCol[v]; !ok || !inS[i] {
+			return &ErrUnsupported{Reason: fmt.Sprintf(
+				"carried call column %d holds head variable %s whose deeper value is existential", j+1, v)}
+		}
+	}
+
+	// Classify head columns; collect anchors.
+	inCall := make(map[string]bool)
+	for _, t := range rec.Args {
+		if t.IsVar() {
+			inCall[t.Name] = true
+		}
+	}
+	var anchors []string
+	for i, t := range head.Args {
+		if !t.IsVar() {
+			continue
+		}
+		if _, bound := p.boundCols[i]; bound {
+			continue
+		}
+		if persistent[i] {
+			continue
+		}
+		if edbVars[t.Name] {
+			anchors = append(anchors, t.Name)
+			continue
+		}
+		if inCall[t.Name] {
+			return &ErrUnsupported{Reason: fmt.Sprintf(
+				"free head variable %s flows into a different recursive-call column (many-sided shuffle)", t.Name)}
+		}
+		return &ErrUnsupported{Reason: fmt.Sprintf("free head variable %s unreachable from the body", t.Name)}
+	}
+
+	// Factor the EDB atoms into connectivity components; bound head
+	// variables act as constants and do not connect atoms.
+	comps := atomComponents(edbAtoms, boundHeadVars)
+	ctxVars := make(map[string]bool)
+	for _, j := range p.ctxCols {
+		ctxVars[rec.Args[j].Name] = true
+	}
+	anchorSet := make(map[string]bool)
+	for _, a := range anchors {
+		anchorSet[a] = true
+	}
+	for _, comp := range comps {
+		touchesCtx := false
+		var compAnchors []string
+		vars := make(map[string]bool)
+		for _, a := range comp {
+			for _, t := range a.Args {
+				if t.IsVar() {
+					vars[t.Name] = true
+				}
+			}
+		}
+		for v := range vars {
+			if ctxVars[v] {
+				touchesCtx = true
+			}
+			if anchorSet[v] {
+				compAnchors = append(compAnchors, v)
+			}
+		}
+		sort.Strings(compAnchors)
+		if touchesCtx {
+			p.foldedAnchors = append(p.foldedAnchors, compAnchors...)
+			continue
+		}
+		p.factored = append(p.factored, factorGroup{atoms: comp, anchors: compAnchors})
+	}
+	sort.Strings(p.foldedAnchors)
+	p.CarryArity = len(p.foldedAnchors) + len(p.ctxCols)
+	return nil
+}
+
+// atomComponents groups atoms into connected components, where two atoms
+// connect when they share a variable not in the excluded set.
+func atomComponents(atoms []ast.Atom, exclude map[string]bool) [][]ast.Atom {
+	n := len(atoms)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	byVar := make(map[string]int)
+	for i, a := range atoms {
+		for _, t := range a.Args {
+			if !t.IsVar() || exclude[t.Name] {
+				continue
+			}
+			if j, ok := byVar[t.Name]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				byVar[t.Name] = i
+			}
+		}
+	}
+	groups := make(map[int][]ast.Atom)
+	var order []int
+	for i, a := range atoms {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], a)
+	}
+	out := make([][]ast.Atom, 0, len(groups))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// carryNeeded names the variables the carry projection reads: the folded
+// anchors plus the context-column variables of the (substituted) call
+// atom. Conjunction atoms binding only other variables become existential
+// semijoins.
+func (p *Plan) carryNeeded(rec ast.Atom) map[string]bool {
+	out := make(map[string]bool)
+	for _, v := range p.foldedAnchors {
+		out[v] = true
+	}
+	for _, j := range p.ctxCols {
+		if t := rec.Args[j]; t.IsVar() {
+			out[t.Name] = true
+		}
+	}
+	return out
+}
+
+// substBound returns atoms with bound head variables replaced by their
+// query constants.
+func (p *Plan) substBound(atoms []ast.Atom) []ast.Atom {
+	s := make(ast.Subst)
+	head := p.reduced.Recursive.Head
+	for rc, c := range p.boundCols {
+		if v := head.Args[rc]; v.IsVar() {
+			s[v.Name] = ast.C(c)
+		}
+	}
+	return s.ApplyAtoms(atoms)
+}
+
+// Eval runs the compiled plan over the EDB, returning the answer relation
+// (full tuples of the defined predicate matching the selection).
+func (p *Plan) Eval(edb *storage.Database) (*storage.Relation, EvalStats, error) {
+	switch p.Mode {
+	case ModeFull:
+		ans, _, err := SelectEval(p.Def.Program(), p.Query, edb)
+		st := EvalStats{CarryArity: p.CarryArity}
+		if ans != nil {
+			st.SeenSize = ans.Len()
+		}
+		return ans, st, err
+	case ModeReduced:
+		return p.evalReduced(edb)
+	case ModeContext:
+		return p.evalContext(edb)
+	}
+	return nil, EvalStats{}, fmt.Errorf("eval: invalid plan mode")
+}
+
+// evalReduced evaluates the reduced recursion bottom-up and re-expands the
+// dropped constant columns.
+func (p *Plan) evalReduced(edb *storage.Database) (*storage.Relation, EvalStats, error) {
+	res, err := SemiNaive(p.reduced.Program(), edb)
+	if err != nil {
+		return nil, EvalStats{}, err
+	}
+	redRel := res.IDB.Relation(p.reduced.Pred())
+	ans := storage.NewRelation(p.Def.Arity(), &edb.Stats)
+	stats := EvalStats{Iterations: res.Rounds, CarryArity: p.CarryArity}
+	if redRel == nil {
+		return ans, stats, nil
+	}
+	stats.SeenSize = redRel.Len()
+	out := make(storage.Tuple, p.Def.Arity())
+	for i, a := range p.Query.Args {
+		if a.IsConst() {
+			out[i] = edb.Syms.Intern(a.Name)
+		}
+	}
+	for _, t := range redRel.Tuples() {
+		for ri, oi := range p.keepCols {
+			out[oi] = t[ri]
+		}
+		ans.Insert(out)
+	}
+	return ans, stats, nil
+}
+
+// evalContext runs the Fig. 9 loop: seed the carry from the first
+// application of the recursive rule (restricted by the selection
+// constants), iterate f until no new contexts appear, then assemble
+// answers from seen, the exit rule, and the factored groups — plus the
+// depth-0 answers from the exit rule alone.
+func (p *Plan) evalContext(edb *storage.Database) (*storage.Relation, EvalStats, error) {
+	red := p.reduced
+	syms := edb.Syms
+	stats := EvalStats{CarryArity: p.CarryArity}
+	ans := storage.NewRelation(p.Def.Arity(), &edb.Stats)
+	resolve := func(pred string, alt bool) *storage.Relation { return edb.Relation(pred) }
+
+	rec := red.RecursiveAtom()
+	head := red.Recursive.Head
+	edbAtoms := red.NonrecursiveBody()
+
+	// Depth-0: exit rule with the bound head columns substituted.
+	exitHead := red.Exit.Head
+	exitSubst := make(ast.Subst)
+	for rc, c := range p.boundCols {
+		if v := exitHead.Args[rc]; v.IsVar() {
+			exitSubst[v.Name] = ast.C(c)
+		}
+	}
+	d0Atoms := exitSubst.ApplyAtoms(red.Exit.Body)
+	d0Head := exitSubst.ApplyAtom(exitHead)
+	{
+		ss := newSlotSpace()
+		conj := compileConj(d0Atoms, nil, ss, syms, nil, d0Head.VarSet())
+		headRefs := compileAtom(d0Head, ss, syms, false)
+		slots := make([]storage.Value, len(ss.varSlot))
+		bound := make([]bool, len(ss.varSlot))
+		out := make(storage.Tuple, p.Def.Arity())
+		for i, a := range p.Query.Args {
+			if a.IsConst() {
+				out[i] = syms.Intern(a.Name)
+			}
+		}
+		conj.run(resolve, slots, bound, func(s []storage.Value) bool {
+			for ri, oi := range p.keepCols {
+				ref := headRefs.args[ri]
+				if ref.isConst {
+					out[oi] = ref.val
+				} else {
+					out[oi] = s[ref.slot]
+				}
+			}
+			ans.Insert(out)
+			return true
+		})
+	}
+
+	// Factored groups: evaluate once with the selection constants; any
+	// empty group kills all depth>=1 derivations.
+	type groupResult struct {
+		anchors []string
+		tuples  []storage.Tuple // values of the group's anchors (deduped)
+	}
+	var groups []groupResult
+	for _, fg := range p.factored {
+		atoms := p.substBound(fg.atoms)
+		ss := newSlotSpace()
+		needed := make(map[string]bool)
+		for _, v := range fg.anchors {
+			needed[v] = true
+		}
+		conj := compileConj(atoms, nil, ss, syms, nil, needed)
+		anchorSlots := make([]int, len(fg.anchors))
+		for i, v := range fg.anchors {
+			anchorSlots[i] = ss.slot(v)
+		}
+		rel := storage.NewRelation(len(fg.anchors), nil)
+		slots := make([]storage.Value, len(ss.varSlot))
+		bound := make([]bool, len(ss.varSlot))
+		tup := make(storage.Tuple, len(fg.anchors))
+		conj.run(resolve, slots, bound, func(s []storage.Value) bool {
+			for i, sl := range anchorSlots {
+				tup[i] = s[sl]
+			}
+			rel.Insert(tup)
+			return true
+		})
+		if rel.Len() == 0 {
+			// No depth>=1 derivations are possible; answers are depth-0 only.
+			return ans, stats, nil
+		}
+		groups = append(groups, groupResult{anchors: fg.anchors, tuples: rel.Tuples()})
+	}
+
+	// Seed conjunction: all non-factored EDB atoms with selection
+	// constants substituted, projected onto (foldedAnchors, ctx columns).
+	carryWidth := len(p.foldedAnchors) + len(p.ctxCols)
+	seen := storage.NewRelation(carryWidth, nil)
+	var carry []storage.Tuple
+	{
+		factoredIdx := make(map[string]bool)
+		for _, fg := range p.factored {
+			for _, a := range fg.atoms {
+				factoredIdx[a.String()] = true
+			}
+		}
+		var seedAtoms []ast.Atom
+		for _, a := range edbAtoms {
+			if !factoredIdx[a.String()] {
+				seedAtoms = append(seedAtoms, a)
+			}
+		}
+		seedAtoms = p.substBound(seedAtoms)
+		// Bound head variables may occur in the recursive call too; the
+		// projection must see them as constants at seed depth.
+		seedRec := p.substBound([]ast.Atom{rec})[0]
+		ss := newSlotSpace()
+		conj := compileConj(seedAtoms, nil, ss, syms, nil, p.carryNeeded(seedRec))
+		projSlots := p.carryProjection(ss, seedRec, syms)
+		slots := make([]storage.Value, len(ss.varSlot))
+		bound := make([]bool, len(ss.varSlot))
+		tup := make(storage.Tuple, carryWidth)
+		conj.run(resolve, slots, bound, func(s []storage.Value) bool {
+			if !projSlots.project(s, tup, syms) {
+				return true
+			}
+			if seen.Insert(tup) {
+				carry = append(carry, tup.Clone())
+			}
+			return true
+		})
+	}
+
+	// f: one application of the recursive rule deeper. The head variables
+	// at carried/fixed call columns are bound from the context; all EDB
+	// atoms participate (semijoin role for purely existential ones).
+	fSS := newSlotSpace()
+	// Bind order: context slots first so compileConj treats them as bound.
+	initBound := make(map[string]bool)
+	for _, j := range p.ctxCols {
+		if v := head.Args[j]; v.IsVar() {
+			initBound[v.Name] = true
+		}
+	}
+	fixedHead := make(ast.Subst)
+	for j, c := range p.fixedCols {
+		if v := head.Args[j]; v.IsVar() {
+			fixedHead[v.Name] = ast.C(c)
+		}
+	}
+	fAtoms := fixedHead.ApplyAtoms(edbAtoms)
+	fConj := compileConj(fAtoms, nil, fSS, syms, initBound, p.carryNeeded(fixedHead.ApplyAtom(rec)))
+	fProj := p.carryProjection(fSS, fixedHead.ApplyAtom(rec), syms)
+	fHeadSlots := make([]int, len(p.ctxCols))
+	for i, j := range p.ctxCols {
+		fHeadSlots[i] = fSS.slot(head.Args[j].Name)
+	}
+
+	// Fig. 9 while loop.
+	for len(carry) > 0 {
+		stats.Iterations++
+		var next []storage.Tuple
+		slots := make([]storage.Value, len(fSS.varSlot))
+		bound := make([]bool, len(fSS.varSlot))
+		tup := make(storage.Tuple, carryWidth)
+		for _, c := range carry {
+			for i := range bound {
+				bound[i] = false
+			}
+			// Anchor passthrough and context binding.
+			for i, sl := range fHeadSlots {
+				slots[sl] = c[len(p.foldedAnchors)+i]
+				bound[sl] = true
+			}
+			anchorPart := c[:len(p.foldedAnchors)]
+			fConj.run(resolve, slots, bound, func(s []storage.Value) bool {
+				if !fProj.projectCtx(s, anchorPart, tup, syms) {
+					return true
+				}
+				if seen.Insert(tup) {
+					next = append(next, tup.Clone())
+				}
+				return true
+			})
+		}
+		carry = next
+	}
+	stats.SeenSize = seen.Len()
+
+	// g: join seen with the exit rule; assemble full answers with anchors
+	// and factored products.
+	gSS := newSlotSpace()
+	gInitBound := make(map[string]bool)
+	for _, j := range p.ctxCols {
+		if v := exitHead.Args[j]; v.IsVar() {
+			gInitBound[v.Name] = true
+		}
+	}
+	gFixed := make(ast.Subst)
+	for j, c := range p.fixedCols {
+		if v := exitHead.Args[j]; v.IsVar() {
+			gFixed[v.Name] = ast.C(c)
+		}
+	}
+	gAtoms := gFixed.ApplyAtoms(red.Exit.Body)
+	gConj := compileConj(gAtoms, nil, gSS, syms, gInitBound, exitHead.VarSet())
+	gCtxSlots := make([]int, len(p.ctxCols))
+	for i, j := range p.ctxCols {
+		gCtxSlots[i] = gSS.slot(exitHead.Args[j].Name)
+	}
+	// Head assembly: for each original column, where does the value come
+	// from?
+	type colSrc struct {
+		kind int // 0 const, 1 exit slot, 2 folded anchor, 3 factored group
+		val  storage.Value
+		idx  int // slot / anchor index / (group, pos) packed
+		pos  int
+	}
+	srcs := make([]colSrc, p.Def.Arity())
+	foldedIdx := make(map[string]int)
+	for i, v := range p.foldedAnchors {
+		foldedIdx[v] = i
+	}
+	groupIdx := make(map[string][2]int)
+	for gi, g := range groups {
+		for pi, v := range g.anchors {
+			groupIdx[v] = [2]int{gi, pi}
+		}
+	}
+	redOf := make(map[int]int)
+	for ri, oi := range p.keepCols {
+		redOf[oi] = ri
+	}
+	for oi := 0; oi < p.Def.Arity(); oi++ {
+		if a := p.Query.Args[oi]; a.IsConst() {
+			srcs[oi] = colSrc{kind: 0, val: syms.Intern(a.Name)}
+			continue
+		}
+		ri := redOf[oi]
+		hv := head.Args[ri]
+		if hv.IsVar() {
+			if i, ok := foldedIdx[hv.Name]; ok {
+				srcs[oi] = colSrc{kind: 2, idx: i}
+				continue
+			}
+			if gp, ok := groupIdx[hv.Name]; ok {
+				srcs[oi] = colSrc{kind: 3, idx: gp[0], pos: gp[1]}
+				continue
+			}
+		}
+		// Persistent column: the exit rule binds it.
+		ev := exitHead.Args[ri]
+		srcs[oi] = colSrc{kind: 1, idx: gSS.slot(ev.Name)}
+	}
+
+	out := make(storage.Tuple, p.Def.Arity())
+	var emitProducts func(gi int, s []storage.Value, anchorPart storage.Tuple)
+	emitProducts = func(gi int, s []storage.Value, anchorPart storage.Tuple) {
+		if gi == len(groups) {
+			for oi, src := range srcs {
+				switch src.kind {
+				case 0:
+					out[oi] = src.val
+				case 1:
+					out[oi] = s[src.idx]
+				case 2:
+					out[oi] = anchorPart[src.idx]
+				}
+			}
+			ans.Insert(out)
+			return
+		}
+		for _, gt := range groups[gi].tuples {
+			for oi, src := range srcs {
+				if src.kind == 3 && src.idx == gi {
+					out[oi] = gt[src.pos]
+				}
+			}
+			emitProducts(gi+1, s, anchorPart)
+		}
+	}
+
+	gSlots := make([]storage.Value, len(gSS.varSlot))
+	gBound := make([]bool, len(gSS.varSlot))
+	for _, c := range seen.Tuples() {
+		for i := range gBound {
+			gBound[i] = false
+		}
+		for i, sl := range gCtxSlots {
+			gSlots[sl] = c[len(p.foldedAnchors)+i]
+			gBound[sl] = true
+		}
+		anchorPart := c[:len(p.foldedAnchors)]
+		gConj.run(resolve, gSlots, gBound, func(s []storage.Value) bool {
+			emitProducts(0, s, anchorPart)
+			return true
+		})
+	}
+	return ans, stats, nil
+}
+
+// carryProj maps conjunction solutions to carry tuples.
+type carryProj struct {
+	anchorSlots []int
+	ctxRefs     []argRef
+}
+
+// carryProjection computes slot references for the folded anchors and the
+// context columns of the recursive call.
+func (p *Plan) carryProjection(ss *slotSpace, rec ast.Atom, syms *storage.SymbolTable) *carryProj {
+	cp := &carryProj{}
+	for _, v := range p.foldedAnchors {
+		cp.anchorSlots = append(cp.anchorSlots, ss.slot(v))
+	}
+	for _, j := range p.ctxCols {
+		t := rec.Args[j]
+		if t.IsConst() {
+			cp.ctxRefs = append(cp.ctxRefs, argRef{isConst: true, val: syms.Intern(t.Name)})
+		} else {
+			cp.ctxRefs = append(cp.ctxRefs, argRef{slot: ss.slot(t.Name)})
+		}
+	}
+	return cp
+}
+
+// project fills a carry tuple (anchors then ctx) from a solution.
+func (cp *carryProj) project(s []storage.Value, tup storage.Tuple, syms *storage.SymbolTable) bool {
+	for i, sl := range cp.anchorSlots {
+		tup[i] = s[sl]
+	}
+	return cp.fillCtx(s, tup, len(cp.anchorSlots))
+}
+
+// projectCtx fills a carry tuple using a fixed anchor part.
+func (cp *carryProj) projectCtx(s []storage.Value, anchorPart storage.Tuple, tup storage.Tuple, syms *storage.SymbolTable) bool {
+	copy(tup, anchorPart)
+	return cp.fillCtx(s, tup, len(anchorPart))
+}
+
+func (cp *carryProj) fillCtx(s []storage.Value, tup storage.Tuple, off int) bool {
+	for i, r := range cp.ctxRefs {
+		if r.isConst {
+			tup[off+i] = r.val
+		} else {
+			tup[off+i] = s[r.slot]
+		}
+	}
+	return true
+}
+
+// OneSidedEval compiles and evaluates a selection in one call.
+func OneSidedEval(d *ast.Definition, query ast.Atom, edb *storage.Database) (*storage.Relation, EvalStats, error) {
+	plan, err := CompileSelection(d, query)
+	if err != nil {
+		return nil, EvalStats{}, err
+	}
+	return plan.Eval(edb)
+}

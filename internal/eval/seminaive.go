@@ -1,0 +1,322 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// ruleVariant is one delta version of a rule body, with the head compiled
+// against the variant's own slot space.
+type ruleVariant struct {
+	conj *compiledConj
+	head []argRef
+}
+
+// compiledRule is a rule prepared for bottom-up evaluation.
+type compiledRule struct {
+	src ast.Rule
+	// variants are the delta versions of the body: variant i marks the
+	// i-th IDB body occurrence as the delta atom. For rules without IDB
+	// body atoms there is a single variant with no delta atom.
+	variants []ruleVariant
+	headPred string
+}
+
+// program holds the compiled rules and the IDB/EDB split used by the
+// bottom-up engines.
+type program struct {
+	rules []*compiledRule
+	idb   map[string]bool
+	arity map[string]int
+	facts []ast.Rule
+}
+
+// headPreds returns the set of predicates defined by any rule or fact of p
+// (the IDB in the engine's sense: everything it may derive or seed).
+func headPreds(p *ast.Program) map[string]bool {
+	s := make(map[string]bool)
+	for _, r := range p.Rules {
+		s[r.Head.Pred] = true
+	}
+	return s
+}
+
+// compileProgram validates and compiles every rule.
+func compileProgram(p *ast.Program, syms *storage.SymbolTable) (*program, error) {
+	arity, err := p.Arities()
+	if err != nil {
+		return nil, err
+	}
+	cp := &program{idb: headPreds(p), arity: arity}
+	for _, r := range p.Rules {
+		if len(r.Body) == 0 {
+			if !r.IsFact() {
+				return nil, fmt.Errorf("eval: rule %v has an empty body but a non-ground head", r)
+			}
+			cp.facts = append(cp.facts, r)
+			continue
+		}
+		// Safety: every head variable must occur in the body.
+		bodyVars := make(map[string]bool)
+		for _, a := range r.Body {
+			for _, t := range a.Args {
+				if t.IsVar() {
+					bodyVars[t.Name] = true
+				}
+			}
+		}
+		for _, t := range r.Head.Args {
+			if t.IsVar() && !bodyVars[t.Name] {
+				return nil, fmt.Errorf("eval: rule %v is unsafe: head variable %s not in body", r, t.Name)
+			}
+		}
+		cr := &compiledRule{src: r, headPred: r.Head.Pred}
+		// Build the non-delta variant (used by the first round and by
+		// Naive) and one delta variant per IDB body occurrence.
+		var idbIdx []int
+		for i, a := range r.Body {
+			if cp.idb[a.Pred] {
+				idbIdx = append(idbIdx, i)
+			}
+		}
+		mkVariant := func(delta int) ruleVariant {
+			ss := newSlotSpace()
+			flags := make([]bool, len(r.Body))
+			if delta >= 0 {
+				flags[delta] = true
+			}
+			idbFlags := make([]bool, len(r.Body))
+			for i, a := range r.Body {
+				idbFlags[i] = cp.idb[a.Pred]
+			}
+			conj := compileConj(r.Body, &compileConjOpts{altFlags: flags, idbFlags: idbFlags}, ss, syms, nil, r.Head.VarSet())
+			// Head compiled against the same slot space; head variables
+			// occur in the body (safety), so their slots already exist.
+			head := make([]argRef, len(r.Head.Args))
+			for i, t := range r.Head.Args {
+				if t.IsConst() {
+					head[i] = argRef{isConst: true, val: syms.Intern(t.Name)}
+				} else {
+					head[i] = argRef{slot: ss.slot(t.Name)}
+				}
+			}
+			return ruleVariant{conj: conj, head: head}
+		}
+		if len(idbIdx) == 0 {
+			cr.variants = []ruleVariant{mkVariant(-1)}
+		} else {
+			for _, i := range idbIdx {
+				cr.variants = append(cr.variants, mkVariant(i))
+			}
+		}
+		cp.rules = append(cp.rules, cr)
+	}
+	return cp, nil
+}
+
+// Result is the outcome of bottom-up evaluation: the derived (IDB)
+// database plus iteration statistics.
+type Result struct {
+	// IDB holds the derived relations (sharing the input symbol table).
+	IDB *storage.Database
+	// Rounds is the number of fixpoint iterations performed.
+	Rounds int
+}
+
+// SemiNaive evaluates the program bottom-up with the semi-naive strategy
+// over the EDB database. Predicates defined by rules or facts of the
+// program are derived into a fresh database; a relation in edb with the
+// same name as a derived predicate seeds it (this is what uniform
+// containment needs, and it is harmless otherwise).
+func SemiNaive(p *ast.Program, edb *storage.Database) (*Result, error) {
+	cp, err := compileProgram(p, edb.Syms)
+	if err != nil {
+		return nil, err
+	}
+	idb := storage.NewDatabaseWith(edb.Syms)
+	res := &Result{IDB: idb}
+
+	// Seed: program facts and same-name EDB relations. The seeds need no
+	// delta bookkeeping because the first round evaluates every rule
+	// against the full (seeded) relations.
+	for pred := range cp.idb {
+		arity, ok := cp.arity[pred]
+		if !ok {
+			continue
+		}
+		rel := idb.Ensure(pred, arity)
+		if seed := edb.Relation(pred); seed != nil {
+			for _, t := range seed.Tuples() {
+				rel.Insert(t)
+			}
+		}
+	}
+	for _, f := range cp.facts {
+		t := make(storage.Tuple, len(f.Head.Args))
+		for i, c := range f.Head.Args {
+			t[i] = edb.Syms.Intern(c.Name)
+		}
+		idb.Ensure(f.Head.Pred, len(t)).Insert(t)
+	}
+
+	resolve := func(useDelta map[string]*storage.Relation) resolver {
+		return func(pred string, alt bool) *storage.Relation {
+			if alt {
+				return useDelta[pred]
+			}
+			if cp.idb[pred] {
+				return idb.Relation(pred)
+			}
+			return edb.Relation(pred)
+		}
+	}
+
+	// First round: evaluate all rules with no delta restriction.
+	newDelta := make(map[string]*storage.Relation)
+	for _, cr := range cp.rules {
+		applyRule(cr, cr.variants[0:1], resolve(nil), idb, newDelta, true)
+	}
+	res.Rounds++
+
+	// Delta rounds.
+	for {
+		// Promote.
+		delta := newDelta
+		if len(delta) == 0 {
+			break
+		}
+		empty := true
+		for _, d := range delta {
+			if d.Len() > 0 {
+				empty = false
+			}
+		}
+		if empty {
+			break
+		}
+		newDelta = make(map[string]*storage.Relation)
+		for _, cr := range cp.rules {
+			if len(cr.variants) == 0 {
+				continue
+			}
+			// Rules with no IDB body atom produce nothing new after round 1.
+			hasDelta := false
+			for _, a := range cr.src.Body {
+				if cp.idb[a.Pred] {
+					hasDelta = true
+				}
+			}
+			if !hasDelta {
+				continue
+			}
+			applyRule(cr, cr.variants, resolve(delta), idb, newDelta, false)
+		}
+		res.Rounds++
+	}
+	return res, nil
+}
+
+// applyRule runs the given variants of a rule, inserting derived heads into
+// idb and recording genuinely new tuples in newDelta. When firstRound is
+// true, delta atoms resolve to the full relation (the first round evaluates
+// everything unrestricted).
+func applyRule(cr *compiledRule, variants []ruleVariant, res resolver, idb *storage.Database, newDelta map[string]*storage.Relation, firstRound bool) {
+	arity := len(cr.src.Head.Args)
+	headRel := idb.Ensure(cr.headPred, arity)
+	resolveVariant := res
+	if firstRound {
+		resolveVariant = func(pred string, alt bool) *storage.Relation {
+			return res(pred, false)
+		}
+	}
+	for _, v := range variants {
+		slots := make([]storage.Value, v.conj.nslots)
+		bound := make([]bool, v.conj.nslots)
+		tuple := make(storage.Tuple, arity)
+		v.conj.run(resolveVariant, slots, bound, func(s []storage.Value) bool {
+			for i, h := range v.head {
+				if h.isConst {
+					tuple[i] = h.val
+				} else {
+					tuple[i] = s[h.slot]
+				}
+			}
+			if headRel.Insert(tuple) {
+				nd, ok := newDelta[cr.headPred]
+				if !ok {
+					nd = storage.NewRelation(arity, nil)
+					newDelta[cr.headPred] = nd
+				}
+				nd.Insert(tuple)
+			}
+			return true
+		})
+	}
+}
+
+// Naive evaluates the program with the naive strategy: every rule against
+// full relations each round, until no new tuples appear. It is the
+// baseline the paper's Section 1 contrasts specialized algorithms with.
+func Naive(p *ast.Program, edb *storage.Database) (*Result, error) {
+	cp, err := compileProgram(p, edb.Syms)
+	if err != nil {
+		return nil, err
+	}
+	idb := storage.NewDatabaseWith(edb.Syms)
+	res := &Result{IDB: idb}
+	for pred := range cp.idb {
+		if arity, ok := cp.arity[pred]; ok {
+			rel := idb.Ensure(pred, arity)
+			if seed := edb.Relation(pred); seed != nil {
+				for _, t := range seed.Tuples() {
+					rel.Insert(t)
+				}
+			}
+		}
+	}
+	for _, f := range cp.facts {
+		t := make(storage.Tuple, len(f.Head.Args))
+		for i, c := range f.Head.Args {
+			t[i] = edb.Syms.Intern(c.Name)
+		}
+		idb.Ensure(f.Head.Pred, len(t)).Insert(t)
+	}
+	res0 := func(pred string, alt bool) *storage.Relation {
+		if cp.idb[pred] {
+			return idb.Relation(pred)
+		}
+		return edb.Relation(pred)
+	}
+	for {
+		before := idb.TupleCount()
+		for _, cr := range cp.rules {
+			applyRule(cr, cr.variants[0:1], res0, idb, map[string]*storage.Relation{}, true)
+		}
+		res.Rounds++
+		if idb.TupleCount() == before {
+			break
+		}
+	}
+	return res, nil
+}
+
+// LoadFacts inserts the ground facts of a parsed program into the
+// database, returning the program without them. Convenience for tests and
+// the CLI, where data and rules arrive in one source text.
+func LoadFacts(p *ast.Program, db *storage.Database) *ast.Program {
+	rest := ast.NewProgram()
+	for _, r := range p.Rules {
+		if r.IsFact() {
+			names := make([]string, len(r.Head.Args))
+			for i, t := range r.Head.Args {
+				names[i] = t.Name
+			}
+			db.AddFact(r.Head.Pred, names...)
+			continue
+		}
+		rest.Rules = append(rest.Rules, r)
+	}
+	return rest
+}

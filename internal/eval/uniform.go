@@ -1,0 +1,81 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// UniformContains reports P ⊑ᵤ Q: for every initialization of the EDB and
+// IDB predicates, the fixpoint of Q contains the fixpoint of P (uniform
+// containment in the sense of Sagiv [Sag88] and Maher [Mah88], the
+// equivalence notion Theorem 3.4 uses).
+//
+// The test is Sagiv's: for each rule of P, freeze the rule's body by
+// mapping its variables to fresh constants, load the frozen atoms as the
+// initialization (IDB facts included), run Q to fixpoint, and check that
+// the frozen head is derived. P ⊑ᵤ Q iff every rule passes.
+func UniformContains(p, q *ast.Program) (bool, error) {
+	for _, r := range p.Rules {
+		ok, err := frozenRuleDerivable(r, q)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// UniformEquivalent reports P ≡ᵤ Q.
+func UniformEquivalent(p, q *ast.Program) (bool, error) {
+	a, err := UniformContains(p, q)
+	if err != nil || !a {
+		return false, err
+	}
+	return UniformContains(q, p)
+}
+
+// frozenRuleDerivable freezes rule r's body, evaluates q over it, and
+// checks the frozen head.
+func frozenRuleDerivable(r ast.Rule, q *ast.Program) (bool, error) {
+	freeze := make(ast.Subst)
+	for v := range r.Vars() {
+		freeze[v] = ast.C("$frozen_" + v)
+	}
+	db := storage.NewDatabase()
+	for _, a := range freeze.ApplyAtoms(r.Body) {
+		names := make([]string, len(a.Args))
+		for i, t := range a.Args {
+			if t.IsVar() {
+				return false, fmt.Errorf("eval: freezing left a variable in %v", a)
+			}
+			names[i] = t.Name
+		}
+		db.AddFact(a.Pred, names...)
+	}
+	head := freeze.ApplyAtom(r.Head)
+	tuple := make(storage.Tuple, len(head.Args))
+	for i, t := range head.Args {
+		if t.IsVar() {
+			return false, fmt.Errorf("eval: freezing left a variable in %v", head)
+		}
+		tuple[i] = db.Syms.Intern(t.Name)
+	}
+
+	res, err := SemiNaive(q, db)
+	if err != nil {
+		return false, err
+	}
+	if rel := res.IDB.Relation(head.Pred); rel != nil && rel.Contains(tuple) {
+		return true, nil
+	}
+	// The head predicate may be EDB from q's point of view; the model then
+	// contains exactly the initialization.
+	if rel := db.Relation(head.Pred); rel != nil && rel.Contains(tuple) {
+		return true, nil
+	}
+	return false, nil
+}

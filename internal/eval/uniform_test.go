@@ -1,0 +1,139 @@
+package eval
+
+import (
+	"testing"
+)
+
+// TestExpE08UniformBuysDistinction documents a subtlety the reproduction
+// surfaced: removing the recursively redundant cheap(Y) from the buys
+// recursive rule preserves STANDARD equivalence (every derivation bottoms
+// out in the exit rule, which enforces cheap on the persistent Y), but not
+// UNIFORM equivalence — with an arbitrary initialization of the buys IDB
+// relation the dropped atom is observable. Sagiv's test correctly
+// distinguishes the two: containment holds in one direction only. The
+// rewrite package therefore verifies removals with a persistent-column
+// invariant check rather than uniform equivalence.
+func TestExpE08UniformBuysDistinction(t *testing.T) {
+	orig := mustProgram(t, `
+		buys(X, Y) :- knows(X, W), buys(W, Y), cheap(Y).
+		buys(X, Y) :- likes(X, Y), cheap(Y).
+	`)
+	opt := mustProgram(t, `
+		buys(X, Y) :- knows(X, W), buys(W, Y).
+		buys(X, Y) :- likes(X, Y), cheap(Y).
+	`)
+	le, err := UniformContains(orig, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !le {
+		t.Fatal("dropping a body atom must relax the program: orig ⊑u opt")
+	}
+	ge, err := UniformContains(opt, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge {
+		t.Fatal("opt ⊑u orig must fail: with seeded IDB facts the dropped cheap(Y) is observable")
+	}
+}
+
+// TestUniformContainsDirectionality: dropping cheap from the EXIT rule is
+// not equivalence-preserving.
+func TestUniformContainsDirectionality(t *testing.T) {
+	orig := mustProgram(t, `
+		buys(X, Y) :- knows(X, W), buys(W, Y), cheap(Y).
+		buys(X, Y) :- likes(X, Y), cheap(Y).
+	`)
+	wrong := mustProgram(t, `
+		buys(X, Y) :- knows(X, W), buys(W, Y), cheap(Y).
+		buys(X, Y) :- likes(X, Y).
+	`)
+	// wrong derives more: orig ⊑ wrong but not conversely.
+	le, err := UniformContains(orig, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !le {
+		t.Fatal("orig should be contained in the relaxed program")
+	}
+	ge, err := UniformContains(wrong, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge {
+		t.Fatal("relaxed program must not be contained in the original")
+	}
+}
+
+// TestUniformEquivalenceRenaming: alpha-renamed programs are uniformly
+// equivalent.
+func TestUniformEquivalenceRenaming(t *testing.T) {
+	a := mustProgram(t, tcSrc)
+	b := mustProgram(t, `
+		t(U, V) :- a(U, W), t(W, V).
+		t(U, V) :- b(U, V).
+	`)
+	eq, err := UniformEquivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("renamed TC must be uniformly equivalent")
+	}
+}
+
+// TestUniformInequivalentRecursions: transitive closure is not uniformly
+// equivalent to its reversed variant.
+func TestUniformInequivalentRecursions(t *testing.T) {
+	a := mustProgram(t, tcSrc)
+	b := mustProgram(t, `
+		t(X, Y) :- a(Y, Z), t(Z, X).
+		t(X, Y) :- b(X, Y).
+	`)
+	eq, err := UniformEquivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("TC and reversed TC must not be uniformly equivalent")
+	}
+}
+
+// TestUniformEquivalenceUnfolding: a recursion is uniformly equivalent to
+// itself with the recursive rule unfolded once ADDED as an extra rule.
+func TestUniformEquivalenceUnfolding(t *testing.T) {
+	a := mustProgram(t, tcSrc)
+	b := mustProgram(t, `
+		t(X, Y) :- a(X, Z), t(Z, Y).
+		t(X, Y) :- a(X, Z), a(Z, W), t(W, Y).
+		t(X, Y) :- b(X, Y).
+	`)
+	eq, err := UniformEquivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("adding an unfolding must preserve uniform equivalence")
+	}
+}
+
+// TestUniformSubtlety: deleting a genuinely load-bearing atom breaks
+// equivalence even when the atom looks redundant syntactically.
+func TestUniformSubtlety(t *testing.T) {
+	orig := mustProgram(t, `
+		t(X, Y) :- a(X, Z), t(Z, Y), p(X, Y).
+		t(X, Y) :- b(X, Y).
+	`)
+	relaxed := mustProgram(t, `
+		t(X, Y) :- a(X, Z), t(Z, Y).
+		t(X, Y) :- b(X, Y).
+	`)
+	ge, err := UniformContains(relaxed, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge {
+		t.Fatal("dropping the permission atom must lose containment")
+	}
+}

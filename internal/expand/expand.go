@@ -1,0 +1,291 @@
+// Package expand implements the paper's expansion machinery (Section 2):
+// Procedure Expand (Fig. 1) for definitions with one linear recursive rule
+// and one exit rule, connected sets of predicate instances (Definitions
+// 3.1–3.2), empirical sidedness sampling against Definition 3.3, and the
+// generalized multi-rule expansion of Appendix A.
+package expand
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/ast"
+	"repro/internal/unify"
+)
+
+// Instance is a predicate instance inside a string of the expansion,
+// tagged with provenance: the iteration on which it was produced and
+// whether it came from the exit (nonrecursive) rule.
+type Instance struct {
+	Atom ast.Atom
+	// Iter is the iteration on which the instance was produced. Recursive
+	// rule applications are numbered from 0 (the paper's convention: a
+	// nondistinguished variable Wi first appears on iteration i).
+	Iter int
+	// Exit marks instances produced by the nonrecursive rule.
+	Exit bool
+	// BodyIndex is the index of the atom in the producing rule's body,
+	// identifying the argument-position block it came from.
+	BodyIndex int
+}
+
+// String is an element of the expansion: a conjunction of EDB predicate
+// instances, the result of K applications of the recursive rule followed by
+// one application of the exit rule.
+type String struct {
+	// K is the number of recursive-rule applications.
+	K int
+	// Head is the distinguished atom t(V1, ..., Vn).
+	Head ast.Atom
+	// Instances are the predicate instances, in production order (iteration
+	// 0 first; the exit-rule instances last).
+	Instances []Instance
+}
+
+// Atoms returns the bare atoms of the string.
+func (s String) Atoms() []ast.Atom {
+	out := make([]ast.Atom, len(s.Instances))
+	for i, inst := range s.Instances {
+		out[i] = inst.Atom
+	}
+	return out
+}
+
+// Rule renders the string as a conjunctive query with the distinguished
+// head, suitable for the cq package.
+func (s String) Rule() ast.Rule {
+	return ast.Rule{Head: s.Head.Clone(), Body: s.Atoms()}
+}
+
+// String renders the conjunction in the paper's style, e.g.
+// "a(X, Z0), a(Z0, Z1), b(Z1, Y)".
+func (s String) String() string {
+	out := ""
+	for i, inst := range s.Instances {
+		if i > 0 {
+			out += ", "
+		}
+		out += inst.Atom.String()
+	}
+	return out
+}
+
+// Expander incrementally generates the expansion of a definition following
+// Procedure Expand (Fig. 1). The zero value is not usable; construct with
+// New.
+type Expander struct {
+	def  *ast.Definition
+	head ast.Atom
+	// cur is the current string: EDB instances produced so far plus the
+	// single pending recursive atom.
+	curEDB  []Instance
+	pending ast.Atom
+	iter    int
+	used    map[string]bool
+}
+
+// New prepares an expander for the definition. The initial CurString is the
+// distinguished atom t(V1, ..., Vn) built from the recursive rule's head.
+func New(d *ast.Definition) *Expander {
+	e := &Expander{
+		def:  d,
+		head: d.Recursive.Head.Clone(),
+		used: make(map[string]bool),
+	}
+	e.pending = d.Recursive.Head.Clone()
+	for v := range d.Recursive.Vars() {
+		e.used[v] = true
+	}
+	for v := range d.Exit.Vars() {
+		e.used[v] = true
+	}
+	return e
+}
+
+// fresh returns a variable name derived from base and the iteration number,
+// disambiguated against every name seen so far.
+func (e *Expander) fresh(base string, iter int) string {
+	name := base + strconv.Itoa(iter)
+	for e.used[name] {
+		name += "_"
+	}
+	e.used[name] = true
+	return name
+}
+
+// renameNondistinguished renames the rule's nondistinguished variables with
+// the iteration subscript, leaving head variables alone (they are bound by
+// matching against the pending atom).
+func (e *Expander) renameNondistinguished(r ast.Rule, iter int) ast.Rule {
+	dist := r.DistinguishedVars()
+	s := make(ast.Subst)
+	for v := range r.Vars() {
+		if !dist[v] {
+			s[v] = ast.V(e.fresh(v, iter))
+		}
+	}
+	return s.ApplyRule(r)
+}
+
+// applyTo applies rule r (with fresh nondistinguished variables) to the
+// pending recursive atom, returning the resulting body instances.
+func (e *Expander) applyTo(r ast.Rule, iter int, exit bool) []Instance {
+	renamed := e.renameNondistinguished(r, iter)
+	s, ok := unify.Match(renamed.Head, e.pending)
+	if !ok {
+		// Heads have no repeated variables or constants, so matching cannot
+		// fail for a well-formed definition.
+		panic(fmt.Sprintf("expand: head %v does not match %v", renamed.Head, e.pending))
+	}
+	body := s.ApplyAtoms(renamed.Body)
+	out := make([]Instance, 0, len(body))
+	for i, a := range body {
+		out = append(out, Instance{Atom: a, Iter: iter, Exit: exit, BodyIndex: i})
+	}
+	return out
+}
+
+// Next produces the next string of the expansion: it records CurString with
+// the exit rule applied, then advances CurString with the recursive rule
+// (Fig. 1, lines 5–7).
+func (e *Expander) Next() String {
+	exitInsts := e.applyTo(e.def.Exit, e.iter, true)
+	insts := make([]Instance, 0, len(e.curEDB)+len(exitInsts))
+	insts = append(insts, e.curEDB...)
+	insts = append(insts, exitInsts...)
+	s := String{K: e.iter, Head: e.head.Clone(), Instances: insts}
+
+	recInsts := e.applyTo(e.def.Recursive, e.iter, false)
+	recIdx := e.def.Recursive.RecursiveAtomIndex()
+	for i, inst := range recInsts {
+		if i == recIdx {
+			e.pending = inst.Atom
+			continue
+		}
+		e.curEDB = append(e.curEDB, inst)
+	}
+	e.iter++
+	return s
+}
+
+// Expand returns the first k+1 strings s_0, ..., s_k of the definition's
+// expansion.
+func Expand(d *ast.Definition, k int) []String {
+	e := New(d)
+	out := make([]String, 0, k+1)
+	for i := 0; i <= k; i++ {
+		out = append(out, e.Next())
+	}
+	return out
+}
+
+// Nth returns string s_k of the expansion.
+func Nth(d *ast.Definition, k int) String {
+	e := New(d)
+	var s String
+	for i := 0; i <= k; i++ {
+		s = e.Next()
+	}
+	return s
+}
+
+// ConnectedSets partitions the instances of a string into connected sets
+// (Definition 3.2): maximal groups of predicate instances transitively
+// sharing variables. If includeExit is false, exit-rule instances are
+// removed first (as Definition 3.3 requires). Ground instances form
+// singleton sets. Sets are returned with instances in original order,
+// largest set first (ties broken by first instance position).
+func ConnectedSets(s String, includeExit bool) [][]Instance {
+	var insts []Instance
+	for _, in := range s.Instances {
+		if includeExit || !in.Exit {
+			insts = append(insts, in)
+		}
+	}
+	n := len(insts)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	byVar := make(map[string]int)
+	for i, in := range insts {
+		for _, t := range in.Atom.Args {
+			if !t.IsVar() {
+				continue
+			}
+			if j, ok := byVar[t.Name]; ok {
+				union(i, j)
+			} else {
+				byVar[t.Name] = i
+			}
+		}
+	}
+	groups := make(map[int][]Instance)
+	var roots []int
+	for i, in := range insts {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], in)
+	}
+	out := make([][]Instance, 0, len(groups))
+	for _, r := range roots {
+		out = append(out, groups[r])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) > len(out[j]) })
+	return out
+}
+
+// SetSizes returns the sizes of the connected sets of a string, largest
+// first, excluding exit-rule instances when includeExit is false.
+func SetSizes(s String, includeExit bool) []int {
+	sets := ConnectedSets(s, includeExit)
+	out := make([]int, len(sets))
+	for i, g := range sets {
+		out[i] = len(g)
+	}
+	return out
+}
+
+// SampleSidedness estimates the definition's sidedness k (Definition 3.3)
+// empirically: it expands to two depths and counts connected sets that keep
+// growing. It returns the stable count, or -1 if the two depths disagree
+// (the caller should raise maxK). This is used to cross-validate the
+// Theorem 3.1 graph test against the definition.
+func SampleSidedness(d *ast.Definition, maxK int) int {
+	if maxK < 8 {
+		maxK = 8
+	}
+	half := maxK / 2
+	threshold := half / 4
+	if threshold < 2 {
+		threshold = 2
+	}
+	countLarge := func(k int) int {
+		sizes := SetSizes(Nth(d, k), false)
+		n := 0
+		for _, s := range sizes {
+			if s >= threshold {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := countLarge(half), countLarge(maxK)
+	if a != b {
+		return -1
+	}
+	return a
+}

@@ -1,0 +1,128 @@
+package expand
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/ast"
+	"repro/internal/unify"
+)
+
+// ProgramExpansion enumerates the expansion of a goal atom under an
+// arbitrary program, as generalized in Appendix A of the paper: fringe is a
+// set of conjunctions; on each step some IDB predicate instance in a fringe
+// element is replaced by the body of a rule whose head unifies with it. The
+// expansion is the set of all-EDB conjunctions so produced.
+//
+// ProgramExpansion applies rules to the leftmost IDB atom only; because
+// rule applications at distinct atoms commute, this enumerates the same set
+// of expansion elements as the paper's "in all possible ways" formulation.
+// Elements are deduplicated up to variable renaming.
+//
+// maxApplications bounds the number of rule applications along any
+// derivation branch, making the enumeration finite.
+func ProgramExpansion(p *ast.Program, goal ast.Atom, maxApplications int) []ast.Rule {
+	idb := p.IDBPreds()
+	type state struct {
+		atoms []ast.Atom
+		depth int
+	}
+	fresh := 0
+	var results []ast.Rule
+	seen := make(map[string]bool)
+
+	// renameRule gives every variable of r a globally fresh name.
+	renameRule := func(r ast.Rule) ast.Rule {
+		s := make(ast.Subst)
+		for v := range r.Vars() {
+			s[v] = ast.V("G" + strconv.Itoa(fresh) + "_" + v)
+		}
+		fresh++
+		return s.ApplyRule(r)
+	}
+
+	queue := []state{{atoms: []ast.Atom{goal.Clone()}, depth: 0}}
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+
+		// Find the leftmost IDB atom.
+		idbIdx := -1
+		for i, a := range st.atoms {
+			if idb[a.Pred] {
+				idbIdx = i
+				break
+			}
+		}
+		if idbIdx < 0 {
+			r := ast.Rule{Head: goal.Clone(), Body: st.atoms}
+			key := canonicalKey(r)
+			if !seen[key] {
+				seen[key] = true
+				results = append(results, canonicalize(r))
+			}
+			continue
+		}
+		if st.depth >= maxApplications {
+			continue
+		}
+		target := st.atoms[idbIdx]
+		for _, r := range p.RulesFor(target.Pred) {
+			rr := renameRule(r)
+			s, ok := unify.Unify(rr.Head, target)
+			if !ok {
+				continue
+			}
+			next := make([]ast.Atom, 0, len(st.atoms)+len(rr.Body)-1)
+			for i, a := range st.atoms {
+				if i == idbIdx {
+					for _, b := range rr.Body {
+						next = append(next, s.ApplyAtom(b))
+					}
+					continue
+				}
+				next = append(next, s.ApplyAtom(a))
+			}
+			queue = append(queue, state{atoms: next, depth: st.depth + 1})
+		}
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		if len(results[i].Body) != len(results[j].Body) {
+			return len(results[i].Body) < len(results[j].Body)
+		}
+		return results[i].String() < results[j].String()
+	})
+	return results
+}
+
+// canonicalize renames variables in order of first occurrence (head first,
+// then body left to right) to V0, V1, ..., producing a canonical
+// representative for duplicate elimination.
+func canonicalize(r ast.Rule) ast.Rule {
+	s := make(ast.Subst)
+	n := 0
+	visit := func(a ast.Atom) {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				if _, ok := s[t.Name]; !ok {
+					s[t.Name] = ast.V("V" + strconv.Itoa(n))
+					n++
+				}
+			}
+		}
+	}
+	visit(r.Head)
+	for _, a := range r.Body {
+		visit(a)
+	}
+	return s.ApplyRule(r)
+}
+
+// canonicalKey is the canonical rendering used for dedup. Body atom order
+// is preserved (expansion elements are sequences in the paper; sorting the
+// body would identify strings the paper distinguishes only up to
+// conjunction, which is also acceptable, but order-preserving keys are
+// stricter and still deduplicate renamings produced by this enumerator).
+func canonicalKey(r ast.Rule) string {
+	return canonicalize(r).String()
+}

@@ -1,0 +1,197 @@
+// Package parser implements the Prolog-style concrete syntax used by the
+// paper for function-free Horn clause programs:
+//
+//	t(X, Y) :- a(X, Z), t(Z, Y).
+//	t(X, Y) :- b(X, Y).
+//	a(n0, n1).
+//	?- t(n0, Y).
+//
+// Identifiers beginning with an upper-case letter or underscore are
+// variables; identifiers beginning with a lower-case letter, digits, and
+// single-quoted strings are constants. '%' starts a line comment.
+package parser
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokVariable
+	tokConstant // lower-case identifier, number, or quoted atom
+	tokLParen
+	tokRParen
+	tokComma
+	tokPeriod
+	tokImplies // :-
+	tokQuery   // ?-
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokVariable:
+		return "variable"
+	case tokConstant:
+		return "constant"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokPeriod:
+		return "'.'"
+	case tokImplies:
+		return "':-'"
+	case tokQuery:
+		return "'?-'"
+	}
+	return "unknown token"
+}
+
+// token is a lexical token with source position for error reporting.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// lexer scans the input into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// errorf builds a position-annotated lexical error.
+func (l *lexer) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("parser: %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	return r
+}
+
+func (l *lexer) advance() rune {
+	r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+	l.pos += size
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '%':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	r := l.peek()
+	switch {
+	case r == '(':
+		l.advance()
+		return token{tokLParen, "(", line, col}, nil
+	case r == ')':
+		l.advance()
+		return token{tokRParen, ")", line, col}, nil
+	case r == ',':
+		l.advance()
+		return token{tokComma, ",", line, col}, nil
+	case r == '.':
+		l.advance()
+		return token{tokPeriod, ".", line, col}, nil
+	case r == ':':
+		l.advance()
+		if l.peek() != '-' {
+			return token{}, l.errorf("expected '-' after ':'")
+		}
+		l.advance()
+		return token{tokImplies, ":-", line, col}, nil
+	case r == '?':
+		l.advance()
+		if l.peek() != '-' {
+			return token{}, l.errorf("expected '-' after '?'")
+		}
+		l.advance()
+		return token{tokQuery, "?-", line, col}, nil
+	case r == '\'':
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && l.peek() != '\'' {
+			if l.peek() == '\n' {
+				return token{}, l.errorf("newline in quoted atom")
+			}
+			l.advance()
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errorf("unterminated quoted atom")
+		}
+		text := l.src[start:l.pos]
+		l.advance() // closing quote
+		return token{tokConstant, text, line, col}, nil
+	case unicode.IsDigit(r):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentRune(l.peek()) {
+			l.advance()
+		}
+		return token{tokConstant, l.src[start:l.pos], line, col}, nil
+	case r == '_' || unicode.IsUpper(r):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentRune(l.peek()) {
+			l.advance()
+		}
+		return token{tokVariable, l.src[start:l.pos], line, col}, nil
+	case unicode.IsLower(r):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentRune(l.peek()) {
+			l.advance()
+		}
+		return token{tokConstant, l.src[start:l.pos], line, col}, nil
+	default:
+		return token{}, l.errorf("unexpected character %q", r)
+	}
+}

@@ -1,0 +1,268 @@
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// Result is the outcome of parsing a source text: a program (rules and
+// facts) and the queries posed with '?-'.
+type Result struct {
+	Program *ast.Program
+	Queries []ast.Atom
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, fmt.Errorf("parser: %d:%d: expected %v, found %v %q",
+			p.tok.line, p.tok.col, k, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+// parseTerm parses a variable or constant.
+func (p *parser) parseTerm() (ast.Term, error) {
+	switch p.tok.kind {
+	case tokVariable:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		return ast.V(name), nil
+	case tokConstant:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		return ast.C(name), nil
+	default:
+		return ast.Term{}, fmt.Errorf("parser: %d:%d: expected term, found %v %q",
+			p.tok.line, p.tok.col, p.tok.kind, p.tok.text)
+	}
+}
+
+// parseAtom parses pred(args...) or a zero-arity predicate.
+func (p *parser) parseAtom() (ast.Atom, error) {
+	name, err := p.expect(tokConstant)
+	if err != nil {
+		return ast.Atom{}, fmt.Errorf("%w (predicate names are lower-case)", err)
+	}
+	a := ast.Atom{Pred: name.text}
+	if p.tok.kind != tokLParen {
+		return a, nil
+	}
+	if err := p.advance(); err != nil {
+		return ast.Atom{}, err
+	}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return ast.Atom{}, err
+		}
+		a.Args = append(a.Args, t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return ast.Atom{}, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return ast.Atom{}, err
+	}
+	return a, nil
+}
+
+// parseAtomList parses a comma-separated atom list.
+func (p *parser) parseAtomList() ([]ast.Atom, error) {
+	var atoms []ast.Atom
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		atoms = append(atoms, a)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return atoms, nil
+	}
+}
+
+// parseClause parses one rule, fact, or query ending in '.'.
+func (p *parser) parseClause(res *Result) error {
+	if p.tok.kind == tokQuery {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		a, err := p.parseAtom()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokPeriod); err != nil {
+			return err
+		}
+		res.Queries = append(res.Queries, a)
+		return nil
+	}
+	head, err := p.parseAtom()
+	if err != nil {
+		return err
+	}
+	r := ast.Rule{Head: head}
+	if p.tok.kind == tokImplies {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		body, err := p.parseAtomList()
+		if err != nil {
+			return err
+		}
+		r.Body = body
+	}
+	if _, err := p.expect(tokPeriod); err != nil {
+		return err
+	}
+	res.Program.Rules = append(res.Program.Rules, r)
+	return nil
+}
+
+// Parse parses a full source text into a program and queries. The returned
+// program has been arity-checked and every rule head satisfies the paper's
+// head restrictions.
+func Parse(src string) (*Result, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	res := &Result{Program: ast.NewProgram()}
+	for p.tok.kind != tokEOF {
+		if err := p.parseClause(res); err != nil {
+			return nil, err
+		}
+	}
+	if err := res.Program.Validate(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ParseProgram parses a source text that must contain no queries.
+func ParseProgram(src string) (*ast.Program, error) {
+	res, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Queries) != 0 {
+		return nil, fmt.Errorf("parser: unexpected query in program text")
+	}
+	return res.Program, nil
+}
+
+// MustParseProgram is ParseProgram, panicking on error. For tests and
+// examples with literal sources.
+func MustParseProgram(src string) *ast.Program {
+	p, err := ParseProgram(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseDefinition parses a source containing exactly the two rules of a
+// recursion (one linear recursive rule and one exit rule) for pred.
+func ParseDefinition(src, pred string) (*ast.Definition, error) {
+	p, err := ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	return ast.ExtractDefinition(p, pred)
+}
+
+// MustParseDefinition is ParseDefinition, panicking on error.
+func MustParseDefinition(src, pred string) *ast.Definition {
+	d, err := ParseDefinition(src, pred)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ParseRule parses a single rule or fact without applying the program-level
+// head restrictions. Conjunctive-query code uses this to build queries whose
+// heads carry constants (selections already applied).
+func ParseRule(src string) (ast.Rule, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return ast.Rule{}, err
+	}
+	res := &Result{Program: ast.NewProgram()}
+	if err := p.parseClause(res); err != nil {
+		return ast.Rule{}, err
+	}
+	if p.tok.kind != tokEOF {
+		return ast.Rule{}, fmt.Errorf("parser: trailing input after rule: %q", p.tok.text)
+	}
+	if len(res.Program.Rules) != 1 {
+		return ast.Rule{}, fmt.Errorf("parser: expected a rule, got a query")
+	}
+	return res.Program.Rules[0], nil
+}
+
+// MustParseRule is ParseRule, panicking on error.
+func MustParseRule(src string) ast.Rule {
+	r, err := ParseRule(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ParseAtom parses a single atom (no trailing period), e.g. "t(n0, Y)".
+func ParseAtom(src string) (ast.Atom, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return ast.Atom{}, err
+	}
+	a, err := p.parseAtom()
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if p.tok.kind != tokEOF {
+		return ast.Atom{}, fmt.Errorf("parser: trailing input after atom: %q", p.tok.text)
+	}
+	return a, nil
+}
+
+// MustParseAtom is ParseAtom, panicking on error.
+func MustParseAtom(src string) ast.Atom {
+	a, err := ParseAtom(src)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

@@ -1,0 +1,229 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+)
+
+func TestParseCanonicalRecursion(t *testing.T) {
+	src := `
+		% The canonical one-sided recursion (paper Example 2.1).
+		t(X, Y) :- a(X, Z), t(Z, Y).
+		t(X, Y) :- b(X, Y).
+	`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 2 {
+		t.Fatalf("got %d rules", len(p.Rules))
+	}
+	want := "t(X, Y) :- a(X, Z), t(Z, Y)."
+	if got := p.Rules[0].String(); got != want {
+		t.Fatalf("rule 0 = %q, want %q", got, want)
+	}
+}
+
+func TestParseFactsAndQueries(t *testing.T) {
+	src := `
+		a(n0, n1). a(n1, n2).
+		b(n2, n3).
+		?- t(n0, Y).
+		?- t(X, n3).
+	`
+	res, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program.Rules) != 3 {
+		t.Fatalf("got %d facts", len(res.Program.Rules))
+	}
+	if !res.Program.Rules[0].IsFact() {
+		t.Fatal("a(n0, n1) should be a fact")
+	}
+	if len(res.Queries) != 2 {
+		t.Fatalf("got %d queries", len(res.Queries))
+	}
+	if res.Queries[0].String() != "t(n0, Y)" {
+		t.Fatalf("query 0 = %v", res.Queries[0])
+	}
+	if res.Queries[1].Args[1] != ast.C("n3") {
+		t.Fatalf("query 1 = %v", res.Queries[1])
+	}
+}
+
+func TestParseQuotedAndNumericConstants(t *testing.T) {
+	src := `likes('John Smith', 42).`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := p.Rules[0].Head.Args
+	if args[0] != ast.C("John Smith") || args[1] != ast.C("42") {
+		t.Fatalf("args = %v", args)
+	}
+}
+
+func TestParseVariablesAndUnderscore(t *testing.T) {
+	src := `p(X, Y) :- q(X, _ignore), r(Y).`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.Rules[0].Body
+	if b[0].Args[1] != ast.V("_ignore") {
+		t.Fatalf("underscore var = %v", b[0].Args[1])
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+		% a percent comment
+		// a slash comment
+		p(X) :- q(X). % trailing comment
+	`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 1 {
+		t.Fatalf("got %d rules", len(p.Rules))
+	}
+}
+
+func TestParseZeroArity(t *testing.T) {
+	src := `flag. p(X) :- q(X), flag.`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[0].Head.Arity() != 0 {
+		t.Fatal("flag should have arity 0")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"missing period", `p(X) :- q(X)`},
+		{"unterminated quote", `p('abc).`},
+		{"bad colon", `p(X) : q(X).`},
+		{"bad question", `? t(X).`},
+		{"upper-case predicate", `P(x).`},
+		{"missing paren", `p(X :- q(X).`},
+		{"empty args", `p().`},
+		{"stray char", `p(X) :- q(X), &r(X).`},
+		{"head constant", `t(c, Y) :- b(Y).`},
+		{"arity mismatch", `p(X) :- q(X). q(a, b).`},
+		{"newline in quote", "p('a\nb')."},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected parse error for %q", c.name, c.src)
+		}
+	}
+}
+
+func TestParseDefinition(t *testing.T) {
+	d, err := ParseDefinition(`
+		t(X, Y) :- a(X, Z), t(Z, Y).
+		t(X, Y) :- b(X, Y).
+	`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Pred() != "t" {
+		t.Fatalf("pred = %s", d.Pred())
+	}
+	if _, err := ParseDefinition(`t(X) :- t(X).`, "t"); err == nil {
+		t.Fatal("expected error: no exit rule")
+	}
+}
+
+func TestParseAtomAPI(t *testing.T) {
+	a, err := ParseAtom("t(n0, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Pred != "t" || a.Args[0] != ast.C("n0") || a.Args[1] != ast.V("Y") {
+		t.Fatalf("atom = %v", a)
+	}
+	if _, err := ParseAtom("t(n0, Y) extra"); err == nil {
+		t.Fatal("expected trailing-input error")
+	}
+}
+
+func TestParseRejectsQueryInProgram(t *testing.T) {
+	if _, err := ParseProgram(`p(a). ?- p(X).`); err == nil {
+		t.Fatal("ParseProgram must reject queries")
+	}
+}
+
+// TestRoundTrip checks that printing a parsed program and re-parsing it
+// yields the same rendering (parse-print fixpoint).
+func TestRoundTrip(t *testing.T) {
+	srcs := []string{
+		"t(X, Y) :- a(X, Z), t(Z, Y).\nt(X, Y) :- b(X, Y).",
+		"sg(X, Y) :- p(X, W), p(Y, Z), sg(W, Z).\nsg(X, Y) :- sg0(X, Y).",
+		"buys(X, Y) :- knows(X, W), buys(W, Y), cheap(Y).\nbuys(X, Y) :- likes(X, Y), cheap(Y).",
+		"a(n0, n1).",
+	}
+	for _, src := range srcs {
+		p1, err := ParseProgram(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		p2, err := ParseProgram(p1.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", p1.String(), err)
+		}
+		if p1.String() != p2.String() {
+			t.Fatalf("round trip changed program:\n%s\nvs\n%s", p1, p2)
+		}
+	}
+}
+
+// TestQuickRoundTripFacts property-tests the lexer/parser on generated fact
+// bases: any fact built from machine-generated identifiers survives a
+// print-parse round trip.
+func TestQuickRoundTripFacts(t *testing.T) {
+	f := func(pred uint8, a uint16, b uint16) bool {
+		src := ast.NewRule(ast.NewAtom(
+			"p"+itoa(int(pred)%7),
+			ast.C("c"+itoa(int(a))),
+			ast.C("c"+itoa(int(b))),
+		)).String()
+		p, err := ParseProgram(src)
+		if err != nil {
+			return false
+		}
+		return p.String() == src
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestLexerPositions(t *testing.T) {
+	_, err := Parse("p(a).\nq(b,, c).")
+	if err == nil || !strings.Contains(err.Error(), "2:") {
+		t.Fatalf("expected error on line 2, got %v", err)
+	}
+}

@@ -1,0 +1,408 @@
+// Package proof materializes derivations of tuples in a recursion and
+// implements the splicing argument of Lemma 4.1: a proof whose recursive
+// call repeats a ground context can be cut between the repetitions,
+// yielding a shorter proof of the same tuple. For one-sided recursions
+// this bounds the state an evaluator must keep (each context need be seen
+// once); Lemma 4.2's family shows contexts that cannot repeat for
+// many-sided recursions, which is why the carry must widen there.
+package proof
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// Proof is a derivation of a ground tuple of the recursively defined
+// predicate: Levels[i] is the ground substitution of the i-th application
+// of the recursive rule (outermost first) and Exit the ground substitution
+// of the final exit-rule application. All substitution values are
+// constants.
+type Proof struct {
+	Def    *ast.Definition
+	Levels []ast.Subst
+	Exit   ast.Subst
+}
+
+// Depth returns the number of recursive-rule applications.
+func (p *Proof) Depth() int { return len(p.Levels) }
+
+// Tuple returns the proved head tuple (constant names).
+func (p *Proof) Tuple() []string {
+	var s ast.Subst
+	if len(p.Levels) > 0 {
+		s = p.Levels[0]
+	} else {
+		s = p.Exit
+	}
+	head := p.headOf(s, len(p.Levels) > 0)
+	out := make([]string, len(head.Args))
+	for i, t := range head.Args {
+		out[i] = t.Name
+	}
+	return out
+}
+
+func (p *Proof) headOf(s ast.Subst, recursive bool) ast.Atom {
+	if recursive {
+		return s.ApplyAtom(p.Def.Recursive.Head)
+	}
+	return s.ApplyAtom(p.Def.Exit.Head)
+}
+
+// GroundAtoms returns every ground EDB atom the proof uses, level by
+// level (recursive levels first, then the exit body).
+func (p *Proof) GroundAtoms() []ast.Atom {
+	var out []ast.Atom
+	for _, s := range p.Levels {
+		for _, a := range p.Def.NonrecursiveBody() {
+			out = append(out, s.ApplyAtom(a))
+		}
+	}
+	for _, a := range p.Def.Exit.Body {
+		out = append(out, p.Exit.ApplyAtom(a))
+	}
+	return out
+}
+
+// Verify checks the proof against a database: every ground atom must be
+// present, and adjacent levels must agree (each level's recursive call
+// must equal the next level's head; the last call must equal the exit
+// head).
+func (p *Proof) Verify(db *storage.Database) error {
+	for _, a := range p.GroundAtoms() {
+		if !factPresent(db, a) {
+			return fmt.Errorf("proof: missing fact %v", a)
+		}
+	}
+	for i, s := range p.Levels {
+		call := s.ApplyAtom(p.Def.RecursiveAtom())
+		var nextHead ast.Atom
+		if i+1 < len(p.Levels) {
+			nextHead = p.Levels[i+1].ApplyAtom(p.Def.Recursive.Head)
+		} else {
+			nextHead = p.Exit.ApplyAtom(p.Def.Exit.Head)
+		}
+		if !call.Equal(nextHead) {
+			return fmt.Errorf("proof: level %d call %v does not match next head %v", i, call, nextHead)
+		}
+		for _, t := range call.Args {
+			if t.IsVar() {
+				return fmt.Errorf("proof: level %d call %v is not ground", i, call)
+			}
+		}
+	}
+	return nil
+}
+
+// factPresent checks a ground atom against the database.
+func factPresent(db *storage.Database, a ast.Atom) bool {
+	rel := db.Relation(a.Pred)
+	if rel == nil {
+		return false
+	}
+	t := make(storage.Tuple, len(a.Args))
+	for i, arg := range a.Args {
+		v, ok := db.Syms.Lookup(arg.Name)
+		if !ok {
+			return false
+		}
+		t[i] = v
+	}
+	return rel.Contains(t)
+}
+
+// CallContexts returns the ground argument tuples of the recursive call at
+// each level (the values an evaluator's carry would hold).
+func (p *Proof) CallContexts() [][]string {
+	out := make([][]string, len(p.Levels))
+	for i, s := range p.Levels {
+		call := s.ApplyAtom(p.Def.RecursiveAtom())
+		row := make([]string, len(call.Args))
+		for j, t := range call.Args {
+			row[j] = t.Name
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// SpliceOnce looks for two levels whose ground recursive-call contexts are
+// identical and removes the levels between them (Lemma 4.1's splicing
+// step). It returns the shorter proof and true, or the receiver and false
+// when no repetition exists. The spliced proof proves the same tuple.
+func (p *Proof) SpliceOnce() (*Proof, bool) {
+	ctxs := p.CallContexts()
+	seen := make(map[string]int)
+	for j, c := range ctxs {
+		key := fmt.Sprint(c)
+		if i, ok := seen[key]; ok {
+			// Levels i+1..j repeat context i; cut them: level i's call
+			// equals level j's call, so level j+1 (or the exit) composes
+			// directly with level i.
+			levels := make([]ast.Subst, 0, len(p.Levels)-(j-i))
+			levels = append(levels, p.Levels[:i+1]...)
+			levels = append(levels, p.Levels[j+1:]...)
+			return &Proof{Def: p.Def, Levels: levels, Exit: p.Exit}, true
+		}
+		seen[key] = j
+	}
+	return p, false
+}
+
+// Minimize splices until no recursive-call context repeats.
+func (p *Proof) Minimize() *Proof {
+	cur := p
+	for {
+		next, ok := cur.SpliceOnce()
+		if !ok {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// ColumnOccurrences counts, for the EDB predicate pred and column col, how
+// many times each constant appears in the proof's ground atoms — the
+// quantity Lemma 4.1 bounds by 1 (after minimization, canonical recursion)
+// and Lemma 4.2 forces to k.
+func (p *Proof) ColumnOccurrences(pred string, col int) map[string]int {
+	out := make(map[string]int)
+	for _, a := range p.GroundAtoms() {
+		if a.Pred == pred && col < len(a.Args) {
+			out[a.Args[col].Name]++
+		}
+	}
+	return out
+}
+
+// Find searches for a proof of the given ground tuple (constant names) of
+// the definition's predicate over the database. It explores derivations
+// depth-first, memoizing failed call contexts and refusing to revisit a
+// context on the current path (which also bounds the depth). Unbound
+// recursive-call variables (existential columns) are enumerated over the
+// database's active domain. Returns nil when no proof exists.
+func Find(d *ast.Definition, db *storage.Database, tuple []string) *Proof {
+	if len(tuple) != d.Arity() {
+		return nil
+	}
+	f := &finder{
+		d:      d,
+		db:     db,
+		failed: make(map[string]bool),
+		onPath: make(map[string]bool),
+	}
+	return f.prove(tuple)
+}
+
+type finder struct {
+	d      *ast.Definition
+	db     *storage.Database
+	failed map[string]bool
+	onPath map[string]bool
+	domain []string
+}
+
+// prove searches for a derivation of t(args).
+func (f *finder) prove(args []string) *Proof {
+	key := fmt.Sprint(args)
+	if f.failed[key] || f.onPath[key] {
+		return nil
+	}
+
+	// Exit rule first (shortest proofs preferred).
+	if exitSubst := f.solveRule(f.d.Exit, args, nil); exitSubst != nil {
+		return &Proof{Def: f.d, Exit: exitSubst}
+	}
+
+	f.onPath[key] = true
+	defer delete(f.onPath, key)
+
+	var found *Proof
+	f.forEachRuleSolution(f.d.Recursive, args, func(s ast.Subst) bool {
+		call := s.ApplyAtom(f.d.RecursiveAtom())
+		callArgs := make([]string, len(call.Args))
+		for i, t := range call.Args {
+			if t.IsVar() {
+				return true // not ground; keep searching other solutions
+			}
+			callArgs[i] = t.Name
+		}
+		sub := f.prove(callArgs)
+		if sub == nil {
+			return true
+		}
+		levels := append([]ast.Subst{s}, sub.Levels...)
+		found = &Proof{Def: f.d, Levels: levels, Exit: sub.Exit}
+		return false
+	})
+	if found == nil {
+		f.failed[key] = true
+	}
+	return found
+}
+
+// solveRule finds one ground solution of the rule with its head bound to
+// args; extra constraints may pre-bind variables. Returns the full ground
+// substitution or nil.
+func (f *finder) solveRule(r ast.Rule, args []string, extra ast.Subst) ast.Subst {
+	var result ast.Subst
+	f.solveAtoms(r, args, extra, func(s ast.Subst) bool {
+		result = s.Clone()
+		return false
+	})
+	return result
+}
+
+// forEachRuleSolution enumerates ground solutions of the recursive rule
+// with the head bound to args, including assignments of existential
+// call-column variables over the active domain.
+func (f *finder) forEachRuleSolution(r ast.Rule, args []string, emit func(ast.Subst) bool) {
+	f.solveAtoms(r, args, nil, func(s ast.Subst) bool {
+		// Ground any remaining call variables over the active domain.
+		call := s.ApplyAtom(f.d.RecursiveAtom())
+		var free []string
+		for _, t := range call.Args {
+			if t.IsVar() {
+				free = append(free, t.Name)
+			}
+		}
+		if len(free) == 0 {
+			return emit(s)
+		}
+		return f.enumerate(s, free, emit)
+	})
+}
+
+// enumerate assigns domain constants to the free variables, emitting each
+// combination.
+func (f *finder) enumerate(s ast.Subst, free []string, emit func(ast.Subst) bool) bool {
+	if len(free) == 0 {
+		return emit(s)
+	}
+	for _, c := range f.activeDomain() {
+		s2 := s.Bind(free[0], ast.C(c))
+		if !f.enumerate(s2, free[1:], emit) {
+			return false
+		}
+	}
+	return true
+}
+
+// activeDomain returns every constant in the database, cached and sorted.
+func (f *finder) activeDomain() []string {
+	if f.domain != nil {
+		return f.domain
+	}
+	set := make(map[string]bool)
+	for _, pred := range f.db.Preds() {
+		rel := f.db.Relation(pred)
+		for _, t := range rel.Tuples() {
+			for _, v := range t {
+				set[f.db.Syms.Name(v)] = true
+			}
+		}
+	}
+	for c := range set {
+		f.domain = append(f.domain, c)
+	}
+	sort.Strings(f.domain)
+	return f.domain
+}
+
+// solveAtoms backtracks over the rule's EDB atoms with the head bound.
+func (f *finder) solveAtoms(r ast.Rule, args []string, extra ast.Subst, emit func(ast.Subst) bool) {
+	s := make(ast.Subst)
+	for k, v := range extra {
+		s[k] = v
+	}
+	ok := true
+	for i, t := range r.Head.Args {
+		if t.IsConst() {
+			if t.Name != args[i] {
+				ok = false
+			}
+			continue
+		}
+		if bound, has := s[t.Name]; has {
+			if bound.Name != args[i] {
+				ok = false
+			}
+			continue
+		}
+		s[t.Name] = ast.C(args[i])
+	}
+	if !ok {
+		return
+	}
+	// EDB atoms only (skip the recursive atom if present).
+	var atoms []ast.Atom
+	recIdx := -1
+	if r.IsRecursiveFor() {
+		recIdx = r.RecursiveAtomIndex()
+	}
+	for i, a := range r.Body {
+		if i != recIdx {
+			atoms = append(atoms, a)
+		}
+	}
+	f.match(atoms, 0, s, emit)
+}
+
+// match extends s to satisfy atoms[i:] against the database.
+func (f *finder) match(atoms []ast.Atom, i int, s ast.Subst, emit func(ast.Subst) bool) bool {
+	if i == len(atoms) {
+		return emit(s)
+	}
+	a := atoms[i]
+	rel := f.db.Relation(a.Pred)
+	if rel == nil {
+		return true
+	}
+	var bindings []storage.Binding
+	for col, t := range a.Args {
+		name := t.Name
+		if t.IsVar() {
+			b, ok := s[t.Name]
+			if !ok {
+				continue
+			}
+			name = b.Name
+		}
+		if v, ok := f.db.Syms.Lookup(name); ok {
+			bindings = append(bindings, storage.Binding{Col: col, Val: v})
+		} else {
+			return true // unknown constant: no match possible
+		}
+	}
+	cont := true
+	rel.Lookup(bindings, func(t storage.Tuple) bool {
+		s2 := s.Clone()
+		ok := true
+		for col, arg := range a.Args {
+			val := f.db.Syms.Name(t[col])
+			if arg.IsConst() {
+				if arg.Name != val {
+					ok = false
+					break
+				}
+				continue
+			}
+			if b, has := s2[arg.Name]; has {
+				if b.Name != val {
+					ok = false
+					break
+				}
+				continue
+			}
+			s2[arg.Name] = ast.C(val)
+		}
+		if ok {
+			cont = f.match(atoms, i+1, s2, emit)
+		}
+		return cont
+	})
+	return cont
+}

@@ -1,0 +1,268 @@
+package proof
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/datagen"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+func def(t *testing.T, src, pred string) *ast.Definition {
+	t.Helper()
+	d, err := parser.ParseDefinition(src, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+const tcSrc = `
+	t(X, Y) :- a(X, Z), t(Z, Y).
+	t(X, Y) :- b(X, Y).
+`
+
+const twoSidedSrc = `
+	t(X, Y) :- a(X, W), t(W, Z), c(Z, Y).
+	t(X, Y) :- b(X, Y).
+`
+
+func TestFindOnChain(t *testing.T) {
+	d := def(t, tcSrc, "t")
+	w := datagen.ChainTC(4)
+	p := Find(d, w.DB, []string{"n0", "end"})
+	if p == nil {
+		t.Fatal("no proof found for t(n0, end)")
+	}
+	if err := p.Verify(w.DB); err != nil {
+		t.Fatal(err)
+	}
+	if p.Depth() != 4 {
+		t.Fatalf("depth = %d, want 4", p.Depth())
+	}
+	got := p.Tuple()
+	if got[0] != "n0" || got[1] != "end" {
+		t.Fatalf("tuple = %v", got)
+	}
+	// No proof for an unreachable pair.
+	if p := Find(d, w.DB, []string{"n3", "nonexistent"}); p != nil {
+		t.Fatalf("unexpected proof %v", p.GroundAtoms())
+	}
+}
+
+func TestFindDepthZero(t *testing.T) {
+	d := def(t, tcSrc, "t")
+	w := datagen.ChainTC(2)
+	p := Find(d, w.DB, []string{"n2", "end"})
+	if p == nil || p.Depth() != 0 {
+		t.Fatalf("expected a depth-0 proof, got %+v", p)
+	}
+	if err := p.Verify(w.DB); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindOnCycle(t *testing.T) {
+	// Termination on cyclic data: the on-path set prevents revisiting.
+	d := def(t, tcSrc, "t")
+	db := storage.NewDatabase()
+	db.AddFact("a", "x", "y")
+	db.AddFact("a", "y", "x")
+	db.AddFact("b", "y", "out")
+	p := Find(d, db, []string{"x", "out"})
+	if p == nil {
+		t.Fatal("no proof for t(x, out)")
+	}
+	if err := p.Verify(db); err != nil {
+		t.Fatal(err)
+	}
+	if p := Find(d, db, []string{"out", "x"}); p != nil {
+		t.Fatal("reverse pair must have no proof")
+	}
+}
+
+// TestExpE14SplicingLemma41 makes Lemma 4.1 executable: on the canonical
+// recursion, minimizing any proof leaves every constant at most once in
+// column 1 of a.
+func TestExpE14SplicingLemma41(t *testing.T) {
+	d := def(t, tcSrc, "t")
+	// A graph engineered to admit long, repetitive proofs: a cycle with a
+	// tail and an exit.
+	db := storage.NewDatabase()
+	db.AddFact("a", "s", "c0")
+	for i := 0; i < 4; i++ {
+		db.AddFact("a", "c"+strconv.Itoa(i), "c"+strconv.Itoa((i+1)%4))
+	}
+	db.AddFact("b", "c2", "out")
+
+	p := Find(d, db, []string{"s", "out"})
+	if p == nil {
+		t.Fatal("no proof found")
+	}
+	if err := p.Verify(db); err != nil {
+		t.Fatal(err)
+	}
+
+	// Manually build a LONG proof that loops the cycle twice, then check
+	// splicing cuts it down.
+	long := buildChainProof(d, []string{"s", "c0", "c1", "c2", "c3", "c0", "c1", "c2"}, "out")
+	if err := long.Verify(db); err != nil {
+		t.Fatalf("long proof invalid: %v", err)
+	}
+	min := long.Minimize()
+	if err := min.Verify(db); err != nil {
+		t.Fatalf("spliced proof invalid: %v", err)
+	}
+	if got, want := min.Tuple(), long.Tuple(); got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("splicing changed the tuple: %v vs %v", got, want)
+	}
+	if min.Depth() >= long.Depth() {
+		t.Fatalf("splicing did not shorten: %d >= %d", min.Depth(), long.Depth())
+	}
+	for c, n := range min.ColumnOccurrences("a", 0) {
+		if n > 1 {
+			t.Fatalf("Lemma 4.1 violated after splicing: %s appears %d times in column 1 of a", c, n)
+		}
+	}
+}
+
+// buildChainProof constructs a canonical-recursion proof following the
+// given node path, exiting to `end`.
+func buildChainProof(d *ast.Definition, path []string, end string) *Proof {
+	p := &Proof{Def: d}
+	for i := 0; i+1 < len(path); i++ {
+		p.Levels = append(p.Levels, ast.Subst{
+			"X": ast.C(path[i]),
+			"Z": ast.C(path[i+1]),
+			"Y": ast.C(end),
+		})
+	}
+	p.Exit = ast.Subst{"X": ast.C(path[len(path)-1]), "Y": ast.C(end)}
+	return p
+}
+
+// TestExpE15SplicingFailsTwoSided makes Lemma 4.2 executable: on the
+// adversarial family, the only proof of the deep tuple repeats v1 in
+// column 1 of a exactly 2k times, and splicing cannot shorten it because
+// no recursive-call context repeats.
+func TestExpE15SplicingFailsTwoSided(t *testing.T) {
+	d := def(t, twoSidedSrc, "t")
+	for _, k := range []int{1, 2, 3} {
+		db := datagen.Lemma42(k)
+		deep := "v" + strconv.Itoa(2*k)
+		p := Find(d, db, []string{"v1", deep})
+		if p == nil {
+			t.Fatalf("k=%d: no proof for t(v1, %s)", k, deep)
+		}
+		if err := p.Verify(db); err != nil {
+			t.Fatal(err)
+		}
+		min := p.Minimize()
+		if min.Depth() != p.Depth() {
+			t.Fatalf("k=%d: splicing shortened a two-sided proof (%d -> %d); contexts should not repeat",
+				k, p.Depth(), min.Depth())
+		}
+		occ := min.ColumnOccurrences("a", 0)
+		if occ["v1"] != 2*k {
+			t.Fatalf("k=%d: v1 appears %d times in column 1 of a, want %d", k, occ["v1"], 2*k)
+		}
+	}
+}
+
+// TestFindMatchesSemiNaive: on random graphs, Find succeeds exactly on the
+// tuples semi-naive derives.
+func TestFindMatchesSemiNaive(t *testing.T) {
+	d := def(t, tcSrc, "t")
+	w := datagen.RandomTC(10, 25, 3, 5)
+	res, err := eval.SemiNaive(d.Program(), w.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := res.IDB.Relation("t")
+	for _, tup := range rel.Tuples() {
+		args := []string{w.DB.Syms.Name(tup[0]), w.DB.Syms.Name(tup[1])}
+		p := Find(d, w.DB, args)
+		if p == nil {
+			t.Fatalf("no proof for derivable tuple t(%s, %s)", args[0], args[1])
+		}
+		if err := p.Verify(w.DB); err != nil {
+			t.Fatal(err)
+		}
+		mt := p.Minimize()
+		if err := mt.Verify(w.DB); err != nil {
+			t.Fatalf("minimized proof invalid: %v", err)
+		}
+	}
+	// And a handful of non-derivable tuples fail.
+	misses := 0
+	for i := 0; i < 10 && misses < 3; i++ {
+		args := []string{"n" + strconv.Itoa(i), "n" + strconv.Itoa(i)}
+		v0, ok0 := w.DB.Syms.Lookup(args[0])
+		if !ok0 {
+			continue
+		}
+		if rel.Contains(storage.Tuple{v0, v0}) {
+			continue
+		}
+		misses++
+		if p := Find(d, w.DB, args); p != nil {
+			t.Fatalf("found proof for non-derivable t(%s, %s)", args[0], args[1])
+		}
+	}
+}
+
+// TestFindExistentialCallColumns: Example 3.4 has a fresh variable in the
+// recursive call; Find enumerates the active domain for it.
+func TestFindExistentialCallColumns(t *testing.T) {
+	d := def(t, `
+		t(X, Y, Z) :- t(X, U, W), e(U, Y), d(Z).
+		t(X, Y, Z) :- t0(X, Y, Z).
+	`, "t")
+	db := storage.NewDatabase()
+	db.AddFact("e", "u1", "u0")
+	db.AddFact("d", "z0")
+	db.AddFact("t0", "x", "u1", "w0")
+	p := Find(d, db, []string{"x", "u0", "z0"})
+	if p == nil {
+		t.Fatal("no proof for t(x, u0, z0)")
+	}
+	if err := p.Verify(db); err != nil {
+		t.Fatal(err)
+	}
+	if p.Depth() != 1 {
+		t.Fatalf("depth = %d, want 1", p.Depth())
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	d := def(t, tcSrc, "t")
+	w := datagen.ChainTC(3)
+	p := Find(d, w.DB, []string{"n0", "end"})
+	if p == nil {
+		t.Fatal("no proof")
+	}
+	// Corrupt a level: break the chain agreement.
+	p.Levels[0]["Z"] = ast.C("end")
+	if err := p.Verify(w.DB); err == nil {
+		t.Fatal("Verify accepted a corrupted proof")
+	}
+}
+
+func TestCallContexts(t *testing.T) {
+	d := def(t, tcSrc, "t")
+	w := datagen.ChainTC(3)
+	p := Find(d, w.DB, []string{"n0", "end"})
+	if p == nil {
+		t.Fatal("no proof")
+	}
+	ctxs := p.CallContexts()
+	if len(ctxs) != 3 {
+		t.Fatalf("contexts = %v", ctxs)
+	}
+	if ctxs[0][0] != "n1" || ctxs[2][0] != "n3" {
+		t.Fatalf("contexts = %v", ctxs)
+	}
+}

@@ -1,0 +1,363 @@
+// Package rewrite implements the paper's program transformations: the
+// redundancy-removal optimization of [Nau89b] that Theorem 3.4's complete
+// procedure requires (verified here by a persistent-column invariant
+// check), the optimize-then-detect decision procedure itself, the
+// Appendix A reduction used to prove Theorem 3.2, and the Agrawal et al.
+// cross-product rewriting the paper critiques at the end of Section 4.
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/analysis"
+	"repro/internal/ast"
+)
+
+// RemoveRedundant removes recursively redundant atoms from the recursive
+// rule for as long as each removal provably preserves the defined relation.
+// Candidates come from the Theorem 3.3 graph condition; each removal is
+// verified with a persistent-column invariant:
+//
+//	an atom q(A1, ..., Am) may be dropped from the recursive rule when
+//	every Ai is a persistent head variable (the same variable in that
+//	position of the head and the recursive call) and the exit rule's body
+//	contains q applied to its head variables at the same positions.
+//
+// Then every derivation bottoms out in the exit rule, which establishes
+// q over the persistent columns, and persistence carries the fact
+// unchanged through each recursive level — so the dropped atom was implied.
+// This is sound in general and complete for the paper's worked example
+// (buys/likes/cheap); removals the check cannot verify are left in place.
+//
+// It returns the optimized definition and the removed atoms, in removal
+// order. The input is not modified.
+func RemoveRedundant(d *ast.Definition) (*ast.Definition, []ast.Atom, error) {
+	cur := d.Clone()
+	var removed []ast.Atom
+	for {
+		if err := cur.Validate(); err != nil {
+			return nil, nil, err
+		}
+		flags, err := analysis.RedundantAtoms(cur)
+		if err != nil {
+			return nil, nil, err
+		}
+		recIdx := cur.Recursive.RecursiveAtomIndex()
+		// Map NonrecursiveBody order back to body indices.
+		var bodyIdx []int
+		for bi := range cur.Recursive.Body {
+			if bi != recIdx {
+				bodyIdx = append(bodyIdx, bi)
+			}
+		}
+		found := -1
+		for i, red := range flags {
+			if red && removable(cur, bodyIdx[i]) {
+				found = bodyIdx[i]
+				break
+			}
+		}
+		if found < 0 {
+			return cur, removed, nil
+		}
+		removed = append(removed, cur.Recursive.Body[found].Clone())
+		body := make([]ast.Atom, 0, len(cur.Recursive.Body)-1)
+		for bi, a := range cur.Recursive.Body {
+			if bi != found {
+				body = append(body, a)
+			}
+		}
+		cur.Recursive.Body = body
+	}
+}
+
+// removable applies the persistent-column invariant check to the body atom
+// at index bi of the recursive rule.
+func removable(d *ast.Definition, bi int) bool {
+	atom := d.Recursive.Body[bi]
+	head := d.Recursive.Head
+	persistent := d.PersistentColumns()
+	// Position of each head variable.
+	headPos := make(map[string]int)
+	for i, t := range head.Args {
+		if t.IsVar() {
+			headPos[t.Name] = i
+		}
+	}
+	positions := make([]int, len(atom.Args))
+	for i, t := range atom.Args {
+		if !t.IsVar() {
+			return false
+		}
+		pos, ok := headPos[t.Name]
+		if !ok || !persistent[pos] {
+			return false
+		}
+		positions[i] = pos
+	}
+	// The exit rule must establish the invariant: its body contains the
+	// atom applied to the exit head variables at the same positions.
+	exitHead := d.Exit.Head
+	want := ast.Atom{Pred: atom.Pred, Args: make([]ast.Term, len(positions))}
+	for i, pos := range positions {
+		want.Args[i] = exitHead.Args[pos]
+	}
+	for _, a := range d.Exit.Body {
+		if a.Equal(want) {
+			return true
+		}
+	}
+	return false
+}
+
+// Verdict is the outcome of the Theorem 3.4 decision procedure.
+type Verdict int
+
+const (
+	// VerdictUnknown: the procedure's side conditions fail; no conclusion.
+	VerdictUnknown Verdict = iota
+	// VerdictOneSided: the definition already satisfies Theorem 3.1.
+	VerdictOneSided
+	// VerdictConverted: redundancy removal produced an equivalent
+	// definition satisfying Theorem 3.1 (the buys case).
+	VerdictConverted
+	// VerdictBounded: the (optimized) definition has no unbounded
+	// connected sets; it is uniformly bounded and recursion is unnecessary.
+	VerdictBounded
+	// VerdictNotOneSided: Theorem 3.4 applies — no one-sided definition is
+	// uniformly equivalent (the same-generation and Example 3.5 cases).
+	VerdictNotOneSided
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictOneSided:
+		return "one-sided"
+	case VerdictConverted:
+		return "one-sided after optimization"
+	case VerdictBounded:
+		return "uniformly bounded"
+	case VerdictNotOneSided:
+		return "no uniformly equivalent one-sided definition"
+	}
+	return "unknown"
+}
+
+// Decision is the full result of DecideOneSided.
+type Decision struct {
+	Verdict Verdict
+	// Optimized is the definition after redundancy removal (equal to the
+	// input when nothing was removed).
+	Optimized *ast.Definition
+	// Removed lists the atoms redundancy removal dropped.
+	Removed []ast.Atom
+	// Classification is the analysis of the optimized definition.
+	Classification *analysis.Classification
+}
+
+// DecideOneSided runs the paper's complete procedure (Section 3, after
+// Theorem 3.4): optimize with [Nau89b]-style redundancy removal, then test
+// Theorem 3.1; when the optimized definition is uniformly unbounded and
+// free of recursively redundant atoms, failing Theorem 3.1 is conclusive.
+func DecideOneSided(d *ast.Definition) (*Decision, error) {
+	opt, removed, err := RemoveRedundant(d)
+	if err != nil {
+		return nil, err
+	}
+	cls, err := analysis.Classify(opt)
+	if err != nil {
+		return nil, err
+	}
+	dec := &Decision{Optimized: opt, Removed: removed, Classification: cls}
+	flags, err := analysis.RedundantAtoms(opt)
+	if err != nil {
+		return nil, err
+	}
+	anyRedundant := false
+	for _, f := range flags {
+		if f {
+			anyRedundant = true
+		}
+	}
+	switch {
+	case cls.OneSided && len(removed) == 0:
+		dec.Verdict = VerdictOneSided
+	case cls.OneSided:
+		dec.Verdict = VerdictConverted
+	case !cls.HasUnboundedConnectedSets:
+		dec.Verdict = VerdictBounded
+	case !anyRedundant:
+		// Uniformly unbounded (unbounded connected sets and nothing
+		// redundant) and fails Theorem 3.1: Theorem 3.4 concludes.
+		dec.Verdict = VerdictNotOneSided
+	default:
+		dec.Verdict = VerdictUnknown
+	}
+	return dec, nil
+}
+
+// AppendixA applies the Theorem 3.2 reduction to a program P defining a
+// binary predicate pred with linear rules: it builds the program Q defining
+// the ternary predicate q such that Q is equivalent to a one-sided
+// recursion iff P is bounded. The returned program uses fresh predicates
+// derived from bPred and ePred for the new b and e relations and qPred for
+// q.
+func AppendixA(p *ast.Program, pred, qPred, bPred, ePred string) (*ast.Program, error) {
+	arities, err := p.Arities()
+	if err != nil {
+		return nil, err
+	}
+	if arities[pred] != 2 {
+		return nil, fmt.Errorf("rewrite: Appendix A requires a binary predicate, %s has arity %d", pred, arities[pred])
+	}
+	for _, used := range []string{qPred, bPred, ePred} {
+		if _, ok := arities[used]; ok {
+			return nil, fmt.Errorf("rewrite: predicate %s already appears in P", used)
+		}
+	}
+	out := ast.NewProgram()
+	for _, r := range p.Rules {
+		if r.Head.Pred != pred {
+			out.Rules = append(out.Rules, r.Clone())
+			continue
+		}
+		occ := r.BodyOccurrences(pred)
+		if occ > 1 {
+			return nil, fmt.Errorf("rewrite: rule %v is not linear", r)
+		}
+		x3 := freshVar(r, "X3")
+		nr := r.Clone()
+		nr.Head = ast.Atom{Pred: qPred, Args: append(append([]ast.Term{}, r.Head.Args...), ast.V(x3))}
+		if occ == 1 {
+			// Recursive rule: thread X3 through the recursive call.
+			for i, a := range nr.Body {
+				if a.Pred == pred {
+					nr.Body[i] = ast.Atom{Pred: qPred, Args: append(append([]ast.Term{}, a.Args...), ast.V(x3))}
+				}
+			}
+		} else {
+			// Nonrecursive rule: guard with b(X3).
+			nr.Body = append(nr.Body, ast.NewAtom(bPred, ast.V(x3)))
+		}
+		out.Rules = append(out.Rules, nr)
+	}
+	// The new recursive rule: q(X1, X2, X3) :- q(X1, X2, W), e(W, X3).
+	w := "W"
+	out.Rules = append(out.Rules, ast.Rule{
+		Head: ast.NewAtom(qPred, ast.V("X1"), ast.V("X2"), ast.V("X3")),
+		Body: []ast.Atom{
+			ast.NewAtom(qPred, ast.V("X1"), ast.V("X2"), ast.V(w)),
+			ast.NewAtom(ePred, ast.V(w), ast.V("X3")),
+		},
+	})
+	return out, nil
+}
+
+// freshVar returns a variable name not used in the rule.
+func freshVar(r ast.Rule, base string) string {
+	used := r.Vars()
+	name := base
+	for i := 0; used[name]; i++ {
+		name = base + "_" + strconv.Itoa(i)
+	}
+	return name
+}
+
+// CrossProduct is the result of the Agrawal et al. rewriting (Section 4,
+// end): the recursion re-expressed over a combined predicate that is the
+// cross product of the recursive rule's nonrecursive atoms.
+type CrossProduct struct {
+	// Rewritten is the "superficially one-sided" definition over the
+	// combined predicate.
+	Rewritten *ast.Definition
+	// CombinedRule defines the combined predicate, e.g.
+	// ac(X, Y, W, Z) :- a(X, W), c(Z, Y).
+	CombinedRule ast.Rule
+}
+
+// CrossProductRewrite rewrites a linear recursion as a transitive closure
+// over the cross product of its nonrecursive atoms:
+//
+//	t(X, Y) :- a(X, W), t(W, Z), c(Z, Y).   becomes
+//	ac(X, Y, W, Z) :- a(X, W), c(Z, Y).
+//	t(X, Y) :- ac(X, Y, W, Z), t(W, Z).
+//
+// The rewritten recursion passes the Theorem 3.1 test when ac is treated
+// as an EDB relation, but evaluating it materializes the cross product —
+// the Property 3 violation the paper demonstrates.
+func CrossProductRewrite(d *ast.Definition, combinedPred string) (*CrossProduct, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	head := d.Recursive.Head
+	rec := d.RecursiveAtom()
+	nonrec := d.NonrecursiveBody()
+	if len(nonrec) == 0 {
+		return nil, fmt.Errorf("rewrite: recursive rule has no nonrecursive atoms")
+	}
+	// Combined predicate arguments: head variables then recursive-call
+	// variables not already present.
+	var args []ast.Term
+	seen := make(map[string]bool)
+	add := func(t ast.Term) {
+		if t.IsVar() && !seen[t.Name] {
+			seen[t.Name] = true
+			args = append(args, t)
+		}
+	}
+	for _, t := range head.Args {
+		add(t)
+	}
+	for _, t := range rec.Args {
+		add(t)
+	}
+	combined := ast.Atom{Pred: combinedPred, Args: args}
+	combinedRule := ast.Rule{Head: combined, Body: nonrec}
+	// Safety: every combined-head variable must occur in some nonrecursive
+	// atom; variables that do not (pure pass-through) are legal in the
+	// paper's examples because they appear in the head or call only — the
+	// combined rule would be unsafe. Reject those.
+	bodyVars := make(map[string]bool)
+	for _, a := range nonrec {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				bodyVars[t.Name] = true
+			}
+		}
+	}
+	for _, t := range args {
+		if !bodyVars[t.Name] {
+			return nil, fmt.Errorf("rewrite: variable %s appears in no nonrecursive atom; cross-product rewriting does not apply", t.Name)
+		}
+	}
+	rewritten := &ast.Definition{
+		Recursive: ast.Rule{
+			Head: head.Clone(),
+			Body: []ast.Atom{combined.Clone(), rec.Clone()},
+		},
+		Exit: d.Exit.Clone(),
+	}
+	if err := rewritten.Validate(); err != nil {
+		return nil, err
+	}
+	return &CrossProduct{Rewritten: rewritten, CombinedRule: combinedRule}, nil
+}
+
+// SortedPreds is a helper returning the predicates of a program, sorted.
+func SortedPreds(p *ast.Program) []string {
+	set := make(map[string]bool)
+	for _, r := range p.Rules {
+		set[r.Head.Pred] = true
+		for _, a := range r.Body {
+			set[a.Pred] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,477 @@
+package rewrite
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/ast"
+	"repro/internal/cq"
+	"repro/internal/eval"
+	"repro/internal/expand"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+func def(t *testing.T, src, pred string) *ast.Definition {
+	t.Helper()
+	d, err := parser.ParseDefinition(src, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+const buysSrc = `
+	buys(X, Y) :- knows(X, W), buys(W, Y), cheap(Y).
+	buys(X, Y) :- likes(X, Y), cheap(Y).
+`
+
+// TestExpE08RemoveRedundantBuys reproduces the paper's Section 3
+// optimization: cheap(Y) is removed from the recursive rule and the result
+// is one-sided.
+func TestExpE08RemoveRedundantBuys(t *testing.T) {
+	d := def(t, buysSrc, "buys")
+	opt, removed, err := RemoveRedundant(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0].String() != "cheap(Y)" {
+		t.Fatalf("removed = %v", removed)
+	}
+	want := "buys(X, Y) :- knows(X, W), buys(W, Y)."
+	if got := opt.Recursive.String(); got != want {
+		t.Fatalf("optimized rule = %q", got)
+	}
+	if got := opt.Exit.String(); got != d.Exit.String() {
+		t.Fatalf("exit rule changed: %q", got)
+	}
+	ok, err := analysis.IsOneSided(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("optimized buys should be one-sided")
+	}
+}
+
+// TestRemovalPreservesRelation validates the removal semantically: the
+// optimized and original definitions compute the same relation on random
+// databases (standard equivalence — what [Nau89b] guarantees).
+func TestRemovalPreservesRelation(t *testing.T) {
+	d := def(t, buysSrc, "buys")
+	opt, _, err := RemoveRedundant(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		db := randomEDB(d.Program(), 7, 20, seed)
+		a, err := eval.SemiNaive(d.Program(), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := eval.SemiNaive(opt.Program(), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, rb := a.IDB.Relation("buys"), b.IDB.Relation("buys")
+		if !ra.Equal(rb) {
+			t.Fatalf("seed %d: removal changed the relation:\n%s\nvs\n%s",
+				seed, a.IDB.Dump(), b.IDB.Dump())
+		}
+	}
+}
+
+// TestRemovalPreservesExpansion cross-validates string-by-string: each
+// optimized string is equivalent to the corresponding original string.
+func TestRemovalPreservesExpansion(t *testing.T) {
+	d := def(t, buysSrc, "buys")
+	opt, _, err := RemoveRedundant(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origStrings := expand.Expand(d, 6)
+	optStrings := expand.Expand(opt, 6)
+	for i := range origStrings {
+		if !cq.Equivalent(origStrings[i].Rule(), optStrings[i].Rule()) {
+			t.Fatalf("string %d not equivalent:\n%v\nvs\n%v", i, origStrings[i], optStrings[i])
+		}
+	}
+}
+
+// TestRemovalRejectsLoadBearingAtoms: atoms that Theorem 3.3 flags but the
+// invariant check cannot verify stay in place.
+func TestRemovalRejectsLoadBearingAtoms(t *testing.T) {
+	cases := []struct{ name, src, pred string }{
+		// d(Z) is recursively redundant (acyclic component) but removal
+		// would change the relation: Z would become unconstrained.
+		{"example 3.4", `
+			t(X, Y, Z) :- t(X, U, W), e(U, Y), d(Z).
+			t(X, Y, Z) :- t0(X, Y, Z).
+		`, "t"},
+		// e(X, X): redundant by the graph condition, but the exit rule
+		// does not establish it.
+		{"self-loop filter", `
+			t(X) :- e(X, X), t(X).
+			t(X) :- b(X).
+		`, "t"},
+		// The permission atom touches a persistent column but also the
+		// nonpersistent X; its component has a nondistinguished-variable
+		// cycle, so it is not even a candidate.
+		{"permissions", `
+			t(X, Y) :- a(X, Z), t(Z, Y), p(X, Y).
+			t(X, Y) :- b(X, Y).
+		`, "t"},
+	}
+	for _, c := range cases {
+		d := def(t, c.src, c.pred)
+		opt, removed, err := RemoveRedundant(d)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(removed) != 0 {
+			t.Fatalf("%s: removed %v", c.name, removed)
+		}
+		if opt.Recursive.String() != d.Recursive.String() {
+			t.Fatalf("%s: rule changed to %v", c.name, opt.Recursive)
+		}
+	}
+}
+
+// TestRemovalVerifiedAgainstEvaluation fuzzes the removal decision: for a
+// corpus of rules, whenever RemoveRedundant drops atoms the optimized
+// definition must agree with the original on random databases.
+func TestRemovalVerifiedAgainstEvaluation(t *testing.T) {
+	srcs := []struct{ src, pred string }{
+		{buysSrc, "buys"},
+		{`t(X, Y) :- a(X, Z), t(Z, Y), q(Y), r(Y).
+		  t(X, Y) :- b(X, Y), q(Y), r(Y).`, "t"}, // two removable atoms
+		{`t(X, Y) :- a(X, Z), t(Z, Y), q(Y).
+		  t(X, Y) :- b(X, Y).`, "t"}, // q not established by exit: kept
+	}
+	for _, s := range srcs {
+		d := def(t, s.src, s.pred)
+		opt, _, err := RemoveRedundant(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 4; seed++ {
+			db := randomEDB(d.Program(), 6, 15, seed)
+			a, err := eval.SemiNaive(d.Program(), db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := eval.SemiNaive(opt.Program(), db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.IDB.Relation(s.pred).Equal(b.IDB.Relation(s.pred)) {
+				t.Fatalf("%s seed %d: optimization changed the relation", s.src, seed)
+			}
+		}
+	}
+}
+
+// TestExpE09DecideOneSided runs the complete procedure on the paper's
+// corpus (Theorem 3.4 and the discussion around it).
+func TestExpE09DecideOneSided(t *testing.T) {
+	cases := []struct {
+		name, src, pred string
+		want            Verdict
+	}{
+		{"transitive closure", `
+			t(X, Y) :- a(X, Z), t(Z, Y).
+			t(X, Y) :- b(X, Y).
+		`, "t", VerdictOneSided},
+		{"buys", buysSrc, "buys", VerdictConverted},
+		{"same generation", `
+			sg(X, Y) :- p(X, W), p(Y, Z), sg(W, Z).
+			sg(X, Y) :- sg0(X, Y).
+		`, "sg", VerdictNotOneSided},
+		{"example 3.5", `
+			t(X, Y) :- e(X, W), t(Y, W).
+			t(X, Y) :- t0(X, Y).
+		`, "t", VerdictNotOneSided},
+		{"bounded", `
+			t(X, Y) :- e(W1, W2), t(X, Y).
+			t(X, Y) :- b(X, Y).
+		`, "t", VerdictBounded},
+		{"example 3.4", `
+			t(X, Y, Z) :- t(X, U, W), e(U, Y), d(Z).
+			t(X, Y, Z) :- t0(X, Y, Z).
+		`, "t", VerdictOneSided},
+		{"canonical two-sided", `
+			t(X, Y) :- a(X, W), t(W, Z), c(Z, Y).
+			t(X, Y) :- b(X, Y).
+		`, "t", VerdictNotOneSided},
+	}
+	for _, c := range cases {
+		d := def(t, c.src, c.pred)
+		dec, err := DecideOneSided(d)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if dec.Verdict != c.want {
+			t.Errorf("%s: verdict = %v, want %v", c.name, dec.Verdict, c.want)
+		}
+	}
+}
+
+// TestExpE18AppendixAConstruction builds Q from Example A.1's P and checks
+// its rules.
+func TestExpE18AppendixAConstruction(t *testing.T) {
+	p := parser.MustParseProgram(`
+		p(X1, X2) :- c(X1), p(X1, X2).
+		p(X1, X2) :- c(X1), p0(X1, X2).
+	`)
+	q, err := AppendixA(p, "p", "q", "bq", "eq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"q(X1, X2, X3) :- c(X1), q(X1, X2, X3).",
+		"q(X1, X2, X3) :- c(X1), p0(X1, X2), bq(X3).",
+		"q(X1, X2, X3) :- q(X1, X2, W), eq(W, X3).",
+	}
+	if len(q.Rules) != len(want) {
+		t.Fatalf("got %d rules:\n%s", len(q.Rules), q)
+	}
+	for i, w := range want {
+		if got := q.Rules[i].String(); got != w {
+			t.Errorf("rule %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+// TestExpE18LemmaA1 validates Lemma A.1 empirically: with bq nonempty, the
+// projection of q onto its first two columns equals p, on random EDBs.
+func TestExpE18LemmaA1(t *testing.T) {
+	p := parser.MustParseProgram(`
+		p(X1, X2) :- c(X1), p(X1, X2).
+		p(X1, X2) :- c(X1), p0(X1, X2).
+	`)
+	q, err := AppendixA(p, "p", "q", "bq", "eq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		db := randomEDB(p, 6, 12, seed)
+		db.AddFact("bq", "bconst")
+		db.AddFact("eq", "bconst", "e1")
+		db.AddFact("eq", "e1", "e2")
+
+		pres, err := eval.SemiNaive(p, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qres, err := eval.SemiNaive(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prel := pres.IDB.Relation("p")
+		qrel := qres.IDB.Relation("q")
+		proj := storage.NewRelation(2, nil)
+		for _, tup := range qrel.Tuples() {
+			proj.Insert(storage.Tuple{tup[0], tup[1]})
+		}
+		if !proj.Equal(prel) {
+			t.Fatalf("seed %d: pi_12(q) != p:\n%s\nvs\n%s", seed, qres.IDB.Dump(), pres.IDB.Dump())
+		}
+	}
+}
+
+// TestExpE18LemmaA2 checks the string shapes of Lemma A.2 via the
+// generalized expansion: every string has either no eq instances and a
+// single bq, or a bq-terminated chain of eq instances ending at X3.
+func TestExpE18LemmaA2(t *testing.T) {
+	p := parser.MustParseProgram(`
+		p(X1, X2) :- c(X1), p(X1, X2).
+		p(X1, X2) :- c(X1), p0(X1, X2).
+	`)
+	q, err := AppendixA(p, "p", "q", "bq", "eq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal := ast.NewAtom("q", ast.V("QX1"), ast.V("QX2"), ast.V("QX3"))
+	strings := expand.ProgramExpansion(q, goal, 6)
+	if len(strings) < 6 {
+		t.Fatalf("expected several strings, got %d", len(strings))
+	}
+	for _, s := range strings {
+		var bqs, eqs []ast.Atom
+		for _, a := range s.Body {
+			switch a.Pred {
+			case "bq":
+				bqs = append(bqs, a)
+			case "eq":
+				eqs = append(eqs, a)
+			}
+		}
+		if len(bqs) != 1 {
+			t.Fatalf("string %v has %d bq instances", s, len(bqs))
+		}
+		if len(eqs) == 0 {
+			continue
+		}
+		// Chain check: bq(Wk), eq(Wk, Wk-1), ..., eq(W1, X3): walk from bq.
+		next := make(map[string]string) // eq maps first arg -> second arg
+		for _, e := range eqs {
+			next[e.Args[0].Name] = e.Args[1].Name
+		}
+		cur := bqs[0].Args[0].Name
+		steps := 0
+		for {
+			n, ok := next[cur]
+			if !ok {
+				break
+			}
+			cur = n
+			steps++
+			if steps > len(eqs) {
+				t.Fatalf("string %v: eq chain has a cycle", s)
+			}
+		}
+		if steps != len(eqs) {
+			t.Fatalf("string %v: eq instances do not form a single chain from bq", s)
+		}
+		if cur != s.Head.Args[2].Name {
+			t.Fatalf("string %v: chain ends at %s, not the third head variable", s, cur)
+		}
+	}
+}
+
+// TestExpE18ExampleA3: the bounded P has a nonrecursive equivalent P', and
+// Q' built from P' is one-sided — the positive direction of Theorem 3.2.
+func TestExpE18ExampleA3(t *testing.T) {
+	pPrime := parser.MustParseProgram(`
+		p(X1, X2) :- c(X1), p0(X1, X2).
+	`)
+	qPrime, err := AppendixA(pPrime, "p", "q", "bq", "eq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ast.ExtractDefinition(qPrime, "q")
+	if err != nil {
+		t.Fatalf("Q' should be a single recursion: %v\n%s", err, qPrime)
+	}
+	ok, err := analysis.IsOneSided(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Q' must be one-sided (Example A.3)")
+	}
+}
+
+// TestExpE16CrossProductRewrite reproduces the Section 4 rewriting: the
+// canonical two-sided recursion becomes superficially one-sided over ac.
+func TestExpE16CrossProductRewrite(t *testing.T) {
+	d := def(t, `
+		t(X, Y) :- a(X, W), t(W, Z), c(Z, Y).
+		t(X, Y) :- b(X, Y).
+	`, "t")
+	cp, err := CrossProductRewrite(d, "ac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.CombinedRule.String(); got != "ac(X, Y, W, Z) :- a(X, W), c(Z, Y)." {
+		t.Fatalf("combined rule = %q", got)
+	}
+	if got := cp.Rewritten.Recursive.String(); got != "t(X, Y) :- ac(X, Y, W, Z), t(W, Z)." {
+		t.Fatalf("rewritten rule = %q", got)
+	}
+	// Superficially one-sided: Theorem 3.1 passes on the rewritten form.
+	ok, err := analysis.IsOneSided(cp.Rewritten)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("rewritten recursion should pass the Theorem 3.1 test")
+	}
+	// And it computes the same relation once ac is materialized.
+	for seed := int64(0); seed < 4; seed++ {
+		db := randomEDB(d.Program(), 6, 15, seed)
+		want, err := eval.SemiNaive(d.Program(), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := ast.NewProgram(append([]ast.Rule{cp.CombinedRule},
+			cp.Rewritten.Program().Rules...)...)
+		got, err := eval.SemiNaive(full, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.IDB.Relation("t").Equal(got.IDB.Relation("t")) {
+			t.Fatalf("seed %d: cross-product rewriting changed the relation", seed)
+		}
+	}
+}
+
+func TestCrossProductRejectsPassThrough(t *testing.T) {
+	// Y appears only in head and call: the combined rule would be unsafe.
+	d := def(t, `
+		t(X, Y) :- a(X, W), t(W, Y).
+		t(X, Y) :- b(X, Y).
+	`, "t")
+	if _, err := CrossProductRewrite(d, "ac"); err == nil {
+		t.Fatal("expected rejection: Y appears in no nonrecursive atom")
+	}
+}
+
+func TestAppendixAErrors(t *testing.T) {
+	p := parser.MustParseProgram(`p(X) :- c(X).`)
+	if _, err := AppendixA(p, "p", "q", "b", "e"); err == nil {
+		t.Fatal("expected arity error")
+	}
+	p2 := parser.MustParseProgram(`p(X, Y) :- c(X, Y).`)
+	if _, err := AppendixA(p2, "p", "c", "b", "e"); err == nil {
+		t.Fatal("expected name-clash error")
+	}
+}
+
+// randomEDB fills every EDB predicate of p with random tuples.
+func randomEDB(p *ast.Program, domain, facts int, seed int64) *storage.Database {
+	db := storage.NewDatabase()
+	arities, _ := p.Arities()
+	idb := make(map[string]bool)
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	rng := newRand(seed)
+	for pred, ar := range arities {
+		if idb[pred] {
+			continue
+		}
+		for i := 0; i < facts; i++ {
+			args := make([]string, ar)
+			for j := range args {
+				args[j] = "d" + itoa(rng.intn(domain))
+			}
+			db.AddFact(pred, args...)
+		}
+	}
+	return db
+}
+
+// Minimal deterministic PRNG to keep the test hermetic.
+type xrand struct{ state uint64 }
+
+func newRand(seed int64) *xrand { return &xrand{state: uint64(seed)*2685821657736338717 + 1} }
+
+func (r *xrand) intn(n int) int {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return int(r.state % uint64(n))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,334 @@
+// Package storage provides the relational substrate for the evaluation
+// engines: interned symbols, set-semantics relations over fixed-arity
+// tuples, per-column hash indexes, and instrumentation counters that
+// measure the paper's Property 3 ("never do an unrestricted lookup on a
+// nonrecursive relation").
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is an interned constant symbol.
+type Value int32
+
+// Tuple is a fixed-arity row of interned values.
+type Tuple []Value
+
+// Key encodes a tuple as a map key.
+func (t Tuple) Key() string {
+	b := make([]byte, 4*len(t))
+	for i, v := range t {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(v))
+	}
+	return string(b)
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// SymbolTable interns constant names as dense Values.
+type SymbolTable struct {
+	names []string
+	ids   map[string]Value
+}
+
+// NewSymbolTable creates an empty symbol table.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{ids: make(map[string]Value)}
+}
+
+// Intern returns the Value for name, assigning a fresh one on first use.
+func (st *SymbolTable) Intern(name string) Value {
+	if v, ok := st.ids[name]; ok {
+		return v
+	}
+	v := Value(len(st.names))
+	st.names = append(st.names, name)
+	st.ids[name] = v
+	return v
+}
+
+// Lookup returns the Value for name without interning.
+func (st *SymbolTable) Lookup(name string) (Value, bool) {
+	v, ok := st.ids[name]
+	return v, ok
+}
+
+// Name returns the constant name for a Value.
+func (st *SymbolTable) Name(v Value) string {
+	if int(v) < 0 || int(v) >= len(st.names) {
+		return fmt.Sprintf("#%d", v)
+	}
+	return st.names[v]
+}
+
+// Len returns the number of interned symbols.
+func (st *SymbolTable) Len() int { return len(st.names) }
+
+// Counters instruments relation access. TuplesExamined counts tuples
+// touched by lookups and scans; IndexLookups counts index probes;
+// FullScans counts scans with no bound column (the unrestricted lookups
+// Property 3 forbids); Inserts counts accepted tuple insertions (a proxy
+// for state size).
+type Counters struct {
+	TuplesExamined int64
+	IndexLookups   int64
+	FullScans      int64
+	Inserts        int64
+}
+
+// Reset zeroes the counters.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.TuplesExamined += other.TuplesExamined
+	c.IndexLookups += other.IndexLookups
+	c.FullScans += other.FullScans
+	c.Inserts += other.Inserts
+}
+
+// Relation is a set of tuples of fixed arity with lazily built per-column
+// hash indexes. The zero value is not usable; construct with NewRelation.
+type Relation struct {
+	arity   int
+	tuples  []Tuple
+	present map[string]bool
+	// cols[i] maps a value to the ordinals of tuples holding it in column i
+	// (nil until built).
+	cols  []map[Value][]int
+	stats *Counters
+}
+
+// NewRelation creates an empty relation of the given arity, reporting
+// instrumentation to stats (which may be nil).
+func NewRelation(arity int, stats *Counters) *Relation {
+	return &Relation{
+		arity:   arity,
+		present: make(map[string]bool),
+		cols:    make([]map[Value][]int, arity),
+		stats:   stats,
+	}
+}
+
+// Arity returns the relation's arity.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Insert adds a tuple (copied), returning true when it was not already
+// present.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("storage: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
+	}
+	k := t.Key()
+	if r.present[k] {
+		return false
+	}
+	r.present[k] = true
+	ord := len(r.tuples)
+	ct := t.Clone()
+	r.tuples = append(r.tuples, ct)
+	for i, idx := range r.cols {
+		if idx != nil {
+			idx[ct[i]] = append(idx[ct[i]], ord)
+		}
+	}
+	if r.stats != nil {
+		r.stats.Inserts++
+	}
+	return true
+}
+
+// Contains reports membership.
+func (r *Relation) Contains(t Tuple) bool { return r.present[t.Key()] }
+
+// Tuples returns the backing tuple slice. Callers must not modify it. This
+// accessor is not instrumented; use Scan for measured access.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Scan iterates every tuple, recording a full scan. Tuples are counted as
+// examined only up to the point the caller stops.
+func (r *Relation) Scan(yield func(Tuple) bool) {
+	if r.stats != nil {
+		r.stats.FullScans++
+	}
+	for _, t := range r.tuples {
+		if r.stats != nil {
+			r.stats.TuplesExamined++
+		}
+		if !yield(t) {
+			return
+		}
+	}
+}
+
+// ensureIndex builds the hash index for a column on first use.
+func (r *Relation) ensureIndex(col int) map[Value][]int {
+	if r.cols[col] == nil {
+		idx := make(map[Value][]int)
+		for ord, t := range r.tuples {
+			idx[t[col]] = append(idx[t[col]], ord)
+		}
+		r.cols[col] = idx
+	}
+	return r.cols[col]
+}
+
+// Binding is a column/value restriction for Lookup.
+type Binding struct {
+	Col int
+	Val Value
+}
+
+// Lookup iterates the tuples matching all bindings. With at least one
+// binding it probes the hash index of the first binding's column and
+// filters the rest (instrumented as an index lookup); with none it
+// degrades to a full scan.
+func (r *Relation) Lookup(bindings []Binding, yield func(Tuple) bool) {
+	if len(bindings) == 0 {
+		r.Scan(yield)
+		return
+	}
+	idx := r.ensureIndex(bindings[0].Col)
+	ords := idx[bindings[0].Val]
+	if r.stats != nil {
+		r.stats.IndexLookups++
+	}
+outer:
+	for _, ord := range ords {
+		t := r.tuples[ord]
+		if r.stats != nil {
+			r.stats.TuplesExamined++
+		}
+		for _, b := range bindings[1:] {
+			if t[b.Col] != b.Val {
+				continue outer
+			}
+		}
+		if !yield(t) {
+			return
+		}
+	}
+}
+
+// Equal reports whether two relations hold the same tuple sets.
+func (r *Relation) Equal(o *Relation) bool {
+	if r.arity != o.arity || len(r.tuples) != len(o.tuples) {
+		return false
+	}
+	for k := range r.present {
+		if !o.present[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedTuples returns the tuples in lexicographic order (fresh slice),
+// for deterministic output.
+func (r *Relation) SortedTuples() []Tuple {
+	out := make([]Tuple, len(r.tuples))
+	copy(out, r.tuples)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Database is a named collection of relations sharing a symbol table and
+// instrumentation counters.
+type Database struct {
+	Syms  *SymbolTable
+	Stats Counters
+	rels  map[string]*Relation
+}
+
+// NewDatabase creates an empty database with a fresh symbol table.
+func NewDatabase() *Database {
+	return &Database{Syms: NewSymbolTable(), rels: make(map[string]*Relation)}
+}
+
+// NewDatabaseWith creates an empty database sharing an existing symbol
+// table (used for derived/IDB databases).
+func NewDatabaseWith(syms *SymbolTable) *Database {
+	return &Database{Syms: syms, rels: make(map[string]*Relation)}
+}
+
+// Relation returns the named relation, or nil.
+func (db *Database) Relation(pred string) *Relation { return db.rels[pred] }
+
+// Ensure returns the named relation, creating it with the given arity when
+// missing.
+func (db *Database) Ensure(pred string, arity int) *Relation {
+	if r, ok := db.rels[pred]; ok {
+		if r.arity != arity {
+			panic(fmt.Sprintf("storage: relation %s has arity %d, requested %d", pred, r.arity, arity))
+		}
+		return r
+	}
+	r := NewRelation(arity, &db.Stats)
+	db.rels[pred] = r
+	return r
+}
+
+// Preds returns the sorted relation names.
+func (db *Database) Preds() []string {
+	out := make([]string, 0, len(db.rels))
+	for p := range db.rels {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddFact interns the constant names and inserts the tuple into pred.
+func (db *Database) AddFact(pred string, consts ...string) {
+	t := make(Tuple, len(consts))
+	for i, c := range consts {
+		t[i] = db.Syms.Intern(c)
+	}
+	db.Ensure(pred, len(consts)).Insert(t)
+}
+
+// TupleCount returns the total number of tuples across relations.
+func (db *Database) TupleCount() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Dump renders the database deterministically, one fact per line, for
+// tests and the CLI.
+func (db *Database) Dump() string {
+	var b strings.Builder
+	for _, p := range db.Preds() {
+		r := db.rels[p]
+		for _, t := range r.SortedTuples() {
+			parts := make([]string, len(t))
+			for i, v := range t {
+				parts[i] = db.Syms.Name(v)
+			}
+			fmt.Fprintf(&b, "%s(%s).\n", p, strings.Join(parts, ", "))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,127 @@
+// Package unify implements unification of function-free atoms.
+//
+// Because the paper restricts rule heads to contain no repeated variables
+// and no constants, unifying a rule head with a predicate instance is always
+// a matching (Appendix A, footnote 1); Match implements that fast path and
+// Unify the general most-general-unifier construction used in tests and in
+// the generalized expansion of Appendix A.
+package unify
+
+import (
+	"repro/internal/ast"
+)
+
+// Unify computes a most general unifier of two atoms, or reports failure.
+// The returned substitution is idempotent over the variables it binds
+// (bindings are fully resolved, so parallel application is correct).
+func Unify(a, b ast.Atom) (ast.Subst, bool) {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return nil, false
+	}
+	s := make(ast.Subst)
+	for i := range a.Args {
+		if !unifyTerms(s, a.Args[i], b.Args[i]) {
+			return nil, false
+		}
+	}
+	// Normalize the triangular substitution built by unifyTerms to an
+	// idempotent one: chase each binding to its final value. The binding
+	// graph is acyclic (unifyTerms only binds unbound roots), so chasing
+	// terminates.
+	for v := range s {
+		s[v] = chase(s, s[v])
+	}
+	return s, true
+}
+
+// chase resolves a term through the substitution transitively.
+func chase(s ast.Subst, t ast.Term) ast.Term {
+	for t.IsVar() {
+		next, ok := s[t.Name]
+		if !ok || next == t {
+			return t
+		}
+		t = next
+	}
+	return t
+}
+
+// unifyTerms extends s to unify x and y, mutating s. Function-free terms
+// need no occurs check.
+func unifyTerms(s ast.Subst, x, y ast.Term) bool {
+	x = chase(s, x)
+	y = chase(s, y)
+	switch {
+	case x == y:
+		return true
+	case x.IsVar():
+		s[x.Name] = y
+		return true
+	case y.IsVar():
+		s[y.Name] = x
+		return true
+	default: // distinct constants
+		return false
+	}
+}
+
+// Match computes a one-way matching from pattern to ground-or-variable
+// instance: a substitution s over pattern's variables with s(pattern) ==
+// instance. Variables in instance are treated as constants (they may not be
+// bound). Returns false if no such matching exists.
+func Match(pattern, instance ast.Atom) (ast.Subst, bool) {
+	if pattern.Pred != instance.Pred || len(pattern.Args) != len(instance.Args) {
+		return nil, false
+	}
+	s := make(ast.Subst)
+	for i := range pattern.Args {
+		p, v := pattern.Args[i], instance.Args[i]
+		if p.IsConst() {
+			if p != v {
+				return nil, false
+			}
+			continue
+		}
+		if bound, ok := s[p.Name]; ok {
+			if bound != v {
+				return nil, false
+			}
+			continue
+		}
+		s[p.Name] = v
+	}
+	return s, true
+}
+
+// MatchAtoms extends Match over parallel slices of atoms, matching each
+// pattern atom against the instance atom at the same index under one shared
+// substitution.
+func MatchAtoms(patterns, instances []ast.Atom) (ast.Subst, bool) {
+	if len(patterns) != len(instances) {
+		return nil, false
+	}
+	s := make(ast.Subst)
+	for i := range patterns {
+		p, q := patterns[i], instances[i]
+		if p.Pred != q.Pred || len(p.Args) != len(q.Args) {
+			return nil, false
+		}
+		for j := range p.Args {
+			x, y := p.Args[j], q.Args[j]
+			if x.IsConst() {
+				if x != y {
+					return nil, false
+				}
+				continue
+			}
+			if bound, ok := s[x.Name]; ok {
+				if bound != y {
+					return nil, false
+				}
+				continue
+			}
+			s[x.Name] = y
+		}
+	}
+	return s, true
+}

@@ -1,0 +1,134 @@
+package unify
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func atom(pred string, args ...ast.Term) ast.Atom { return ast.NewAtom(pred, args...) }
+
+func TestUnifySuccess(t *testing.T) {
+	// t(X, Y) with t(Z, b): X->Z (or Z->X), Y->b.
+	s, ok := Unify(atom("t", ast.V("X"), ast.V("Y")), atom("t", ast.V("Z"), ast.C("b")))
+	if !ok {
+		t.Fatal("expected unification to succeed")
+	}
+	a := s.ApplyAtom(atom("t", ast.V("X"), ast.V("Y")))
+	b := s.ApplyAtom(atom("t", ast.V("Z"), ast.C("b")))
+	if !a.Equal(b) {
+		t.Fatalf("unifier does not equate: %v vs %v", a, b)
+	}
+}
+
+func TestUnifyConstants(t *testing.T) {
+	if _, ok := Unify(atom("p", ast.C("a")), atom("p", ast.C("b"))); ok {
+		t.Fatal("distinct constants must not unify")
+	}
+	s, ok := Unify(atom("p", ast.C("a")), atom("p", ast.C("a")))
+	if !ok || len(s) != 0 {
+		t.Fatalf("identical constants should unify with empty mgu, got %v", s)
+	}
+}
+
+func TestUnifyPredicateMismatch(t *testing.T) {
+	if _, ok := Unify(atom("p", ast.V("X")), atom("q", ast.V("X"))); ok {
+		t.Fatal("different predicates must not unify")
+	}
+	if _, ok := Unify(atom("p", ast.V("X")), atom("p", ast.V("X"), ast.V("Y"))); ok {
+		t.Fatal("different arities must not unify")
+	}
+}
+
+func TestUnifySharedVariables(t *testing.T) {
+	// p(X, X) with p(a, Y): X->a, Y->a.
+	s, ok := Unify(atom("p", ast.V("X"), ast.V("X")), atom("p", ast.C("a"), ast.V("Y")))
+	if !ok {
+		t.Fatal("expected success")
+	}
+	if s.Lookup(ast.V("Y")) != ast.C("a") {
+		t.Fatalf("Y -> %v, want a", s.Lookup(ast.V("Y")))
+	}
+	// p(X, X) with p(a, b) must fail.
+	if _, ok := Unify(atom("p", ast.V("X"), ast.V("X")), atom("p", ast.C("a"), ast.C("b"))); ok {
+		t.Fatal("expected failure on conflicting bindings")
+	}
+}
+
+func TestUnifyChains(t *testing.T) {
+	// p(X, Y, Z) with p(Y, Z, a): all collapse to a.
+	s, ok := Unify(atom("p", ast.V("X"), ast.V("Y"), ast.V("Z")),
+		atom("p", ast.V("Y"), ast.V("Z"), ast.C("a")))
+	if !ok {
+		t.Fatal("expected success")
+	}
+	for _, v := range []string{"X", "Y", "Z"} {
+		if got := s.Lookup(ast.V(v)); got != ast.C("a") {
+			t.Fatalf("%s -> %v, want a", v, got)
+		}
+	}
+}
+
+func TestMatch(t *testing.T) {
+	// Head t(X1, X2) matches instance t(U, b).
+	s, ok := Match(atom("t", ast.V("X1"), ast.V("X2")), atom("t", ast.V("U"), ast.C("b")))
+	if !ok {
+		t.Fatal("expected match")
+	}
+	if s["X1"] != ast.V("U") || s["X2"] != ast.C("b") {
+		t.Fatalf("match subst = %v", s)
+	}
+	// Repeated pattern variable requires equal instance terms.
+	if _, ok := Match(atom("p", ast.V("X"), ast.V("X")), atom("p", ast.C("a"), ast.C("b"))); ok {
+		t.Fatal("repeated pattern var must force equality")
+	}
+	s, ok = Match(atom("p", ast.V("X"), ast.V("X")), atom("p", ast.C("a"), ast.C("a")))
+	if !ok || s["X"] != ast.C("a") {
+		t.Fatalf("match subst = %v ok=%v", s, ok)
+	}
+	// Constants in the pattern must match exactly.
+	if _, ok := Match(atom("p", ast.C("a")), atom("p", ast.C("b"))); ok {
+		t.Fatal("constant mismatch must fail")
+	}
+	// A pattern constant never matches an instance variable.
+	if _, ok := Match(atom("p", ast.C("a")), atom("p", ast.V("X"))); ok {
+		t.Fatal("pattern constant vs instance variable must fail")
+	}
+}
+
+func TestMatchAtoms(t *testing.T) {
+	pats := []ast.Atom{atom("a", ast.V("X"), ast.V("Z")), atom("b", ast.V("Z"), ast.V("Y"))}
+	inst := []ast.Atom{atom("a", ast.C("1"), ast.C("2")), atom("b", ast.C("2"), ast.C("3"))}
+	s, ok := MatchAtoms(pats, inst)
+	if !ok {
+		t.Fatal("expected match")
+	}
+	if s["X"] != ast.C("1") || s["Z"] != ast.C("2") || s["Y"] != ast.C("3") {
+		t.Fatalf("subst = %v", s)
+	}
+	// Shared Z with inconsistent values must fail.
+	inst[1] = atom("b", ast.C("9"), ast.C("3"))
+	if _, ok := MatchAtoms(pats, inst); ok {
+		t.Fatal("inconsistent shared variable must fail")
+	}
+	if _, ok := MatchAtoms(pats, inst[:1]); ok {
+		t.Fatal("length mismatch must fail")
+	}
+}
+
+// TestUnifySymmetric checks that unification succeeds in both argument
+// orders on a set of random-ish pairs.
+func TestUnifySymmetric(t *testing.T) {
+	pairs := [][2]ast.Atom{
+		{atom("p", ast.V("X"), ast.C("a")), atom("p", ast.C("b"), ast.V("Y"))},
+		{atom("p", ast.V("X"), ast.V("X")), atom("p", ast.V("U"), ast.V("W"))},
+		{atom("p", ast.V("A"), ast.V("B"), ast.V("A")), atom("p", ast.C("1"), ast.V("Q"), ast.V("Q"))},
+	}
+	for _, pr := range pairs {
+		_, ok1 := Unify(pr[0], pr[1])
+		_, ok2 := Unify(pr[1], pr[0])
+		if ok1 != ok2 {
+			t.Fatalf("asymmetric unification for %v and %v", pr[0], pr[1])
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package onesided is a from-scratch reproduction of Jeffrey F. Naughton's
+// "One-Sided Recursions" (PODS 1987; JCSS 42:199–236, 1991): detection of
+// one-sided Datalog recursions from the full A/V graph (Theorem 3.1),
+// recursive-redundancy analysis (Theorem 3.3), the optimize-then-detect
+// decision procedure (Theorem 3.4), and the Fig. 9 evaluation schema for
+// "column = constant" selections, whose instantiations reproduce the
+// Aho–Ullman (Fig. 7) and Henschen–Naqvi (Fig. 8) algorithms. Magic Sets,
+// the Counting method, and naive/semi-naive bottom-up evaluation are
+// implemented as baselines.
+//
+// A minimal session:
+//
+//	def, _ := onesided.ParseDefinition(`
+//	    t(X, Y) :- a(X, Z), t(Z, Y).
+//	    t(X, Y) :- b(X, Y).
+//	`, "t")
+//	cls, _ := onesided.Classify(def)       // one-sided, 1-sided
+//	db := onesided.NewDatabase()
+//	db.AddFact("a", "paris", "lyon")
+//	db.AddFact("b", "lyon", "nice")
+//	q, _ := onesided.ParseQuery("t(paris, Y)")
+//	plan, _ := onesided.CompileSelection(def, q)
+//	answers, stats, _ := plan.Eval(db)     // unary carry, no full scans
+//	_ = answers
+//	_ = stats
+package onesided
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ast"
+	"repro/internal/avgraph"
+	"repro/internal/eval"
+	"repro/internal/expand"
+	"repro/internal/multi"
+	"repro/internal/parser"
+	"repro/internal/proof"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+)
+
+// Core syntax types.
+type (
+	// Term is a variable or constant.
+	Term = ast.Term
+	// Atom is a predicate applied to terms.
+	Atom = ast.Atom
+	// Rule is a Horn clause.
+	Rule = ast.Rule
+	// Program is a list of rules and facts.
+	Program = ast.Program
+	// Definition is a recursion: one linear recursive rule plus one exit
+	// rule (the paper's Section 2 class).
+	Definition = ast.Definition
+)
+
+// Storage types.
+type (
+	// Database is a named collection of relations with instrumentation.
+	Database = storage.Database
+	// Relation is a set of fixed-arity tuples.
+	Relation = storage.Relation
+	// Counters instruments relation access (Property 3 measurements).
+	Counters = storage.Counters
+)
+
+// Analysis types.
+type (
+	// Classification is the full A/V-graph analysis report.
+	Classification = analysis.Classification
+	// Decision is the outcome of the Theorem 3.4 procedure.
+	Decision = rewrite.Decision
+	// Verdict enumerates Decision outcomes.
+	Verdict = rewrite.Verdict
+)
+
+// Verdict values.
+const (
+	VerdictUnknown     = rewrite.VerdictUnknown
+	VerdictOneSided    = rewrite.VerdictOneSided
+	VerdictConverted   = rewrite.VerdictConverted
+	VerdictBounded     = rewrite.VerdictBounded
+	VerdictNotOneSided = rewrite.VerdictNotOneSided
+)
+
+// Evaluation types.
+type (
+	// Plan is a compiled selection (an instantiation of the Fig. 9 schema).
+	Plan = eval.Plan
+	// EvalStats reports iterations and state size of a plan evaluation.
+	EvalStats = eval.EvalStats
+	// EvalResult is the outcome of bottom-up evaluation.
+	EvalResult = eval.Result
+	// ErrUnsupported marks selections outside the compiled class; callers
+	// fall back to MagicEval.
+	ErrUnsupported = eval.ErrUnsupported
+)
+
+// ParseProgram parses rules and facts in Prolog syntax.
+func ParseProgram(src string) (*Program, error) { return parser.ParseProgram(src) }
+
+// ParseSource parses a source text that may also contain `?- q(...)`
+// queries, returning the program and the queries.
+func ParseSource(src string) (*Program, []Atom, error) {
+	res, err := parser.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Program, res.Queries, nil
+}
+
+// ParseDefinition parses a two-rule recursion for pred.
+func ParseDefinition(src, pred string) (*Definition, error) {
+	return parser.ParseDefinition(src, pred)
+}
+
+// ExtractDefinition locates the recursion for pred inside a parsed program.
+func ExtractDefinition(p *Program, pred string) (*Definition, error) {
+	return ast.ExtractDefinition(p, pred)
+}
+
+// ParseQuery parses a single query atom such as "t(paris, Y)".
+func ParseQuery(src string) (Atom, error) { return parser.ParseAtom(src) }
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database { return storage.NewDatabase() }
+
+// LoadFacts moves the ground facts of a program into db, returning the
+// remaining rules.
+func LoadFacts(p *Program, db *Database) *Program { return eval.LoadFacts(p, db) }
+
+// Classify runs the full A/V-graph analysis (Theorems 3.1 and 3.3).
+func Classify(d *Definition) (*Classification, error) { return analysis.Classify(d) }
+
+// IsOneSided applies the Theorem 3.1 test.
+func IsOneSided(d *Definition) (bool, error) { return analysis.IsOneSided(d) }
+
+// Sidedness returns k such that the definition is k-sided.
+func Sidedness(d *Definition) (int, error) { return analysis.Sidedness(d) }
+
+// Optimize removes recursively redundant atoms ([Nau89b] step), returning
+// the optimized definition and the removed atoms.
+func Optimize(d *Definition) (*Definition, []Atom, error) { return rewrite.RemoveRedundant(d) }
+
+// Decide runs the paper's complete optimize-then-detect procedure.
+func Decide(d *Definition) (*Decision, error) { return rewrite.DecideOneSided(d) }
+
+// CompileSelection compiles a "column = constant" selection on the
+// recursion into a Fig. 9 plan.
+func CompileSelection(d *Definition, query Atom) (*Plan, error) {
+	return eval.CompileSelection(d, query)
+}
+
+// Eval compiles and evaluates a selection in one call.
+func Eval(d *Definition, query Atom, db *Database) (*Relation, EvalStats, error) {
+	return eval.OneSidedEval(d, query, db)
+}
+
+// SemiNaive evaluates a program bottom-up (the general baseline).
+func SemiNaive(p *Program, db *Database) (*EvalResult, error) { return eval.SemiNaive(p, db) }
+
+// Naive evaluates a program with the naive strategy.
+func Naive(p *Program, db *Database) (*EvalResult, error) { return eval.Naive(p, db) }
+
+// MagicEval evaluates a query with the Magic Sets transformation (the
+// general-purpose comparison point).
+func MagicEval(p *Program, query Atom, db *Database) (*Relation, *EvalResult, error) {
+	return eval.MagicEval(p, query, db)
+}
+
+// SelectEval evaluates a query by full materialization plus selection.
+func SelectEval(p *Program, query Atom, db *Database) (*Relation, *EvalResult, error) {
+	return eval.SelectEval(p, query, db)
+}
+
+// Answers renders an answer relation as sorted comma-separated rows.
+func Answers(rel *Relation, db *Database) []string { return eval.AnswerStrings(rel, db.Syms) }
+
+// AVGraph renders the A/V graph of the recursive rule (paper Fig. 2 style).
+func AVGraph(d *Definition) string { return avgraph.New(d).Render() }
+
+// FullAVGraph renders the full A/V graph (paper Figs. 3–6 style).
+func FullAVGraph(d *Definition) string { return avgraph.NewFull(d).Render() }
+
+// FullAVGraphDOT renders the full A/V graph in Graphviz DOT format.
+func FullAVGraphDOT(d *Definition) string {
+	return avgraph.NewFull(d).DOT(d.Pred())
+}
+
+// ExpandStrings returns renderings of the first k+1 expansion strings
+// (Procedure Expand, Fig. 1).
+func ExpandStrings(d *Definition, k int) []string {
+	ss := expand.Expand(d, k)
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.String()
+	}
+	return out
+}
+
+// BoundednessLevel searches for the smallest depth at which the
+// definition's expansion collapses (uniform boundedness certificate via
+// conjunctive-query containment). Returns the level and true, or false
+// when no bound is found within maxK.
+func BoundednessLevel(d *Definition, maxK int) (int, bool) {
+	return analysis.BoundednessLevel(d, maxK)
+}
+
+// Proofs (the Section 4 lemmas made executable).
+type (
+	// Proof is a materialized derivation of a tuple; Minimize applies the
+	// Lemma 4.1 splicing argument.
+	Proof = proof.Proof
+)
+
+// FindProof searches for a derivation of the ground tuple (constant
+// names) over the database, or nil.
+func FindProof(d *Definition, db *Database, tuple []string) *Proof {
+	return proof.Find(d, db, tuple)
+}
+
+// Multi-rule recursions (the Section 5 extension).
+type (
+	// MultiDefinition is a recursion with several linear recursive rules.
+	MultiDefinition = multi.Definition
+	// MultiClassification reports per-rule and combination analyses.
+	MultiClassification = multi.Classification
+)
+
+// ExtractMulti locates a multi-rule recursion for pred in a program.
+func ExtractMulti(p *Program, pred string) (*MultiDefinition, error) {
+	return multi.Extract(p, pred)
+}
+
+// ClassifyMulti analyses each rule and their combination (union A/V
+// graph).
+func ClassifyMulti(d *MultiDefinition) (*MultiClassification, error) {
+	return multi.Classify(d)
+}
+
+// EvalMultiSelection evaluates a selection on a multi-rule recursion,
+// reducing persistent columns rule-by-rule or falling back to Magic Sets;
+// the returned string names the path taken.
+func EvalMultiSelection(d *MultiDefinition, query Atom, db *Database) (*Relation, string, error) {
+	return multi.EvalSelection(d, query, db)
+}
