@@ -8,13 +8,18 @@
 //	osr classify file.dl            # per-predicate classification + decision
 //	osr graph -pred t [-plain] file.dl
 //	osr expand -pred t -k 4 file.dl
-//	osr query [-engine onesided|magic|seminaive|naive] file.dl
+//	osr query [-engine onesided|magic|seminaive|naive|counting] file.dl
+//
+// The query command drives the Engine façade: plans are prepared once
+// per query, the planner auto-selects the one-sided schema or a
+// fallback, and the chosen strategy is reported per query.
 //
 // Input files use Prolog syntax; facts live alongside rules and queries
 // are written "?- t(a, Y).".
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -60,7 +65,8 @@ subcommands:
   expand -pred <p> [-k n] <file>       print expansion strings
   query [-engine e] <file>             answer the file's ?- queries
   prove -tuple "t(a, b)" <file>        find and minimize a derivation
-engines: onesided (default), magic, seminaive, naive`)
+engines: onesided (default: auto-select with magic fallback),
+         magic, seminaive, naive, counting`)
 }
 
 func loadSource(path string) (*onesided.Program, []onesided.Atom, error) {
@@ -288,9 +294,22 @@ func cmdExpand(args []string) error {
 	return nil
 }
 
+// strategyChains maps the -engine flag to the Engine strategy chain.
+// "onesided" (the default) is the full auto-selection chain: the paper's
+// planner, the Section 5 multi-rule reduction, Magic Sets fallback, and
+// base-relation lookup — the optimize-then-detect behavior the old CLI
+// hand-rolled.
+var strategyChains = map[string][]string{
+	"onesided":  nil, // engine default: onesided, multi, magic, edb
+	"magic":     {"magic", "edb"},
+	"seminaive": {"seminaive", "edb"},
+	"naive":     {"naive", "edb"},
+	"counting":  {"counting"},
+}
+
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
-	engine := fs.String("engine", "onesided", "onesided | magic | seminaive | naive")
+	engine := fs.String("engine", "onesided", "onesided | magic | seminaive | naive | counting")
 	verbose := fs.Bool("v", false, "print instrumentation counters")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -298,69 +317,52 @@ func cmdQuery(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("query needs exactly one file")
 	}
-	prog, queries, err := loadSource(fs.Arg(0))
+	chain, ok := strategyChains[*engine]
+	if !ok {
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+	var opts []onesided.Option
+	if chain != nil {
+		opts = append(opts, onesided.WithStrategies(chain...))
+	}
+	eng, err := onesided.Open(opts...)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	queries, err := eng.Load(string(data))
 	if err != nil {
 		return err
 	}
 	if len(queries) == 0 {
 		return fmt.Errorf("no ?- queries in file")
 	}
-	db := onesided.NewDatabase()
-	rules := onesided.LoadFacts(prog, db)
+	ctx := context.Background()
 	for _, q := range queries {
-		db.Stats.Reset()
-		var (
-			ans  *onesided.Relation
-			note string
-		)
-		switch *engine {
-		case "onesided":
-			d, derr := onesided.ExtractDefinition(rules, q.Pred)
-			if derr != nil {
-				return fmt.Errorf("query %v: %v (try -engine magic)", q, derr)
-			}
-			plan, perr := onesided.CompileSelection(d, q)
-			if perr != nil {
-				// Fall back to magic, as the paper prescribes for
-				// many-sided shapes.
-				ans, _, err = onesided.MagicEval(rules, q, db)
-				note = fmt.Sprintf("fell back to magic (%v)", perr)
-			} else {
-				var stats onesided.EvalStats
-				ans, stats, err = plan.Eval(db)
-				note = fmt.Sprintf("mode=%v carry-arity=%d iterations=%d seen=%d",
-					plan.Mode, plan.CarryArity, stats.Iterations, stats.SeenSize)
-			}
-		case "magic":
-			ans, _, err = onesided.MagicEval(rules, q, db)
-		case "seminaive":
-			ans, _, err = onesided.SelectEval(rules, q, db)
-		case "naive":
-			var res *onesided.EvalResult
-			res, err = onesided.Naive(rules, db)
-			if err == nil {
-				ans, _, err = onesided.SelectEval(rules, q, db)
-				_ = res
-			}
-		default:
-			return fmt.Errorf("unknown engine %q", *engine)
+		pq, err := eng.Prepare(nil, q)
+		if err != nil {
+			return fmt.Errorf("query %v: %v", q, err)
 		}
+		rows, err := pq.Query(ctx)
 		if err != nil {
 			return fmt.Errorf("query %v: %v", q, err)
 		}
 		fmt.Printf("?- %v.\n", q)
-		if note != "" {
-			fmt.Printf("   [%s]\n", note)
-		}
-		for _, row := range onesided.Answers(ans, db) {
+		st := rows.Stats()
+		fmt.Printf("   [%s iterations=%d seen=%d]\n", rows.Explain(), st.Iterations, st.SeenSize)
+		for _, row := range rows.Strings() {
 			fmt.Printf("   %s\n", row)
 		}
-		if ans.Len() == 0 {
+		if rows.Len() == 0 {
 			fmt.Println("   (no answers)")
 		}
 		if *verbose {
+			c := rows.Counters()
 			fmt.Printf("   counters: examined=%d lookups=%d full-scans=%d inserts=%d\n",
-				db.Stats.TuplesExamined, db.Stats.IndexLookups, db.Stats.FullScans, db.Stats.Inserts)
+				c.TuplesExamined, c.IndexLookups, c.FullScans, c.Inserts)
 		}
 	}
 	return nil

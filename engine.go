@@ -1,0 +1,329 @@
+package onesided
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/multi"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+// Engine is the database/sql-style façade over the paper's machinery: it
+// owns a database (symbol table + relations), a program, a strategy
+// registry, and a prepared-query cache. One Engine serves any number of
+// concurrent queries; storage is safe for parallel readers with writers,
+// and prepared plans are immutable after construction.
+//
+// Query planning is Naughton's optimize-then-detect procedure made
+// operational: for each query the engine walks its strategy chain —
+// by default the one-sided planner (Theorem 3.4 + the Fig. 9 schema),
+// then the Section 5 multi-rule reduction, then Magic Sets (the paper's
+// own general baseline), then plain base-relation lookup — and the first
+// strategy that accepts the query plans it. Explain reports the chosen
+// strategy and why the others declined.
+type Engine struct {
+	db            *storage.Database
+	strategies    []Strategy
+	countingDepth int
+
+	mu       sync.RWMutex // guards program, gen, and cache
+	program  *ast.Program // treated as immutable; LoadProgram swaps in a new one
+	gen      uint64       // bumped on every program change
+	cache    map[string]*PreparedQuery
+	cacheCap int
+
+	hits, misses atomic.Int64
+}
+
+// Open creates an Engine. With no options it has an empty database, an
+// empty program, the default strategy chain, and a 256-entry plan cache.
+func Open(opts ...Option) (*Engine, error) {
+	cfg := engineConfig{planCacheSize: 256}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	strategies, err := resolveStrategies(cfg.strategyNames, cfg.countingDepth)
+	if err != nil {
+		return nil, err
+	}
+	db := cfg.db
+	if db == nil {
+		db = storage.NewDatabase()
+	}
+	e := &Engine{
+		db:         db,
+		strategies: strategies,
+		program:    ast.NewProgram(),
+		cache:      make(map[string]*PreparedQuery),
+		cacheCap:   cfg.planCacheSize,
+	}
+	if cfg.program != nil {
+		e.LoadProgram(cfg.program)
+	}
+	return e, nil
+}
+
+// DB returns the engine's database for direct fact loading and
+// inspection.
+func (e *Engine) DB() *Database { return e.db }
+
+// AddFact interns the constants and inserts the tuple into the named
+// relation.
+func (e *Engine) AddFact(pred string, consts ...string) { e.db.AddFact(pred, consts...) }
+
+// Load parses a source text in Prolog syntax, inserts its ground facts
+// into the database, appends its rules to the engine's program, and
+// returns any "?- q(...)." queries it contained. Loading rules
+// invalidates the plan cache.
+func (e *Engine) Load(src string) ([]Atom, error) {
+	prog, queries, err := ParseSource(src)
+	if err != nil {
+		return nil, err
+	}
+	e.LoadProgram(prog)
+	return queries, nil
+}
+
+// LoadProgram inserts the program's ground facts into the database and
+// appends its rules to the engine's program, invalidating the plan
+// cache. The engine's program is copy-on-write: in-flight queries keep
+// evaluating their consistent snapshot.
+func (e *Engine) LoadProgram(p *Program) {
+	rules := eval.LoadFacts(p, e.db)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	merged := ast.NewProgram()
+	merged.Rules = append(append(merged.Rules, e.program.Rules...), rules.Rules...)
+	e.program = merged
+	e.gen++
+	e.cache = make(map[string]*PreparedQuery)
+}
+
+// Program returns a snapshot of the engine's current rule set.
+func (e *Engine) Program() *Program {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.program.Clone()
+}
+
+// StrategyAttempt records why a strategy in the chain declined a query.
+type StrategyAttempt struct {
+	Strategy string
+	Reason   string
+}
+
+// Explain reports how a query will be (or was) evaluated: the strategy
+// the planner chose, the Theorem 3.4 verdict and Fig. 9 mode when the
+// one-sided planner ran, and which earlier strategies declined and why.
+type Explain struct {
+	eval.StrategyExplain
+	// Rejected lists the strategies tried before the chosen one.
+	Rejected []StrategyAttempt
+}
+
+func (ex Explain) String() string {
+	var b strings.Builder
+	b.WriteString("strategy=" + ex.Strategy)
+	if ex.Mode != "" {
+		fmt.Fprintf(&b, " mode=%s carry-arity=%d", ex.Mode, ex.CarryArity)
+	}
+	if ex.Verdict != "" {
+		fmt.Fprintf(&b, " verdict=%q", ex.Verdict)
+	}
+	if ex.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", ex.Detail)
+	}
+	for _, r := range ex.Rejected {
+		fmt.Fprintf(&b, "; %s declined: %s", r.Strategy, r.Reason)
+	}
+	return b.String()
+}
+
+// PreparedQuery is a planned, reusable, concurrency-safe query: the
+// strategy analysis (Decide/Optimize, Magic rewriting, ...) ran once at
+// Prepare time, and each Query call only evaluates.
+type PreparedQuery struct {
+	engine   *Engine
+	query    ast.Atom
+	prepared PreparedStrategy
+	rejected []StrategyAttempt
+}
+
+// Prepare plans a query. The program argument selects what to plan
+// against: nil means the engine's loaded program (those plans are cached
+// and reused until the program changes); a non-nil program is planned
+// fresh. The query atom uses constants at bound columns, e.g.
+// t(paris, Y).
+func (e *Engine) Prepare(program *Program, query Atom) (*PreparedQuery, error) {
+	cacheable := program == nil
+	var key string
+	var gen uint64
+	if cacheable {
+		key = query.String()
+		e.mu.RLock()
+		pq, ok := e.cache[key]
+		program = e.program
+		gen = e.gen
+		e.mu.RUnlock()
+		if ok {
+			e.hits.Add(1)
+			return pq, nil
+		}
+		e.misses.Add(1)
+	}
+	pq, err := e.prepare(program, query)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable && e.cacheCap > 0 {
+		e.mu.Lock()
+		// A concurrent LoadProgram may have changed the program since the
+		// snapshot; caching the now-stale plan would serve it forever.
+		if e.gen == gen {
+			if len(e.cache) >= e.cacheCap {
+				// Evict an arbitrary entry; plans are cheap to rebuild and
+				// the cache only needs to keep hot queries resident.
+				for k := range e.cache {
+					delete(e.cache, k)
+					break
+				}
+			}
+			e.cache[key] = pq
+		}
+		e.mu.Unlock()
+	}
+	return pq, nil
+}
+
+// prepare walks the strategy chain.
+func (e *Engine) prepare(program *ast.Program, query ast.Atom) (*PreparedQuery, error) {
+	var rejected []StrategyAttempt
+	for _, s := range e.strategies {
+		ps, err := s.Prepare(program, query)
+		if err != nil {
+			rejected = append(rejected, StrategyAttempt{Strategy: s.Name(), Reason: err.Error()})
+			continue
+		}
+		return &PreparedQuery{engine: e, query: query.Clone(), prepared: ps, rejected: rejected}, nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "onesided: no strategy accepts query %v:", query)
+	for _, r := range rejected {
+		fmt.Fprintf(&b, "\n  %s: %s", r.Strategy, r.Reason)
+	}
+	return nil, fmt.Errorf("%s", b.String())
+}
+
+// Explain reports the plan without evaluating it.
+func (pq *PreparedQuery) Explain() Explain {
+	return Explain{StrategyExplain: pq.prepared.Explain(), Rejected: pq.rejected}
+}
+
+// Query evaluates the prepared plan against the engine's database. It is
+// safe to call concurrently from many goroutines; ctx cancels the
+// fixpoint loops mid-evaluation.
+func (pq *PreparedQuery) Query(ctx context.Context) (*Rows, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	db := pq.engine.db
+	before := db.Stats.Snapshot()
+	rel, stats, err := pq.prepared.Eval(ctx, db)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{
+		rel:      rel,
+		syms:     db.Syms,
+		stats:    stats,
+		counters: db.Stats.Snapshot().Sub(before),
+		explain:  pq.Explain(),
+	}, nil
+}
+
+// Query plans (with plan-cache reuse) and evaluates a query given in
+// Prolog syntax, e.g. "t(paris, Y)". The engine auto-selects the best
+// strategy: the one-sided plan when Theorem 3.4 says the recursion is
+// (convertible to) one-sided, the general fallback otherwise.
+func (e *Engine) Query(ctx context.Context, query string) (*Rows, error) {
+	q, err := parser.ParseAtom(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.QueryAtom(ctx, q)
+}
+
+// QueryAtom is Query for an already-parsed atom.
+func (e *Engine) QueryAtom(ctx context.Context, query Atom) (*Rows, error) {
+	pq, err := e.Prepare(nil, query)
+	if err != nil {
+		return nil, err
+	}
+	return pq.Query(ctx)
+}
+
+// CacheStats returns the plan cache's hit and miss counts.
+func (e *Engine) CacheStats() (hits, misses int64) {
+	return e.hits.Load(), e.misses.Load()
+}
+
+// ---------------------------------------------------------------------------
+// Strategy registry.
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Strategy{}
+)
+
+func init() {
+	for _, s := range []Strategy{
+		eval.OneSided(),
+		multi.Strategy(),
+		eval.Magic(),
+		eval.SemiNaiveStrategy(),
+		eval.NaiveStrategy(),
+		eval.EDBLookup(),
+		eval.Counting(0),
+	} {
+		registry[s.Name()] = s
+	}
+}
+
+// RegisterStrategy adds (or replaces) a strategy in the global registry,
+// making its name resolvable by WithStrategies.
+func RegisterStrategy(s Strategy) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[s.Name()] = s
+}
+
+// StrategyNames returns the registered strategy names, sorted.
+func StrategyNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookupStrategy resolves a name, specializing the counting strategy's
+// depth bound when configured.
+func lookupStrategy(name string, countingDepth int) (Strategy, bool) {
+	if name == eval.StrategyCounting && countingDepth > 0 {
+		return eval.Counting(countingDepth), true
+	}
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}

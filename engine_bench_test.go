@@ -1,0 +1,99 @@
+package onesided
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// benchEngine opens an engine over a chain-TC workload.
+func benchEngine(b *testing.B, n int, opts ...Option) (*Engine, string) {
+	b.Helper()
+	w := datagen.ChainTC(n)
+	eng, err := Open(append([]Option{WithDatabase(w.DB)}, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Load(`
+		t(X, Y) :- a(X, Z), t(Z, Y).
+		t(X, Y) :- b(X, Y).
+	`); err != nil {
+		b.Fatal(err)
+	}
+	return eng, fmt.Sprintf("t(X, %s)", w.End)
+}
+
+// BenchmarkEnginePreparedReuse measures the façade's plan amortization:
+// Query (cache hit per call) versus one Prepare reused across
+// evaluations versus a cold plan each iteration.
+func BenchmarkEnginePreparedReuse(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("chain=%d/query-cached", n), func(b *testing.B) {
+			eng, q := benchEngine(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Query(ctx, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("chain=%d/prepare-once", n), func(b *testing.B) {
+			eng, q := benchEngine(b, n)
+			pq, err := eng.Prepare(nil, parserMustAtom(b, q))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pq.Query(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("chain=%d/prepare-cold", n), func(b *testing.B) {
+			eng, q := benchEngine(b, n, WithPlanCache(0))
+			atom := parserMustAtom(b, q)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pq, err := eng.Prepare(nil, atom)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := pq.Query(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineParallel drives one shared engine from all procs — the
+// concurrent-serving shape the storage layer's RWMutex design targets.
+func BenchmarkEngineParallel(b *testing.B) {
+	eng, q := benchEngine(b, 1000)
+	ctx := context.Background()
+	pq, err := eng.Prepare(nil, parserMustAtom(b, q))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := pq.Query(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func parserMustAtom(b *testing.B, s string) Atom {
+	b.Helper()
+	q, err := ParseQuery(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q
+}

@@ -4,16 +4,17 @@
 // recursion iff P is bounded. This example runs the construction both
 // ways: on a bounded P (where the equivalent nonrecursive P' yields a
 // one-sided Q') and shows the Lemma A.1 invariant — the projection of q
-// onto its first two columns is exactly p — holding on data.
+// onto its first two columns is exactly p — holding on data, evaluating
+// both programs through Engines sharing one database.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	onesided "repro"
 	"repro/internal/analysis"
-	"repro/internal/eval"
 	"repro/internal/rewrite"
 	"repro/internal/storage"
 )
@@ -32,11 +33,12 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("P:")
-	fmt.Println(indent(pString(p)))
+	fmt.Println(indent(p.String()))
 	fmt.Println("Q (the Theorem 3.2 construction):")
-	fmt.Println(indent(pString(q)))
+	fmt.Println(indent(q.String()))
 
-	// Lemma A.1 on data: with bq nonempty, pi_{1,2}(q) == p.
+	// Lemma A.1 on data: with bq nonempty, pi_{1,2}(q) == p. One database,
+	// two engines (one per program), both on the materializing strategy.
 	db := onesided.NewDatabase()
 	db.AddFact("c", "u")
 	db.AddFact("c", "w")
@@ -46,21 +48,31 @@ func main() {
 	db.AddFact("eq", "k0", "k1")
 	db.AddFact("eq", "k1", "k2")
 
-	pres, err := onesided.SemiNaive(p, db)
-	if err != nil {
-		log.Fatal(err)
+	ctx := context.Background()
+	query := func(prog *onesided.Program, qs string) *onesided.Rows {
+		eng, err := onesided.Open(onesided.WithDatabase(db),
+			onesided.WithProgram(prog.Clone()),
+			onesided.WithStrategies("seminaive"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := eng.Query(ctx, qs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rows
 	}
-	qres, err := onesided.SemiNaive(q, db)
-	if err != nil {
-		log.Fatal(err)
-	}
+	pRows := query(p, "p(X1, X2)")
+	qRows := query(q, "q(X1, X2, X3)")
+
 	proj := storage.NewRelation(2, nil)
-	for _, t := range qres.IDB.Relation("q").Tuples() {
+	for row := range qRows.All() {
+		t := row.Tuple()
 		proj.Insert(storage.Tuple{t[0], t[1]})
 	}
-	fmt.Printf("Lemma A.1 check: pi_12(q) == p ? %v\n", proj.Equal(pres.IDB.Relation("p")))
+	fmt.Printf("Lemma A.1 check: pi_12(q) == p ? %v\n", proj.Equal(pRows.Relation()))
 	fmt.Println("q relation:")
-	for _, row := range eval.AnswerStrings(qres.IDB.Relation("q"), db.Syms) {
+	for _, row := range qRows.Strings() {
 		fmt.Println("  ", row)
 	}
 
@@ -85,13 +97,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("\nQ' built from the bounded P's nonrecursive equivalent:")
-	fmt.Println(indent(pString(qPrime)))
+	fmt.Println(indent(qPrime.String()))
 	fmt.Println("classification:", cls.Summary())
 	fmt.Println("\nTheorem 3.2: deciding one-sided-equivalence in general would")
 	fmt.Println("decide boundedness of linear programs, which is undecidable [Var88].")
 }
-
-func pString(p *onesided.Program) string { return p.String() }
 
 func indent(s string) string {
 	out := ""

@@ -1,11 +1,13 @@
 // Flights: reachability over a synthetic airline network — the workload
-// the paper's introduction motivates. Compares the one-sided schema
-// (Figs. 7/8 instantiations) against Magic Sets and full materialization,
-// reporting the instrumentation that Properties 1–3 are about: tuples
-// examined, unrestricted scans, and state size.
+// the paper's introduction motivates. One shared database serves three
+// Engines restricted to different strategies, comparing the one-sided
+// schema (Figs. 7/8 instantiations) against Magic Sets and full
+// materialization on the instrumentation Properties 1–3 are about:
+// tuples examined, unrestricted scans, and state size.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,22 +15,12 @@ import (
 	"repro/internal/datagen"
 )
 
-func main() {
-	// reach(X, Y): Y is reachable from X via flight legs, landing on a
-	// direct ferry connection at the end (the exit relation).
-	def, err := onesided.ParseDefinition(`
-		reach(X, Y) :- flight(X, Z), reach(Z, Y).
-		reach(X, Y) :- ferry(X, Y).
-	`, "reach")
-	if err != nil {
-		log.Fatal(err)
-	}
-	cls, err := onesided.Classify(def)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(cls.Summary())
+const rules = `
+	reach(X, Y) :- flight(X, Z), reach(Z, Y).
+	reach(X, Y) :- ferry(X, Y).
+`
 
+func main() {
 	// A hub-and-spoke network: 400 airports, 1600 legs, 40 ferry links.
 	db := onesided.NewDatabase()
 	datagen.RandomGraph(db, "flight", "apt", 400, 1600, 7)
@@ -36,38 +28,34 @@ func main() {
 		db.AddFact("ferry", fmt.Sprintf("apt%d", i*10), fmt.Sprintf("island%d", i%5))
 	}
 
-	query, err := onesided.ParseQuery("reach(apt0, Y)")
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Printf("\n%-22s %9s %9s %11s %10s\n", "engine", "answers", "lookups", "examined", "full-scans")
-	run := func(name string, f func() (*onesided.Relation, error)) {
-		db.Stats.Reset()
-		ans, err := f()
+	ctx := context.Background()
+	fmt.Printf("%-32s %9s %9s %11s %10s\n", "engine", "answers", "lookups", "examined", "full-scans")
+	run := func(name string, strategies ...string) {
+		var opts []onesided.Option
+		opts = append(opts, onesided.WithDatabase(db))
+		if len(strategies) > 0 {
+			opts = append(opts, onesided.WithStrategies(strategies...))
+		}
+		eng, err := onesided.Open(opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-22s %9d %9d %11d %10d\n",
-			name, ans.Len(), db.Stats.IndexLookups, db.Stats.TuplesExamined, db.Stats.FullScans)
+		if _, err := eng.Load(rules); err != nil {
+			log.Fatal(err)
+		}
+		rows, err := eng.Query(ctx, "reach(apt0, Y)")
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := rows.Counters()
+		fmt.Printf("%-32s %9d %9d %11d %10d\n",
+			fmt.Sprintf("%s (%s)", name, rows.Explain().Strategy),
+			rows.Len(), c.IndexLookups, c.TuplesExamined, c.FullScans)
 	}
 
-	plan, err := onesided.CompileSelection(def, query)
-	if err != nil {
-		log.Fatal(err)
-	}
-	run(fmt.Sprintf("one-sided (%v)", plan.Mode), func() (*onesided.Relation, error) {
-		ans, _, err := plan.Eval(db)
-		return ans, err
-	})
-	run("magic sets", func() (*onesided.Relation, error) {
-		ans, _, err := onesided.MagicEval(def.Program(), query, db)
-		return ans, err
-	})
-	run("materialize+select", func() (*onesided.Relation, error) {
-		ans, _, err := onesided.SelectEval(def.Program(), query, db)
-		return ans, err
-	})
+	run("auto")
+	run("magic sets", "magic")
+	run("materialize+select", "seminaive")
 
 	fmt.Println("\nThe one-sided plan does no unrestricted scans (Property 3) and")
 	fmt.Println("keeps only the seen set as state (Property 2); materialization")

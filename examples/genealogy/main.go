@@ -1,11 +1,13 @@
 // Genealogy: the same-generation recursion (the paper's Example 3.3), the
-// canonical TWO-sided recursion. The Theorem 3.4 procedure proves no
-// one-sided equivalent exists, so selection queries go to Magic Sets — and
-// the Section 5 observation holds: with constants on BOTH sides, the
-// bb-adorned magic evaluation is as frugal as a one-sided schema.
+// canonical TWO-sided recursion. The Engine's planner runs the Theorem
+// 3.4 procedure, concludes no one-sided equivalent exists, and falls back
+// to Magic Sets automatically — and the Section 5 observation holds: with
+// constants on BOTH sides, the bb-adorned magic evaluation is as frugal
+// as a one-sided schema.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,59 +15,61 @@ import (
 	"repro/internal/datagen"
 )
 
+const sgRules = `
+	sg(X, Y) :- p(X, W), p(Y, Z), sg(W, Z).
+	sg(X, Y) :- sg0(X, Y).
+`
+
 func main() {
-	def, err := onesided.ParseDefinition(`
-		sg(X, Y) :- p(X, W), p(Y, Z), sg(W, Z).
-		sg(X, Y) :- sg0(X, Y).
-	`, "sg")
-	if err != nil {
-		log.Fatal(err)
-	}
-	cls, err := onesided.Classify(def)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(cls.Summary())
-
-	dec, err := onesided.Decide(def)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("Theorem 3.4 decision: %v\n\n", dec.Verdict)
-
 	// A forest of 6 binary family trees, depth 7.
 	db, leafA, leafB := datagen.Genealogy(6, 7)
+	eng, err := onesided.Open(onesided.WithDatabase(db))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.Load(sgRules); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("forest: %d parent edges, querying cousins %s and %s\n\n",
 		db.Relation("p").Len(), leafA, leafB)
 
-	// One-bound query: sg(leafA, Y).
-	q1, _ := onesided.ParseQuery(fmt.Sprintf("sg(%s, Y)", leafA))
-	db.Stats.Reset()
-	ans1, _, err := onesided.MagicEval(def.Program(), q1, db)
-	if err != nil {
-		log.Fatal(err)
+	ctx := context.Background()
+	report := func(qs string) *onesided.Rows {
+		rows, err := eng.Query(ctx, qs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("?- %s.   %d answers (%s): examined=%d\n",
+			qs, rows.Len(), rows.Explain().Strategy, rows.Counters().TuplesExamined)
+		return rows
 	}
-	fmt.Printf("?- %v.   %d answers (magic, bf): examined=%d\n",
-		q1, ans1.Len(), db.Stats.TuplesExamined)
 
-	// Both-bound query (the Section 5 remark): sg(leafA, leafB).
-	q2, _ := onesided.ParseQuery(fmt.Sprintf("sg(%s, %s)", leafA, leafB))
-	db.Stats.Reset()
-	ans2, _, err := onesided.MagicEval(def.Program(), q2, db)
-	if err != nil {
-		log.Fatal(err)
+	// One-bound query: the planner explains why one-sided declined.
+	rows := report(fmt.Sprintf("sg(%s, Y)", leafA))
+	for _, r := range rows.Explain().Rejected {
+		if r.Strategy == "onesided" {
+			fmt.Printf("   planner: one-sided declined — %s\n", r.Reason)
+		}
 	}
-	fmt.Printf("?- %v.   %d answers (magic, bb): examined=%d\n",
-		q2, ans2.Len(), db.Stats.TuplesExamined)
+
+	// Both-bound query (the Section 5 remark).
+	report(fmt.Sprintf("sg(%s, %s)", leafA, leafB))
 
 	// Baseline: materialize everything, then select.
-	db.Stats.Reset()
-	ans3, _, err := onesided.SelectEval(def.Program(), q2, db)
+	matEng, err := onesided.Open(onesided.WithDatabase(db),
+		onesided.WithStrategies("seminaive"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("?- %v.   %d answers (materialize+select): examined=%d\n",
-		q2, ans3.Len(), db.Stats.TuplesExamined)
+	if _, err := matEng.Load(sgRules); err != nil {
+		log.Fatal(err)
+	}
+	rows, err = matEng.Query(ctx, fmt.Sprintf("sg(%s, %s)", leafA, leafB))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("?- sg(%s, %s).   %d answers (%s): examined=%d\n",
+		leafA, leafB, rows.Len(), rows.Explain().Strategy, rows.Counters().TuplesExamined)
 
 	fmt.Println("\nBoth constants give each unbounded connected set a selection")
 	fmt.Println("to restrict it, which is why the bb evaluation touches so much")

@@ -1,9 +1,11 @@
-// Quickstart: parse the canonical one-sided recursion, classify it with
-// Theorem 3.1, inspect its full A/V graph and expansion, and evaluate a
-// selection with the Fig. 9 schema.
+// Quickstart: open an Engine, load the canonical one-sided recursion,
+// and let the planner pick the Fig. 9 schema — then inspect the analysis
+// surface (Theorem 3.1 classification, full A/V graph, expansion) that
+// the planner runs under the hood.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,16 +14,41 @@ import (
 
 func main() {
 	// The paper's Example 2.1: transitive closure, the canonical one-sided
-	// recursion.
-	def, err := onesided.ParseDefinition(`
-		t(X, Y) :- a(X, Z), t(Z, Y).
-		t(X, Y) :- b(X, Y).
-	`, "t")
+	// recursion, with a small flight network.
+	eng, err := onesided.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
+	if _, err := eng.Load(`
+		t(X, Y) :- a(X, Z), t(Z, Y).
+		t(X, Y) :- b(X, Y).
+		a(paris, lyon). a(lyon, marseille). a(marseille, toulon).
+		b(toulon, nice). b(lyon, grenoble).
+	`); err != nil {
+		log.Fatal(err)
+	}
 
-	// Detection (Theorem 3.1): one component with a weight-1 cycle.
+	// The engine plans each selection with the Theorem 3.4 procedure and
+	// streams the answers.
+	ctx := context.Background()
+	for _, qs := range []string{"t(paris, Y)", "t(X, nice)"} {
+		rows, err := eng.Query(ctx, qs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := rows.Stats()
+		fmt.Printf("?- %s.   [%s, %d iterations]\n", qs, rows.Explain(), st.Iterations)
+		for row := range rows.Sorted() {
+			fmt.Println("  ", row)
+		}
+	}
+	fmt.Println()
+
+	// Under the hood: the detection machinery the planner used.
+	def, err := onesided.ExtractDefinition(eng.Program(), "t")
+	if err != nil {
+		log.Fatal(err)
+	}
 	cls, err := onesided.Classify(def)
 	if err != nil {
 		log.Fatal(err)
@@ -34,34 +61,5 @@ func main() {
 	// The expansion (Fig. 1 / Example 2.2).
 	for i, s := range onesided.ExpandStrings(def, 3) {
 		fmt.Printf("s%d: %s\n", i, s)
-	}
-	fmt.Println()
-
-	// A small database and a selection query.
-	db := onesided.NewDatabase()
-	db.AddFact("a", "paris", "lyon")
-	db.AddFact("a", "lyon", "marseille")
-	db.AddFact("a", "marseille", "toulon")
-	db.AddFact("b", "toulon", "nice")
-	db.AddFact("b", "lyon", "grenoble")
-
-	for _, qs := range []string{"t(paris, Y)", "t(X, nice)"} {
-		q, err := onesided.ParseQuery(qs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		plan, err := onesided.CompileSelection(def, q)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ans, stats, err := plan.Eval(db)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("?- %s.   [mode=%v, state arity %d, %d iterations]\n",
-			qs, plan.Mode, plan.CarryArity, stats.Iterations)
-		for _, row := range onesided.Answers(ans, db) {
-			fmt.Println("  ", row)
-		}
 	}
 }

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ast"
@@ -23,17 +24,22 @@ import (
 // maxDepth bounds the number of levels; exceeding it returns an error
 // (divergence on cyclic data).
 func (p *Plan) EvalCounting(edb *storage.Database, maxDepth int) (*storage.Relation, EvalStats, error) {
+	return p.EvalCountingCtx(context.Background(), edb, maxDepth)
+}
+
+// EvalCountingCtx is EvalCounting with cancellation, checked per level.
+func (p *Plan) EvalCountingCtx(ctx context.Context, edb *storage.Database, maxDepth int) (*storage.Relation, EvalStats, error) {
 	if p.Mode != ModeContext {
 		return nil, EvalStats{}, fmt.Errorf("eval: counting evaluation requires a context-mode plan (have %v)", p.Mode)
 	}
 	// Reuse the context machinery but accumulate per-level relations.
 	// Implementation note: this duplicates the driver loop of evalContext
 	// rather than the compiled operators, which are shared.
-	return p.evalContextCounting(edb, maxDepth)
+	return p.evalContextCounting(ctx, edb, maxDepth)
 }
 
 // evalContextCounting mirrors evalContext with level-indexed state.
-func (p *Plan) evalContextCounting(edb *storage.Database, maxDepth int) (*storage.Relation, EvalStats, error) {
+func (p *Plan) evalContextCounting(ctx context.Context, edb *storage.Database, maxDepth int) (*storage.Relation, EvalStats, error) {
 	red := p.reduced
 	syms := edb.Syms
 	stats := EvalStats{CarryArity: p.CarryArity}
@@ -173,6 +179,9 @@ func (p *Plan) evalContextCounting(edb *storage.Database, maxDepth int) (*storag
 
 	// Level loop: no cross-level dedup (the counting discipline).
 	for depth := 0; len(level) > 0; depth++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		if depth > maxDepth {
 			return nil, stats, fmt.Errorf("eval: counting exceeded depth %d (cyclic context graph)", maxDepth)
 		}

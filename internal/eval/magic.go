@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -150,11 +151,16 @@ func MagicTransform(p *ast.Program, query ast.Atom) (*MagicResult, error) {
 // relation: the tuples of the query predicate matching the query's
 // constants.
 func MagicEval(p *ast.Program, query ast.Atom, edb *storage.Database) (*storage.Relation, *Result, error) {
+	return MagicEvalCtx(context.Background(), p, query, edb)
+}
+
+// MagicEvalCtx is MagicEval with cancellation.
+func MagicEvalCtx(ctx context.Context, p *ast.Program, query ast.Atom, edb *storage.Database) (*storage.Relation, *Result, error) {
 	mr, err := MagicTransform(p, query)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := SemiNaive(mr.Program, edb)
+	res, err := SemiNaiveCtx(ctx, mr.Program, edb)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -197,7 +203,12 @@ func matchesQuery(t storage.Tuple, query ast.Atom, syms *storage.SymbolTable) bo
 // SelectEval evaluates the query by full semi-naive materialization
 // followed by selection — the unoptimized baseline.
 func SelectEval(p *ast.Program, query ast.Atom, edb *storage.Database) (*storage.Relation, *Result, error) {
-	res, err := SemiNaive(p, edb)
+	return SelectEvalCtx(context.Background(), p, query, edb)
+}
+
+// SelectEvalCtx is SelectEval with cancellation.
+func SelectEvalCtx(ctx context.Context, p *ast.Program, query ast.Atom, edb *storage.Database) (*storage.Relation, *Result, error) {
+	res, err := SemiNaiveCtx(ctx, p, edb)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -423,26 +424,33 @@ func (p *Plan) substBound(atoms []ast.Atom) []ast.Atom {
 // Eval runs the compiled plan over the EDB, returning the answer relation
 // (full tuples of the defined predicate matching the selection).
 func (p *Plan) Eval(edb *storage.Database) (*storage.Relation, EvalStats, error) {
+	return p.EvalCtx(context.Background(), edb)
+}
+
+// EvalCtx is Eval with cancellation: the Fig. 9 while loop (and the
+// bottom-up fixpoints the other modes delegate to) checks ctx between
+// iterations and returns ctx.Err() when it fires.
+func (p *Plan) EvalCtx(ctx context.Context, edb *storage.Database) (*storage.Relation, EvalStats, error) {
 	switch p.Mode {
 	case ModeFull:
-		ans, _, err := SelectEval(p.Def.Program(), p.Query, edb)
+		ans, _, err := SelectEvalCtx(ctx, p.Def.Program(), p.Query, edb)
 		st := EvalStats{CarryArity: p.CarryArity}
 		if ans != nil {
 			st.SeenSize = ans.Len()
 		}
 		return ans, st, err
 	case ModeReduced:
-		return p.evalReduced(edb)
+		return p.evalReduced(ctx, edb)
 	case ModeContext:
-		return p.evalContext(edb)
+		return p.evalContext(ctx, edb)
 	}
 	return nil, EvalStats{}, fmt.Errorf("eval: invalid plan mode")
 }
 
 // evalReduced evaluates the reduced recursion bottom-up and re-expands the
 // dropped constant columns.
-func (p *Plan) evalReduced(edb *storage.Database) (*storage.Relation, EvalStats, error) {
-	res, err := SemiNaive(p.reduced.Program(), edb)
+func (p *Plan) evalReduced(ctx context.Context, edb *storage.Database) (*storage.Relation, EvalStats, error) {
+	res, err := SemiNaiveCtx(ctx, p.reduced.Program(), edb)
 	if err != nil {
 		return nil, EvalStats{}, err
 	}
@@ -473,7 +481,7 @@ func (p *Plan) evalReduced(edb *storage.Database) (*storage.Relation, EvalStats,
 // constants), iterate f until no new contexts appear, then assemble
 // answers from seen, the exit rule, and the factored groups — plus the
 // depth-0 answers from the exit rule alone.
-func (p *Plan) evalContext(edb *storage.Database) (*storage.Relation, EvalStats, error) {
+func (p *Plan) evalContext(ctx context.Context, edb *storage.Database) (*storage.Relation, EvalStats, error) {
 	red := p.reduced
 	syms := edb.Syms
 	stats := EvalStats{CarryArity: p.CarryArity}
@@ -623,6 +631,9 @@ func (p *Plan) evalContext(edb *storage.Database) (*storage.Relation, EvalStats,
 
 	// Fig. 9 while loop.
 	for len(carry) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		stats.Iterations++
 		var next []storage.Tuple
 		slots := make([]storage.Value, len(fSS.varSlot))
@@ -820,4 +831,13 @@ func OneSidedEval(d *ast.Definition, query ast.Atom, edb *storage.Database) (*st
 		return nil, EvalStats{}, err
 	}
 	return plan.Eval(edb)
+}
+
+// OneSidedEvalCtx is OneSidedEval with cancellation.
+func OneSidedEvalCtx(ctx context.Context, d *ast.Definition, query ast.Atom, edb *storage.Database) (*storage.Relation, EvalStats, error) {
+	plan, err := CompileSelection(d, query)
+	if err != nil {
+		return nil, EvalStats{}, err
+	}
+	return plan.EvalCtx(ctx, edb)
 }

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ast"
@@ -131,6 +132,12 @@ type Result struct {
 // same name as a derived predicate seeds it (this is what uniform
 // containment needs, and it is harmless otherwise).
 func SemiNaive(p *ast.Program, edb *storage.Database) (*Result, error) {
+	return SemiNaiveCtx(context.Background(), p, edb)
+}
+
+// SemiNaiveCtx is SemiNaive with cancellation: the fixpoint loop checks
+// ctx between rounds and returns ctx.Err() when it fires.
+func SemiNaiveCtx(ctx context.Context, p *ast.Program, edb *storage.Database) (*Result, error) {
 	cp, err := compileProgram(p, edb.Syms)
 	if err != nil {
 		return nil, err
@@ -174,6 +181,9 @@ func SemiNaive(p *ast.Program, edb *storage.Database) (*Result, error) {
 	}
 
 	// First round: evaluate all rules with no delta restriction.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	newDelta := make(map[string]*storage.Relation)
 	for _, cr := range cp.rules {
 		applyRule(cr, cr.variants[0:1], resolve(nil), idb, newDelta, true)
@@ -182,6 +192,9 @@ func SemiNaive(p *ast.Program, edb *storage.Database) (*Result, error) {
 
 	// Delta rounds.
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Promote.
 		delta := newDelta
 		if len(delta) == 0 {
@@ -260,6 +273,11 @@ func applyRule(cr *compiledRule, variants []ruleVariant, res resolver, idb *stor
 // full relations each round, until no new tuples appear. It is the
 // baseline the paper's Section 1 contrasts specialized algorithms with.
 func Naive(p *ast.Program, edb *storage.Database) (*Result, error) {
+	return NaiveCtx(context.Background(), p, edb)
+}
+
+// NaiveCtx is Naive with cancellation, checked between rounds.
+func NaiveCtx(ctx context.Context, p *ast.Program, edb *storage.Database) (*Result, error) {
 	cp, err := compileProgram(p, edb.Syms)
 	if err != nil {
 		return nil, err
@@ -290,6 +308,9 @@ func Naive(p *ast.Program, edb *storage.Database) (*Result, error) {
 		return edb.Relation(pred)
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		before := idb.TupleCount()
 		for _, cr := range cp.rules {
 			applyRule(cr, cr.variants[0:1], res0, idb, map[string]*storage.Relation{}, true)

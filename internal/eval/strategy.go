@@ -1,0 +1,350 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+)
+
+// Strategy names, used by the Engine's registry and Explain reports.
+const (
+	StrategyOneSided  = "onesided"
+	StrategyCounting  = "counting"
+	StrategyMagic     = "magic"
+	StrategySemiNaive = "seminaive"
+	StrategyNaive     = "naive"
+	StrategyEDB       = "edb"
+)
+
+// Strategy is an evaluation method that can plan a query against a
+// program. Prepare runs the strategy's analysis once (for the one-sided
+// strategy that is the paper's optimize-then-detect procedure, Theorem
+// 3.4) and returns a reusable prepared plan, or an error explaining why
+// the strategy does not apply — the Engine tries the next strategy in its
+// registry. Strategies must be stateless and safe for concurrent use.
+type Strategy interface {
+	Name() string
+	Prepare(p *ast.Program, query ast.Atom) (PreparedStrategy, error)
+}
+
+// PreparedStrategy is a query plan produced by a Strategy. Eval may be
+// called many times and concurrently against the same database; the plan
+// holds no per-evaluation state.
+type PreparedStrategy interface {
+	Explain() StrategyExplain
+	Eval(ctx context.Context, edb *storage.Database) (*storage.Relation, EvalStats, error)
+}
+
+// StrategyExplain reports what a prepared plan will do: which strategy
+// planned it, the Theorem 3.4 verdict when the planner ran it, the Fig. 9
+// mode and carry arity for one-sided plans, and a free-form detail line.
+type StrategyExplain struct {
+	Strategy   string
+	Verdict    string
+	Mode       string
+	CarryArity int
+	Detail     string
+}
+
+func (e StrategyExplain) String() string {
+	s := e.Strategy
+	if e.Mode != "" {
+		s += " mode=" + e.Mode
+	}
+	if e.Verdict != "" {
+		s += " verdict=" + fmt.Sprintf("%q", e.Verdict)
+	}
+	if e.Detail != "" {
+		s += " (" + e.Detail + ")"
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// One-sided strategy: the paper's planner.
+
+type oneSidedStrategy struct{}
+
+// OneSided returns the strategy that runs the Theorem 3.4
+// optimize-then-detect procedure and, when it concludes the recursion is
+// (convertible to) one-sided, compiles the selection into a Fig. 9 plan.
+func OneSided() Strategy { return oneSidedStrategy{} }
+
+func (oneSidedStrategy) Name() string { return StrategyOneSided }
+
+func (oneSidedStrategy) Prepare(p *ast.Program, query ast.Atom) (PreparedStrategy, error) {
+	dec, err := decideForQuery(p, query)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := CompileSelection(dec.Optimized, query)
+	if err != nil {
+		return nil, err
+	}
+	return &oneSidedPrepared{plan: plan, verdict: dec.Verdict.String()}, nil
+}
+
+// decideForQuery extracts the two-rule recursion for the query predicate,
+// checks that the Fig. 9 schema's EDB assumption holds (no body atom of
+// the definition is derived by other rules of the program), and runs the
+// Theorem 3.4 decision procedure.
+func decideForQuery(p *ast.Program, query ast.Atom) (*rewrite.Decision, error) {
+	def, err := ast.ExtractDefinition(p, query.Pred)
+	if err != nil {
+		return nil, err
+	}
+	idb := p.IDBPreds()
+	for _, r := range []ast.Rule{def.Recursive, def.Exit} {
+		for _, a := range r.Body {
+			if a.Pred != query.Pred && idb[a.Pred] {
+				return nil, fmt.Errorf("body atom %s is derived by other rules; the Fig. 9 schema needs base relations", a.Pred)
+			}
+		}
+	}
+	dec, err := rewrite.DecideOneSided(def)
+	if err != nil {
+		return nil, err
+	}
+	switch dec.Verdict {
+	case rewrite.VerdictOneSided, rewrite.VerdictConverted, rewrite.VerdictBounded:
+		return dec, nil
+	default:
+		return nil, fmt.Errorf("decision procedure: %s", dec.Verdict)
+	}
+}
+
+type oneSidedPrepared struct {
+	plan    *Plan
+	verdict string
+}
+
+func (o *oneSidedPrepared) Explain() StrategyExplain {
+	return StrategyExplain{
+		Strategy:   StrategyOneSided,
+		Verdict:    o.verdict,
+		Mode:       o.plan.Mode.String(),
+		CarryArity: o.plan.CarryArity,
+	}
+}
+
+func (o *oneSidedPrepared) Eval(ctx context.Context, edb *storage.Database) (*storage.Relation, EvalStats, error) {
+	return o.plan.EvalCtx(ctx, edb)
+}
+
+// ---------------------------------------------------------------------------
+// Counting strategy: the Fig. 9 plan evaluated with the Counting method's
+// per-level state discipline. Applies only to context-mode plans and
+// diverges on cyclic data, so it is not in the default auto-selection
+// chain; callers opt in by name.
+
+type countingStrategy struct{ maxDepth int }
+
+// Counting returns the Counting-method strategy bounded at maxDepth
+// derivation levels (<= 0 selects a default of 1024).
+func Counting(maxDepth int) Strategy {
+	if maxDepth <= 0 {
+		maxDepth = 1024
+	}
+	return countingStrategy{maxDepth: maxDepth}
+}
+
+func (countingStrategy) Name() string { return StrategyCounting }
+
+func (c countingStrategy) Prepare(p *ast.Program, query ast.Atom) (PreparedStrategy, error) {
+	dec, err := decideForQuery(p, query)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := CompileSelection(dec.Optimized, query)
+	if err != nil {
+		return nil, err
+	}
+	if plan.Mode != ModeContext {
+		return nil, fmt.Errorf("counting needs a context-mode plan (have %v)", plan.Mode)
+	}
+	return &countingPrepared{plan: plan, verdict: dec.Verdict.String(), maxDepth: c.maxDepth}, nil
+}
+
+type countingPrepared struct {
+	plan     *Plan
+	verdict  string
+	maxDepth int
+}
+
+func (c *countingPrepared) Explain() StrategyExplain {
+	return StrategyExplain{
+		Strategy:   StrategyCounting,
+		Verdict:    c.verdict,
+		Mode:       c.plan.Mode.String(),
+		CarryArity: c.plan.CarryArity,
+		Detail:     fmt.Sprintf("max depth %d", c.maxDepth),
+	}
+}
+
+func (c *countingPrepared) Eval(ctx context.Context, edb *storage.Database) (*storage.Relation, EvalStats, error) {
+	return c.plan.EvalCountingCtx(ctx, edb, c.maxDepth)
+}
+
+// ---------------------------------------------------------------------------
+// Magic Sets strategy: the general-purpose fallback. The rewriting runs
+// once at Prepare; evaluation is semi-naive over the transformed program.
+
+type magicStrategy struct{}
+
+// Magic returns the Magic Sets strategy.
+func Magic() Strategy { return magicStrategy{} }
+
+func (magicStrategy) Name() string { return StrategyMagic }
+
+func (magicStrategy) Prepare(p *ast.Program, query ast.Atom) (PreparedStrategy, error) {
+	mr, err := MagicTransform(p, query)
+	if err != nil {
+		return nil, err
+	}
+	return &magicPrepared{mr: mr}, nil
+}
+
+type magicPrepared struct {
+	mr *MagicResult
+}
+
+func (m *magicPrepared) Explain() StrategyExplain {
+	return StrategyExplain{
+		Strategy: StrategyMagic,
+		Detail:   fmt.Sprintf("answer predicate %s, %d rewritten rules", m.mr.AnswerPred, len(m.mr.Program.Rules)),
+	}
+}
+
+func (m *magicPrepared) Eval(ctx context.Context, edb *storage.Database) (*storage.Relation, EvalStats, error) {
+	res, err := SemiNaiveCtx(ctx, m.mr.Program, edb)
+	if err != nil {
+		return nil, EvalStats{}, err
+	}
+	ans := storage.NewRelation(m.mr.Query.Arity(), &edb.Stats)
+	if rel := res.IDB.Relation(m.mr.AnswerPred); rel != nil {
+		for _, t := range rel.Tuples() {
+			if matchesQuery(t, m.mr.Query, edb.Syms) {
+				ans.Insert(t)
+			}
+		}
+	}
+	return ans, EvalStats{Iterations: res.Rounds, SeenSize: res.IDB.TupleCount()}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Semi-naive and naive strategies: full materialization plus selection.
+
+type bottomUpStrategy struct {
+	name string
+	eval func(ctx context.Context, p *ast.Program, edb *storage.Database) (*Result, error)
+}
+
+// SemiNaiveStrategy returns materialize-with-semi-naive-then-select.
+func SemiNaiveStrategy() Strategy {
+	return bottomUpStrategy{name: StrategySemiNaive, eval: SemiNaiveCtx}
+}
+
+// NaiveStrategy returns materialize-with-naive-then-select.
+func NaiveStrategy() Strategy {
+	return bottomUpStrategy{name: StrategyNaive, eval: NaiveCtx}
+}
+
+func (s bottomUpStrategy) Name() string { return s.name }
+
+func (s bottomUpStrategy) Prepare(p *ast.Program, query ast.Atom) (PreparedStrategy, error) {
+	if !headPreds(p)[query.Pred] {
+		return nil, fmt.Errorf("predicate %s is not defined by the program", query.Pred)
+	}
+	return &bottomUpPrepared{strategy: s, program: p, query: query.Clone()}, nil
+}
+
+type bottomUpPrepared struct {
+	strategy bottomUpStrategy
+	program  *ast.Program
+	query    ast.Atom
+}
+
+func (b *bottomUpPrepared) Explain() StrategyExplain {
+	return StrategyExplain{
+		Strategy: b.strategy.name,
+		Detail:   "full materialization then selection",
+	}
+}
+
+func (b *bottomUpPrepared) Eval(ctx context.Context, edb *storage.Database) (*storage.Relation, EvalStats, error) {
+	res, err := b.strategy.eval(ctx, b.program, edb)
+	if err != nil {
+		return nil, EvalStats{}, err
+	}
+	ans := storage.NewRelation(b.query.Arity(), &edb.Stats)
+	if rel := res.IDB.Relation(b.query.Pred); rel != nil {
+		for _, t := range rel.Tuples() {
+			if matchesQuery(t, b.query, edb.Syms) {
+				ans.Insert(t)
+			}
+		}
+	}
+	return ans, EvalStats{Iterations: res.Rounds, SeenSize: res.IDB.TupleCount()}, nil
+}
+
+// ---------------------------------------------------------------------------
+// EDB strategy: a plain indexed lookup for predicates the program does not
+// derive. It makes Engine.Query total over the database — base relations
+// answer without any rule machinery.
+
+type edbStrategy struct{}
+
+// EDBLookup returns the base-relation lookup strategy.
+func EDBLookup() Strategy { return edbStrategy{} }
+
+func (edbStrategy) Name() string { return StrategyEDB }
+
+func (edbStrategy) Prepare(p *ast.Program, query ast.Atom) (PreparedStrategy, error) {
+	if p != nil && p.IDBPreds()[query.Pred] {
+		return nil, fmt.Errorf("predicate %s is derived; use a rule strategy", query.Pred)
+	}
+	return &edbPrepared{query: query.Clone()}, nil
+}
+
+type edbPrepared struct {
+	query ast.Atom
+}
+
+func (e *edbPrepared) Explain() StrategyExplain {
+	return StrategyExplain{Strategy: StrategyEDB, Detail: "indexed base-relation lookup"}
+}
+
+func (e *edbPrepared) Eval(ctx context.Context, edb *storage.Database) (*storage.Relation, EvalStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, EvalStats{}, err
+	}
+	rel := edb.Relation(e.query.Pred)
+	ans := storage.NewRelation(e.query.Arity(), &edb.Stats)
+	if rel == nil {
+		return ans, EvalStats{}, nil
+	}
+	if rel.Arity() != e.query.Arity() {
+		return nil, EvalStats{}, fmt.Errorf("eval: query %v has arity %d, relation has %d", e.query, e.query.Arity(), rel.Arity())
+	}
+	var bindings []storage.Binding
+	for i, a := range e.query.Args {
+		if a.IsConst() {
+			if v, ok := edb.Syms.Lookup(a.Name); ok {
+				bindings = append(bindings, storage.Binding{Col: i, Val: v})
+			} else {
+				// Unknown constant: no tuple can match.
+				return ans, EvalStats{}, nil
+			}
+		}
+	}
+	rel.Lookup(bindings, func(t storage.Tuple) bool {
+		if matchesQuery(t, e.query, edb.Syms) {
+			ans.Insert(t)
+		}
+		return true
+	})
+	return ans, EvalStats{SeenSize: ans.Len()}, nil
+}

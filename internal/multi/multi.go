@@ -19,6 +19,7 @@
 package multi
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -377,18 +378,28 @@ func ExpandSequence(d *Definition, seq []int) expand.String {
 	return expand.String{K: len(seq), Head: head, Instances: insts}
 }
 
-// EvalSelection evaluates a "column = constant" selection on the
-// multi-rule recursion. When every bound column is persistent in every
-// recursive rule, the reduction of Section 4 applies rule-by-rule
-// (substitute the constant, drop the column, evaluate bottom-up);
-// otherwise the query goes to Magic Sets. The returned mode string names
-// the path taken.
-func EvalSelection(d *Definition, query ast.Atom, db *storage.Database) (*storage.Relation, string, error) {
+// SelectionPlan is a prepared "column = constant" selection on a
+// multi-rule recursion: the Section 4 persistent-column reduction applied
+// rule-by-rule. Build one with PrepareSelection; Eval may run many times
+// and concurrently.
+type SelectionPlan struct {
+	def     *Definition
+	query   ast.Atom
+	reduced *ast.Program
+	keep    []int // original column index of each reduced column
+	bound   []int // bound original columns
+}
+
+// PrepareSelection plans a selection on the multi-rule recursion. It
+// succeeds only when every bound column is persistent in every recursive
+// rule (the shape the Section 5 extension reduces); anything else returns
+// an error so callers can fall back to a general method.
+func PrepareSelection(d *Definition, query ast.Atom) (*SelectionPlan, error) {
 	if err := d.Validate(); err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	if query.Pred != d.Pred() || query.Arity() != d.Arity() {
-		return nil, "", fmt.Errorf("multi: query %v does not match %s/%d", query, d.Pred(), d.Arity())
+		return nil, fmt.Errorf("multi: query %v does not match %s/%d", query, d.Pred(), d.Arity())
 	}
 	var bound []int
 	for i, a := range query.Args {
@@ -396,21 +407,18 @@ func EvalSelection(d *Definition, query ast.Atom, db *storage.Database) (*storag
 			bound = append(bound, i)
 		}
 	}
-	allPersistent := len(bound) > 0
+	if len(bound) == 0 {
+		return nil, fmt.Errorf("multi: query %v binds no column", query)
+	}
 	for i := range d.Recursive {
 		pc := d.SubDefinition(i).PersistentColumns()
 		for _, c := range bound {
 			if !pc[c] {
-				allPersistent = false
+				return nil, fmt.Errorf("multi: bound column %d is not persistent in rule %d", c+1, i+1)
 			}
 		}
 	}
-	if !allPersistent {
-		ans, _, err := eval.MagicEval(d.Program(), query, db)
-		return ans, "magic", err
-	}
-
-	// Reduce every rule and evaluate the reduced program bottom-up.
+	// Reduce every rule once; evaluation replays the reduced program.
 	reducedProg := ast.NewProgram()
 	var keep []int
 	for i := range d.Recursive {
@@ -422,26 +430,111 @@ func EvalSelection(d *Definition, query ast.Atom, db *storage.Database) (*storag
 			reducedProg.Rules = append(reducedProg.Rules, red.Exit)
 		}
 	}
-	res, err := eval.SemiNaive(reducedProg, db)
+	return &SelectionPlan{def: d, query: query.Clone(), reduced: reducedProg, keep: keep, bound: bound}, nil
+}
+
+// Eval runs the reduced program bottom-up and re-expands the dropped
+// constant columns.
+func (sp *SelectionPlan) Eval(ctx context.Context, db *storage.Database) (*storage.Relation, eval.EvalStats, error) {
+	res, err := eval.SemiNaiveCtx(ctx, sp.reduced, db)
 	if err != nil {
-		return nil, "", err
+		return nil, eval.EvalStats{}, err
 	}
-	ans := storage.NewRelation(d.Arity(), &db.Stats)
-	rel := res.IDB.Relation(d.Pred())
+	stats := eval.EvalStats{Iterations: res.Rounds, CarryArity: len(sp.keep)}
+	ans := storage.NewRelation(sp.def.Arity(), &db.Stats)
+	rel := res.IDB.Relation(sp.def.Pred())
 	if rel == nil {
-		return ans, "reduced", nil
+		return ans, stats, nil
 	}
-	out := make(storage.Tuple, d.Arity())
-	for _, c := range bound {
-		out[c] = db.Syms.Intern(query.Args[c].Name)
+	stats.SeenSize = rel.Len()
+	out := make(storage.Tuple, sp.def.Arity())
+	for _, c := range sp.bound {
+		out[c] = db.Syms.Intern(sp.query.Args[c].Name)
 	}
 	for _, t := range rel.Tuples() {
-		for ri, oi := range keep {
+		for ri, oi := range sp.keep {
 			out[oi] = t[ri]
 		}
 		ans.Insert(out)
 	}
-	return ans, "reduced", nil
+	return ans, stats, nil
+}
+
+// EvalSelection evaluates a "column = constant" selection on the
+// multi-rule recursion. When every bound column is persistent in every
+// recursive rule, the reduction of Section 4 applies rule-by-rule
+// (substitute the constant, drop the column, evaluate bottom-up);
+// otherwise the query goes to Magic Sets. The returned mode string names
+// the path taken.
+func EvalSelection(d *Definition, query ast.Atom, db *storage.Database) (*storage.Relation, string, error) {
+	sp, err := PrepareSelection(d, query)
+	if err != nil {
+		if verr := d.Validate(); verr != nil {
+			return nil, "", verr
+		}
+		if query.Pred != d.Pred() || query.Arity() != d.Arity() {
+			return nil, "", fmt.Errorf("multi: query %v does not match %s/%d", query, d.Pred(), d.Arity())
+		}
+		ans, _, merr := eval.MagicEval(d.Program(), query, db)
+		return ans, "magic", merr
+	}
+	ans, _, err := sp.Eval(context.Background(), db)
+	return ans, "reduced", err
+}
+
+// StrategyName is the name the multi-rule adapter registers under.
+const StrategyName = "multi"
+
+// Strategy adapts the Section 5 extension to the Engine's strategy
+// registry: it claims queries whose predicate is a multi-rule (>= 2
+// recursive rules) linear recursion with every bound column persistent in
+// every rule, and declines everything else so the engine can fall back to
+// a general method. Single-rule recursions are left to the one-sided
+// strategy.
+func Strategy() eval.Strategy { return strategy{} }
+
+type strategy struct{}
+
+func (strategy) Name() string { return StrategyName }
+
+func (strategy) Prepare(p *ast.Program, query ast.Atom) (eval.PreparedStrategy, error) {
+	d, err := Extract(p, query.Pred)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.Recursive) < 2 {
+		return nil, fmt.Errorf("multi: single-rule recursion; use the one-sided strategy")
+	}
+	idb := p.IDBPreds()
+	for _, r := range append(append([]ast.Rule{}, d.Recursive...), d.Exit) {
+		for _, a := range r.Body {
+			if a.Pred != query.Pred && idb[a.Pred] {
+				return nil, fmt.Errorf("multi: body atom %s is derived by other rules", a.Pred)
+			}
+		}
+	}
+	sp, err := PrepareSelection(d, query)
+	if err != nil {
+		return nil, err
+	}
+	return &preparedStrategy{plan: sp}, nil
+}
+
+type preparedStrategy struct {
+	plan *SelectionPlan
+}
+
+func (ps *preparedStrategy) Explain() eval.StrategyExplain {
+	return eval.StrategyExplain{
+		Strategy:   StrategyName,
+		Mode:       "reduced",
+		CarryArity: len(ps.plan.keep),
+		Detail:     fmt.Sprintf("%d recursive rules, persistent-column reduction", len(ps.plan.def.Recursive)),
+	}
+}
+
+func (ps *preparedStrategy) Eval(ctx context.Context, edb *storage.Database) (*storage.Relation, eval.EvalStats, error) {
+	return ps.plan.Eval(ctx, edb)
 }
 
 // reduceFor mirrors the single-rule persistent reduction.

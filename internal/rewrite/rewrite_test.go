@@ -1,4 +1,4 @@
-package rewrite
+package rewrite_test
 
 import (
 	"testing"
@@ -9,6 +9,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/expand"
 	"repro/internal/parser"
+	"repro/internal/rewrite"
 	"repro/internal/storage"
 )
 
@@ -31,7 +32,7 @@ const buysSrc = `
 // is one-sided.
 func TestExpE08RemoveRedundantBuys(t *testing.T) {
 	d := def(t, buysSrc, "buys")
-	opt, removed, err := RemoveRedundant(d)
+	opt, removed, err := rewrite.RemoveRedundant(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestExpE08RemoveRedundantBuys(t *testing.T) {
 // databases (standard equivalence — what [Nau89b] guarantees).
 func TestRemovalPreservesRelation(t *testing.T) {
 	d := def(t, buysSrc, "buys")
-	opt, _, err := RemoveRedundant(d)
+	opt, _, err := rewrite.RemoveRedundant(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestRemovalPreservesRelation(t *testing.T) {
 // optimized string is equivalent to the corresponding original string.
 func TestRemovalPreservesExpansion(t *testing.T) {
 	d := def(t, buysSrc, "buys")
-	opt, _, err := RemoveRedundant(d)
+	opt, _, err := rewrite.RemoveRedundant(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestRemovalRejectsLoadBearingAtoms(t *testing.T) {
 	}
 	for _, c := range cases {
 		d := def(t, c.src, c.pred)
-		opt, removed, err := RemoveRedundant(d)
+		opt, removed, err := rewrite.RemoveRedundant(d)
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
@@ -138,7 +139,7 @@ func TestRemovalRejectsLoadBearingAtoms(t *testing.T) {
 }
 
 // TestRemovalVerifiedAgainstEvaluation fuzzes the removal decision: for a
-// corpus of rules, whenever RemoveRedundant drops atoms the optimized
+// corpus of rules, whenever rewrite.RemoveRedundant drops atoms the optimized
 // definition must agree with the original on random databases.
 func TestRemovalVerifiedAgainstEvaluation(t *testing.T) {
 	srcs := []struct{ src, pred string }{
@@ -150,7 +151,7 @@ func TestRemovalVerifiedAgainstEvaluation(t *testing.T) {
 	}
 	for _, s := range srcs {
 		d := def(t, s.src, s.pred)
-		opt, _, err := RemoveRedundant(d)
+		opt, _, err := rewrite.RemoveRedundant(d)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -176,37 +177,37 @@ func TestRemovalVerifiedAgainstEvaluation(t *testing.T) {
 func TestExpE09DecideOneSided(t *testing.T) {
 	cases := []struct {
 		name, src, pred string
-		want            Verdict
+		want            rewrite.Verdict
 	}{
 		{"transitive closure", `
 			t(X, Y) :- a(X, Z), t(Z, Y).
 			t(X, Y) :- b(X, Y).
-		`, "t", VerdictOneSided},
-		{"buys", buysSrc, "buys", VerdictConverted},
+		`, "t", rewrite.VerdictOneSided},
+		{"buys", buysSrc, "buys", rewrite.VerdictConverted},
 		{"same generation", `
 			sg(X, Y) :- p(X, W), p(Y, Z), sg(W, Z).
 			sg(X, Y) :- sg0(X, Y).
-		`, "sg", VerdictNotOneSided},
+		`, "sg", rewrite.VerdictNotOneSided},
 		{"example 3.5", `
 			t(X, Y) :- e(X, W), t(Y, W).
 			t(X, Y) :- t0(X, Y).
-		`, "t", VerdictNotOneSided},
+		`, "t", rewrite.VerdictNotOneSided},
 		{"bounded", `
 			t(X, Y) :- e(W1, W2), t(X, Y).
 			t(X, Y) :- b(X, Y).
-		`, "t", VerdictBounded},
+		`, "t", rewrite.VerdictBounded},
 		{"example 3.4", `
 			t(X, Y, Z) :- t(X, U, W), e(U, Y), d(Z).
 			t(X, Y, Z) :- t0(X, Y, Z).
-		`, "t", VerdictOneSided},
+		`, "t", rewrite.VerdictOneSided},
 		{"canonical two-sided", `
 			t(X, Y) :- a(X, W), t(W, Z), c(Z, Y).
 			t(X, Y) :- b(X, Y).
-		`, "t", VerdictNotOneSided},
+		`, "t", rewrite.VerdictNotOneSided},
 	}
 	for _, c := range cases {
 		d := def(t, c.src, c.pred)
-		dec, err := DecideOneSided(d)
+		dec, err := rewrite.DecideOneSided(d)
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
@@ -223,7 +224,7 @@ func TestExpE18AppendixAConstruction(t *testing.T) {
 		p(X1, X2) :- c(X1), p(X1, X2).
 		p(X1, X2) :- c(X1), p0(X1, X2).
 	`)
-	q, err := AppendixA(p, "p", "q", "bq", "eq")
+	q, err := rewrite.AppendixA(p, "p", "q", "bq", "eq")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestExpE18LemmaA1(t *testing.T) {
 		p(X1, X2) :- c(X1), p(X1, X2).
 		p(X1, X2) :- c(X1), p0(X1, X2).
 	`)
-	q, err := AppendixA(p, "p", "q", "bq", "eq")
+	q, err := rewrite.AppendixA(p, "p", "q", "bq", "eq")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestExpE18LemmaA2(t *testing.T) {
 		p(X1, X2) :- c(X1), p(X1, X2).
 		p(X1, X2) :- c(X1), p0(X1, X2).
 	`)
-	q, err := AppendixA(p, "p", "q", "bq", "eq")
+	q, err := rewrite.AppendixA(p, "p", "q", "bq", "eq")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +346,7 @@ func TestExpE18ExampleA3(t *testing.T) {
 	pPrime := parser.MustParseProgram(`
 		p(X1, X2) :- c(X1), p0(X1, X2).
 	`)
-	qPrime, err := AppendixA(pPrime, "p", "q", "bq", "eq")
+	qPrime, err := rewrite.AppendixA(pPrime, "p", "q", "bq", "eq")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +370,7 @@ func TestExpE16CrossProductRewrite(t *testing.T) {
 		t(X, Y) :- a(X, W), t(W, Z), c(Z, Y).
 		t(X, Y) :- b(X, Y).
 	`, "t")
-	cp, err := CrossProductRewrite(d, "ac")
+	cp, err := rewrite.CrossProductRewrite(d, "ac")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,18 +413,18 @@ func TestCrossProductRejectsPassThrough(t *testing.T) {
 		t(X, Y) :- a(X, W), t(W, Y).
 		t(X, Y) :- b(X, Y).
 	`, "t")
-	if _, err := CrossProductRewrite(d, "ac"); err == nil {
+	if _, err := rewrite.CrossProductRewrite(d, "ac"); err == nil {
 		t.Fatal("expected rejection: Y appears in no nonrecursive atom")
 	}
 }
 
 func TestAppendixAErrors(t *testing.T) {
 	p := parser.MustParseProgram(`p(X) :- c(X).`)
-	if _, err := AppendixA(p, "p", "q", "b", "e"); err == nil {
+	if _, err := rewrite.AppendixA(p, "p", "q", "b", "e"); err == nil {
 		t.Fatal("expected arity error")
 	}
 	p2 := parser.MustParseProgram(`p(X, Y) :- c(X, Y).`)
-	if _, err := AppendixA(p2, "p", "c", "b", "e"); err == nil {
+	if _, err := rewrite.AppendixA(p2, "p", "c", "b", "e"); err == nil {
 		t.Fatal("expected name-clash error")
 	}
 }

@@ -3,6 +3,15 @@
 // tuples, per-column hash indexes, and instrumentation counters that
 // measure the paper's Property 3 ("never do an unrestricted lookup on a
 // nonrecursive relation").
+//
+// Concurrency: SymbolTable, Relation, and Database are safe for any
+// number of concurrent readers with concurrent writers (RWMutex-guarded
+// structures plus atomic counters), so one Engine can serve parallel
+// queries over a shared EDB. Iteration (Scan, Lookup, Tuples) works on a
+// snapshot of the tuple set taken at call time: tuples are append-only
+// and never mutated in place, so a snapshot is a consistent prefix, and
+// a goroutine may insert into the very relation it is scanning — the
+// fixpoint loops rely on this — without deadlock.
 package storage
 
 import (
@@ -10,6 +19,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Value is an interned constant symbol.
@@ -34,8 +45,10 @@ func (t Tuple) Clone() Tuple {
 	return out
 }
 
-// SymbolTable interns constant names as dense Values.
+// SymbolTable interns constant names as dense Values. It is safe for
+// concurrent use.
 type SymbolTable struct {
+	mu    sync.RWMutex
 	names []string
 	ids   map[string]Value
 }
@@ -47,10 +60,18 @@ func NewSymbolTable() *SymbolTable {
 
 // Intern returns the Value for name, assigning a fresh one on first use.
 func (st *SymbolTable) Intern(name string) Value {
+	st.mu.RLock()
+	v, ok := st.ids[name]
+	st.mu.RUnlock()
+	if ok {
+		return v
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if v, ok := st.ids[name]; ok {
 		return v
 	}
-	v := Value(len(st.names))
+	v = Value(len(st.names))
 	st.names = append(st.names, name)
 	st.ids[name] = v
 	return v
@@ -58,12 +79,16 @@ func (st *SymbolTable) Intern(name string) Value {
 
 // Lookup returns the Value for name without interning.
 func (st *SymbolTable) Lookup(name string) (Value, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	v, ok := st.ids[name]
 	return v, ok
 }
 
 // Name returns the constant name for a Value.
 func (st *SymbolTable) Name(v Value) string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	if int(v) < 0 || int(v) >= len(st.names) {
 		return fmt.Sprintf("#%d", v)
 	}
@@ -71,13 +96,27 @@ func (st *SymbolTable) Name(v Value) string {
 }
 
 // Len returns the number of interned symbols.
-func (st *SymbolTable) Len() int { return len(st.names) }
+func (st *SymbolTable) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.names)
+}
 
 // Counters instruments relation access. TuplesExamined counts tuples
 // touched by lookups and scans; IndexLookups counts index probes;
 // FullScans counts scans with no bound column (the unrestricted lookups
 // Property 3 forbids); Inserts counts accepted tuple insertions (a proxy
 // for state size).
+//
+// All updates are atomic, so Counters may be shared across goroutines.
+// Direct field reads are fine when the database is quiesced (the usual
+// measure-after-evaluating pattern); use Snapshot while writers may
+// still be running.
+//
+// Alignment: the fields are operated on with 64-bit atomics, so a
+// Counters must be 64-bit aligned — heap-allocated (any value whose
+// address escapes, as every value passed to NewRelation does) or placed
+// first in its enclosing struct, as in Database.
 type Counters struct {
 	TuplesExamined int64
 	IndexLookups   int64
@@ -86,26 +125,55 @@ type Counters struct {
 }
 
 // Reset zeroes the counters.
-func (c *Counters) Reset() { *c = Counters{} }
+func (c *Counters) Reset() {
+	atomic.StoreInt64(&c.TuplesExamined, 0)
+	atomic.StoreInt64(&c.IndexLookups, 0)
+	atomic.StoreInt64(&c.FullScans, 0)
+	atomic.StoreInt64(&c.Inserts, 0)
+}
+
+// Snapshot returns an atomically read copy of the counters.
+func (c *Counters) Snapshot() Counters {
+	return Counters{
+		TuplesExamined: atomic.LoadInt64(&c.TuplesExamined),
+		IndexLookups:   atomic.LoadInt64(&c.IndexLookups),
+		FullScans:      atomic.LoadInt64(&c.FullScans),
+		Inserts:        atomic.LoadInt64(&c.Inserts),
+	}
+}
+
+// Sub returns c - other, field by field (for per-query deltas).
+func (c Counters) Sub(other Counters) Counters {
+	return Counters{
+		TuplesExamined: c.TuplesExamined - other.TuplesExamined,
+		IndexLookups:   c.IndexLookups - other.IndexLookups,
+		FullScans:      c.FullScans - other.FullScans,
+		Inserts:        c.Inserts - other.Inserts,
+	}
+}
 
 // Add accumulates other into c.
 func (c *Counters) Add(other Counters) {
-	c.TuplesExamined += other.TuplesExamined
-	c.IndexLookups += other.IndexLookups
-	c.FullScans += other.FullScans
-	c.Inserts += other.Inserts
+	atomic.AddInt64(&c.TuplesExamined, other.TuplesExamined)
+	atomic.AddInt64(&c.IndexLookups, other.IndexLookups)
+	atomic.AddInt64(&c.FullScans, other.FullScans)
+	atomic.AddInt64(&c.Inserts, other.Inserts)
 }
 
 // Relation is a set of tuples of fixed arity with lazily built per-column
 // hash indexes. The zero value is not usable; construct with NewRelation.
+// Methods are safe for concurrent use; see the package comment for the
+// snapshot semantics of iteration.
 type Relation struct {
-	arity   int
+	arity int
+	stats *Counters
+
+	mu      sync.RWMutex
 	tuples  []Tuple
 	present map[string]bool
 	// cols[i] maps a value to the ordinals of tuples holding it in column i
 	// (nil until built).
-	cols  []map[Value][]int
-	stats *Counters
+	cols []map[Value][]int
 }
 
 // NewRelation creates an empty relation of the given arity, reporting
@@ -123,7 +191,11 @@ func NewRelation(arity int, stats *Counters) *Relation {
 func (r *Relation) Arity() int { return r.arity }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tuples)
+}
 
 // Insert adds a tuple (copied), returning true when it was not already
 // present.
@@ -132,7 +204,9 @@ func (r *Relation) Insert(t Tuple) bool {
 		panic(fmt.Sprintf("storage: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
 	}
 	k := t.Key()
+	r.mu.Lock()
 	if r.present[k] {
+		r.mu.Unlock()
 		return false
 	}
 	r.present[k] = true
@@ -144,28 +218,40 @@ func (r *Relation) Insert(t Tuple) bool {
 			idx[ct[i]] = append(idx[ct[i]], ord)
 		}
 	}
+	r.mu.Unlock()
 	if r.stats != nil {
-		r.stats.Inserts++
+		atomic.AddInt64(&r.stats.Inserts, 1)
 	}
 	return true
 }
 
 // Contains reports membership.
-func (r *Relation) Contains(t Tuple) bool { return r.present[t.Key()] }
+func (r *Relation) Contains(t Tuple) bool {
+	k := t.Key()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.present[k]
+}
 
-// Tuples returns the backing tuple slice. Callers must not modify it. This
-// accessor is not instrumented; use Scan for measured access.
-func (r *Relation) Tuples() []Tuple { return r.tuples }
+// Tuples returns a snapshot of the backing tuple slice. Callers must not
+// modify it. This accessor is not instrumented; use Scan for measured
+// access.
+func (r *Relation) Tuples() []Tuple {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tuples[:len(r.tuples):len(r.tuples)]
+}
 
-// Scan iterates every tuple, recording a full scan. Tuples are counted as
-// examined only up to the point the caller stops.
+// Scan iterates a snapshot of the tuples, recording a full scan. Tuples
+// are counted as examined only up to the point the caller stops.
 func (r *Relation) Scan(yield func(Tuple) bool) {
+	tuples := r.Tuples()
 	if r.stats != nil {
-		r.stats.FullScans++
+		atomic.AddInt64(&r.stats.FullScans, 1)
 	}
-	for _, t := range r.tuples {
+	for _, t := range tuples {
 		if r.stats != nil {
-			r.stats.TuplesExamined++
+			atomic.AddInt64(&r.stats.TuplesExamined, 1)
 		}
 		if !yield(t) {
 			return
@@ -173,8 +259,9 @@ func (r *Relation) Scan(yield func(Tuple) bool) {
 	}
 }
 
-// ensureIndex builds the hash index for a column on first use.
-func (r *Relation) ensureIndex(col int) map[Value][]int {
+// ensureIndexLocked builds the hash index for a column. The caller must
+// hold the write lock.
+func (r *Relation) ensureIndexLocked(col int) {
 	if r.cols[col] == nil {
 		idx := make(map[Value][]int)
 		for ord, t := range r.tuples {
@@ -182,7 +269,6 @@ func (r *Relation) ensureIndex(col int) map[Value][]int {
 		}
 		r.cols[col] = idx
 	}
-	return r.cols[col]
 }
 
 // Binding is a column/value restriction for Lookup.
@@ -192,26 +278,58 @@ type Binding struct {
 }
 
 // Lookup iterates the tuples matching all bindings. With at least one
-// binding it probes the hash index of the first binding's column and
-// filters the rest (instrumented as an index lookup); with none it
-// degrades to a full scan.
+// binding it probes the hash index of the most selective bound column —
+// the one whose posting list for its value is shortest — and filters the
+// remaining bindings tuple by tuple (instrumented as one index lookup);
+// with none it degrades to a full scan. Indexes for every bound column
+// are built on first use, so selectivity is compared on actual posting
+// lists rather than guessed.
 func (r *Relation) Lookup(bindings []Binding, yield func(Tuple) bool) {
 	if len(bindings) == 0 {
 		r.Scan(yield)
 		return
 	}
-	idx := r.ensureIndex(bindings[0].Col)
-	ords := idx[bindings[0].Val]
+	r.mu.RLock()
+	missing := false
+	for _, b := range bindings {
+		if r.cols[b.Col] == nil {
+			missing = true
+			break
+		}
+	}
+	if missing {
+		r.mu.RUnlock()
+		r.mu.Lock()
+		for _, b := range bindings {
+			r.ensureIndexLocked(b.Col)
+		}
+		r.mu.Unlock()
+		r.mu.RLock()
+	}
+	// Probe the most selective bound column: shortest posting list wins.
+	probe := 0
+	ords := r.cols[bindings[0].Col][bindings[0].Val]
+	for i, b := range bindings[1:] {
+		if cand := r.cols[b.Col][b.Val]; len(cand) < len(ords) {
+			probe, ords = i+1, cand
+		}
+	}
+	tuples := r.tuples[:len(r.tuples):len(r.tuples)]
+	r.mu.RUnlock()
+
 	if r.stats != nil {
-		r.stats.IndexLookups++
+		atomic.AddInt64(&r.stats.IndexLookups, 1)
 	}
 outer:
 	for _, ord := range ords {
-		t := r.tuples[ord]
+		t := tuples[ord]
 		if r.stats != nil {
-			r.stats.TuplesExamined++
+			atomic.AddInt64(&r.stats.TuplesExamined, 1)
 		}
-		for _, b := range bindings[1:] {
+		for i, b := range bindings {
+			if i == probe {
+				continue
+			}
 			if t[b.Col] != b.Val {
 				continue outer
 			}
@@ -224,10 +342,24 @@ outer:
 
 // Equal reports whether two relations hold the same tuple sets.
 func (r *Relation) Equal(o *Relation) bool {
-	if r.arity != o.arity || len(r.tuples) != len(o.tuples) {
+	if r == o {
+		return true
+	}
+	if r.arity != o.arity {
 		return false
 	}
+	r.mu.RLock()
+	keys := make([]string, 0, len(r.present))
 	for k := range r.present {
+		keys = append(keys, k)
+	}
+	r.mu.RUnlock()
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if len(keys) != len(o.present) {
+		return false
+	}
+	for _, k := range keys {
 		if !o.present[k] {
 			return false
 		}
@@ -238,8 +370,9 @@ func (r *Relation) Equal(o *Relation) bool {
 // SortedTuples returns the tuples in lexicographic order (fresh slice),
 // for deterministic output.
 func (r *Relation) SortedTuples() []Tuple {
-	out := make([]Tuple, len(r.tuples))
-	copy(out, r.tuples)
+	snap := r.Tuples()
+	out := make([]Tuple, len(snap))
+	copy(out, snap)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		for k := range a {
@@ -253,11 +386,13 @@ func (r *Relation) SortedTuples() []Tuple {
 }
 
 // Database is a named collection of relations sharing a symbol table and
-// instrumentation counters.
+// instrumentation counters. It is safe for concurrent use.
 type Database struct {
+	Stats Counters // first field: keeps the atomics 64-bit aligned on 32-bit platforms
 	Syms  *SymbolTable
-	Stats Counters
-	rels  map[string]*Relation
+
+	mu   sync.RWMutex
+	rels map[string]*Relation
 }
 
 // NewDatabase creates an empty database with a fresh symbol table.
@@ -272,28 +407,45 @@ func NewDatabaseWith(syms *SymbolTable) *Database {
 }
 
 // Relation returns the named relation, or nil.
-func (db *Database) Relation(pred string) *Relation { return db.rels[pred] }
+func (db *Database) Relation(pred string) *Relation {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.rels[pred]
+}
 
 // Ensure returns the named relation, creating it with the given arity when
 // missing.
 func (db *Database) Ensure(pred string, arity int) *Relation {
+	db.mu.RLock()
+	r, ok := db.rels[pred]
+	db.mu.RUnlock()
+	if ok {
+		if r.arity != arity {
+			panic(fmt.Sprintf("storage: relation %s has arity %d, requested %d", pred, r.arity, arity))
+		}
+		return r
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if r, ok := db.rels[pred]; ok {
 		if r.arity != arity {
 			panic(fmt.Sprintf("storage: relation %s has arity %d, requested %d", pred, r.arity, arity))
 		}
 		return r
 	}
-	r := NewRelation(arity, &db.Stats)
+	r = NewRelation(arity, &db.Stats)
 	db.rels[pred] = r
 	return r
 }
 
 // Preds returns the sorted relation names.
 func (db *Database) Preds() []string {
+	db.mu.RLock()
 	out := make([]string, 0, len(db.rels))
 	for p := range db.rels {
 		out = append(out, p)
 	}
+	db.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -309,8 +461,14 @@ func (db *Database) AddFact(pred string, consts ...string) {
 
 // TupleCount returns the total number of tuples across relations.
 func (db *Database) TupleCount() int {
-	n := 0
+	db.mu.RLock()
+	rels := make([]*Relation, 0, len(db.rels))
 	for _, r := range db.rels {
+		rels = append(rels, r)
+	}
+	db.mu.RUnlock()
+	n := 0
+	for _, r := range rels {
 		n += r.Len()
 	}
 	return n
@@ -321,7 +479,7 @@ func (db *Database) TupleCount() int {
 func (db *Database) Dump() string {
 	var b strings.Builder
 	for _, p := range db.Preds() {
-		r := db.rels[p]
+		r := db.Relation(p)
 		for _, t := range r.SortedTuples() {
 			parts := make([]string, len(t))
 			for i, v := range t {

@@ -1,0 +1,105 @@
+package onesided
+
+import (
+	"iter"
+	"sort"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/storage"
+)
+
+// Row is one answer tuple with access to the symbol table for rendering.
+type Row struct {
+	tuple storage.Tuple
+	syms  *storage.SymbolTable
+}
+
+// Len returns the tuple's arity.
+func (r Row) Len() int { return len(r.tuple) }
+
+// Value returns the constant name at column i.
+func (r Row) Value(i int) string { return r.syms.Name(r.tuple[i]) }
+
+// Strings returns all column values as constant names.
+func (r Row) Strings() []string {
+	out := make([]string, len(r.tuple))
+	for i, v := range r.tuple {
+		out[i] = r.syms.Name(v)
+	}
+	return out
+}
+
+// String renders the row as comma-separated constant names.
+func (r Row) String() string { return strings.Join(r.Strings(), ",") }
+
+// Tuple returns the underlying interned tuple. Callers must not modify
+// it.
+func (r Row) Tuple() Tuple { return r.tuple }
+
+// Rows is a query result: the answer set plus the evaluation's
+// statistics, instrumentation delta, and plan explanation. Answers are
+// consumed as streaming iterators (iter.Seq); the evaluation itself ran
+// bottom-up, so iteration never blocks.
+type Rows struct {
+	rel      *storage.Relation
+	syms     *storage.SymbolTable
+	stats    eval.EvalStats
+	counters storage.Counters
+	explain  Explain
+}
+
+// Len returns the number of answers.
+func (rs *Rows) Len() int { return rs.rel.Len() }
+
+// All streams the answers in insertion (derivation) order. Breaking out
+// of the range stops the stream early.
+func (rs *Rows) All() iter.Seq[Row] {
+	return func(yield func(Row) bool) {
+		for _, t := range rs.rel.Tuples() {
+			if !yield(Row{tuple: t, syms: rs.syms}) {
+				return
+			}
+		}
+	}
+}
+
+// Sorted streams the answers in lexicographic tuple order, for
+// deterministic output.
+func (rs *Rows) Sorted() iter.Seq[Row] {
+	return func(yield func(Row) bool) {
+		for _, t := range rs.rel.SortedTuples() {
+			if !yield(Row{tuple: t, syms: rs.syms}) {
+				return
+			}
+		}
+	}
+}
+
+// Strings returns the answers as sorted comma-separated rows (the
+// rendering the tests and CLI use).
+func (rs *Rows) Strings() []string {
+	out := make([]string, 0, rs.rel.Len())
+	for row := range rs.All() {
+		out = append(out, row.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns the evaluation statistics (Fig. 9 iterations, seen-set
+// size, carry arity).
+func (rs *Rows) Stats() EvalStats { return rs.stats }
+
+// Counters returns the database instrumentation delta attributable to
+// this evaluation (tuples examined, index lookups, full scans, inserts).
+// With concurrent queries in flight the delta includes their overlapping
+// work; it is exact when queries run one at a time.
+func (rs *Rows) Counters() Counters { return rs.counters }
+
+// Explain returns the plan report: chosen strategy, Theorem 3.4 verdict,
+// Fig. 9 mode, and the strategies that declined.
+func (rs *Rows) Explain() Explain { return rs.explain }
+
+// Relation returns the raw answer relation.
+func (rs *Rows) Relation() *Relation { return rs.rel }

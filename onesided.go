@@ -8,21 +8,32 @@
 // the Counting method, and naive/semi-naive bottom-up evaluation are
 // implemented as baselines.
 //
-// A minimal session:
+// The package's entry point is the Engine façade: Open an engine, load a
+// program, and Query — the engine runs the paper's optimize-then-detect
+// procedure per query, picks the one-sided Fig. 9 plan when Theorem 3.4
+// says it applies, and falls back to Magic Sets (the paper's own general
+// baseline) otherwise. A minimal session:
 //
-//	def, _ := onesided.ParseDefinition(`
+//	eng, _ := onesided.Open()
+//	eng.Load(`
 //	    t(X, Y) :- a(X, Z), t(Z, Y).
 //	    t(X, Y) :- b(X, Y).
-//	`, "t")
-//	cls, _ := onesided.Classify(def)       // one-sided, 1-sided
-//	db := onesided.NewDatabase()
-//	db.AddFact("a", "paris", "lyon")
-//	db.AddFact("b", "lyon", "nice")
-//	q, _ := onesided.ParseQuery("t(paris, Y)")
-//	plan, _ := onesided.CompileSelection(def, q)
-//	answers, stats, _ := plan.Eval(db)     // unary carry, no full scans
-//	_ = answers
-//	_ = stats
+//	    a(paris, lyon). b(lyon, nice).
+//	`)
+//	rows, _ := eng.Query(ctx, "t(paris, Y)")
+//	fmt.Println(rows.Explain())            // strategy=onesided mode=context carry-arity=1 ...
+//	for row := range rows.All() {          // streaming answers
+//	    fmt.Println(row)                   // paris,nice
+//	}
+//
+// Prepare plans a query once (cached on the engine) for repeated
+// evaluation; context.Context cancels the fixpoint loops mid-evaluation;
+// storage is safe for concurrent readers with writers, so one Engine
+// serves parallel queries.
+//
+// The lower-level analysis surface (Classify, Decide, CompileSelection,
+// A/V graphs, expansions, proofs) remains available for working with the
+// paper's constructions directly.
 package onesided
 
 import (
@@ -61,6 +72,10 @@ type (
 	Relation = storage.Relation
 	// Counters instruments relation access (Property 3 measurements).
 	Counters = storage.Counters
+	// Tuple is a fixed-arity row of interned values.
+	Tuple = storage.Tuple
+	// Value is an interned constant symbol.
+	Value = storage.Value
 )
 
 // Analysis types.
@@ -151,23 +166,36 @@ func CompileSelection(d *Definition, query Atom) (*Plan, error) {
 }
 
 // Eval compiles and evaluates a selection in one call.
+//
+// Deprecated: use Engine.Query (or Engine.Prepare), which runs the full
+// decision procedure, caches the plan, and supports cancellation.
 func Eval(d *Definition, query Atom, db *Database) (*Relation, EvalStats, error) {
 	return eval.OneSidedEval(d, query, db)
 }
 
 // SemiNaive evaluates a program bottom-up (the general baseline).
+//
+// Deprecated: use an Engine with WithStrategies("seminaive") for query
+// answering; SemiNaive remains for whole-program materialization.
 func SemiNaive(p *Program, db *Database) (*EvalResult, error) { return eval.SemiNaive(p, db) }
 
 // Naive evaluates a program with the naive strategy.
+//
+// Deprecated: use an Engine with WithStrategies("naive").
 func Naive(p *Program, db *Database) (*EvalResult, error) { return eval.Naive(p, db) }
 
 // MagicEval evaluates a query with the Magic Sets transformation (the
 // general-purpose comparison point).
+//
+// Deprecated: use an Engine with WithStrategies("magic"), which reuses
+// the rewriting across evaluations via Prepare.
 func MagicEval(p *Program, query Atom, db *Database) (*Relation, *EvalResult, error) {
 	return eval.MagicEval(p, query, db)
 }
 
 // SelectEval evaluates a query by full materialization plus selection.
+//
+// Deprecated: use an Engine with WithStrategies("seminaive").
 func SelectEval(p *Program, query Atom, db *Database) (*Relation, *EvalResult, error) {
 	return eval.SelectEval(p, query, db)
 }
@@ -240,6 +268,9 @@ func ClassifyMulti(d *MultiDefinition) (*MultiClassification, error) {
 // EvalMultiSelection evaluates a selection on a multi-rule recursion,
 // reducing persistent columns rule-by-rule or falling back to Magic Sets;
 // the returned string names the path taken.
+//
+// Deprecated: use Engine.Query; the default strategy chain includes the
+// multi-rule reduction ("multi") with the same fallback behavior.
 func EvalMultiSelection(d *MultiDefinition, query Atom, db *Database) (*Relation, string, error) {
 	return multi.EvalSelection(d, query, db)
 }

@@ -1,0 +1,93 @@
+package onesided
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+	"repro/internal/multi"
+	"repro/internal/storage"
+)
+
+// Strategy is an evaluation method pluggable into an Engine: it plans a
+// query against a program once and returns a reusable prepared form. The
+// built-in strategies are "onesided" (the paper's Theorem 3.4 planner +
+// Fig. 9 schema), "multi" (the Section 5 multi-rule reduction), "magic"
+// (Magic Sets), "counting", "seminaive", "naive", and "edb" (indexed
+// base-relation lookup). Custom strategies register with
+// RegisterStrategy.
+type Strategy = eval.Strategy
+
+// PreparedStrategy is the reusable plan a Strategy produces.
+type PreparedStrategy = eval.PreparedStrategy
+
+// engineConfig collects Open options.
+type engineConfig struct {
+	db            *storage.Database
+	program       *Program
+	strategyNames []string
+	planCacheSize int
+	countingDepth int
+}
+
+// Option configures an Engine at Open time.
+type Option func(*engineConfig)
+
+// WithDatabase makes the engine serve queries over an existing database
+// instead of a fresh empty one. The database may be shared: storage is
+// safe for concurrent readers and writers.
+func WithDatabase(db *Database) Option {
+	return func(c *engineConfig) { c.db = db }
+}
+
+// WithProgram loads a parsed program at Open time: ground facts go into
+// the database, rules become the engine's program.
+func WithProgram(p *Program) Option {
+	return func(c *engineConfig) { c.program = p }
+}
+
+// WithStrategies restricts and orders the strategy chain the engine
+// tries at Prepare time. Names resolve against the strategy registry;
+// Open fails on an unknown name. The default chain is
+// ["onesided", "multi", "magic", "edb"]: the paper's planner first, the
+// Section 5 multi-rule reduction next, Magic Sets as the general
+// fallback (exactly the paper's own baseline for many-sided recursions),
+// and plain indexed lookup for base relations.
+func WithStrategies(names ...string) Option {
+	return func(c *engineConfig) { c.strategyNames = names }
+}
+
+// WithPlanCache sets the prepared-query cache capacity. 0 disables
+// caching. The default is 256 entries.
+func WithPlanCache(entries int) Option {
+	return func(c *engineConfig) { c.planCacheSize = entries }
+}
+
+// WithCountingDepth bounds the "counting" strategy's derivation depth
+// (it diverges on cyclic context graphs). <= 0 keeps the default, 1024.
+func WithCountingDepth(maxDepth int) Option {
+	return func(c *engineConfig) { c.countingDepth = maxDepth }
+}
+
+// defaultStrategyNames is the auto-selection chain.
+var defaultStrategyNames = []string{
+	eval.StrategyOneSided,
+	multi.StrategyName,
+	eval.StrategyMagic,
+	eval.StrategyEDB,
+}
+
+// resolveStrategies maps names to Strategy values via the registry.
+func resolveStrategies(names []string, countingDepth int) ([]Strategy, error) {
+	if len(names) == 0 {
+		names = defaultStrategyNames
+	}
+	out := make([]Strategy, 0, len(names))
+	for _, n := range names {
+		s, ok := lookupStrategy(n, countingDepth)
+		if !ok {
+			return nil, fmt.Errorf("onesided: unknown strategy %q (have %v)", n, StrategyNames())
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
