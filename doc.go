@@ -1,0 +1,56 @@
+// Package onesided is a from-scratch reproduction of Jeffrey F. Naughton's
+// "One-Sided Recursions" (PODS 1987; JCSS 42:199–236, 1991): detection of
+// one-sided Datalog recursions from the full A/V graph (Theorem 3.1),
+// recursive-redundancy analysis (Theorem 3.3), the optimize-then-detect
+// decision procedure (Theorem 3.4), and the Fig. 9 evaluation schema for
+// "column = constant" selections, whose instantiations reproduce the
+// Aho–Ullman (Fig. 7) and Henschen–Naqvi (Fig. 8) algorithms. Magic Sets,
+// the Counting method, and naive/semi-naive bottom-up evaluation are
+// implemented as baselines.
+//
+// # Quickstart
+//
+// The package's entry point is the Engine façade: Open an engine, load a
+// program, and Query — the engine runs the paper's optimize-then-detect
+// procedure per query, picks the one-sided Fig. 9 plan when Theorem 3.4
+// says it applies, and falls back to Magic Sets (the paper's own general
+// baseline) otherwise. A minimal session:
+//
+//	eng, _ := onesided.Open()
+//	eng.Load(`
+//	    t(X, Y) :- a(X, Z), t(Z, Y).
+//	    t(X, Y) :- b(X, Y).
+//	    a(paris, lyon). b(lyon, nice).
+//	`)
+//	rows, _ := eng.Query(ctx, "t(paris, Y)")
+//	fmt.Println(rows.Explain())            // strategy=onesided mode=context carry-arity=1 ...
+//	for row := range rows.All() {
+//	    fmt.Println(row)                   // paris,nice
+//	}
+//
+// Prepare plans a query once (cached on the engine) for repeated
+// evaluation; context.Context cancels the fixpoint loops mid-evaluation.
+//
+// # Parallelism and streaming
+//
+// Relations are hash-sharded into independently-locked partitions
+// (WithShards, default GOMAXPROCS), and the Fig. 9 loop splits each
+// carry batch across a bounded worker pool (WithWorkers, default
+// GOMAXPROCS), so one Engine serves parallel queries and a single big
+// query scales across cores. QueryStream (or PreparedQuery.Stream)
+// evaluates in the background and yields answers as they are derived —
+// first answers arrive before the fixpoint completes:
+//
+//	rows, _ := eng.QueryStream(ctx, "t(paris, Y)")
+//	for row := range rows.All() {          // yields during the fixpoint
+//	    fmt.Println(row)
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// Explain reports the parallelism actually used (workers, shards,
+// batches) alongside the strategy choice.
+//
+// The lower-level analysis surface (Classify, Decide, CompileSelection,
+// A/V graphs, expansions, proofs) remains available for working with the
+// paper's constructions directly.
+package onesided

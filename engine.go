@@ -3,6 +3,7 @@ package onesided
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -42,20 +43,25 @@ type Engine struct {
 	hits, misses atomic.Int64
 }
 
-// Open creates an Engine. With no options it has an empty database, an
-// empty program, the default strategy chain, and a 256-entry plan cache.
+// Open creates an Engine. With no options it has an empty database
+// (relations sharded to GOMAXPROCS), an empty program, the default
+// strategy chain with GOMAXPROCS evaluation workers, and a 256-entry
+// plan cache.
 func Open(opts ...Option) (*Engine, error) {
 	cfg := engineConfig{planCacheSize: 256}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	strategies, err := resolveStrategies(cfg.strategyNames, cfg.countingDepth)
+	strategies, err := resolveStrategies(cfg.strategyNames, cfg)
 	if err != nil {
 		return nil, err
 	}
 	db := cfg.db
 	if db == nil {
 		db = storage.NewDatabase()
+	}
+	if cfg.shards > 0 {
+		db.SetShards(cfg.shards)
 	}
 	e := &Engine{
 		db:         db,
@@ -121,13 +127,23 @@ type StrategyAttempt struct {
 
 // Explain reports how a query will be (or was) evaluated: the strategy
 // the planner chose, the Theorem 3.4 verdict and Fig. 9 mode when the
-// one-sided planner ran, and which earlier strategies declined and why.
+// one-sided planner ran, the parallelism it used, and which earlier
+// strategies declined and why.
 type Explain struct {
 	eval.StrategyExplain
 	// Rejected lists the strategies tried before the chosen one.
 	Rejected []StrategyAttempt
+	// Shards is the database's relation shard count and Batches the
+	// number of carry batches the Fig. 9 loop dispatched to its worker
+	// pool. Both are filled on the Explain a Rows reports after
+	// evaluation; a pre-evaluation PreparedQuery.Explain leaves them 0.
+	Shards  int
+	Batches int
 }
 
+// String renders the report in the compact key=value form the CLI and
+// examples print, e.g.
+// `strategy=onesided mode=context carry-arity=1 workers=4 shards=4 batches=14`.
 func (ex Explain) String() string {
 	var b strings.Builder
 	b.WriteString("strategy=" + ex.Strategy)
@@ -136,6 +152,15 @@ func (ex Explain) String() string {
 	}
 	if ex.Verdict != "" {
 		fmt.Fprintf(&b, " verdict=%q", ex.Verdict)
+	}
+	if ex.Workers > 0 {
+		fmt.Fprintf(&b, " workers=%d", ex.Workers)
+	}
+	if ex.Shards > 0 {
+		fmt.Fprintf(&b, " shards=%d", ex.Shards)
+	}
+	if ex.Batches > 0 {
+		fmt.Fprintf(&b, " batches=%d", ex.Batches)
 	}
 	if ex.Detail != "" {
 		fmt.Fprintf(&b, " (%s)", ex.Detail)
@@ -226,9 +251,11 @@ func (pq *PreparedQuery) Explain() Explain {
 	return Explain{StrategyExplain: pq.prepared.Explain(), Rejected: pq.rejected}
 }
 
-// Query evaluates the prepared plan against the engine's database. It is
-// safe to call concurrently from many goroutines; ctx cancels the
-// fixpoint loops mid-evaluation.
+// Query evaluates the prepared plan against the engine's database,
+// returning after the evaluation completes. It is safe to call
+// concurrently from many goroutines; ctx cancels the fixpoint loops
+// mid-evaluation. Use Stream to consume answers before the fixpoint
+// finishes.
 func (pq *PreparedQuery) Query(ctx context.Context) (*Rows, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -244,8 +271,100 @@ func (pq *PreparedQuery) Query(ctx context.Context) (*Rows, error) {
 		syms:     db.Syms,
 		stats:    stats,
 		counters: db.Stats.Snapshot().Sub(before),
-		explain:  pq.Explain(),
+		explain:  pq.explainWithStats(stats),
 	}, nil
+}
+
+// explainWithStats enriches the plan explanation with the parallelism
+// the evaluation actually used.
+func (pq *PreparedQuery) explainWithStats(stats eval.EvalStats) Explain {
+	ex := pq.Explain()
+	if stats.Workers > 0 {
+		ex.Workers = stats.Workers
+	}
+	ex.Shards = stats.Shards
+	ex.Batches = stats.Batches
+	return ex
+}
+
+// Stream starts evaluating the prepared plan in a background goroutine
+// and returns immediately with a streaming Rows: All yields each answer
+// as it is derived — for one-sided context plans that means first
+// answers arrive while the Fig. 9 fixpoint is still running — and the
+// remaining accessors (Len, Strings, Stats, Counters, Explain, Err)
+// block until the evaluation finishes. Strategies without incremental
+// evaluation fall back to evaluating fully and then streaming the
+// materialized answers. Breaking out of All stops the evaluation early;
+// check Err for the terminal status.
+func (pq *PreparedQuery) Stream(ctx context.Context) *Rows {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	db := pq.engine.db
+	rows := &Rows{
+		syms:   db.Syms,
+		ch:     make(chan Row),
+		done:   make(chan struct{}),
+		cancel: cancel,
+	}
+	before := db.Stats.Snapshot()
+	var stopped atomic.Bool
+	rows.stop = func() { stopped.Store(true); cancel() }
+	emit := func(t storage.Tuple) bool {
+		if stopped.Load() {
+			return false
+		}
+		select {
+		case rows.ch <- Row{tuple: t.Clone(), syms: db.Syms}:
+			// The unbuffered send marks the consumer runnable but does not
+			// preempt this goroutine; with GOMAXPROCS=1 the evaluation
+			// would otherwise keep the only P until async preemption
+			// (~10ms), stalling time-to-first-answer. Yield so the
+			// consumer observes the answer now.
+			runtime.Gosched()
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	go func() {
+		defer close(rows.done)
+		defer close(rows.ch)
+		var rel *storage.Relation
+		var stats eval.EvalStats
+		var err error
+		if sp, ok := pq.prepared.(eval.StreamingPrepared); ok {
+			rel, stats, err = sp.EvalStream(ctx, db, emit)
+		} else {
+			rel, stats, err = pq.prepared.Eval(ctx, db)
+			if err == nil {
+				for _, t := range rel.Tuples() {
+					if !emit(t) {
+						// A ctx-driven stop is a cancellation; a consumer
+						// break is cleared by the stopped check below.
+						if cerr := ctx.Err(); cerr != nil {
+							err = cerr
+						}
+						break
+					}
+				}
+			}
+		}
+		if stopped.Load() {
+			// The consumer broke out of All; report a clean early stop.
+			err = nil
+		}
+		if rel == nil {
+			rel = storage.NewRelation(pq.query.Arity(), nil)
+		}
+		rows.rel = rel
+		rows.stats = stats
+		rows.err = err
+		rows.counters = db.Stats.Snapshot().Sub(before)
+		rows.explain = pq.explainWithStats(stats)
+	}()
+	return rows
 }
 
 // Query plans (with plan-cache reuse) and evaluates a query given in
@@ -267,6 +386,22 @@ func (e *Engine) QueryAtom(ctx context.Context, query Atom) (*Rows, error) {
 		return nil, err
 	}
 	return pq.Query(ctx)
+}
+
+// QueryStream plans a query (with plan-cache reuse) and evaluates it in
+// the background, returning a streaming Rows whose All yields answers as
+// they are derived — before the fixpoint completes when the strategy
+// supports it. See PreparedQuery.Stream for the full semantics.
+func (e *Engine) QueryStream(ctx context.Context, query string) (*Rows, error) {
+	q, err := parser.ParseAtom(query)
+	if err != nil {
+		return nil, err
+	}
+	pq, err := e.Prepare(nil, q)
+	if err != nil {
+		return nil, err
+	}
+	return pq.Stream(ctx), nil
 }
 
 // CacheStats returns the plan cache's hit and miss counts.
@@ -317,10 +452,13 @@ func StrategyNames() []string {
 }
 
 // lookupStrategy resolves a name, specializing the counting strategy's
-// depth bound when configured.
-func lookupStrategy(name string, countingDepth int) (Strategy, bool) {
-	if name == eval.StrategyCounting && countingDepth > 0 {
-		return eval.Counting(countingDepth), true
+// depth bound and the one-sided strategy's worker count when configured.
+func lookupStrategy(name string, cfg engineConfig) (Strategy, bool) {
+	if name == eval.StrategyCounting && cfg.countingDepth > 0 {
+		return eval.Counting(cfg.countingDepth), true
+	}
+	if name == eval.StrategyOneSided && cfg.workers > 0 {
+		return eval.OneSidedWorkers(cfg.workers), true
 	}
 	registryMu.RLock()
 	defer registryMu.RUnlock()

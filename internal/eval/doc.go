@@ -1,0 +1,31 @@
+// Package eval implements the paper's evaluation algorithms and baselines:
+// naive and semi-naive bottom-up evaluation, the Magic Sets transformation
+// [BMSU86, BR87], the Counting method for the canonical recursion [BMSU86,
+// SZ86], Sagiv's uniform-containment test [Sag88], and — the paper's
+// contribution — the Fig. 9 schema for evaluating "column = constant"
+// selections on one-sided recursions, whose instantiations reproduce the
+// Fig. 7 (Aho–Ullman) and Fig. 8 (Henschen–Naqvi) algorithms.
+//
+// # Parallel evaluation
+//
+// The Fig. 9 while loop advances the carry one level per iteration, and
+// within a level every carry tuple's g-join probe is independent. The
+// context-mode driver (contextEval) therefore splits each carry batch
+// across a bounded worker pool (Plan.Workers, default GOMAXPROCS):
+// workers share the immutable compiled operators, keep private slot
+// buffers, and claim newly discovered contexts through a sharded
+// seen-set whose Insert admits each tuple exactly once. Semi-naive
+// rounds parallelize the same way across their independent
+// (rule, variant) jobs. Both drivers synchronize at level/round
+// boundaries, so parallel evaluation derives exactly the sequential
+// answer set.
+//
+// # Streaming
+//
+// Plan.EvalStreamCtx (surfaced through the StreamingPrepared interface)
+// emits each distinct answer as soon as it is derived: the exit-rule
+// depth-0 answers before the loop starts, then each batch's g-join
+// answers while deeper levels are still being explored. This is what
+// lets Engine.QueryStream yield first answers before the fixpoint
+// completes.
+package eval

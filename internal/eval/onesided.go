@@ -3,7 +3,10 @@ package eval
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/storage"
@@ -63,6 +66,16 @@ type Plan struct {
 	// the paper's headline metric (1 for the canonical recursion, 2 for
 	// transitive closure with permissions, wider for many-sided shapes).
 	CarryArity int
+	// Workers caps the parallel workers the Fig. 9 evaluation may split a
+	// carry batch across; 0 means GOMAXPROCS. The g-join probes of one
+	// batch are independent per carry tuple, which is what makes the
+	// batch safely partitionable.
+	Workers int
+	// TestIterHook, when non-nil, is called after each completed Fig. 9
+	// while-loop iteration with the 1-based iteration number. It exists
+	// so tests can observe fixpoint progress relative to streamed
+	// answers; production callers leave it nil.
+	TestIterHook func(iter int)
 
 	// Reduction (ModeReduced/ModeContext): the definition after persistent
 	// bound columns were substituted and dropped.
@@ -93,6 +106,15 @@ type EvalStats struct {
 	SeenSize int
 	// CarryArity echoes the plan's state arity.
 	CarryArity int
+	// Workers is the parallel-worker bound the evaluation ran with.
+	Workers int
+	// Shards is the database's relation shard count, which the
+	// evaluation also uses for its seen and answer relations.
+	Shards int
+	// Batches is the number of carry batches dispatched to the worker
+	// pool: the seed batch plus one per Fig. 9 iteration (context mode
+	// only).
+	Batches int
 }
 
 // CompileSelection compiles a "column = constant" selection (possibly
@@ -421,6 +443,14 @@ func (p *Plan) substBound(atoms []ast.Atom) []ast.Atom {
 	return s.ApplyAtoms(atoms)
 }
 
+// effectiveWorkers resolves the plan's worker bound (0 = GOMAXPROCS).
+func (p *Plan) effectiveWorkers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Eval runs the compiled plan over the EDB, returning the answer relation
 // (full tuples of the defined predicate matching the selection).
 func (p *Plan) Eval(edb *storage.Database) (*storage.Relation, EvalStats, error) {
@@ -431,32 +461,72 @@ func (p *Plan) Eval(edb *storage.Database) (*storage.Relation, EvalStats, error)
 // bottom-up fixpoints the other modes delegate to) checks ctx between
 // iterations and returns ctx.Err() when it fires.
 func (p *Plan) EvalCtx(ctx context.Context, edb *storage.Database) (*storage.Relation, EvalStats, error) {
+	return p.EvalStreamCtx(ctx, edb, nil)
+}
+
+// EvalStreamCtx is EvalCtx with an incremental answer sink: when emit is
+// non-nil it is called exactly once per distinct answer tuple, as soon as
+// the tuple is derived. In context mode the exit-rule (depth-0) answers
+// and each carry batch's g-join answers are emitted while the fixpoint is
+// still running, so consumers see first answers before the final
+// iteration; the other modes materialize first and emit afterwards. The
+// tuple passed to emit is only valid for the duration of the call (clone
+// it to retain); emit may be called from the evaluation goroutine only,
+// and returning false stops the evaluation early without error, with the
+// answers derived so far.
+func (p *Plan) EvalStreamCtx(ctx context.Context, edb *storage.Database, emit func(storage.Tuple) bool) (*storage.Relation, EvalStats, error) {
 	switch p.Mode {
 	case ModeFull:
-		ans, _, err := SelectEvalCtx(ctx, p.Def.Program(), p.Query, edb)
-		st := EvalStats{CarryArity: p.CarryArity}
+		ans, res, err := SelectEvalWorkersCtx(ctx, p.Def.Program(), p.Query, edb, p.effectiveWorkers())
+		st := EvalStats{CarryArity: p.CarryArity, Workers: p.effectiveWorkers(), Shards: edb.Shards()}
+		if res != nil {
+			st.Iterations = res.Rounds
+		}
 		if ans != nil {
 			st.SeenSize = ans.Len()
 		}
+		if err == nil && !emitAll(ans, emit) {
+			// The sink stopped mid-stream; surface a cancellation if the
+			// stop came from ctx rather than a deliberate consumer break.
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, st, cerr
+			}
+		}
 		return ans, st, err
 	case ModeReduced:
-		return p.evalReduced(ctx, edb)
+		return p.evalReduced(ctx, edb, emit)
 	case ModeContext:
-		return p.evalContext(ctx, edb)
+		return p.evalContext(ctx, edb, emit)
 	}
 	return nil, EvalStats{}, fmt.Errorf("eval: invalid plan mode")
 }
 
+// emitAll streams a materialized answer relation through emit, returning
+// false when emit stopped the stream early.
+func emitAll(ans *storage.Relation, emit func(storage.Tuple) bool) bool {
+	if emit == nil || ans == nil {
+		return true
+	}
+	for _, t := range ans.Tuples() {
+		if !emit(t) {
+			return false
+		}
+	}
+	return true
+}
+
 // evalReduced evaluates the reduced recursion bottom-up and re-expands the
-// dropped constant columns.
-func (p *Plan) evalReduced(ctx context.Context, edb *storage.Database) (*storage.Relation, EvalStats, error) {
-	res, err := SemiNaiveCtx(ctx, p.reduced.Program(), edb)
+// dropped constant columns. Answers stream through emit during the
+// re-expansion (after the bottom-up fixpoint, which produces the reduced
+// tuples in bulk).
+func (p *Plan) evalReduced(ctx context.Context, edb *storage.Database, emit func(storage.Tuple) bool) (*storage.Relation, EvalStats, error) {
+	res, err := SemiNaiveWorkersCtx(ctx, p.reduced.Program(), edb, p.effectiveWorkers())
 	if err != nil {
 		return nil, EvalStats{}, err
 	}
 	redRel := res.IDB.Relation(p.reduced.Pred())
-	ans := storage.NewRelation(p.Def.Arity(), &edb.Stats)
-	stats := EvalStats{Iterations: res.Rounds, CarryArity: p.CarryArity}
+	ans := storage.NewShardedRelation(p.Def.Arity(), &edb.Stats, edb.Shards())
+	stats := EvalStats{Iterations: res.Rounds, CarryArity: p.CarryArity, Workers: p.effectiveWorkers(), Shards: edb.Shards()}
 	if redRel == nil {
 		return ans, stats, nil
 	}
@@ -471,28 +541,101 @@ func (p *Plan) evalReduced(ctx context.Context, edb *storage.Database) (*storage
 		for ri, oi := range p.keepCols {
 			out[oi] = t[ri]
 		}
-		ans.Insert(out)
+		if ans.Insert(out) && emit != nil && !emit(out) {
+			// Distinguish a ctx-driven stop from a deliberate consumer
+			// break: only the former is an error.
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, stats, cerr
+			}
+			break
+		}
 	}
 	return ans, stats, nil
 }
 
+// groupResult is a factored group's materialized anchor bindings.
+type groupResult struct {
+	anchors []string
+	tuples  []storage.Tuple // values of the group's anchors (deduped)
+}
+
+// colSrc says where one answer column's value comes from during g-join
+// assembly.
+type colSrc struct {
+	kind int // 0 const, 1 exit slot, 2 folded anchor, 3 factored group
+	val  storage.Value
+	idx  int // slot / anchor index / group index
+	pos  int // position within the factored group
+}
+
+// contextEval is one evaluation of a context-mode plan: the compiled
+// f (carry transition) and g (answer join) operators plus the shared
+// seen-set and answer state the parallel batch workers update. The
+// compiled operators are immutable during the run; workers share them
+// and keep private slot/scratch buffers.
+type contextEval struct {
+	p       *Plan
+	syms    *storage.SymbolTable
+	resolve resolver
+	workers int
+
+	ans        *storage.Relation
+	seen       *storage.Relation
+	carryWidth int
+	nAnchors   int
+
+	// emit, when non-nil, receives each distinct answer tuple once;
+	// emitMu serializes calls from parallel g workers. aborted latches a
+	// false return from emit and drains the remaining work.
+	emit    func(storage.Tuple) bool
+	emitMu  sync.Mutex
+	aborted atomic.Bool
+
+	stats EvalStats
+
+	fConj      *compiledConj
+	fProj      *carryProj
+	fHeadSlots []int
+	fNslots    int
+
+	gConj     *compiledConj
+	gCtxSlots []int
+	gNslots   int
+	groups    []groupResult
+	srcs      []colSrc
+}
+
 // evalContext runs the Fig. 9 loop: seed the carry from the first
 // application of the recursive rule (restricted by the selection
-// constants), iterate f until no new contexts appear, then assemble
-// answers from seen, the exit rule, and the factored groups — plus the
-// depth-0 answers from the exit rule alone.
-func (p *Plan) evalContext(ctx context.Context, edb *storage.Database) (*storage.Relation, EvalStats, error) {
+// constants), then per batch join the new contexts with the exit rule
+// (g, emitting answers incrementally) and apply the recursive rule one
+// level deeper (f) until no new contexts appear. Each batch is split
+// across a bounded worker pool; the sharded seen-set deduplicates
+// concurrently discovered contexts, and the depth-0 answers from the
+// exit rule alone are emitted before the loop starts.
+func (p *Plan) evalContext(ctx context.Context, edb *storage.Database, emit func(storage.Tuple) bool) (*storage.Relation, EvalStats, error) {
 	red := p.reduced
 	syms := edb.Syms
-	stats := EvalStats{CarryArity: p.CarryArity}
-	ans := storage.NewRelation(p.Def.Arity(), &edb.Stats)
-	resolve := func(pred string, alt bool) *storage.Relation { return edb.Relation(pred) }
+	nshards := edb.Shards()
+	ce := &contextEval{
+		p:       p,
+		syms:    syms,
+		resolve: func(pred string, alt bool) *storage.Relation { return edb.Relation(pred) },
+		workers: p.effectiveWorkers(),
+		emit:    emit,
+		ans:     storage.NewShardedRelation(p.Def.Arity(), &edb.Stats, nshards),
+	}
+	ce.nAnchors = len(p.foldedAnchors)
+	ce.carryWidth = ce.nAnchors + len(p.ctxCols)
+	ce.seen = storage.NewShardedRelation(ce.carryWidth, nil, nshards)
+	ce.stats = EvalStats{CarryArity: p.CarryArity, Workers: ce.workers, Shards: nshards}
 
 	rec := red.RecursiveAtom()
 	head := red.Recursive.Head
 	edbAtoms := red.NonrecursiveBody()
 
-	// Depth-0: exit rule with the bound head columns substituted.
+	// Depth-0: exit rule with the bound head columns substituted. These
+	// are the first streamed answers — no fixpoint work precedes them.
 	exitHead := red.Exit.Head
 	exitSubst := make(ast.Subst)
 	for rc, c := range p.boundCols {
@@ -514,7 +657,7 @@ func (p *Plan) evalContext(ctx context.Context, edb *storage.Database) (*storage
 				out[i] = syms.Intern(a.Name)
 			}
 		}
-		conj.run(resolve, slots, bound, func(s []storage.Value) bool {
+		conj.run(ce.resolve, slots, bound, func(s []storage.Value) bool {
 			for ri, oi := range p.keepCols {
 				ref := headRefs.args[ri]
 				if ref.isConst {
@@ -523,18 +666,15 @@ func (p *Plan) evalContext(ctx context.Context, edb *storage.Database) (*storage
 					out[oi] = s[ref.slot]
 				}
 			}
-			ans.Insert(out)
-			return true
+			return ce.emitAnswer(out)
 		})
+	}
+	if ce.aborted.Load() {
+		return ce.finish(ctx)
 	}
 
 	// Factored groups: evaluate once with the selection constants; any
 	// empty group kills all depth>=1 derivations.
-	type groupResult struct {
-		anchors []string
-		tuples  []storage.Tuple // values of the group's anchors (deduped)
-	}
-	var groups []groupResult
 	for _, fg := range p.factored {
 		atoms := p.substBound(fg.atoms)
 		ss := newSlotSpace()
@@ -551,7 +691,7 @@ func (p *Plan) evalContext(ctx context.Context, edb *storage.Database) (*storage
 		slots := make([]storage.Value, len(ss.varSlot))
 		bound := make([]bool, len(ss.varSlot))
 		tup := make(storage.Tuple, len(fg.anchors))
-		conj.run(resolve, slots, bound, func(s []storage.Value) bool {
+		conj.run(ce.resolve, slots, bound, func(s []storage.Value) bool {
 			for i, sl := range anchorSlots {
 				tup[i] = s[sl]
 			}
@@ -560,15 +700,13 @@ func (p *Plan) evalContext(ctx context.Context, edb *storage.Database) (*storage
 		})
 		if rel.Len() == 0 {
 			// No depth>=1 derivations are possible; answers are depth-0 only.
-			return ans, stats, nil
+			return ce.finish(ctx)
 		}
-		groups = append(groups, groupResult{anchors: fg.anchors, tuples: rel.Tuples()})
+		ce.groups = append(ce.groups, groupResult{anchors: fg.anchors, tuples: rel.Tuples()})
 	}
 
 	// Seed conjunction: all non-factored EDB atoms with selection
 	// constants substituted, projected onto (foldedAnchors, ctx columns).
-	carryWidth := len(p.foldedAnchors) + len(p.ctxCols)
-	seen := storage.NewRelation(carryWidth, nil)
 	var carry []storage.Tuple
 	{
 		factoredIdx := make(map[string]bool)
@@ -592,12 +730,12 @@ func (p *Plan) evalContext(ctx context.Context, edb *storage.Database) (*storage
 		projSlots := p.carryProjection(ss, seedRec, syms)
 		slots := make([]storage.Value, len(ss.varSlot))
 		bound := make([]bool, len(ss.varSlot))
-		tup := make(storage.Tuple, carryWidth)
-		conj.run(resolve, slots, bound, func(s []storage.Value) bool {
+		tup := make(storage.Tuple, ce.carryWidth)
+		conj.run(ce.resolve, slots, bound, func(s []storage.Value) bool {
 			if !projSlots.project(s, tup, syms) {
 				return true
 			}
-			if seen.Insert(tup) {
+			if ce.seen.Insert(tup) {
 				carry = append(carry, tup.Clone())
 			}
 			return true
@@ -622,49 +760,17 @@ func (p *Plan) evalContext(ctx context.Context, edb *storage.Database) (*storage
 		}
 	}
 	fAtoms := fixedHead.ApplyAtoms(edbAtoms)
-	fConj := compileConj(fAtoms, nil, fSS, syms, initBound, p.carryNeeded(fixedHead.ApplyAtom(rec)))
-	fProj := p.carryProjection(fSS, fixedHead.ApplyAtom(rec), syms)
-	fHeadSlots := make([]int, len(p.ctxCols))
+	ce.fConj = compileConj(fAtoms, nil, fSS, syms, initBound, p.carryNeeded(fixedHead.ApplyAtom(rec)))
+	ce.fProj = p.carryProjection(fSS, fixedHead.ApplyAtom(rec), syms)
+	ce.fHeadSlots = make([]int, len(p.ctxCols))
 	for i, j := range p.ctxCols {
-		fHeadSlots[i] = fSS.slot(head.Args[j].Name)
+		ce.fHeadSlots[i] = fSS.slot(head.Args[j].Name)
 	}
+	ce.fNslots = len(fSS.varSlot)
 
-	// Fig. 9 while loop.
-	for len(carry) > 0 {
-		if err := ctx.Err(); err != nil {
-			return nil, stats, err
-		}
-		stats.Iterations++
-		var next []storage.Tuple
-		slots := make([]storage.Value, len(fSS.varSlot))
-		bound := make([]bool, len(fSS.varSlot))
-		tup := make(storage.Tuple, carryWidth)
-		for _, c := range carry {
-			for i := range bound {
-				bound[i] = false
-			}
-			// Anchor passthrough and context binding.
-			for i, sl := range fHeadSlots {
-				slots[sl] = c[len(p.foldedAnchors)+i]
-				bound[sl] = true
-			}
-			anchorPart := c[:len(p.foldedAnchors)]
-			fConj.run(resolve, slots, bound, func(s []storage.Value) bool {
-				if !fProj.projectCtx(s, anchorPart, tup, syms) {
-					return true
-				}
-				if seen.Insert(tup) {
-					next = append(next, tup.Clone())
-				}
-				return true
-			})
-		}
-		carry = next
-	}
-	stats.SeenSize = seen.Len()
-
-	// g: join seen with the exit rule; assemble full answers with anchors
-	// and factored products.
+	// g: the per-context answer join against the exit rule. Compiled
+	// before the loop so each batch's new contexts can be joined (and
+	// their answers emitted) while the fixpoint is still running.
 	gSS := newSlotSpace()
 	gInitBound := make(map[string]bool)
 	for _, j := range p.ctxCols {
@@ -679,26 +785,21 @@ func (p *Plan) evalContext(ctx context.Context, edb *storage.Database) (*storage
 		}
 	}
 	gAtoms := gFixed.ApplyAtoms(red.Exit.Body)
-	gConj := compileConj(gAtoms, nil, gSS, syms, gInitBound, exitHead.VarSet())
-	gCtxSlots := make([]int, len(p.ctxCols))
+	ce.gConj = compileConj(gAtoms, nil, gSS, syms, gInitBound, exitHead.VarSet())
+	ce.gCtxSlots = make([]int, len(p.ctxCols))
 	for i, j := range p.ctxCols {
-		gCtxSlots[i] = gSS.slot(exitHead.Args[j].Name)
+		ce.gCtxSlots[i] = gSS.slot(exitHead.Args[j].Name)
 	}
+
 	// Head assembly: for each original column, where does the value come
 	// from?
-	type colSrc struct {
-		kind int // 0 const, 1 exit slot, 2 folded anchor, 3 factored group
-		val  storage.Value
-		idx  int // slot / anchor index / (group, pos) packed
-		pos  int
-	}
-	srcs := make([]colSrc, p.Def.Arity())
+	ce.srcs = make([]colSrc, p.Def.Arity())
 	foldedIdx := make(map[string]int)
 	for i, v := range p.foldedAnchors {
 		foldedIdx[v] = i
 	}
 	groupIdx := make(map[string][2]int)
-	for gi, g := range groups {
+	for gi, g := range ce.groups {
 		for pi, v := range g.anchors {
 			groupIdx[v] = [2]int{gi, pi}
 		}
@@ -709,70 +810,179 @@ func (p *Plan) evalContext(ctx context.Context, edb *storage.Database) (*storage
 	}
 	for oi := 0; oi < p.Def.Arity(); oi++ {
 		if a := p.Query.Args[oi]; a.IsConst() {
-			srcs[oi] = colSrc{kind: 0, val: syms.Intern(a.Name)}
+			ce.srcs[oi] = colSrc{kind: 0, val: syms.Intern(a.Name)}
 			continue
 		}
 		ri := redOf[oi]
 		hv := head.Args[ri]
 		if hv.IsVar() {
 			if i, ok := foldedIdx[hv.Name]; ok {
-				srcs[oi] = colSrc{kind: 2, idx: i}
+				ce.srcs[oi] = colSrc{kind: 2, idx: i}
 				continue
 			}
 			if gp, ok := groupIdx[hv.Name]; ok {
-				srcs[oi] = colSrc{kind: 3, idx: gp[0], pos: gp[1]}
+				ce.srcs[oi] = colSrc{kind: 3, idx: gp[0], pos: gp[1]}
 				continue
 			}
 		}
 		// Persistent column: the exit rule binds it.
 		ev := exitHead.Args[ri]
-		srcs[oi] = colSrc{kind: 1, idx: gSS.slot(ev.Name)}
+		ce.srcs[oi] = colSrc{kind: 1, idx: gSS.slot(ev.Name)}
 	}
+	ce.gNslots = len(gSS.varSlot)
 
-	out := make(storage.Tuple, p.Def.Arity())
-	var emitProducts func(gi int, s []storage.Value, anchorPart storage.Tuple)
-	emitProducts = func(gi int, s []storage.Value, anchorPart storage.Tuple) {
-		if gi == len(groups) {
-			for oi, src := range srcs {
-				switch src.kind {
-				case 0:
-					out[oi] = src.val
-				case 1:
-					out[oi] = s[src.idx]
-				case 2:
-					out[oi] = anchorPart[src.idx]
-				}
-			}
-			ans.Insert(out)
-			return
+	// Fig. 9 while loop, one parallel batch per level: g joins the new
+	// contexts (streaming their answers), f produces the next level.
+	ce.stats.Batches++
+	ce.gBatch(carry)
+	for len(carry) > 0 && !ce.aborted.Load() {
+		if err := ctx.Err(); err != nil {
+			return nil, ce.stats, err
 		}
-		for _, gt := range groups[gi].tuples {
-			for oi, src := range srcs {
-				if src.kind == 3 && src.idx == gi {
-					out[oi] = gt[src.pos]
-				}
-			}
-			emitProducts(gi+1, s, anchorPart)
+		ce.stats.Iterations++
+		ce.stats.Batches++
+		carry = ce.fBatch(carry)
+		if p.TestIterHook != nil {
+			p.TestIterHook(ce.stats.Iterations)
 		}
+		ce.gBatch(carry)
 	}
+	return ce.finish(ctx)
+}
 
-	gSlots := make([]storage.Value, len(gSS.varSlot))
-	gBound := make([]bool, len(gSS.varSlot))
-	for _, c := range seen.Tuples() {
-		for i := range gBound {
-			gBound[i] = false
+// finish closes out a context-mode evaluation. An abort latched by the
+// emit sink is a clean early stop when the consumer asked for it, but a
+// cancellation when ctx fired — the two reach emitAnswer the same way,
+// so the distinction is recovered from ctx itself.
+func (ce *contextEval) finish(ctx context.Context) (*storage.Relation, EvalStats, error) {
+	ce.stats.SeenSize = ce.seen.Len()
+	if ce.aborted.Load() {
+		if err := ctx.Err(); err != nil {
+			return nil, ce.stats, err
 		}
-		for i, sl := range gCtxSlots {
-			gSlots[sl] = c[len(p.foldedAnchors)+i]
-			gBound[sl] = true
-		}
-		anchorPart := c[:len(p.foldedAnchors)]
-		gConj.run(resolve, gSlots, gBound, func(s []storage.Value) bool {
-			emitProducts(0, s, anchorPart)
-			return true
-		})
 	}
-	return ans, stats, nil
+	return ce.ans, ce.stats, nil
+}
+
+// fBatch applies the recursive rule one level deeper to a carry batch,
+// split across the worker pool, and returns the genuinely new contexts.
+// Workers claim contexts through the sharded seen-set (Insert returns
+// true exactly once per tuple), so the returned level is a set no matter
+// how the batch was partitioned.
+func (ce *contextEval) fBatch(carry []storage.Tuple) []storage.Tuple {
+	results := make([][]storage.Tuple, ce.workers)
+	parallelFor(ce.workers, len(carry), func(w, lo, hi int) {
+		slots := make([]storage.Value, ce.fNslots)
+		bound := make([]bool, ce.fNslots)
+		tup := make(storage.Tuple, ce.carryWidth)
+		var local []storage.Tuple
+		for _, c := range carry[lo:hi] {
+			if ce.aborted.Load() {
+				break
+			}
+			for i := range bound {
+				bound[i] = false
+			}
+			// Anchor passthrough and context binding.
+			for i, sl := range ce.fHeadSlots {
+				slots[sl] = c[ce.nAnchors+i]
+				bound[sl] = true
+			}
+			anchorPart := c[:ce.nAnchors]
+			ce.fConj.run(ce.resolve, slots, bound, func(s []storage.Value) bool {
+				if !ce.fProj.projectCtx(s, anchorPart, tup, ce.syms) {
+					return true
+				}
+				if ce.seen.Insert(tup) {
+					local = append(local, tup.Clone())
+				}
+				return true
+			})
+		}
+		results[w] = local
+	})
+	var next []storage.Tuple
+	for _, r := range results {
+		next = append(next, r...)
+	}
+	return next
+}
+
+// gBatch joins a batch of new contexts with the exit rule and emits the
+// assembled answers, split across the worker pool. Each context's probe
+// is independent, so partitioning is safe; answer dedup happens in the
+// sharded answer relation.
+func (ce *contextEval) gBatch(batch []storage.Tuple) {
+	parallelFor(ce.workers, len(batch), func(w, lo, hi int) {
+		gSlots := make([]storage.Value, ce.gNslots)
+		gBound := make([]bool, ce.gNslots)
+		out := make(storage.Tuple, ce.p.Def.Arity())
+		for _, c := range batch[lo:hi] {
+			if ce.aborted.Load() {
+				return
+			}
+			for i := range gBound {
+				gBound[i] = false
+			}
+			for i, sl := range ce.gCtxSlots {
+				gSlots[sl] = c[ce.nAnchors+i]
+				gBound[sl] = true
+			}
+			anchorPart := c[:ce.nAnchors]
+			ce.gConj.run(ce.resolve, gSlots, gBound, func(s []storage.Value) bool {
+				return ce.emitProducts(0, s, anchorPart, out)
+			})
+		}
+	})
+}
+
+// emitProducts assembles answers for one g-join solution, crossing in the
+// factored groups, and routes them through emitAnswer. out is the
+// caller's scratch tuple. Returns false when the evaluation should stop.
+func (ce *contextEval) emitProducts(gi int, s []storage.Value, anchorPart, out storage.Tuple) bool {
+	if gi == len(ce.groups) {
+		for oi, src := range ce.srcs {
+			switch src.kind {
+			case 0:
+				out[oi] = src.val
+			case 1:
+				out[oi] = s[src.idx]
+			case 2:
+				out[oi] = anchorPart[src.idx]
+			}
+		}
+		return ce.emitAnswer(out)
+	}
+	for _, gt := range ce.groups[gi].tuples {
+		for oi, src := range ce.srcs {
+			if src.kind == 3 && src.idx == gi {
+				out[oi] = gt[src.pos]
+			}
+		}
+		if !ce.emitProducts(gi+1, s, anchorPart, out) {
+			return false
+		}
+	}
+	return true
+}
+
+// emitAnswer records one answer tuple, forwarding genuinely new tuples to
+// the streaming sink (serialized across workers). Returns false once the
+// sink has asked to stop.
+func (ce *contextEval) emitAnswer(out storage.Tuple) bool {
+	if !ce.ans.Insert(out) {
+		return !ce.aborted.Load()
+	}
+	if ce.emit == nil {
+		return !ce.aborted.Load()
+	}
+	ce.emitMu.Lock()
+	ok := !ce.aborted.Load() && ce.emit(out)
+	ce.emitMu.Unlock()
+	if !ok {
+		ce.aborted.Store(true)
+	}
+	return ok
 }
 
 // carryProj maps conjunction solutions to carry tuples.

@@ -1,0 +1,47 @@
+package eval
+
+import "sync"
+
+// minParallelChunk is the smallest per-worker slice worth a goroutine:
+// below it the dispatch overhead dominates the join work, so small carry
+// batches (a chain's single-context levels in particular) run inline on
+// the calling goroutine.
+const minParallelChunk = 16
+
+// parallelFor splits [0, n) into at most workers contiguous chunks of at
+// least minParallelChunk items and runs fn(worker, lo, hi) for each, on
+// its own goroutine when more than one chunk results. Worker ordinals are
+// dense in [0, workers), each used at most once, so callers may index
+// per-worker result slots by them. fn must be safe to run concurrently
+// with itself on disjoint ranges; parallelFor returns when every chunk
+// has finished.
+func parallelFor(workers, n int, fn func(worker, lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if maxW := (n + minParallelChunk - 1) / minParallelChunk; workers > maxW {
+		workers = maxW
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

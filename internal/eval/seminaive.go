@@ -3,6 +3,8 @@ package eval
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/storage"
@@ -136,8 +138,16 @@ func SemiNaive(p *ast.Program, edb *storage.Database) (*Result, error) {
 }
 
 // SemiNaiveCtx is SemiNaive with cancellation: the fixpoint loop checks
-// ctx between rounds and returns ctx.Err() when it fires.
+// ctx between rounds and returns ctx.Err() when it fires. Rounds
+// parallelize across GOMAXPROCS workers; use SemiNaiveWorkersCtx to
+// bound them.
 func SemiNaiveCtx(ctx context.Context, p *ast.Program, edb *storage.Database) (*Result, error) {
+	return SemiNaiveWorkersCtx(ctx, p, edb, 0)
+}
+
+// SemiNaiveWorkersCtx is SemiNaiveCtx with the per-round parallelism
+// bounded to workers (0 means GOMAXPROCS, 1 forces sequential rounds).
+func SemiNaiveWorkersCtx(ctx context.Context, p *ast.Program, edb *storage.Database, workers int) (*Result, error) {
 	cp, err := compileProgram(p, edb.Syms)
 	if err != nil {
 		return nil, err
@@ -180,14 +190,30 @@ func SemiNaiveCtx(ctx context.Context, p *ast.Program, edb *storage.Database) (*
 		}
 	}
 
-	// First round: evaluate all rules with no delta restriction.
+	// freshDelta pre-creates one delta relation per head predicate so the
+	// map is read-only while a round's jobs run in parallel.
+	freshDelta := func() map[string]*storage.Relation {
+		m := make(map[string]*storage.Relation, len(cp.rules))
+		for _, cr := range cp.rules {
+			if m[cr.headPred] == nil {
+				m[cr.headPred] = storage.NewShardedRelation(len(cr.src.Head.Args), nil, idb.Shards())
+			}
+		}
+		return m
+	}
+
+	// First round: evaluate all rules with no delta restriction. The
+	// rules are independent up to monotone inserts, so they run as one
+	// parallel round (see runRound).
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	newDelta := make(map[string]*storage.Relation)
+	newDelta := freshDelta()
+	var first []roundJob
 	for _, cr := range cp.rules {
-		applyRule(cr, cr.variants[0:1], resolve(nil), idb, newDelta, true)
+		first = append(first, roundJob{cr: cr, variants: cr.variants[0:1]})
 	}
+	runRound(first, resolve(nil), idb, newDelta, true, workers)
 	res.Rounds++
 
 	// Delta rounds.
@@ -197,9 +223,6 @@ func SemiNaiveCtx(ctx context.Context, p *ast.Program, edb *storage.Database) (*
 		}
 		// Promote.
 		delta := newDelta
-		if len(delta) == 0 {
-			break
-		}
 		empty := true
 		for _, d := range delta {
 			if d.Len() > 0 {
@@ -209,7 +232,8 @@ func SemiNaiveCtx(ctx context.Context, p *ast.Program, edb *storage.Database) (*
 		if empty {
 			break
 		}
-		newDelta = make(map[string]*storage.Relation)
+		newDelta = freshDelta()
+		var jobs []roundJob
 		for _, cr := range cp.rules {
 			if len(cr.variants) == 0 {
 				continue
@@ -224,17 +248,68 @@ func SemiNaiveCtx(ctx context.Context, p *ast.Program, edb *storage.Database) (*
 			if !hasDelta {
 				continue
 			}
-			applyRule(cr, cr.variants, resolve(delta), idb, newDelta, false)
+			for i := range cr.variants {
+				jobs = append(jobs, roundJob{cr: cr, variants: cr.variants[i : i+1]})
+			}
 		}
+		runRound(jobs, resolve(delta), idb, newDelta, false, workers)
 		res.Rounds++
 	}
 	return res, nil
 }
 
+// roundJob is one unit of a semi-naive round: a rule restricted to a
+// subset of its delta variants.
+type roundJob struct {
+	cr       *compiledRule
+	variants []ruleVariant
+}
+
+// runRound evaluates one semi-naive round's jobs, in parallel across at
+// most `workers` goroutines (0 means GOMAXPROCS) when there are several.
+// Jobs only append to the shared (sharded, concurrency-safe) idb and
+// delta relations, and bottom-up evaluation is monotone, so any
+// interleaving derives the same round result: a tuple seen "early"
+// (inserted by a sibling job mid-round) can only add derivations that
+// dedup away or would otherwise arrive via the next round's delta.
+func runRound(jobs []roundJob, res resolver, idb *storage.Database, newDelta map[string]*storage.Relation, firstRound bool, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			applyRule(j.cr, j.variants, res, idb, newDelta, firstRound)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan roundJob)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				applyRule(j.cr, j.variants, res, idb, newDelta, firstRound)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+}
+
 // applyRule runs the given variants of a rule, inserting derived heads into
-// idb and recording genuinely new tuples in newDelta. When firstRound is
-// true, delta atoms resolve to the full relation (the first round evaluates
-// everything unrestricted).
+// idb and recording genuinely new tuples in newDelta (when the head's delta
+// relation exists; Naive passes none). When firstRound is true, delta atoms
+// resolve to the full relation (the first round evaluates everything
+// unrestricted). Safe to call concurrently for different jobs of one round:
+// it only reads the compiled rule and appends to concurrency-safe
+// relations.
 func applyRule(cr *compiledRule, variants []ruleVariant, res resolver, idb *storage.Database, newDelta map[string]*storage.Relation, firstRound bool) {
 	arity := len(cr.src.Head.Args)
 	headRel := idb.Ensure(cr.headPred, arity)
@@ -257,12 +332,9 @@ func applyRule(cr *compiledRule, variants []ruleVariant, res resolver, idb *stor
 				}
 			}
 			if headRel.Insert(tuple) {
-				nd, ok := newDelta[cr.headPred]
-				if !ok {
-					nd = storage.NewRelation(arity, nil)
-					newDelta[cr.headPred] = nd
+				if nd := newDelta[cr.headPred]; nd != nil {
+					nd.Insert(tuple)
 				}
-				nd.Insert(tuple)
 			}
 			return true
 		})

@@ -38,15 +38,30 @@ type PreparedStrategy interface {
 	Eval(ctx context.Context, edb *storage.Database) (*storage.Relation, EvalStats, error)
 }
 
+// StreamingPrepared is implemented by prepared plans that can emit
+// answers incrementally, before their fixpoint completes. EvalStream
+// behaves like Eval but additionally calls emit once per distinct answer
+// tuple as soon as it is derived; see Plan.EvalStreamCtx for the emit
+// contract. Prepared plans without this interface are evaluated fully
+// and their answers streamed afterwards.
+type StreamingPrepared interface {
+	PreparedStrategy
+	EvalStream(ctx context.Context, edb *storage.Database, emit func(storage.Tuple) bool) (*storage.Relation, EvalStats, error)
+}
+
 // StrategyExplain reports what a prepared plan will do: which strategy
 // planned it, the Theorem 3.4 verdict when the planner ran it, the Fig. 9
-// mode and carry arity for one-sided plans, and a free-form detail line.
+// mode, carry arity, and parallel worker bound for one-sided plans, and a
+// free-form detail line.
 type StrategyExplain struct {
 	Strategy   string
 	Verdict    string
 	Mode       string
 	CarryArity int
-	Detail     string
+	// Workers is the parallel-worker bound the plan will evaluate with
+	// (0 when the strategy does not parallelize).
+	Workers int
+	Detail  string
 }
 
 func (e StrategyExplain) String() string {
@@ -57,6 +72,9 @@ func (e StrategyExplain) String() string {
 	if e.Verdict != "" {
 		s += " verdict=" + fmt.Sprintf("%q", e.Verdict)
 	}
+	if e.Workers > 0 {
+		s += fmt.Sprintf(" workers=%d", e.Workers)
+	}
 	if e.Detail != "" {
 		s += " (" + e.Detail + ")"
 	}
@@ -66,16 +84,27 @@ func (e StrategyExplain) String() string {
 // ---------------------------------------------------------------------------
 // One-sided strategy: the paper's planner.
 
-type oneSidedStrategy struct{}
+type oneSidedStrategy struct{ workers int }
 
 // OneSided returns the strategy that runs the Theorem 3.4
 // optimize-then-detect procedure and, when it concludes the recursion is
 // (convertible to) one-sided, compiles the selection into a Fig. 9 plan.
+// Evaluation splits each carry batch across GOMAXPROCS workers; use
+// OneSidedWorkers to fix the worker count.
 func OneSided() Strategy { return oneSidedStrategy{} }
+
+// OneSidedWorkers is OneSided with the parallel worker count pinned to
+// workers (<= 0 keeps the GOMAXPROCS default).
+func OneSidedWorkers(workers int) Strategy {
+	if workers < 0 {
+		workers = 0
+	}
+	return oneSidedStrategy{workers: workers}
+}
 
 func (oneSidedStrategy) Name() string { return StrategyOneSided }
 
-func (oneSidedStrategy) Prepare(p *ast.Program, query ast.Atom) (PreparedStrategy, error) {
+func (s oneSidedStrategy) Prepare(p *ast.Program, query ast.Atom) (PreparedStrategy, error) {
 	dec, err := decideForQuery(p, query)
 	if err != nil {
 		return nil, err
@@ -84,6 +113,7 @@ func (oneSidedStrategy) Prepare(p *ast.Program, query ast.Atom) (PreparedStrateg
 	if err != nil {
 		return nil, err
 	}
+	plan.Workers = s.workers
 	return &oneSidedPrepared{plan: plan, verdict: dec.Verdict.String()}, nil
 }
 
@@ -127,11 +157,18 @@ func (o *oneSidedPrepared) Explain() StrategyExplain {
 		Verdict:    o.verdict,
 		Mode:       o.plan.Mode.String(),
 		CarryArity: o.plan.CarryArity,
+		Workers:    o.plan.effectiveWorkers(),
 	}
 }
 
 func (o *oneSidedPrepared) Eval(ctx context.Context, edb *storage.Database) (*storage.Relation, EvalStats, error) {
 	return o.plan.EvalCtx(ctx, edb)
+}
+
+// EvalStream implements StreamingPrepared: context-mode plans emit
+// answers per carry batch while the Fig. 9 loop is still running.
+func (o *oneSidedPrepared) EvalStream(ctx context.Context, edb *storage.Database, emit func(storage.Tuple) bool) (*storage.Relation, EvalStats, error) {
+	return o.plan.EvalStreamCtx(ctx, edb, emit)
 }
 
 // ---------------------------------------------------------------------------

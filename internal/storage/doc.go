@@ -1,0 +1,30 @@
+// Package storage provides the relational substrate for the evaluation
+// engines: interned symbols, set-semantics relations over fixed-arity
+// tuples, per-column hash indexes, and instrumentation counters that
+// measure the paper's Property 3 ("never do an unrestricted lookup on a
+// nonrecursive relation").
+//
+// # Sharding
+//
+// A Relation is hash-partitioned on ShardColumn into N independently
+// locked shards (N is 1 for NewRelation; NewShardedRelation and
+// Database.SetShards choose larger powers of two, defaulting to
+// GOMAXPROCS for databases). Each shard owns its tuples, presence map,
+// and lazily built per-column indexes, so concurrent inserts from
+// parallel workers — the Fig. 9 carry-batch workers in particular —
+// serialize only when their tuples hash to the same partition. A Lookup
+// bound on ShardColumn probes exactly one shard; other lookups fan out
+// across all of them.
+//
+// # Concurrency and snapshots
+//
+// SymbolTable, Relation, and Database are safe for any number of
+// concurrent readers with concurrent writers, so one Engine can serve
+// parallel queries over a shared EDB while loaders insert. Iteration
+// (Scan, Lookup, Tuples) works on a snapshot of each shard's tuple set
+// taken at call time: tuples are append-only and never mutated in place,
+// so a snapshot is a consistent prefix, and a goroutine may insert into
+// the very relation it is scanning — the fixpoint loops rely on this —
+// without deadlock. Sharded relations do not preserve global insertion
+// order across shards; use SortedTuples for deterministic output.
+package storage

@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestShardedRelationMatchesSingleShard drives identical random workloads
+// through a 1-shard and an 8-shard relation and checks every observable:
+// Len, Contains, Tuples (as a set), SortedTuples (exact), Scan, and
+// Lookup under every binding subset.
+func TestShardedRelationMatchesSingleShard(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	one := NewRelation(3, nil)
+	sharded := NewShardedRelation(3, nil, 8)
+	if got := sharded.Shards(); got != 8 {
+		t.Fatalf("Shards() = %d, want 8", got)
+	}
+	for i := 0; i < 2000; i++ {
+		tup := Tuple{Value(rng.Intn(40)), Value(rng.Intn(15)), Value(rng.Intn(300))}
+		a, b := one.Insert(tup), sharded.Insert(tup)
+		if a != b {
+			t.Fatalf("insert %v: single=%v sharded=%v", tup, a, b)
+		}
+	}
+	if one.Len() != sharded.Len() {
+		t.Fatalf("len: single=%d sharded=%d", one.Len(), sharded.Len())
+	}
+	ss, os := sharded.SortedTuples(), one.SortedTuples()
+	for i := range os {
+		if os[i].Key() != ss[i].Key() {
+			t.Fatalf("sorted tuple %d differs", i)
+		}
+	}
+	scanCount := 0
+	sharded.Scan(func(Tuple) bool { scanCount++; return true })
+	if scanCount != one.Len() {
+		t.Fatalf("scan saw %d tuples, want %d", scanCount, one.Len())
+	}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(3)
+		cols := rng.Perm(3)[:n]
+		var bindings []Binding
+		for _, c := range cols {
+			bindings = append(bindings, Binding{Col: c, Val: Value(rng.Intn(40))})
+		}
+		want := make(map[string]bool)
+		one.Lookup(bindings, func(tup Tuple) bool { want[tup.Key()] = true; return true })
+		got := make(map[string]bool)
+		sharded.Lookup(bindings, func(tup Tuple) bool { got[tup.Key()] = true; return true })
+		if len(got) != len(want) {
+			t.Fatalf("bindings %v: sharded found %d, single found %d", bindings, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("bindings %v: sharded missed a tuple", bindings)
+			}
+		}
+	}
+	if !one.Equal(sharded) || !sharded.Equal(one) {
+		t.Fatal("Equal disagrees between shardings")
+	}
+}
+
+// TestShardedLookupEarlyStop checks that a yield returning false stops a
+// fan-out lookup across shards mid-way.
+func TestShardedLookupEarlyStop(t *testing.T) {
+	r := NewShardedRelation(2, nil, 4)
+	for i := 0; i < 100; i++ {
+		r.Insert(Tuple{Value(i), 7})
+	}
+	seen := 0
+	r.Lookup([]Binding{{Col: 1, Val: 7}}, func(Tuple) bool {
+		seen++
+		return seen < 5
+	})
+	if seen != 5 {
+		t.Fatalf("yield called %d times after early stop, want 5", seen)
+	}
+}
+
+// TestShardedConcurrentInserts hammers one sharded relation from many
+// writers with overlapping tuple sets and verifies exactly-once insert
+// accounting: the sum of true returns must equal the final Len. Run
+// under -race.
+func TestShardedConcurrentInserts(t *testing.T) {
+	r := NewShardedRelation(2, nil, 8)
+	const writers, perWriter = 8, 3000
+	counts := make([]int, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				// Overlapping key space: most inserts race with a duplicate.
+				tup := Tuple{Value(rng.Intn(200)), Value(rng.Intn(40))}
+				if r.Insert(tup) {
+					counts[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != r.Len() {
+		t.Fatalf("accepted inserts = %d, Len = %d", total, r.Len())
+	}
+	for _, tup := range r.Tuples() {
+		if !r.Contains(tup) {
+			t.Fatalf("tuple %v in snapshot but Contains is false", tup)
+		}
+	}
+}
+
+// TestSetShardsRoundsUp pins that Database.Shards reports the same
+// (power-of-two) count its relations actually get, so Explain/EvalStats
+// never cite a partitioning no relation has.
+func TestSetShardsRoundsUp(t *testing.T) {
+	db := NewDatabase()
+	db.SetShards(5)
+	if got := db.Shards(); got != 8 {
+		t.Fatalf("Shards() = %d after SetShards(5), want 8", got)
+	}
+	db.AddFact("r", "x", "y")
+	if got := db.Relation("r").Shards(); got != db.Shards() {
+		t.Fatalf("relation has %d shards, db reports %d", got, db.Shards())
+	}
+	db.SetShards(0)
+	if got := db.Shards(); got != 1 {
+		t.Fatalf("Shards() = %d after SetShards(0), want 1", got)
+	}
+}
+
+// TestDatabaseSetShards checks that SetShards governs relations created
+// afterwards and leaves existing ones alone.
+func TestDatabaseSetShards(t *testing.T) {
+	db := NewDatabase()
+	db.SetShards(1)
+	db.AddFact("before", "x", "y")
+	db.SetShards(8)
+	db.AddFact("after", "x", "y")
+	if got := db.Relation("before").Shards(); got != 1 {
+		t.Fatalf("pre-existing relation has %d shards, want 1", got)
+	}
+	if got := db.Relation("after").Shards(); got != 8 {
+		t.Fatalf("new relation has %d shards, want 8", got)
+	}
+	if got := db.Shards(); got != 8 {
+		t.Fatalf("db.Shards() = %d, want 8", got)
+	}
+}
+
+// TestShardedZeroArity pins the degenerate case: arity-0 relations always
+// collapse to one shard and still behave as sets.
+func TestShardedZeroArity(t *testing.T) {
+	r := NewShardedRelation(0, nil, 8)
+	if r.Shards() != 1 {
+		t.Fatalf("arity-0 relation has %d shards, want 1", r.Shards())
+	}
+	if !r.Insert(Tuple{}) || r.Insert(Tuple{}) {
+		t.Fatal("arity-0 insert dedup broken")
+	}
+	if r.Len() != 1 || !r.Contains(Tuple{}) {
+		t.Fatal("arity-0 membership broken")
+	}
+}
+
+// TestShardRoutingSpread sanity-checks the multiplicative hash: dense
+// interned values must not all land in one shard.
+func TestShardRoutingSpread(t *testing.T) {
+	r := NewShardedRelation(1, nil, 8)
+	for i := 0; i < 1024; i++ {
+		r.Insert(Tuple{Value(i)})
+	}
+	for i := range r.shards {
+		n := len(r.shards[i].snapshot())
+		if n == 0 || n > 1024/2 {
+			t.Fatalf("shard %d holds %d of 1024 tuples; routing is skewed", i, n)
+		}
+	}
+	if fmt.Sprint(r.Len()) != "1024" {
+		t.Fatalf("len = %d", r.Len())
+	}
+}

@@ -1,22 +1,9 @@
-// Package storage provides the relational substrate for the evaluation
-// engines: interned symbols, set-semantics relations over fixed-arity
-// tuples, per-column hash indexes, and instrumentation counters that
-// measure the paper's Property 3 ("never do an unrestricted lookup on a
-// nonrecursive relation").
-//
-// Concurrency: SymbolTable, Relation, and Database are safe for any
-// number of concurrent readers with concurrent writers (RWMutex-guarded
-// structures plus atomic counters), so one Engine can serve parallel
-// queries over a shared EDB. Iteration (Scan, Lookup, Tuples) works on a
-// snapshot of the tuple set taken at call time: tuples are append-only
-// and never mutated in place, so a snapshot is a consistent prefix, and
-// a goroutine may insert into the very relation it is scanning — the
-// fixpoint loops rely on this — without deadlock.
 package storage
 
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -160,114 +147,199 @@ func (c *Counters) Add(other Counters) {
 	atomic.AddInt64(&c.Inserts, other.Inserts)
 }
 
-// Relation is a set of tuples of fixed arity with lazily built per-column
-// hash indexes. The zero value is not usable; construct with NewRelation.
-// Methods are safe for concurrent use; see the package comment for the
-// snapshot semantics of iteration.
-type Relation struct {
-	arity int
-	stats *Counters
-
-	mu      sync.RWMutex
-	tuples  []Tuple
+// shard is one independently-locked partition of a Relation: a tuple set
+// with its own presence map and lazily built per-column hash indexes.
+type shard struct {
+	mu     sync.RWMutex
+	tuples []Tuple
+	// present maps Tuple.Key() to membership within this shard.
 	present map[string]bool
-	// cols[i] maps a value to the ordinals of tuples holding it in column i
-	// (nil until built).
+	// cols[i] maps a value to the ordinals of this shard's tuples holding
+	// it in column i (nil until built).
 	cols []map[Value][]int
 }
 
-// NewRelation creates an empty relation of the given arity, reporting
-// instrumentation to stats (which may be nil).
+// ShardColumn is the column whose value routes a tuple to its shard. The
+// Fig. 9 loop probes the join column of the recursive rule's EDB atoms,
+// which for the canonical left-linear shapes is the first column, so
+// hashing column 0 lets a probe bound on it touch exactly one shard while
+// keeping concurrent inserts spread across all of them.
+const ShardColumn = 0
+
+// Relation is a set of tuples of fixed arity, hash-sharded on ShardColumn
+// into independently-locked partitions with lazily built per-column hash
+// indexes. The zero value is not usable; construct with NewRelation (one
+// shard) or NewShardedRelation. Methods are safe for concurrent use; with
+// n shards, n concurrent writers make progress independently as long as
+// their tuples hash to different partitions. See the package comment for
+// the snapshot semantics of iteration.
+type Relation struct {
+	arity int
+	stats *Counters
+	count atomic.Int64
+	// shardShift turns the 32-bit hash of the routing value into a shard
+	// index: idx = hash >> shardShift. len(shards) is a power of two.
+	shardShift uint32
+	shards     []shard
+}
+
+// NewRelation creates an empty single-shard relation of the given arity,
+// reporting instrumentation to stats (which may be nil). Single-shard
+// relations have no routing overhead; use NewShardedRelation for
+// relations written by concurrent workers.
 func NewRelation(arity int, stats *Counters) *Relation {
-	return &Relation{
-		arity:   arity,
-		present: make(map[string]bool),
-		cols:    make([]map[Value][]int, arity),
-		stats:   stats,
+	return NewShardedRelation(arity, stats, 1)
+}
+
+// NewShardedRelation creates an empty relation partitioned into nshards
+// independently-locked shards (rounded up to a power of two; values < 1,
+// and any value for arity-0 relations, mean one shard).
+func NewShardedRelation(arity int, stats *Counters, nshards int) *Relation {
+	n := 1
+	if arity > 0 {
+		for n < nshards {
+			n <<= 1
+		}
 	}
+	r := &Relation{
+		arity:      arity,
+		stats:      stats,
+		shardShift: 32 - log2(n),
+		shards:     make([]shard, n),
+	}
+	for i := range r.shards {
+		r.shards[i].present = make(map[string]bool)
+		r.shards[i].cols = make([]map[Value][]int, arity)
+	}
+	return r
+}
+
+// log2 returns the exponent of a power of two.
+func log2(n int) uint32 {
+	var e uint32
+	for n > 1 {
+		n >>= 1
+		e++
+	}
+	return e
+}
+
+// shardIndex routes a value of ShardColumn to a shard ordinal via a
+// multiplicative (Fibonacci) hash: interned Values are dense small
+// integers, so the multiply spreads consecutive values across shards.
+func (r *Relation) shardIndex(v Value) int {
+	return int((uint32(v) * 2654435761) >> r.shardShift)
+}
+
+// shardFor returns the shard holding tuples with t's routing value.
+func (r *Relation) shardFor(t Tuple) *shard {
+	if len(r.shards) == 1 {
+		return &r.shards[0]
+	}
+	return &r.shards[r.shardIndex(t[ShardColumn])]
 }
 
 // Arity returns the relation's arity.
 func (r *Relation) Arity() int { return r.arity }
 
+// Shards returns the number of partitions.
+func (r *Relation) Shards() int { return len(r.shards) }
+
 // Len returns the number of tuples.
-func (r *Relation) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.tuples)
-}
+func (r *Relation) Len() int { return int(r.count.Load()) }
 
 // Insert adds a tuple (copied), returning true when it was not already
-// present.
+// present. Only the tuple's shard is locked, so inserts from parallel
+// workers serialize only on hash collisions.
 func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("storage: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
 	}
 	k := t.Key()
-	r.mu.Lock()
-	if r.present[k] {
-		r.mu.Unlock()
+	sh := r.shardFor(t)
+	sh.mu.Lock()
+	if sh.present[k] {
+		sh.mu.Unlock()
 		return false
 	}
-	r.present[k] = true
-	ord := len(r.tuples)
+	sh.present[k] = true
+	ord := len(sh.tuples)
 	ct := t.Clone()
-	r.tuples = append(r.tuples, ct)
-	for i, idx := range r.cols {
+	sh.tuples = append(sh.tuples, ct)
+	for i, idx := range sh.cols {
 		if idx != nil {
 			idx[ct[i]] = append(idx[ct[i]], ord)
 		}
 	}
-	r.mu.Unlock()
+	sh.mu.Unlock()
+	r.count.Add(1)
 	if r.stats != nil {
 		atomic.AddInt64(&r.stats.Inserts, 1)
 	}
 	return true
 }
 
-// Contains reports membership.
+// Contains reports membership, locking only the tuple's shard.
 func (r *Relation) Contains(t Tuple) bool {
 	k := t.Key()
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.present[k]
+	sh := r.shardFor(t)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.present[k]
 }
 
-// Tuples returns a snapshot of the backing tuple slice. Callers must not
-// modify it. This accessor is not instrumented; use Scan for measured
-// access.
+// snapshot returns the shard's tuples as a capacity-clamped prefix slice.
+// Tuples are append-only, so the prefix stays consistent after unlock.
+func (sh *shard) snapshot() []Tuple {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.tuples[:len(sh.tuples):len(sh.tuples)]
+}
+
+// Tuples returns a snapshot of the tuple set. Callers must not modify it.
+// For single-shard relations the snapshot is the backing slice (no copy)
+// in insertion order; for sharded relations it concatenates the per-shard
+// snapshots, so global insertion order is not preserved — use
+// SortedTuples for deterministic order. This accessor is not
+// instrumented; use Scan for measured access.
 func (r *Relation) Tuples() []Tuple {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.tuples[:len(r.tuples):len(r.tuples)]
+	if len(r.shards) == 1 {
+		return r.shards[0].snapshot()
+	}
+	out := make([]Tuple, 0, r.Len())
+	for i := range r.shards {
+		out = append(out, r.shards[i].snapshot()...)
+	}
+	return out
 }
 
-// Scan iterates a snapshot of the tuples, recording a full scan. Tuples
+// Scan iterates a snapshot of the tuples, recording one full scan. Tuples
 // are counted as examined only up to the point the caller stops.
 func (r *Relation) Scan(yield func(Tuple) bool) {
-	tuples := r.Tuples()
 	if r.stats != nil {
 		atomic.AddInt64(&r.stats.FullScans, 1)
 	}
-	for _, t := range tuples {
-		if r.stats != nil {
-			atomic.AddInt64(&r.stats.TuplesExamined, 1)
-		}
-		if !yield(t) {
-			return
+	for i := range r.shards {
+		for _, t := range r.shards[i].snapshot() {
+			if r.stats != nil {
+				atomic.AddInt64(&r.stats.TuplesExamined, 1)
+			}
+			if !yield(t) {
+				return
+			}
 		}
 	}
 }
 
-// ensureIndexLocked builds the hash index for a column. The caller must
-// hold the write lock.
-func (r *Relation) ensureIndexLocked(col int) {
-	if r.cols[col] == nil {
+// ensureIndexLocked builds the shard's hash index for a column. The
+// caller must hold the shard's write lock.
+func (sh *shard) ensureIndexLocked(col int) {
+	if sh.cols[col] == nil {
 		idx := make(map[Value][]int)
-		for ord, t := range r.tuples {
+		for ord, t := range sh.tuples {
 			idx[t[col]] = append(idx[t[col]], ord)
 		}
-		r.cols[col] = idx
+		sh.cols[col] = idx
 	}
 }
 
@@ -278,53 +350,73 @@ type Binding struct {
 }
 
 // Lookup iterates the tuples matching all bindings. With at least one
-// binding it probes the hash index of the most selective bound column —
-// the one whose posting list for its value is shortest — and filters the
-// remaining bindings tuple by tuple (instrumented as one index lookup);
-// with none it degrades to a full scan. Indexes for every bound column
-// are built on first use, so selectivity is compared on actual posting
-// lists rather than guessed.
+// binding it probes hash indexes — per shard, the index of the most
+// selective bound column, the one whose posting list for its value is
+// shortest — and filters the remaining bindings tuple by tuple
+// (instrumented as one index lookup per call); with none it degrades to a
+// full scan. A binding on ShardColumn restricts the probe to the single
+// shard that can hold matches; otherwise every shard is probed. Indexes
+// for bound columns are built per shard on first use, so selectivity is
+// compared on actual posting lists rather than guessed.
 func (r *Relation) Lookup(bindings []Binding, yield func(Tuple) bool) {
 	if len(bindings) == 0 {
 		r.Scan(yield)
 		return
 	}
-	r.mu.RLock()
+	if r.stats != nil {
+		atomic.AddInt64(&r.stats.IndexLookups, 1)
+	}
+	if len(r.shards) > 1 {
+		for _, b := range bindings {
+			if b.Col == ShardColumn {
+				r.shards[r.shardIndex(b.Val)].lookup(bindings, r.stats, yield)
+				return
+			}
+		}
+	}
+	for i := range r.shards {
+		if !r.shards[i].lookup(bindings, r.stats, yield) {
+			return
+		}
+	}
+}
+
+// lookup probes one shard, returning false when yield stopped the
+// iteration.
+func (sh *shard) lookup(bindings []Binding, stats *Counters, yield func(Tuple) bool) bool {
+	sh.mu.RLock()
 	missing := false
 	for _, b := range bindings {
-		if r.cols[b.Col] == nil {
+		if sh.cols[b.Col] == nil {
 			missing = true
 			break
 		}
 	}
 	if missing {
-		r.mu.RUnlock()
-		r.mu.Lock()
+		sh.mu.RUnlock()
+		sh.mu.Lock()
 		for _, b := range bindings {
-			r.ensureIndexLocked(b.Col)
+			sh.ensureIndexLocked(b.Col)
 		}
-		r.mu.Unlock()
-		r.mu.RLock()
+		sh.mu.Unlock()
+		sh.mu.RLock()
 	}
 	// Probe the most selective bound column: shortest posting list wins.
 	probe := 0
-	ords := r.cols[bindings[0].Col][bindings[0].Val]
+	ords := sh.cols[bindings[0].Col][bindings[0].Val]
 	for i, b := range bindings[1:] {
-		if cand := r.cols[b.Col][b.Val]; len(cand) < len(ords) {
+		if cand := sh.cols[b.Col][b.Val]; len(cand) < len(ords) {
 			probe, ords = i+1, cand
 		}
 	}
-	tuples := r.tuples[:len(r.tuples):len(r.tuples)]
-	r.mu.RUnlock()
+	tuples := sh.tuples[:len(sh.tuples):len(sh.tuples)]
+	sh.mu.RUnlock()
 
-	if r.stats != nil {
-		atomic.AddInt64(&r.stats.IndexLookups, 1)
-	}
 outer:
 	for _, ord := range ords {
 		t := tuples[ord]
-		if r.stats != nil {
-			atomic.AddInt64(&r.stats.TuplesExamined, 1)
+		if stats != nil {
+			atomic.AddInt64(&stats.TuplesExamined, 1)
 		}
 		for i, b := range bindings {
 			if i == probe {
@@ -335,9 +427,10 @@ outer:
 			}
 		}
 		if !yield(t) {
-			return
+			return false
 		}
 	}
+	return true
 }
 
 // Equal reports whether two relations hold the same tuple sets.
@@ -348,20 +441,14 @@ func (r *Relation) Equal(o *Relation) bool {
 	if r.arity != o.arity {
 		return false
 	}
-	r.mu.RLock()
-	keys := make([]string, 0, len(r.present))
-	for k := range r.present {
-		keys = append(keys, k)
-	}
-	r.mu.RUnlock()
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	if len(keys) != len(o.present) {
+	if r.Len() != o.Len() {
 		return false
 	}
-	for _, k := range keys {
-		if !o.present[k] {
-			return false
+	for i := range r.shards {
+		for _, t := range r.shards[i].snapshot() {
+			if !o.Contains(t) {
+				return false
+			}
 		}
 	}
 	return true
@@ -385,25 +472,59 @@ func (r *Relation) SortedTuples() []Tuple {
 	return out
 }
 
+// defaultShards picks the shard count for a database's relations: the
+// smallest power of two covering GOMAXPROCS, capped at 64.
+func defaultShards() int {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < 64 {
+		n <<= 1
+	}
+	return n
+}
+
 // Database is a named collection of relations sharing a symbol table and
-// instrumentation counters. It is safe for concurrent use.
+// instrumentation counters. It is safe for concurrent use. Relations
+// created through Ensure/AddFact are sharded according to the database's
+// shard setting (default: smallest power of two >= GOMAXPROCS).
 type Database struct {
 	Stats Counters // first field: keeps the atomics 64-bit aligned on 32-bit platforms
 	Syms  *SymbolTable
 
-	mu   sync.RWMutex
-	rels map[string]*Relation
+	mu     sync.RWMutex
+	rels   map[string]*Relation
+	shards int
 }
 
 // NewDatabase creates an empty database with a fresh symbol table.
 func NewDatabase() *Database {
-	return &Database{Syms: NewSymbolTable(), rels: make(map[string]*Relation)}
+	return &Database{Syms: NewSymbolTable(), rels: make(map[string]*Relation), shards: defaultShards()}
 }
 
 // NewDatabaseWith creates an empty database sharing an existing symbol
 // table (used for derived/IDB databases).
 func NewDatabaseWith(syms *SymbolTable) *Database {
-	return &Database{Syms: syms, rels: make(map[string]*Relation)}
+	return &Database{Syms: syms, rels: make(map[string]*Relation), shards: defaultShards()}
+}
+
+// SetShards sets the shard count for relations created afterwards,
+// rounded up to a power of two so the stored value matches what the
+// relations actually get (< 1 means one shard). Existing relations keep
+// their partitioning.
+func (db *Database) SetShards(n int) {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	db.mu.Lock()
+	db.shards = p
+	db.mu.Unlock()
+}
+
+// Shards returns the shard count used for newly created relations.
+func (db *Database) Shards() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.shards
 }
 
 // Relation returns the named relation, or nil.
@@ -433,7 +554,7 @@ func (db *Database) Ensure(pred string, arity int) *Relation {
 		}
 		return r
 	}
-	r = NewRelation(arity, &db.Stats)
+	r = NewShardedRelation(arity, &db.Stats, db.shards)
 	db.rels[pred] = r
 	return r
 }

@@ -4,6 +4,7 @@ import (
 	"iter"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/eval"
 	"repro/internal/storage"
@@ -38,24 +39,111 @@ func (r Row) String() string { return strings.Join(r.Strings(), ",") }
 func (r Row) Tuple() Tuple { return r.tuple }
 
 // Rows is a query result: the answer set plus the evaluation's
-// statistics, instrumentation delta, and plan explanation. Answers are
-// consumed as streaming iterators (iter.Seq); the evaluation itself ran
-// bottom-up, so iteration never blocks.
+// statistics, instrumentation delta, and plan explanation.
+//
+// A Rows returned by Query is materialized: the evaluation has finished
+// and every accessor is immediate. A Rows returned by Stream/QueryStream
+// is live: All yields each answer as the background evaluation derives
+// it (first answers typically arrive before the fixpoint completes), and
+// every other accessor — Len, Strings, Sorted, Stats, Counters, Explain,
+// Err — blocks until the evaluation finishes. The live stream is
+// single-pass and single-consumer: the first All call owns it (breaking
+// out stops the evaluation early), and later All calls, like every call
+// after completion, iterate the materialized answer set.
 type Rows struct {
 	rel      *storage.Relation
 	syms     *storage.SymbolTable
 	stats    eval.EvalStats
 	counters storage.Counters
 	explain  Explain
+
+	// Streaming state (nil/zero for materialized Rows). The evaluation
+	// goroutine sends answers on ch, then fills rel/stats/err/counters/
+	// explain and closes done. stop asks the evaluation to end early;
+	// cancel releases the derived context.
+	ch       chan Row
+	done     chan struct{}
+	err      error
+	cancel   func()
+	stop     func()
+	mu       sync.Mutex
+	claimed  bool
+	waitOnce sync.Once
 }
 
-// Len returns the number of answers.
-func (rs *Rows) Len() int { return rs.rel.Len() }
+// claimStream marks the live stream as owned, returning false when the
+// Rows is materialized or the stream was already claimed.
+func (rs *Rows) claimStream() bool {
+	if rs.ch == nil {
+		return false
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.claimed {
+		return false
+	}
+	rs.claimed = true
+	return true
+}
 
-// All streams the answers in insertion (derivation) order. Breaking out
-// of the range stops the stream early.
+// Wait blocks until the evaluation behind a streaming Rows finishes
+// (discarding any answers nobody consumed — they remain available from
+// the materialized set) and returns its terminal error. On a
+// materialized Rows it returns nil immediately.
+func (rs *Rows) Wait() error {
+	if rs.done == nil {
+		return nil
+	}
+	rs.waitOnce.Do(func() {
+		if rs.claimStream() {
+			for range rs.ch {
+			}
+		}
+		<-rs.done
+		if rs.cancel != nil {
+			rs.cancel()
+		}
+	})
+	return rs.err
+}
+
+// Err returns the terminal error of a streaming evaluation (nil until it
+// finishes; Err blocks like Wait). Materialized Rows always return nil —
+// their evaluation errors surfaced from Query directly.
+func (rs *Rows) Err() error { return rs.Wait() }
+
+// Len returns the number of answers, waiting for a streaming evaluation
+// to finish.
+func (rs *Rows) Len() int {
+	rs.Wait()
+	return rs.rel.Len()
+}
+
+// All streams the answers. On a live Rows the first call yields each
+// answer as it is derived, in derivation order; breaking out of the
+// range stops the evaluation early. On a materialized Rows (and on
+// repeated calls) it iterates the answer set; sharded answer relations
+// do not preserve global derivation order there — use Sorted for
+// deterministic output.
 func (rs *Rows) All() iter.Seq[Row] {
 	return func(yield func(Row) bool) {
+		if rs.claimStream() {
+			for row := range rs.ch {
+				if !yield(row) {
+					rs.stop()
+					return
+				}
+			}
+			<-rs.done
+			// Release the derived context now rather than waiting for a
+			// later accessor: a long-lived parent ctx would otherwise
+			// accumulate one never-cancelled child per completed stream.
+			if rs.cancel != nil {
+				rs.cancel()
+			}
+			return
+		}
+		rs.Wait()
 		for _, t := range rs.rel.Tuples() {
 			if !yield(Row{tuple: t, syms: rs.syms}) {
 				return
@@ -65,9 +153,10 @@ func (rs *Rows) All() iter.Seq[Row] {
 }
 
 // Sorted streams the answers in lexicographic tuple order, for
-// deterministic output.
+// deterministic output, waiting for a streaming evaluation to finish.
 func (rs *Rows) Sorted() iter.Seq[Row] {
 	return func(yield func(Row) bool) {
+		rs.Wait()
 		for _, t := range rs.rel.SortedTuples() {
 			if !yield(Row{tuple: t, syms: rs.syms}) {
 				return
@@ -77,29 +166,48 @@ func (rs *Rows) Sorted() iter.Seq[Row] {
 }
 
 // Strings returns the answers as sorted comma-separated rows (the
-// rendering the tests and CLI use).
+// rendering the tests and CLI use), waiting for a streaming evaluation
+// to finish.
 func (rs *Rows) Strings() []string {
+	rs.Wait()
 	out := make([]string, 0, rs.rel.Len())
-	for row := range rs.All() {
-		out = append(out, row.String())
+	for _, t := range rs.rel.Tuples() {
+		out = append(out, Row{tuple: t, syms: rs.syms}.String())
 	}
 	sort.Strings(out)
 	return out
 }
 
 // Stats returns the evaluation statistics (Fig. 9 iterations, seen-set
-// size, carry arity).
-func (rs *Rows) Stats() EvalStats { return rs.stats }
+// size, carry arity, parallel workers/shards/batches), waiting for a
+// streaming evaluation to finish.
+func (rs *Rows) Stats() EvalStats {
+	rs.Wait()
+	return rs.stats
+}
 
 // Counters returns the database instrumentation delta attributable to
-// this evaluation (tuples examined, index lookups, full scans, inserts).
-// With concurrent queries in flight the delta includes their overlapping
-// work; it is exact when queries run one at a time.
-func (rs *Rows) Counters() Counters { return rs.counters }
+// this evaluation (tuples examined, index lookups, full scans, inserts),
+// waiting for a streaming evaluation to finish. With concurrent queries
+// in flight the delta includes their overlapping work; it is exact when
+// queries run one at a time.
+func (rs *Rows) Counters() Counters {
+	rs.Wait()
+	return rs.counters
+}
 
 // Explain returns the plan report: chosen strategy, Theorem 3.4 verdict,
-// Fig. 9 mode, and the strategies that declined.
-func (rs *Rows) Explain() Explain { return rs.explain }
+// Fig. 9 mode, parallelism (workers, shards, batches), and the
+// strategies that declined. It waits for a streaming evaluation to
+// finish.
+func (rs *Rows) Explain() Explain {
+	rs.Wait()
+	return rs.explain
+}
 
-// Relation returns the raw answer relation.
-func (rs *Rows) Relation() *Relation { return rs.rel }
+// Relation returns the raw answer relation, waiting for a streaming
+// evaluation to finish.
+func (rs *Rows) Relation() *Relation {
+	rs.Wait()
+	return rs.rel
+}

@@ -27,6 +27,8 @@ type engineConfig struct {
 	strategyNames []string
 	planCacheSize int
 	countingDepth int
+	shards        int
+	workers       int
 }
 
 // Option configures an Engine at Open time.
@@ -68,6 +70,25 @@ func WithCountingDepth(maxDepth int) Option {
 	return func(c *engineConfig) { c.countingDepth = maxDepth }
 }
 
+// WithShards sets the shard count for the database's relations: each
+// relation is hash-partitioned on its probe column into n
+// independently-locked partitions (rounded up to a power of two), so
+// concurrent inserts — parallel loaders and the Fig. 9 batch workers —
+// no longer serialize on one lock. The default is the smallest power of
+// two covering GOMAXPROCS. With an engine opened over an existing
+// database (WithDatabase), the setting applies to relations created
+// after Open; relations that already exist keep their partitioning.
+func WithShards(n int) Option {
+	return func(c *engineConfig) { c.shards = n }
+}
+
+// WithWorkers bounds the parallel workers the one-sided strategy may
+// split a carry batch across during the Fig. 9 loop. The default (0) is
+// GOMAXPROCS; 1 forces sequential evaluation.
+func WithWorkers(n int) Option {
+	return func(c *engineConfig) { c.workers = n }
+}
+
 // defaultStrategyNames is the auto-selection chain.
 var defaultStrategyNames = []string{
 	eval.StrategyOneSided,
@@ -76,14 +97,15 @@ var defaultStrategyNames = []string{
 	eval.StrategyEDB,
 }
 
-// resolveStrategies maps names to Strategy values via the registry.
-func resolveStrategies(names []string, countingDepth int) ([]Strategy, error) {
+// resolveStrategies maps names to Strategy values via the registry,
+// specializing the built-in strategies to the engine's configuration.
+func resolveStrategies(names []string, cfg engineConfig) ([]Strategy, error) {
 	if len(names) == 0 {
 		names = defaultStrategyNames
 	}
 	out := make([]Strategy, 0, len(names))
 	for _, n := range names {
-		s, ok := lookupStrategy(n, countingDepth)
+		s, ok := lookupStrategy(n, cfg)
 		if !ok {
 			return nil, fmt.Errorf("onesided: unknown strategy %q (have %v)", n, StrategyNames())
 		}

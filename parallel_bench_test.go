@@ -1,0 +1,170 @@
+package onesided
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/storage"
+)
+
+// The BenchmarkOneSided* family measures the parallel Fig. 9 machinery.
+// Run with -cpu 1,4,8 to see scaling: shard count and worker count both
+// default to GOMAXPROCS, so each -cpu value exercises the matching
+// configuration end to end. Reproduce with:
+//
+//	go test -run '^$' -bench 'OneSided' -cpu 1,4,8 -benchtime 5x .
+
+// BenchmarkOneSidedParallel evaluates a context-mode selection on large
+// random-graph workloads: wide carry frontiers, so each level's batch
+// splits across the worker pool. The permissions variant carries binary
+// state and joins a p-edge per context — more work per carry tuple,
+// hence better scaling headroom than plain transitive closure.
+func BenchmarkOneSidedParallel(b *testing.B) {
+	ctx := context.Background()
+	b.Run("tc/random=30000x120000", func(b *testing.B) {
+		w := datagen.RandomTC(30000, 120000, 300, 7)
+		eng, err := Open(WithDatabase(w.DB))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Load(`
+			t(X, Y) :- a(X, Z), t(Z, Y).
+			t(X, Y) :- b(X, Y).
+		`); err != nil {
+			b.Fatal(err)
+		}
+		pq, err := eng.Prepare(nil, parserMustAtom(b, "t("+w.Start+", Y)"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rows *Rows
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows, err = pq.Query(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := rows.Stats()
+		b.ReportMetric(float64(rows.Len()), "answers")
+		b.ReportMetric(float64(st.SeenSize), "seen")
+		b.ReportMetric(float64(st.Workers), "workers")
+		b.ReportMetric(float64(st.Shards), "shards")
+		b.ReportMetric(float64(st.Batches), "batches")
+	})
+	b.Run("permissions/random=8000x32000", func(b *testing.B) {
+		// Binary-carry variant: a random a-graph with random (node, item)
+		// permissions. The carry holds (context, item) pairs, so each
+		// level's batch is wide and each tuple joins a p-edge — more work
+		// per worker than plain transitive closure.
+		db := storage.NewDatabase()
+		datagen.RandomGraph(db, "a", "n", 8000, 32000, 11)
+		rng := rand.New(rand.NewSource(13))
+		for i := 0; i < 64000; i++ {
+			db.AddFact("p", fmt.Sprintf("n%d", rng.Intn(8000)), fmt.Sprintf("item%d", rng.Intn(16)))
+		}
+		for i := 0; i < 200; i++ {
+			db.AddFact("b", fmt.Sprintf("n%d", rng.Intn(8000)), fmt.Sprintf("item%d", rng.Intn(16)))
+		}
+		eng, err := Open(WithDatabase(db))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Load(`
+			t(X, Y) :- a(X, Z), t(Z, Y), p(X, Y).
+			t(X, Y) :- b(X, Y).
+		`); err != nil {
+			b.Fatal(err)
+		}
+		pq, err := eng.Prepare(nil, parserMustAtom(b, "t(n0, Y)"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rows *Rows
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows, err = pq.Query(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := rows.Stats()
+		b.ReportMetric(float64(rows.Len()), "answers")
+		b.ReportMetric(float64(st.SeenSize), "seen")
+		b.ReportMetric(float64(st.Workers), "workers")
+		b.ReportMetric(float64(st.Batches), "batches")
+	})
+}
+
+// BenchmarkOneSidedIngest measures raw concurrent insert throughput into
+// a relation, the contention the sharding removes: all procs hammer one
+// relation, sharded to GOMAXPROCS versus a single partition.
+func BenchmarkOneSidedIngest(b *testing.B) {
+	for _, shards := range []int{1, 0} { // 0 = GOMAXPROCS
+		name := fmt.Sprintf("shards=%d", shards)
+		n := shards
+		if n == 0 {
+			name = "shards=gomaxprocs"
+			n = runtime.GOMAXPROCS(0)
+		}
+		b.Run(name, func(b *testing.B) {
+			rel := storage.NewShardedRelation(2, nil, n)
+			var ctr atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := ctr.Add(1)
+					rel.Insert(storage.Tuple{storage.Value(i % 100003), storage.Value(i / 7)})
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkOneSidedStreamFirstAnswer measures time-to-first-answer of a
+// streamed query against the full evaluation on a deep chain: the
+// depth-0 answer arrives without waiting for the fixpoint.
+func BenchmarkOneSidedStreamFirstAnswer(b *testing.B) {
+	w := datagen.ChainTC(20000)
+	w.DB.AddFact("b", w.Start, "zfirst")
+	eng, err := Open(WithDatabase(w.DB))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Load(`
+		t(X, Y) :- a(X, Z), t(Z, Y).
+		t(X, Y) :- b(X, Y).
+	`); err != nil {
+		b.Fatal(err)
+	}
+	pq, err := eng.Prepare(nil, parserMustAtom(b, "t("+w.Start+", Y)"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.Run("first-answer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rows := pq.Stream(ctx)
+			for range rows.All() {
+				break
+			}
+			b.StopTimer()
+			rows.Wait()
+			b.StartTimer()
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pq.Query(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
