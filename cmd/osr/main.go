@@ -341,8 +341,21 @@ func cmdQuery(args []string) error {
 		return fmt.Errorf("no ?- queries in file")
 	}
 	ctx := context.Background()
+	// One PreparedQuery per query shape: repeated queries of a shape
+	// rebind the same compiled skeleton (plan-cache=bind in the explain
+	// line) instead of re-planning.
+	shapes := make(map[string]*onesided.PreparedQuery)
 	for _, q := range queries {
-		pq, err := eng.Prepare(nil, q)
+		var pq *onesided.PreparedQuery
+		var err error
+		if prev, ok := shapes[onesided.QueryShape(q)]; ok {
+			pq, err = prev.BindAtom(q)
+		}
+		if pq == nil || err != nil {
+			if pq, err = eng.Prepare(nil, q); err == nil {
+				shapes[onesided.QueryShape(q)] = pq
+			}
+		}
 		if err != nil {
 			return fmt.Errorf("query %v: %v", q, err)
 		}

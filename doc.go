@@ -28,8 +28,27 @@
 //	    fmt.Println(row)                   // paris,nice
 //	}
 //
-// Prepare plans a query once (cached on the engine) for repeated
-// evaluation; context.Context cancels the fixpoint loops mid-evaluation.
+// # Planning, adornments, and binding
+//
+// Plans are compiled once per query shape — predicate plus adornment
+// (the bound/free pattern, e.g. "bf" for t(paris, Y)) — because every
+// analysis the planner runs depends only on which columns are bound.
+// The compiled skeleton is cached with LRU eviction (WithPlanCache,
+// CacheStats) and instantiated per query by substituting the constants
+// into reserved slots: t(paris, Y) and t(lyon, Y) share one skeleton,
+// and PreparedQuery.Bind rebinds it directly:
+//
+//	pq, _ := eng.Prepare(nil, query)   // full planning on a cache miss
+//	lyon, _ := pq.Bind("lyon")         // same skeleton, new constants
+//	rows, _ := lyon.Query(ctx)
+//
+// QueryBatch evaluates several queries together; same-shape selections
+// share one traversal (the paper's Section 5 observation): context-mode
+// plans explore the union of the queries' context graphs with owner
+// tags so overlapping contexts are g-joined once, and Magic Sets plans
+// union the queries' seed facts into a single semi-naive fixpoint.
+//
+// context.Context cancels the fixpoint loops mid-evaluation.
 //
 // # Parallelism and streaming
 //

@@ -1,6 +1,7 @@
 package onesided
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"runtime"
@@ -18,9 +19,9 @@ import (
 
 // Engine is the database/sql-style façade over the paper's machinery: it
 // owns a database (symbol table + relations), a program, a strategy
-// registry, and a prepared-query cache. One Engine serves any number of
-// concurrent queries; storage is safe for parallel readers with writers,
-// and prepared plans are immutable after construction.
+// registry, and an adornment-keyed plan cache. One Engine serves any
+// number of concurrent queries; storage is safe for parallel readers
+// with writers, and prepared plans are immutable after construction.
 //
 // Query planning is Naughton's optimize-then-detect procedure made
 // operational: for each query the engine walks its strategy chain —
@@ -29,18 +30,28 @@ import (
 // own general baseline), then plain base-relation lookup — and the first
 // strategy that accepts the query plans it. Explain reports the chosen
 // strategy and why the others declined.
+//
+// Plans are compiled once per (program, predicate, adornment): every
+// analysis the planner performs depends only on which query columns are
+// bound, so t(paris, Y) and t(lyon, Y) share one compiled skeleton and
+// differ only in the constants bound into it at Prepare (or
+// PreparedQuery.Bind) time — a map hit plus a shallow substitution
+// instead of the full optimize-then-detect pipeline.
 type Engine struct {
 	db            *storage.Database
 	strategies    []Strategy
 	countingDepth int
 
-	mu       sync.RWMutex // guards program, gen, and cache
-	program  *ast.Program // treated as immutable; LoadProgram swaps in a new one
-	gen      uint64       // bumped on every program change
-	cache    map[string]*PreparedQuery
+	mu      sync.Mutex   // guards program, gen, cache, and lru
+	program *ast.Program // treated as immutable; LoadProgram swaps in a new one
+	gen     uint64       // bumped on every program change
+	// cache maps a skeleton key to its lru element; lru orders the
+	// elements most-recently-used first and bounds them at cacheCap.
+	cache    map[string]*list.Element
+	lru      *list.List
 	cacheCap int
 
-	hits, misses atomic.Int64
+	hits, misses, evictions atomic.Int64
 }
 
 // Open creates an Engine. With no options it has an empty database
@@ -67,7 +78,8 @@ func Open(opts ...Option) (*Engine, error) {
 		db:         db,
 		strategies: strategies,
 		program:    ast.NewProgram(),
-		cache:      make(map[string]*PreparedQuery),
+		cache:      make(map[string]*list.Element),
+		lru:        list.New(),
 		cacheCap:   cfg.planCacheSize,
 	}
 	if cfg.program != nil {
@@ -109,13 +121,14 @@ func (e *Engine) LoadProgram(p *Program) {
 	merged.Rules = append(append(merged.Rules, e.program.Rules...), rules.Rules...)
 	e.program = merged
 	e.gen++
-	e.cache = make(map[string]*PreparedQuery)
+	e.cache = make(map[string]*list.Element)
+	e.lru.Init()
 }
 
 // Program returns a snapshot of the engine's current rule set.
 func (e *Engine) Program() *Program {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.program.Clone()
 }
 
@@ -126,13 +139,18 @@ type StrategyAttempt struct {
 }
 
 // Explain reports how a query will be (or was) evaluated: the strategy
-// the planner chose, the Theorem 3.4 verdict and Fig. 9 mode when the
-// one-sided planner ran, the parallelism it used, and which earlier
-// strategies declined and why.
+// the planner chose, the query's adornment, the Theorem 3.4 verdict and
+// Fig. 9 mode when the one-sided planner ran, the parallelism it used,
+// how the plan cache served the skeleton, and which earlier strategies
+// declined and why.
 type Explain struct {
 	eval.StrategyExplain
 	// Rejected lists the strategies tried before the chosen one.
 	Rejected []StrategyAttempt
+	// PlanCache says how the plan skeleton was obtained: "hit" (cache),
+	// "miss" (compiled and cached), "bind" (rebound from an existing
+	// PreparedQuery), or "" for uncached explicit-program planning.
+	PlanCache string
 	// Shards is the database's relation shard count and Batches the
 	// number of carry batches the Fig. 9 loop dispatched to its worker
 	// pool. Both are filled on the Explain a Rows reports after
@@ -143,10 +161,16 @@ type Explain struct {
 
 // String renders the report in the compact key=value form the CLI and
 // examples print, e.g.
-// `strategy=onesided mode=context carry-arity=1 workers=4 shards=4 batches=14`.
+// `strategy=onesided adornment=bf plan-cache=hit mode=context carry-arity=1 workers=4`.
 func (ex Explain) String() string {
 	var b strings.Builder
 	b.WriteString("strategy=" + ex.Strategy)
+	if ex.Adornment != "" {
+		fmt.Fprintf(&b, " adornment=%s", ex.Adornment)
+	}
+	if ex.PlanCache != "" {
+		fmt.Fprintf(&b, " plan-cache=%s", ex.PlanCache)
+	}
 	if ex.Mode != "" {
 		fmt.Fprintf(&b, " mode=%s carry-arity=%d", ex.Mode, ex.CarryArity)
 	}
@@ -171,72 +195,116 @@ func (ex Explain) String() string {
 	return b.String()
 }
 
-// PreparedQuery is a planned, reusable, concurrency-safe query: the
-// strategy analysis (Decide/Optimize, Magic rewriting, ...) ran once at
-// Prepare time, and each Query call only evaluates.
-type PreparedQuery struct {
-	engine   *Engine
-	query    ast.Atom
-	prepared PreparedStrategy
+// planSkeleton is one plan cache entry: the strategy-chain result for a
+// canonical query shape, parameterized over its constant slots. It is
+// immutable after construction and shared by every PreparedQuery of the
+// shape.
+type planSkeleton struct {
+	key      string
+	adorned  eval.AdornedQuery
+	prepared eval.PreparedStrategy
 	rejected []StrategyAttempt
 }
 
-// Prepare plans a query. The program argument selects what to plan
-// against: nil means the engine's loaded program (those plans are cached
-// and reused until the program changes); a non-nil program is planned
-// fresh. The query atom uses constants at bound columns, e.g.
-// t(paris, Y).
-func (e *Engine) Prepare(program *Program, query Atom) (*PreparedQuery, error) {
-	cacheable := program == nil
-	var key string
-	var gen uint64
-	if cacheable {
-		key = query.String()
-		e.mu.RLock()
-		pq, ok := e.cache[key]
-		program = e.program
-		gen = e.gen
-		e.mu.RUnlock()
-		if ok {
-			e.hits.Add(1)
-			return pq, nil
-		}
-		e.misses.Add(1)
-	}
-	pq, err := e.prepare(program, query)
-	if err != nil {
-		return nil, err
-	}
-	if cacheable && e.cacheCap > 0 {
-		e.mu.Lock()
-		// A concurrent LoadProgram may have changed the program since the
-		// snapshot; caching the now-stale plan would serve it forever.
-		if e.gen == gen {
-			if len(e.cache) >= e.cacheCap {
-				// Evict an arbitrary entry; plans are cheap to rebuild and
-				// the cache only needs to keep hot queries resident.
-				for k := range e.cache {
-					delete(e.cache, k)
-					break
-				}
-			}
-			e.cache[key] = pq
-		}
-		e.mu.Unlock()
-	}
-	return pq, nil
+// displayShape renders a skeleton key for humans: the NUL byte that
+// keeps slot placeholders disjoint from real constants is stripped, so
+// slots show as $0, $1, ...
+func displayShape(key string) string {
+	return strings.ReplaceAll(key, "\x00", "")
 }
 
-// prepare walks the strategy chain.
-func (e *Engine) prepare(program *ast.Program, query ast.Atom) (*PreparedQuery, error) {
+// display renders the skeleton key for humans.
+func (ps *planSkeleton) display() string { return displayShape(ps.key) }
+
+// PreparedQuery is a planned, reusable, concurrency-safe query: the
+// strategy analysis (Decide/Optimize, Magic rewriting, ...) ran once at
+// skeleton-compile time, the constants were bound into a private copy,
+// and each Query call only evaluates. Bind instantiates the same shared
+// skeleton with different constants without re-planning.
+type PreparedQuery struct {
+	engine   *Engine
+	query    ast.Atom
+	skeleton *planSkeleton
+	prepared PreparedStrategy
+	cache    string // "hit", "miss", "bind", or "" for uncached planning
+}
+
+// Prepare plans a query. The program argument selects what to plan
+// against: nil means the engine's loaded program — those plans are
+// cached per query shape (predicate + adornment + variable-repetition
+// pattern) and reused, with LRU eviction, until the program changes; a
+// non-nil program is planned fresh. The query atom uses constants at
+// bound columns, e.g. t(paris, Y): a cache hit for a shape costs a map
+// lookup plus a constant substitution, never a re-analysis.
+func (e *Engine) Prepare(program *Program, query Atom) (*PreparedQuery, error) {
+	skel := ast.Skeletonize(query)
+	if program != nil {
+		ps, err := e.compileSkeleton(program, skel, query)
+		if err != nil {
+			return nil, err
+		}
+		return e.bindSkeleton(ps, query, skel.Consts, "")
+	}
+	e.mu.Lock()
+	program = e.program
+	gen := e.gen
+	var ps *planSkeleton
+	if el, ok := e.cache[skel.Key()]; ok {
+		e.lru.MoveToFront(el)
+		ps = el.Value.(*planSkeleton)
+	}
+	e.mu.Unlock()
+	state := "hit"
+	if ps != nil {
+		e.hits.Add(1)
+	} else {
+		e.misses.Add(1)
+		state = "miss"
+		built, err := e.compileSkeleton(program, skel, query)
+		if err != nil {
+			return nil, err
+		}
+		ps = built
+		if e.cacheCap > 0 {
+			e.mu.Lock()
+			// A concurrent LoadProgram may have changed the program since
+			// the snapshot; caching the now-stale skeleton would serve it
+			// forever.
+			if e.gen == gen {
+				if el, ok := e.cache[ps.key]; ok {
+					// A concurrent Prepare of the same shape won the race;
+					// share its skeleton.
+					e.lru.MoveToFront(el)
+					ps = el.Value.(*planSkeleton)
+				} else {
+					e.cache[ps.key] = e.lru.PushFront(ps)
+					for e.lru.Len() > e.cacheCap {
+						oldest := e.lru.Back()
+						evicted := e.lru.Remove(oldest).(*planSkeleton)
+						delete(e.cache, evicted.key)
+						e.evictions.Add(1)
+					}
+				}
+			}
+			e.mu.Unlock()
+		}
+	}
+	return e.bindSkeleton(ps, query, skel.Consts, state)
+}
+
+// compileSkeleton walks the strategy chain for a canonical query shape.
+// query is the ground atom that triggered the compile, used only to
+// phrase the all-strategies-declined error.
+func (e *Engine) compileSkeleton(program *ast.Program, skel ast.SkeletonQuery, query ast.Atom) (*planSkeleton, error) {
+	adorned := eval.AdornedQuery{Atom: skel.Atom, Adornment: skel.Adornment}
 	var rejected []StrategyAttempt
 	for _, s := range e.strategies {
-		ps, err := s.Prepare(program, query)
+		prepared, err := s.Prepare(program, adorned)
 		if err != nil {
 			rejected = append(rejected, StrategyAttempt{Strategy: s.Name(), Reason: err.Error()})
 			continue
 		}
-		return &PreparedQuery{engine: e, query: query.Clone(), prepared: ps, rejected: rejected}, nil
+		return &planSkeleton{key: skel.Key(), adorned: adorned, prepared: prepared, rejected: rejected}, nil
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "onesided: no strategy accepts query %v:", query)
@@ -246,9 +314,53 @@ func (e *Engine) prepare(program *ast.Program, query ast.Atom) (*PreparedQuery, 
 	return nil, fmt.Errorf("%s", b.String())
 }
 
+// bindSkeleton instantiates a skeleton's constant slots with the ground
+// query's constants.
+func (e *Engine) bindSkeleton(ps *planSkeleton, query ast.Atom, consts []ast.Term, state string) (*PreparedQuery, error) {
+	bound, err := ps.prepared.BindArgs(consts...)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{engine: e, query: query.Clone(), skeleton: ps, prepared: bound, cache: state}, nil
+}
+
+// Shape returns the canonical form of the query shape this prepared
+// query was planned under, e.g. "t($0, V0)": same string, same shared
+// skeleton. Slot placeholders $i mark the bound columns Bind fills.
+func (pq *PreparedQuery) Shape() string { return pq.skeleton.display() }
+
+// Adornment returns the bound/free pattern the plan was compiled for,
+// e.g. "bf".
+func (pq *PreparedQuery) Adornment() string { return pq.skeleton.adorned.Adornment.String() }
+
+// Bind instantiates the prepared query's plan skeleton with new
+// constants — one per bound column, in column order — without
+// re-planning: t(paris, Y) rebinds to t(lyon, Y) for the cost of a
+// shallow substitution. The receiver is unchanged.
+func (pq *PreparedQuery) Bind(consts ...string) (*PreparedQuery, error) {
+	terms := make([]ast.Term, len(consts))
+	for i, c := range consts {
+		terms[i] = ast.C(c)
+	}
+	query := ast.BindAtom(pq.skeleton.adorned.Atom, terms)
+	return pq.engine.bindSkeleton(pq.skeleton, query, terms, "bind")
+}
+
+// BindAtom is Bind for a parsed ground query atom, which must have the
+// same shape (predicate, adornment, and variable-repetition pattern) as
+// the prepared query.
+func (pq *PreparedQuery) BindAtom(q Atom) (*PreparedQuery, error) {
+	skel := ast.Skeletonize(q)
+	if skel.Key() != pq.skeleton.key {
+		return nil, fmt.Errorf("onesided: query %v has shape %s, prepared query has %s",
+			q, displayShape(skel.Key()), pq.skeleton.display())
+	}
+	return pq.engine.bindSkeleton(pq.skeleton, q, skel.Consts, "bind")
+}
+
 // Explain reports the plan without evaluating it.
 func (pq *PreparedQuery) Explain() Explain {
-	return Explain{StrategyExplain: pq.prepared.Explain(), Rejected: pq.rejected}
+	return Explain{StrategyExplain: pq.prepared.Explain(), Rejected: pq.skeleton.rejected, PlanCache: pq.cache}
 }
 
 // Query evaluates the prepared plan against the engine's database,
@@ -404,9 +516,116 @@ func (e *Engine) QueryStream(ctx context.Context, query string) (*Rows, error) {
 	return pq.Stream(ctx), nil
 }
 
-// CacheStats returns the plan cache's hit and miss counts.
-func (e *Engine) CacheStats() (hits, misses int64) {
-	return e.hits.Load(), e.misses.Load()
+// QueryBatch plans and evaluates several queries (Prolog syntax)
+// together, returning one Rows per query in input order. Queries of the
+// same shape share one plan skeleton, and — when the chosen strategy
+// supports it — one traversal: context-mode one-sided plans explore the
+// union of the queries' context graphs with per-query owner tags, so a
+// context reached by several queries is g-joined once (the Section 5
+// both-sides observation), and Magic Sets plans union the queries' seed
+// facts into a single semi-naive run. Rows of a shared group report the
+// group's EvalStats (BatchQueries names the group size) and share the
+// group's instrumentation delta.
+func (e *Engine) QueryBatch(ctx context.Context, queries []string) ([]*Rows, error) {
+	atoms := make([]Atom, len(queries))
+	for i, s := range queries {
+		q, err := parser.ParseAtom(s)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		atoms[i] = q
+	}
+	return e.QueryBatchAtoms(ctx, atoms)
+}
+
+// QueryBatchAtoms is QueryBatch for already-parsed atoms.
+func (e *Engine) QueryBatchAtoms(ctx context.Context, queries []Atom) ([]*Rows, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rows := make([]*Rows, len(queries))
+	type group struct {
+		pq    *PreparedQuery
+		idx   []int
+		binds [][]ast.Term
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for i, q := range queries {
+		skel := ast.Skeletonize(q)
+		g, ok := groups[skel.Key()]
+		if !ok {
+			pq, err := e.Prepare(nil, q)
+			if err != nil {
+				return nil, fmt.Errorf("query %v: %w", q, err)
+			}
+			g = &group{pq: pq}
+			groups[skel.Key()] = g
+			order = append(order, skel.Key())
+		}
+		g.idx = append(g.idx, i)
+		g.binds = append(g.binds, skel.Consts)
+	}
+	db := e.db
+	for _, key := range order {
+		g := groups[key]
+		bp, batchable := g.pq.skeleton.prepared.(eval.BatchPrepared)
+		if batchable && len(g.idx) > 1 {
+			before := db.Stats.Snapshot()
+			rels, stats, err := bp.EvalBatch(ctx, db, g.binds)
+			if err != nil {
+				return nil, fmt.Errorf("batch %s: %w", g.pq.Shape(), err)
+			}
+			delta := db.Stats.Snapshot().Sub(before)
+			ex := g.pq.explainWithStats(stats)
+			for j, i := range g.idx {
+				rows[i] = &Rows{rel: rels[j], syms: db.Syms, stats: stats, counters: delta, explain: ex}
+			}
+			continue
+		}
+		for j, i := range g.idx {
+			pq := g.pq
+			if j > 0 {
+				var err error
+				pq, err = e.bindSkeleton(g.pq.skeleton, queries[i], g.binds[j], "bind")
+				if err != nil {
+					return nil, fmt.Errorf("query %v: %w", queries[i], err)
+				}
+			}
+			r, err := pq.Query(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("query %v: %w", queries[i], err)
+			}
+			rows[i] = r
+		}
+	}
+	return rows, nil
+}
+
+// CacheStats reports the plan cache's effectiveness: hits and misses
+// since Open, entries evicted by the LRU bound, and the entries
+// currently resident.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	Entries                 int
+}
+
+func (cs CacheStats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d entries=%d",
+		cs.Hits, cs.Misses, cs.Evictions, cs.Entries)
+}
+
+// CacheStats returns a snapshot of the plan cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.Lock()
+	entries := len(e.cache)
+	e.mu.Unlock()
+	return CacheStats{
+		Hits:      e.hits.Load(),
+		Misses:    e.misses.Load(),
+		Evictions: e.evictions.Load(),
+		Entries:   entries,
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -160,12 +160,31 @@ func TestEnginePlanCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pq1 != pq2 {
-		t.Fatal("second Prepare did not return the cached plan")
+	if pq1.skeleton != pq2.skeleton {
+		t.Fatal("second Prepare did not reuse the cached plan skeleton")
 	}
-	hits, misses := eng.CacheStats()
-	if hits != 1 || misses != 1 {
-		t.Fatalf("cache stats = %d hits / %d misses, want 1/1", hits, misses)
+	if pq1.Explain().PlanCache != "miss" || pq2.Explain().PlanCache != "hit" {
+		t.Fatalf("plan-cache states = %q/%q, want miss/hit",
+			pq1.Explain().PlanCache, pq2.Explain().PlanCache)
+	}
+	cs := eng.CacheStats()
+	if cs.Hits != 1 || cs.Misses != 1 {
+		t.Fatalf("cache stats = %v, want 1 hit / 1 miss", cs)
+	}
+	if cs.Entries != 1 {
+		t.Fatalf("cache entries = %d, want 1", cs.Entries)
+	}
+	// A same-shape query with a different constant shares the skeleton:
+	// that is the adornment keying.
+	pq5, err := eng.Prepare(nil, mustAtom(t, "t(lyon, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq5.skeleton != pq1.skeleton {
+		t.Fatal("t(lyon, Y) did not share the t^bf skeleton with t(paris, Y)")
+	}
+	if got := eng.CacheStats(); got.Hits != 2 || got.Misses != 1 {
+		t.Fatalf("cache stats after same-shape query = %v, want 2 hits / 1 miss", got)
 	}
 	// Both the cached and fresh plan must evaluate identically.
 	r1, err := pq1.Query(context.Background())
@@ -187,7 +206,7 @@ func TestEnginePlanCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pq3 == pq1 {
+	if pq3.skeleton == pq1.skeleton {
 		t.Fatal("plan cache survived a program change")
 	}
 	// An explicit program is planned fresh, not cached.
@@ -196,8 +215,11 @@ func TestEnginePlanCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pq4 == pq3 {
+	if pq4.skeleton == pq3.skeleton {
 		t.Fatal("explicit-program Prepare hit the engine cache")
+	}
+	if pq4.Explain().PlanCache != "" {
+		t.Fatalf("explicit-program plan reports cache state %q", pq4.Explain().PlanCache)
 	}
 }
 
@@ -207,11 +229,11 @@ func TestEnginePlanCacheDisabled(t *testing.T) {
 	q := mustAtom(t, "t(paris, Y)")
 	pq1, _ := eng.Prepare(nil, q)
 	pq2, _ := eng.Prepare(nil, q)
-	if pq1 == pq2 {
+	if pq1.skeleton == pq2.skeleton {
 		t.Fatal("plans cached with caching disabled")
 	}
-	if hits, _ := eng.CacheStats(); hits != 0 {
-		t.Fatalf("hits = %d with caching disabled", hits)
+	if cs := eng.CacheStats(); cs.Hits != 0 {
+		t.Fatalf("hits = %d with caching disabled", cs.Hits)
 	}
 }
 
@@ -345,9 +367,9 @@ func TestEngineConcurrentQueries(t *testing.T) {
 	for err := range errs {
 		t.Error(err)
 	}
-	hits, misses := eng.CacheStats()
-	if hits == 0 {
-		t.Fatalf("no plan-cache hits across %d queries (misses=%d)", goroutines*rounds, misses)
+	cs := eng.CacheStats()
+	if cs.Hits == 0 {
+		t.Fatalf("no plan-cache hits across %d queries (misses=%d)", goroutines*rounds, cs.Misses)
 	}
 }
 

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"repro/internal/ast"
+)
+
+// BindingSplit classifies a query adornment against a definition: which
+// bound columns are persistent (the same variable in that head position
+// and the recursive call — Section 4's reducible selections) and which
+// are not (the selections that drive the Fig. 8/9 context evaluation).
+// The split depends only on the adornment and the definition, never on
+// the constant values, which is what makes plan skeletons shareable
+// across ground queries of one shape.
+type BindingSplit struct {
+	// Persistent lists bound columns whose head variable is persistent.
+	Persistent []int
+	// Context lists the remaining bound columns.
+	Context []int
+}
+
+// Mode names the Fig. 9 schema instantiation the split selects: "full"
+// when nothing is bound, "reduced" when every bound column is
+// persistent, "context" otherwise. It mirrors eval.Mode without
+// importing it (analysis sits below eval).
+func (b BindingSplit) Mode() string {
+	switch {
+	case len(b.Persistent) == 0 && len(b.Context) == 0:
+		return "full"
+	case len(b.Context) == 0:
+		return "reduced"
+	default:
+		return "context"
+	}
+}
+
+// SplitBinding computes the BindingSplit of an adornment against the
+// definition's persistent-column pattern.
+func SplitBinding(d *ast.Definition, ad ast.Adornment) BindingSplit {
+	persistent := d.PersistentColumns()
+	var out BindingSplit
+	for _, c := range ad.BoundCols() {
+		if c < len(persistent) && persistent[c] {
+			out.Persistent = append(out.Persistent, c)
+		} else {
+			out.Context = append(out.Context, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package ast
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Adornment is the bound/free pattern of a query's argument positions:
+// 'b' where the argument is a constant, 'f' where it is a variable. It
+// is the standard Datalog notation (t^bf for t(paris, Y)) and the key
+// the planning layer compiles against: every analysis the Theorem 3.4
+// planner, the Section 5 multi-rule reduction, and the Magic Sets
+// rewriting perform depends only on which columns are bound, never on
+// the constant values, so one compiled skeleton per adornment serves
+// every ground query of that shape.
+type Adornment string
+
+// AdornmentOf computes the adornment of a query atom: constants are
+// bound, variables free.
+func AdornmentOf(q Atom) Adornment {
+	var b strings.Builder
+	b.Grow(len(q.Args))
+	for _, t := range q.Args {
+		if t.IsConst() {
+			b.WriteByte('b')
+		} else {
+			b.WriteByte('f')
+		}
+	}
+	return Adornment(b.String())
+}
+
+// Bound reports whether column i is bound ('b').
+func (ad Adornment) Bound(i int) bool { return i >= 0 && i < len(ad) && ad[i] == 'b' }
+
+// BoundCols returns the bound column indices, ascending. The i-th entry
+// is the column slot i binds.
+func (ad Adornment) BoundCols() []int {
+	var out []int
+	for i := 0; i < len(ad); i++ {
+		if ad[i] == 'b' {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// BoundCount returns the number of bound columns — the width of the
+// slot table a skeleton of this adornment is instantiated with.
+func (ad Adornment) BoundCount() int {
+	n := 0
+	for i := 0; i < len(ad); i++ {
+		if ad[i] == 'b' {
+			n++
+		}
+	}
+	return n
+}
+
+func (ad Adornment) String() string { return string(ad) }
+
+// slotPrefix marks placeholder constants standing for late-bound query
+// constants. The NUL byte keeps slot names disjoint from anything the
+// parser can produce (quoted atoms aside, which cannot contain NUL in
+// practice); the "$" makes a leaked placeholder legible in error text.
+const slotPrefix = "\x00$"
+
+// SlotConst returns the placeholder constant standing for slot i of a
+// plan skeleton. It behaves as an ordinary constant throughout analysis
+// and compilation — bound columns are bound regardless of value — and is
+// replaced by the actual query constant at Bind time.
+func SlotConst(i int) Term { return C(slotPrefix + strconv.Itoa(i)) }
+
+// SlotIndex reports whether t is a slot placeholder and, if so, which
+// slot it stands for.
+func SlotIndex(t Term) (int, bool) {
+	if !t.IsConst() || !strings.HasPrefix(t.Name, slotPrefix) {
+		return 0, false
+	}
+	i, err := strconv.Atoi(t.Name[len(slotPrefix):])
+	if err != nil {
+		return 0, false
+	}
+	return i, true
+}
+
+// SkeletonQuery is a ground query split into its reusable shape and its
+// per-query constants: Atom is the canonical skeleton (slot placeholders
+// at bound columns, variables renamed by first occurrence so repetition
+// is preserved but spelling is not), and Consts is the slot table — the
+// original constants in slot order. Two queries with the same skeleton
+// share one compiled plan; only the slot table differs.
+type SkeletonQuery struct {
+	Atom      Atom
+	Adornment Adornment
+	Consts    []Term
+}
+
+// Key returns the cache key for the skeleton: the canonical atom's
+// rendering, which coincides for t(paris, Y) and t(lyon, Z) but differs
+// for t(X, X) (repeated variables change the answer predicate's
+// semantics, not just its constants).
+func (s SkeletonQuery) Key() string { return s.Atom.String() }
+
+// Skeletonize canonicalizes a query: each constant becomes the next
+// SlotConst, each variable the next canonical name (repeated variables
+// keep one shared name). The original constants are returned as the slot
+// table.
+func Skeletonize(q Atom) SkeletonQuery {
+	s := SkeletonQuery{Adornment: AdornmentOf(q)}
+	args := make([]Term, len(q.Args))
+	canon := make(map[string]Term)
+	for i, t := range q.Args {
+		if t.IsConst() {
+			args[i] = SlotConst(len(s.Consts))
+			s.Consts = append(s.Consts, t)
+			continue
+		}
+		v, ok := canon[t.Name]
+		if !ok {
+			v = V("V" + strconv.Itoa(len(canon)))
+			canon[t.Name] = v
+		}
+		args[i] = v
+	}
+	s.Atom = Atom{Pred: q.Pred, Args: args}
+	return s
+}
+
+// BindAtom replaces every slot placeholder in the atom with its value
+// from the slot table. Slots beyond len(consts) are left in place (the
+// caller validates the table width).
+func BindAtom(a Atom, consts []Term) Atom {
+	out := a.Clone()
+	for i, t := range out.Args {
+		if s, ok := SlotIndex(t); ok && s < len(consts) {
+			out.Args[i] = consts[s]
+		}
+	}
+	return out
+}
+
+// BindRule is BindAtom over a rule's head and body.
+func BindRule(r Rule, consts []Term) Rule {
+	out := Rule{Head: BindAtom(r.Head, consts)}
+	out.Body = make([]Atom, len(r.Body))
+	for i, a := range r.Body {
+		out.Body[i] = BindAtom(a, consts)
+	}
+	return out
+}
+
+// BindProgram is BindRule over every rule, returning a fresh program.
+func BindProgram(p *Program, consts []Term) *Program {
+	out := &Program{Rules: make([]Rule, len(p.Rules))}
+	for i, r := range p.Rules {
+		out.Rules[i] = BindRule(r, consts)
+	}
+	return out
+}
+
+// HasSlots reports whether the atom contains any slot placeholder.
+func (a Atom) HasSlots() bool {
+	for _, t := range a.Args {
+		if _, ok := SlotIndex(t); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// HasSlots reports whether the rule contains any slot placeholder.
+func (r Rule) HasSlots() bool {
+	if r.Head.HasSlots() {
+		return true
+	}
+	for _, a := range r.Body {
+		if a.HasSlots() {
+			return true
+		}
+	}
+	return false
+}
+
+// SlotCount returns the number of distinct slot placeholders in the
+// atom (slots are numbered densely from 0 by Skeletonize).
+func (a Atom) SlotCount() int {
+	n := 0
+	for _, t := range a.Args {
+		if i, ok := SlotIndex(t); ok && i+1 > n {
+			n = i + 1
+		}
+	}
+	return n
+}

@@ -1,0 +1,89 @@
+package ast
+
+import "testing"
+
+func TestAdornmentOf(t *testing.T) {
+	q := NewAtom("t", C("paris"), V("Y"))
+	if ad := AdornmentOf(q); ad != "bf" {
+		t.Fatalf("adornment = %q, want bf", ad)
+	}
+	if ad := AdornmentOf(NewAtom("t", V("X"), V("Y"))); ad != "ff" {
+		t.Fatalf("adornment = %q, want ff", ad)
+	}
+	ad := Adornment("bfb")
+	if !ad.Bound(0) || ad.Bound(1) || !ad.Bound(2) || ad.Bound(3) {
+		t.Fatalf("Bound misreports for %q", ad)
+	}
+	if got := ad.BoundCols(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("BoundCols = %v", got)
+	}
+	if ad.BoundCount() != 2 {
+		t.Fatalf("BoundCount = %d", ad.BoundCount())
+	}
+}
+
+func TestSkeletonizeSharesShape(t *testing.T) {
+	a := Skeletonize(NewAtom("t", C("paris"), V("Y")))
+	b := Skeletonize(NewAtom("t", C("lyon"), V("Z")))
+	if a.Key() != b.Key() {
+		t.Fatalf("same-shape queries got different keys: %q vs %q", a.Key(), b.Key())
+	}
+	if a.Adornment != "bf" {
+		t.Fatalf("adornment = %q", a.Adornment)
+	}
+	if len(a.Consts) != 1 || a.Consts[0].Name != "paris" {
+		t.Fatalf("slot table = %v", a.Consts)
+	}
+	// Repeated variables are part of the shape.
+	rep := Skeletonize(NewAtom("t", V("X"), V("X")))
+	dis := Skeletonize(NewAtom("t", V("X"), V("Y")))
+	if rep.Key() == dis.Key() {
+		t.Fatal("t(X,X) and t(X,Y) must not share a skeleton")
+	}
+	// Repeated constants get distinct slots.
+	cc := Skeletonize(NewAtom("t", C("a"), C("a")))
+	if len(cc.Consts) != 2 {
+		t.Fatalf("slot table = %v, want two slots", cc.Consts)
+	}
+}
+
+func TestSlotRoundTrip(t *testing.T) {
+	for _, i := range []int{0, 1, 7, 42} {
+		s := SlotConst(i)
+		got, ok := SlotIndex(s)
+		if !ok || got != i {
+			t.Fatalf("SlotIndex(SlotConst(%d)) = %d, %v", i, got, ok)
+		}
+	}
+	if _, ok := SlotIndex(C("paris")); ok {
+		t.Fatal("ordinary constant mistaken for a slot")
+	}
+	if _, ok := SlotIndex(V("X")); ok {
+		t.Fatal("variable mistaken for a slot")
+	}
+}
+
+func TestBindAtomAndRule(t *testing.T) {
+	skel := Skeletonize(NewAtom("t", C("paris"), V("Y")))
+	bound := BindAtom(skel.Atom, []Term{C("lyon")})
+	if bound.Args[0] != C("lyon") || !bound.Args[1].IsVar() {
+		t.Fatalf("bound = %v", bound)
+	}
+	if skel.Atom.Args[0] == C("lyon") {
+		t.Fatal("BindAtom mutated the skeleton")
+	}
+	r := Rule{
+		Head: NewAtom("t", V("X"), V("Y")),
+		Body: []Atom{NewAtom("a", V("X"), SlotConst(0)), NewAtom("t", SlotConst(0), V("Y"))},
+	}
+	br := BindRule(r, []Term{C("k")})
+	if br.Body[0].Args[1] != C("k") || br.Body[1].Args[0] != C("k") {
+		t.Fatalf("bound rule = %v", br)
+	}
+	if !r.HasSlots() || br.HasSlots() {
+		t.Fatal("HasSlots wrong before/after binding")
+	}
+	if skel.Atom.SlotCount() != 1 {
+		t.Fatalf("SlotCount = %d", skel.Atom.SlotCount())
+	}
+}

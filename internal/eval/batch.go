@@ -1,0 +1,388 @@
+package eval
+
+import (
+	"context"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// This file implements batched multi-query evaluation — the paper's
+// Section 5 observation made operational: several selections of the same
+// adornment share one traversal. For context-mode Fig. 9 plans the
+// carried contexts reachable from the queries' seeds are explored with
+// per-query owner bitmasks, so a context reached by many queries is
+// expanded (f) per owner wave but g-joined exactly once; for Magic Sets
+// the queries' seed facts are unioned into one rewritten program and a
+// single semi-naive fixpoint computes every query's magic set and
+// answers together.
+
+// BatchPrepared is implemented by prepared skeleton plans that can
+// evaluate several bound instances in one shared traversal. binds holds
+// one slot table per query (each of the skeleton's width); the i-th
+// returned relation answers the i-th query. The returned EvalStats
+// describes the shared evaluation as a whole — in particular GProbes
+// counts distinct g-joins performed, which for overlapping queries is
+// strictly below the sum of per-query evaluations.
+type BatchPrepared interface {
+	PreparedStrategy
+	EvalBatch(ctx context.Context, edb *storage.Database, binds [][]ast.Term) ([]*storage.Relation, EvalStats, error)
+}
+
+// batchMaskWidth is the number of queries one shared traversal tracks:
+// owner sets are uint64 bitmasks. Larger batches are evaluated in
+// chunks.
+const batchMaskWidth = 64
+
+// EvalBatch implements BatchPrepared for the one-sided planner.
+func (o *oneSidedPrepared) EvalBatch(ctx context.Context, edb *storage.Database, binds [][]ast.Term) ([]*storage.Relation, EvalStats, error) {
+	return o.plan.EvalBatchCtx(ctx, edb, binds)
+}
+
+// EvalBatchCtx evaluates len(binds) same-skeleton selections, sharing
+// one Fig. 9 traversal when the plan is context-mode and its reduced
+// definition is constant-free (no bound persistent columns): contexts
+// are owner-tagged, so overlapping queries expand and g-join the shared
+// part of the context graph once. Other modes fall back to per-query
+// evaluation (for an all-free adornment the queries are identical and
+// evaluate once).
+func (p *Plan) EvalBatchCtx(ctx context.Context, edb *storage.Database, binds [][]ast.Term) ([]*storage.Relation, EvalStats, error) {
+	k := len(binds)
+	if k == 0 {
+		return nil, EvalStats{}, nil
+	}
+	bound := make([]*Plan, k)
+	for i, b := range binds {
+		bp, err := p.Bind(b)
+		if err != nil {
+			return nil, EvalStats{}, err
+		}
+		bound[i] = bp
+	}
+	if !p.batchShareable() {
+		return evalBatchFallback(ctx, edb, bound, p.NSlots == 0)
+	}
+	// Chunk into owner-mask-sized traversals.
+	rels := make([]*storage.Relation, 0, k)
+	var stats EvalStats
+	for lo := 0; lo < k; lo += batchMaskWidth {
+		hi := lo + batchMaskWidth
+		if hi > k {
+			hi = k
+		}
+		rs, st, err := p.evalContextBatch(ctx, edb, bound[lo:hi])
+		if err != nil {
+			return nil, stats, err
+		}
+		rels = append(rels, rs...)
+		stats = addBatchStats(stats, st)
+	}
+	stats.BatchQueries = k
+	return rels, stats, nil
+}
+
+// batchShareable reports whether one traversal can serve many bound
+// instances: the plan must be context-mode and its reduced definition
+// slot-free. Bound persistent columns substitute their (per-query)
+// constants into the reduced rules themselves, which would specialize
+// the shared f and g operators — those adornments evaluate per query.
+func (p *Plan) batchShareable() bool {
+	return p.Mode == ModeContext &&
+		!p.reduced.Recursive.HasSlots() &&
+		!p.reduced.Exit.HasSlots()
+}
+
+// evalBatchFallback evaluates bound plans one by one. When the skeleton
+// has no slots every bound plan is the same plan; it evaluates once and
+// every query shares the answer relation.
+func evalBatchFallback(ctx context.Context, edb *storage.Database, bound []*Plan, identical bool) ([]*storage.Relation, EvalStats, error) {
+	k := len(bound)
+	rels := make([]*storage.Relation, k)
+	var stats EvalStats
+	if identical {
+		rel, st, err := bound[0].EvalCtx(ctx, edb)
+		if err != nil {
+			return nil, st, err
+		}
+		for i := range rels {
+			rels[i] = rel
+		}
+		st.BatchQueries = k
+		return rels, st, nil
+	}
+	for i, bp := range bound {
+		rel, st, err := bp.EvalCtx(ctx, edb)
+		if err != nil {
+			return nil, stats, err
+		}
+		rels[i] = rel
+		stats = addBatchStats(stats, st)
+	}
+	stats.BatchQueries = k
+	return rels, stats, nil
+}
+
+// addBatchStats merges per-chunk (or per-query fallback) statistics:
+// work counters add, environment bounds take the maximum.
+func addBatchStats(a, b EvalStats) EvalStats {
+	out := a
+	out.Iterations += b.Iterations
+	out.SeenSize += b.SeenSize
+	out.GProbes += b.GProbes
+	out.Batches += b.Batches
+	if b.CarryArity > out.CarryArity {
+		out.CarryArity = b.CarryArity
+	}
+	if b.Workers > out.Workers {
+		out.Workers = b.Workers
+	}
+	if b.Shards > out.Shards {
+		out.Shards = b.Shards
+	}
+	return out
+}
+
+// ownerItem is one frontier entry of the shared traversal: a context
+// (by index) plus the owners that newly reached it.
+type ownerItem struct {
+	idx  int
+	mask uint64
+}
+
+// taggedCtx is a successor context produced by a parallel f worker,
+// merged sequentially into the owner table after the level.
+type taggedCtx struct {
+	tup  storage.Tuple
+	mask uint64
+}
+
+// evalContextBatch is the shared Fig. 9 traversal for up to 64 bound
+// instances of one context-mode skeleton. Per query it evaluates the
+// depth-0 join, the factor groups, and the seed conjunction (those
+// mention the query's constants); the f and g operators are compiled
+// once from the shared reduced definition. The traversal is a
+// multi-source label propagation: a context re-enters the frontier only
+// when a new owner reaches it, and the final g phase joins each distinct
+// context exactly once, fanning its answers out to every owner.
+func (p *Plan) evalContextBatch(ctx context.Context, edb *storage.Database, bound []*Plan) ([]*storage.Relation, EvalStats, error) {
+	k := len(bound)
+	syms := edb.Syms
+	nshards := edb.Shards()
+	resolve := func(pred string, alt bool) *storage.Relation { return edb.Relation(pred) }
+	workers := p.effectiveWorkers()
+	stats := EvalStats{CarryArity: p.CarryArity, Workers: workers, Shards: nshards}
+
+	ans := make([]*storage.Relation, k)
+	groups := make([][]groupResult, k)
+	qconsts := make([]storage.Tuple, k)
+	alive := make([]bool, k)
+	for q, bp := range bound {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		ans[q] = storage.NewShardedRelation(p.Def.Arity(), &edb.Stats, nshards)
+		// Depth-0 answers use the query's own constants; no sharing.
+		stats.GProbes++
+		bp.d0Join(syms, resolve, func(t storage.Tuple) bool {
+			ans[q].Insert(t)
+			return true
+		})
+		gs, ok := bp.evalFactoredGroups(syms, resolve)
+		if !ok {
+			// An empty factor group: this query has depth-0 answers only,
+			// so it never seeds the traversal.
+			continue
+		}
+		groups[q] = gs
+		qconsts[q] = bp.queryConsts(syms)
+		alive[q] = true
+	}
+
+	nAnchors := len(p.foldedAnchors)
+	carryWidth := nAnchors + len(p.ctxCols)
+
+	// Owner table: every distinct context with the bitmask of queries
+	// that reach it.
+	seenIdx := make(map[string]int)
+	var ctxs []storage.Tuple
+	masks := []uint64{}
+	next := make(map[int]uint64)
+	merge := func(tup storage.Tuple, mask uint64) {
+		key := tup.Key()
+		i, ok := seenIdx[key]
+		if !ok {
+			i = len(ctxs)
+			seenIdx[key] = i
+			ctxs = append(ctxs, tup.Clone())
+			masks = append(masks, 0)
+		}
+		if nb := mask &^ masks[i]; nb != 0 {
+			masks[i] |= nb
+			next[i] |= nb
+		}
+	}
+
+	for q, bp := range bound {
+		if !alive[q] {
+			continue
+		}
+		bit := uint64(1) << uint(q)
+		bp.forEachSeedContext(syms, resolve, func(tup storage.Tuple) { merge(tup, bit) })
+	}
+
+	f := p.compileF(syms)
+	g := p.compileG(syms)
+
+	var frontier []ownerItem
+	flush := func() {
+		frontier = frontier[:0]
+		for i, m := range next {
+			frontier = append(frontier, ownerItem{idx: i, mask: m})
+		}
+		clear(next)
+	}
+	flush()
+
+	stats.Batches++ // the seed batch
+	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		stats.Iterations++
+		stats.Batches++
+		results := make([][]taggedCtx, workers)
+		parallelFor(workers, len(frontier), func(w, lo, hi int) {
+			slots := make([]storage.Value, f.nslots)
+			boundFlags := make([]bool, f.nslots)
+			tup := make(storage.Tuple, carryWidth)
+			var local []taggedCtx
+			for _, it := range frontier[lo:hi] {
+				c := ctxs[it.idx]
+				for i := range boundFlags {
+					boundFlags[i] = false
+				}
+				for i, sl := range f.headSlots {
+					slots[sl] = c[nAnchors+i]
+					boundFlags[sl] = true
+				}
+				anchorPart := c[:nAnchors]
+				f.conj.run(resolve, slots, boundFlags, func(s []storage.Value) bool {
+					if f.proj.projectCtx(s, anchorPart, tup, syms) {
+						local = append(local, taggedCtx{tup: tup.Clone(), mask: it.mask})
+					}
+					return true
+				})
+			}
+			results[w] = local
+		})
+		for _, r := range results {
+			for _, sc := range r {
+				merge(sc.tup, sc.mask)
+			}
+		}
+		flush()
+	}
+
+	// g phase: one probe per distinct context, answers fanned out to the
+	// owners — the probe count this whole refactor exists to cut.
+	stats.GProbes += len(ctxs)
+	stats.SeenSize = len(ctxs)
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	parallelFor(workers, len(ctxs), func(w, lo, hi int) {
+		gSlots := make([]storage.Value, g.nslots)
+		gBound := make([]bool, g.nslots)
+		out := make(storage.Tuple, p.Def.Arity())
+		var emitOwner func(q, gi int, s []storage.Value, anchorPart storage.Tuple)
+		emitOwner = func(q, gi int, s []storage.Value, anchorPart storage.Tuple) {
+			if gi == len(groups[q]) {
+				for oi, src := range g.srcs {
+					switch src.kind {
+					case 0:
+						out[oi] = qconsts[q][oi]
+					case 1:
+						out[oi] = s[src.idx]
+					case 2:
+						out[oi] = anchorPart[src.idx]
+					}
+				}
+				ans[q].Insert(out)
+				return
+			}
+			for _, gt := range groups[q][gi].tuples {
+				for oi, src := range g.srcs {
+					if src.kind == 3 && src.idx == gi {
+						out[oi] = gt[src.pos]
+					}
+				}
+				emitOwner(q, gi+1, s, anchorPart)
+			}
+		}
+		for i := lo; i < hi; i++ {
+			c := ctxs[i]
+			mask := masks[i]
+			for j := range gBound {
+				gBound[j] = false
+			}
+			for j, sl := range g.ctxSlots {
+				gSlots[sl] = c[nAnchors+j]
+				gBound[sl] = true
+			}
+			anchorPart := c[:nAnchors]
+			g.conj.run(resolve, gSlots, gBound, func(s []storage.Value) bool {
+				for q := 0; q < k; q++ {
+					if mask&(uint64(1)<<uint(q)) != 0 {
+						emitOwner(q, 0, s, anchorPart)
+					}
+				}
+				return true
+			})
+		}
+	})
+	return ans, stats, nil
+}
+
+// EvalBatch implements BatchPrepared for Magic Sets: the rewritten
+// program is shared and every query contributes its seed fact, so one
+// semi-naive fixpoint computes the union of the magic sets (the
+// Section 5 "sharing magic sets across bb queries" remark) and every
+// query's answers; each query then selects its tuples from the shared
+// answer predicate.
+func (m *magicPrepared) EvalBatch(ctx context.Context, edb *storage.Database, binds [][]ast.Term) ([]*storage.Relation, EvalStats, error) {
+	k := len(binds)
+	if k == 0 {
+		return nil, EvalStats{}, nil
+	}
+	want := m.mr.Query.SlotCount()
+	seed := m.mr.Program.Rules[m.mr.SeedIndex]
+	rules := make([]ast.Rule, 0, len(m.mr.Program.Rules)+k-1)
+	rules = append(rules, m.mr.Program.Rules[:m.mr.SeedIndex]...)
+	rules = append(rules, m.mr.Program.Rules[m.mr.SeedIndex+1:]...)
+	queries := make([]ast.Atom, k)
+	for i, b := range binds {
+		if err := checkSlotTable(want, b); err != nil {
+			return nil, EvalStats{}, err
+		}
+		rules = append(rules, ast.BindRule(seed, b))
+		queries[i] = ast.BindAtom(m.mr.Query, b)
+	}
+	res, err := SemiNaiveCtx(ctx, &ast.Program{Rules: rules}, edb)
+	if err != nil {
+		return nil, EvalStats{}, err
+	}
+	rels := make([]*storage.Relation, k)
+	for i := range rels {
+		rels[i] = storage.NewRelation(m.mr.Query.Arity(), &edb.Stats)
+	}
+	if rel := res.IDB.Relation(m.mr.AnswerPred); rel != nil {
+		for _, t := range rel.Tuples() {
+			for i, q := range queries {
+				if matchesQuery(t, q, edb.Syms) {
+					rels[i].Insert(t)
+				}
+			}
+		}
+	}
+	return rels, EvalStats{Iterations: res.Rounds, SeenSize: res.IDB.TupleCount(), BatchQueries: k}, nil
+}

@@ -28,4 +28,18 @@
 // answers while deeper levels are still being explored. This is what
 // lets Engine.QueryStream yield first answers before the fixpoint
 // completes.
+//
+// # Adornment-keyed skeletons and batching
+//
+// Strategy.Prepare receives an AdornedQuery — possibly a canonical
+// skeleton whose bound columns hold ast.SlotConst placeholders — and
+// every prepared plan implements BindArgs, which instantiates the slot
+// table with a shallow substitution (bind.go). One compiled skeleton
+// per (program, predicate, adornment) therefore serves every ground
+// query of the shape. BatchPrepared (batch.go) extends this to
+// multi-query evaluation: context-mode plans traverse the union of the
+// queries' context graphs with per-query owner bitmasks, g-joining each
+// distinct context once (EvalStats.GProbes measures the sharing), and
+// Magic Sets plans union the queries' seed facts into one semi-naive
+// fixpoint.
 package eval

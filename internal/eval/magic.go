@@ -20,6 +20,26 @@ type MagicResult struct {
 	AnswerPred string
 	// Query is the original query atom.
 	Query ast.Atom
+	// SeedIndex is the position of the seed rule (the magic fact holding
+	// the query constants) in Program.Rules. The whole rewriting depends
+	// only on the query's adornment; the constants surface solely in the
+	// seed and in Query, so rebinding a skeleton result to new constants
+	// replaces exactly those two spots.
+	SeedIndex int
+}
+
+// Bind instantiates a skeleton MagicResult's slot placeholders with the
+// given constants, sharing every rule but the seed with the original.
+func (mr *MagicResult) Bind(consts []ast.Term) *MagicResult {
+	rules := make([]ast.Rule, len(mr.Program.Rules))
+	copy(rules, mr.Program.Rules)
+	rules[mr.SeedIndex] = ast.BindRule(rules[mr.SeedIndex], consts)
+	return &MagicResult{
+		Program:    &ast.Program{Rules: rules},
+		AnswerPred: mr.AnswerPred,
+		Query:      ast.BindAtom(mr.Query, consts),
+		SeedIndex:  mr.SeedIndex,
+	}
 }
 
 // adornment renders the bound/free pattern of an atom's arguments, given
@@ -144,6 +164,7 @@ func MagicTransform(p *ast.Program, query ast.Atom) (*MagicResult, error) {
 		Program:    out,
 		AnswerPred: adornedName(query.Pred, queryAd),
 		Query:      query,
+		SeedIndex:  len(out.Rules) - 1,
 	}, nil
 }
 

@@ -8,7 +8,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/analysis"
 	"repro/internal/ast"
+	"repro/internal/rewrite"
 	"repro/internal/storage"
 )
 
@@ -55,11 +57,21 @@ func (e *ErrUnsupported) Error() string { return "eval: unsupported selection: "
 
 // Plan is a compiled selection on a recursion, an instantiation of the
 // paper's Fig. 9 schema.
+//
+// A plan compiled from a skeleton query (ast.SlotConst placeholders at
+// bound columns) is an adornment-keyed template: NSlots > 0, and Bind
+// must instantiate the slot table before evaluation. All the structural
+// analysis — mode choice, carry columns, anchors, factoring — depends
+// only on which columns are bound, so the template is shared across
+// every ground query of the shape.
 type Plan struct {
 	// Def is the original definition.
 	Def *ast.Definition
 	// Query is the selection atom (constants at bound columns).
 	Query ast.Atom
+	// NSlots is the number of late-bound constant slots (0 for a ground
+	// plan, which evaluates directly).
+	NSlots int
 	// Mode is the chosen schema instantiation.
 	Mode Mode
 	// CarryArity is the arity of the carry/seen state the plan maintains:
@@ -104,6 +116,16 @@ type EvalStats struct {
 	Iterations int
 	// SeenSize is the number of tuples accumulated in seen (state size).
 	SeenSize int
+	// GProbes is the number of g-join probes a context-mode evaluation
+	// performed: one per depth-0 exit join plus one per carried context
+	// joined against the exit rule. A batched evaluation g-joins each
+	// distinct context once no matter how many queries reach it, so its
+	// GProbes undercut the sum of the per-query counts — the measurable
+	// form of the Section 5 sharing observation.
+	GProbes int
+	// BatchQueries is the number of same-skeleton queries a batched
+	// evaluation served (0 for single-query evaluations).
+	BatchQueries int
 	// CarryArity echoes the plan's state arity.
 	CarryArity int
 	// Workers is the parallel-worker bound the evaluation ran with.
@@ -138,20 +160,9 @@ func CompileSelection(d *ast.Definition, query ast.Atom) (*Plan, error) {
 		}
 	}
 
-	p := &Plan{Def: d, Query: query.Clone()}
-	persistent := d.PersistentColumns()
-	var persistentBound, otherBound []int
-	for i, a := range query.Args {
-		if !a.IsConst() {
-			continue
-		}
-		if persistent[i] {
-			persistentBound = append(persistentBound, i)
-		} else {
-			otherBound = append(otherBound, i)
-		}
-	}
-	if len(persistentBound) == 0 && len(otherBound) == 0 {
+	p := &Plan{Def: d, Query: query.Clone(), NSlots: query.SlotCount()}
+	split := analysis.SplitBinding(d, ast.AdornmentOf(query))
+	if len(split.Persistent) == 0 && len(split.Context) == 0 {
 		p.Mode = ModeFull
 		p.CarryArity = d.Arity()
 		p.reduced = d.Clone()
@@ -159,18 +170,20 @@ func CompileSelection(d *ast.Definition, query ast.Atom) (*Plan, error) {
 		return p, nil
 	}
 
-	// Reduce persistent bound columns: substitute the constant for the
-	// head variable in each rule, then drop the column everywhere.
-	p.reduced, p.keepCols = reduceDefinition(d, persistentBound, query)
+	// Reduce persistent bound columns: substitute the constant (or slot
+	// placeholder, for a skeleton) for the head variable in each rule,
+	// then drop the column everywhere.
+	p.reduced, p.keepCols = rewrite.ReducePersistent(d, split.Persistent,
+		func(col int) ast.Term { return query.Args[col] })
 
-	if len(otherBound) == 0 {
+	if len(split.Context) == 0 {
 		p.Mode = ModeReduced
 		p.CarryArity = p.reduced.Arity()
 		return p, nil
 	}
 
 	p.Mode = ModeContext
-	if err := p.compileContext(otherBound, query); err != nil {
+	if err := p.compileContext(split.Context, query); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -182,48 +195,6 @@ func identityCols(n int) []int {
 		out[i] = i
 	}
 	return out
-}
-
-// reduceDefinition substitutes query constants for the head variables of
-// the persistent bound columns in both rules and drops those columns from
-// the head and the recursive body atom.
-func reduceDefinition(d *ast.Definition, persistentBound []int, query ast.Atom) (*ast.Definition, []int) {
-	drop := make(map[int]bool)
-	for _, c := range persistentBound {
-		drop[c] = true
-	}
-	substRule := func(r ast.Rule) ast.Rule {
-		s := make(ast.Subst)
-		for _, c := range persistentBound {
-			if v := r.Head.Args[c]; v.IsVar() {
-				s[v.Name] = ast.C(query.Args[c].Name)
-			}
-		}
-		return s.ApplyRule(r)
-	}
-	dropCols := func(a ast.Atom) ast.Atom {
-		var args []ast.Term
-		for i, t := range a.Args {
-			if !drop[i] {
-				args = append(args, t)
-			}
-		}
-		return ast.Atom{Pred: a.Pred, Args: args}
-	}
-	rec := substRule(d.Recursive)
-	exit := substRule(d.Exit)
-	recIdx := d.Recursive.RecursiveAtomIndex()
-	rec.Head = dropCols(rec.Head)
-	rec.Body[recIdx] = dropCols(rec.Body[recIdx])
-	exit.Head = dropCols(exit.Head)
-
-	var keep []int
-	for i := 0; i < d.Arity(); i++ {
-		if !drop[i] {
-			keep = append(keep, i)
-		}
-	}
-	return &ast.Definition{Recursive: rec, Exit: exit}, keep
 }
 
 // compileContext performs the context-mode analysis on the reduced
@@ -475,6 +446,9 @@ func (p *Plan) EvalCtx(ctx context.Context, edb *storage.Database) (*storage.Rel
 // and returning false stops the evaluation early without error, with the
 // answers derived so far.
 func (p *Plan) EvalStreamCtx(ctx context.Context, edb *storage.Database, emit func(storage.Tuple) bool) (*storage.Relation, EvalStats, error) {
+	if p.NSlots > 0 {
+		return nil, EvalStats{}, fmt.Errorf("eval: plan for %v is a skeleton with %d unbound slots; call Bind first", p.Query, p.NSlots)
+	}
 	switch p.Mode {
 	case ModeFull:
 		ans, res, err := SelectEvalWorkersCtx(ctx, p.Def.Program(), p.Query, edb, p.effectiveWorkers())
@@ -605,76 +579,49 @@ type contextEval struct {
 	srcs      []colSrc
 }
 
-// evalContext runs the Fig. 9 loop: seed the carry from the first
-// application of the recursive rule (restricted by the selection
-// constants), then per batch join the new contexts with the exit rule
-// (g, emitting answers incrementally) and apply the recursive rule one
-// level deeper (f) until no new contexts appear. Each batch is split
-// across a bounded worker pool; the sharded seen-set deduplicates
-// concurrently discovered contexts, and the depth-0 answers from the
-// exit rule alone are emitted before the loop starts.
-func (p *Plan) evalContext(ctx context.Context, edb *storage.Database, emit func(storage.Tuple) bool) (*storage.Relation, EvalStats, error) {
-	red := p.reduced
-	syms := edb.Syms
-	nshards := edb.Shards()
-	ce := &contextEval{
-		p:       p,
-		syms:    syms,
-		resolve: func(pred string, alt bool) *storage.Relation { return edb.Relation(pred) },
-		workers: p.effectiveWorkers(),
-		emit:    emit,
-		ans:     storage.NewShardedRelation(p.Def.Arity(), &edb.Stats, nshards),
-	}
-	ce.nAnchors = len(p.foldedAnchors)
-	ce.carryWidth = ce.nAnchors + len(p.ctxCols)
-	ce.seen = storage.NewShardedRelation(ce.carryWidth, nil, nshards)
-	ce.stats = EvalStats{CarryArity: p.CarryArity, Workers: ce.workers, Shards: nshards}
-
-	rec := red.RecursiveAtom()
-	head := red.Recursive.Head
-	edbAtoms := red.NonrecursiveBody()
-
-	// Depth-0: exit rule with the bound head columns substituted. These
-	// are the first streamed answers — no fixpoint work precedes them.
-	exitHead := red.Exit.Head
+// d0Join evaluates the depth-0 exit join of a bound context-mode plan —
+// the exit rule with the bound head columns substituted — and feeds each
+// assembled answer tuple to sink. The tuple is scratch; sink copies what
+// it keeps and returns false to stop.
+func (p *Plan) d0Join(syms *storage.SymbolTable, resolve resolver, sink func(storage.Tuple) bool) {
+	exitHead := p.reduced.Exit.Head
 	exitSubst := make(ast.Subst)
 	for rc, c := range p.boundCols {
 		if v := exitHead.Args[rc]; v.IsVar() {
 			exitSubst[v.Name] = ast.C(c)
 		}
 	}
-	d0Atoms := exitSubst.ApplyAtoms(red.Exit.Body)
+	d0Atoms := exitSubst.ApplyAtoms(p.reduced.Exit.Body)
 	d0Head := exitSubst.ApplyAtom(exitHead)
-	{
-		ss := newSlotSpace()
-		conj := compileConj(d0Atoms, nil, ss, syms, nil, d0Head.VarSet())
-		headRefs := compileAtom(d0Head, ss, syms, false)
-		slots := make([]storage.Value, len(ss.varSlot))
-		bound := make([]bool, len(ss.varSlot))
-		out := make(storage.Tuple, p.Def.Arity())
-		for i, a := range p.Query.Args {
-			if a.IsConst() {
-				out[i] = syms.Intern(a.Name)
+	ss := newSlotSpace()
+	conj := compileConj(d0Atoms, nil, ss, syms, nil, d0Head.VarSet())
+	headRefs := compileAtom(d0Head, ss, syms, false)
+	slots := make([]storage.Value, len(ss.varSlot))
+	bound := make([]bool, len(ss.varSlot))
+	out := make(storage.Tuple, p.Def.Arity())
+	for i, a := range p.Query.Args {
+		if a.IsConst() {
+			out[i] = syms.Intern(a.Name)
+		}
+	}
+	conj.run(resolve, slots, bound, func(s []storage.Value) bool {
+		for ri, oi := range p.keepCols {
+			ref := headRefs.args[ri]
+			if ref.isConst {
+				out[oi] = ref.val
+			} else {
+				out[oi] = s[ref.slot]
 			}
 		}
-		conj.run(ce.resolve, slots, bound, func(s []storage.Value) bool {
-			for ri, oi := range p.keepCols {
-				ref := headRefs.args[ri]
-				if ref.isConst {
-					out[oi] = ref.val
-				} else {
-					out[oi] = s[ref.slot]
-				}
-			}
-			return ce.emitAnswer(out)
-		})
-	}
-	if ce.aborted.Load() {
-		return ce.finish(ctx)
-	}
+		return sink(out)
+	})
+}
 
-	// Factored groups: evaluate once with the selection constants; any
-	// empty group kills all depth>=1 derivations.
+// evalFactoredGroups materializes the plan's factor groups with the
+// selection constants substituted. ok is false when some group is empty,
+// in which case no depth >= 1 derivation exists and the caller stops
+// after depth 0.
+func (p *Plan) evalFactoredGroups(syms *storage.SymbolTable, resolve resolver) (groups []groupResult, ok bool) {
 	for _, fg := range p.factored {
 		atoms := p.substBound(fg.atoms)
 		ss := newSlotSpace()
@@ -691,7 +638,7 @@ func (p *Plan) evalContext(ctx context.Context, edb *storage.Database, emit func
 		slots := make([]storage.Value, len(ss.varSlot))
 		bound := make([]bool, len(ss.varSlot))
 		tup := make(storage.Tuple, len(fg.anchors))
-		conj.run(ce.resolve, slots, bound, func(s []storage.Value) bool {
+		conj.run(resolve, slots, bound, func(s []storage.Value) bool {
 			for i, sl := range anchorSlots {
 				tup[i] = s[sl]
 			}
@@ -699,52 +646,67 @@ func (p *Plan) evalContext(ctx context.Context, edb *storage.Database, emit func
 			return true
 		})
 		if rel.Len() == 0 {
-			// No depth>=1 derivations are possible; answers are depth-0 only.
-			return ce.finish(ctx)
+			return nil, false
 		}
-		ce.groups = append(ce.groups, groupResult{anchors: fg.anchors, tuples: rel.Tuples()})
+		groups = append(groups, groupResult{anchors: fg.anchors, tuples: rel.Tuples()})
 	}
+	return groups, true
+}
 
-	// Seed conjunction: all non-factored EDB atoms with selection
-	// constants substituted, projected onto (foldedAnchors, ctx columns).
-	var carry []storage.Tuple
-	{
-		factoredIdx := make(map[string]bool)
-		for _, fg := range p.factored {
-			for _, a := range fg.atoms {
-				factoredIdx[a.String()] = true
-			}
+// forEachSeedContext runs the seed conjunction — all non-factored EDB
+// atoms with the selection constants substituted — and yields each
+// projected carry tuple (anchors then context columns). Tuples are
+// scratch and may repeat; the caller deduplicates.
+func (p *Plan) forEachSeedContext(syms *storage.SymbolTable, resolve resolver, yield func(storage.Tuple)) {
+	factoredIdx := make(map[string]bool)
+	for _, fg := range p.factored {
+		for _, a := range fg.atoms {
+			factoredIdx[a.String()] = true
 		}
-		var seedAtoms []ast.Atom
-		for _, a := range edbAtoms {
-			if !factoredIdx[a.String()] {
-				seedAtoms = append(seedAtoms, a)
-			}
-		}
-		seedAtoms = p.substBound(seedAtoms)
-		// Bound head variables may occur in the recursive call too; the
-		// projection must see them as constants at seed depth.
-		seedRec := p.substBound([]ast.Atom{rec})[0]
-		ss := newSlotSpace()
-		conj := compileConj(seedAtoms, nil, ss, syms, nil, p.carryNeeded(seedRec))
-		projSlots := p.carryProjection(ss, seedRec, syms)
-		slots := make([]storage.Value, len(ss.varSlot))
-		bound := make([]bool, len(ss.varSlot))
-		tup := make(storage.Tuple, ce.carryWidth)
-		conj.run(ce.resolve, slots, bound, func(s []storage.Value) bool {
-			if !projSlots.project(s, tup, syms) {
-				return true
-			}
-			if ce.seen.Insert(tup) {
-				carry = append(carry, tup.Clone())
-			}
-			return true
-		})
 	}
+	var seedAtoms []ast.Atom
+	for _, a := range p.reduced.NonrecursiveBody() {
+		if !factoredIdx[a.String()] {
+			seedAtoms = append(seedAtoms, a)
+		}
+	}
+	seedAtoms = p.substBound(seedAtoms)
+	// Bound head variables may occur in the recursive call too; the
+	// projection must see them as constants at seed depth.
+	seedRec := p.substBound([]ast.Atom{p.reduced.RecursiveAtom()})[0]
+	ss := newSlotSpace()
+	conj := compileConj(seedAtoms, nil, ss, syms, nil, p.carryNeeded(seedRec))
+	projSlots := p.carryProjection(ss, seedRec, syms)
+	slots := make([]storage.Value, len(ss.varSlot))
+	bound := make([]bool, len(ss.varSlot))
+	tup := make(storage.Tuple, len(p.foldedAnchors)+len(p.ctxCols))
+	conj.run(resolve, slots, bound, func(s []storage.Value) bool {
+		if projSlots.project(s, tup, syms) {
+			yield(tup)
+		}
+		return true
+	})
+}
 
-	// f: one application of the recursive rule deeper. The head variables
-	// at carried/fixed call columns are bound from the context; all EDB
-	// atoms participate (semijoin role for purely existential ones).
+// fOps is the compiled carry-transition operator f: one application of
+// the recursive rule deeper, with the context columns bound from the
+// carried tuple.
+type fOps struct {
+	conj      *compiledConj
+	proj      *carryProj
+	headSlots []int
+	nslots    int
+}
+
+// compileF builds the f operator. It reads only the reduced definition
+// and the fixed call columns — never the selection constants at bound
+// head columns (those flow through the carried context) — so for a
+// slot-free reduced definition the operator is shared verbatim by every
+// query of the adornment.
+func (p *Plan) compileF(syms *storage.SymbolTable) fOps {
+	head := p.reduced.Recursive.Head
+	rec := p.reduced.RecursiveAtom()
+	edbAtoms := p.reduced.NonrecursiveBody()
 	fSS := newSlotSpace()
 	// Bind order: context slots first so compileConj treats them as bound.
 	initBound := make(map[string]bool)
@@ -760,17 +722,33 @@ func (p *Plan) evalContext(ctx context.Context, edb *storage.Database, emit func
 		}
 	}
 	fAtoms := fixedHead.ApplyAtoms(edbAtoms)
-	ce.fConj = compileConj(fAtoms, nil, fSS, syms, initBound, p.carryNeeded(fixedHead.ApplyAtom(rec)))
-	ce.fProj = p.carryProjection(fSS, fixedHead.ApplyAtom(rec), syms)
-	ce.fHeadSlots = make([]int, len(p.ctxCols))
+	f := fOps{}
+	f.conj = compileConj(fAtoms, nil, fSS, syms, initBound, p.carryNeeded(fixedHead.ApplyAtom(rec)))
+	f.proj = p.carryProjection(fSS, fixedHead.ApplyAtom(rec), syms)
+	f.headSlots = make([]int, len(p.ctxCols))
 	for i, j := range p.ctxCols {
-		ce.fHeadSlots[i] = fSS.slot(head.Args[j].Name)
+		f.headSlots[i] = fSS.slot(head.Args[j].Name)
 	}
-	ce.fNslots = len(fSS.varSlot)
+	f.nslots = len(fSS.varSlot)
+	return f
+}
 
-	// g: the per-context answer join against the exit rule. Compiled
-	// before the loop so each batch's new contexts can be joined (and
-	// their answers emitted) while the fixpoint is still running.
+// gOps is the compiled answer-join operator g: the exit rule probed per
+// carried context, plus the head-assembly map. Sources of kind 0 (query
+// constants) carry no value — the evaluation fills them per query (see
+// colSrc), which is what lets a batch share one compiled g across
+// queries with different constants.
+type gOps struct {
+	conj     *compiledConj
+	ctxSlots []int
+	nslots   int
+	srcs     []colSrc
+}
+
+// compileG builds the g operator against the reduced exit rule.
+func (p *Plan) compileG(syms *storage.SymbolTable) gOps {
+	head := p.reduced.Recursive.Head
+	exitHead := p.reduced.Exit.Head
 	gSS := newSlotSpace()
 	gInitBound := make(map[string]bool)
 	for _, j := range p.ctxCols {
@@ -784,23 +762,25 @@ func (p *Plan) evalContext(ctx context.Context, edb *storage.Database, emit func
 			gFixed[v.Name] = ast.C(c)
 		}
 	}
-	gAtoms := gFixed.ApplyAtoms(red.Exit.Body)
-	ce.gConj = compileConj(gAtoms, nil, gSS, syms, gInitBound, exitHead.VarSet())
-	ce.gCtxSlots = make([]int, len(p.ctxCols))
+	gAtoms := gFixed.ApplyAtoms(p.reduced.Exit.Body)
+	g := gOps{}
+	g.conj = compileConj(gAtoms, nil, gSS, syms, gInitBound, exitHead.VarSet())
+	g.ctxSlots = make([]int, len(p.ctxCols))
 	for i, j := range p.ctxCols {
-		ce.gCtxSlots[i] = gSS.slot(exitHead.Args[j].Name)
+		g.ctxSlots[i] = gSS.slot(exitHead.Args[j].Name)
 	}
 
 	// Head assembly: for each original column, where does the value come
-	// from?
-	ce.srcs = make([]colSrc, p.Def.Arity())
+	// from? Group indices follow p.factored order, which every per-query
+	// evaluation of the groups preserves.
+	g.srcs = make([]colSrc, p.Def.Arity())
 	foldedIdx := make(map[string]int)
 	for i, v := range p.foldedAnchors {
 		foldedIdx[v] = i
 	}
 	groupIdx := make(map[string][2]int)
-	for gi, g := range ce.groups {
-		for pi, v := range g.anchors {
+	for gi, fg := range p.factored {
+		for pi, v := range fg.anchors {
 			groupIdx[v] = [2]int{gi, pi}
 		}
 	}
@@ -810,26 +790,104 @@ func (p *Plan) evalContext(ctx context.Context, edb *storage.Database, emit func
 	}
 	for oi := 0; oi < p.Def.Arity(); oi++ {
 		if a := p.Query.Args[oi]; a.IsConst() {
-			ce.srcs[oi] = colSrc{kind: 0, val: syms.Intern(a.Name)}
+			g.srcs[oi] = colSrc{kind: 0}
 			continue
 		}
 		ri := redOf[oi]
 		hv := head.Args[ri]
 		if hv.IsVar() {
 			if i, ok := foldedIdx[hv.Name]; ok {
-				ce.srcs[oi] = colSrc{kind: 2, idx: i}
+				g.srcs[oi] = colSrc{kind: 2, idx: i}
 				continue
 			}
 			if gp, ok := groupIdx[hv.Name]; ok {
-				ce.srcs[oi] = colSrc{kind: 3, idx: gp[0], pos: gp[1]}
+				g.srcs[oi] = colSrc{kind: 3, idx: gp[0], pos: gp[1]}
 				continue
 			}
 		}
 		// Persistent column: the exit rule binds it.
 		ev := exitHead.Args[ri]
-		ce.srcs[oi] = colSrc{kind: 1, idx: gSS.slot(ev.Name)}
+		g.srcs[oi] = colSrc{kind: 1, idx: gSS.slot(ev.Name)}
 	}
-	ce.gNslots = len(gSS.varSlot)
+	g.nslots = len(gSS.varSlot)
+	return g
+}
+
+// queryConsts returns, for each original column whose source is a query
+// constant (colSrc kind 0), the interned value; other columns are zero.
+func (p *Plan) queryConsts(syms *storage.SymbolTable) storage.Tuple {
+	out := make(storage.Tuple, p.Def.Arity())
+	for i, a := range p.Query.Args {
+		if a.IsConst() {
+			out[i] = syms.Intern(a.Name)
+		}
+	}
+	return out
+}
+
+// evalContext runs the Fig. 9 loop: seed the carry from the first
+// application of the recursive rule (restricted by the selection
+// constants), then per batch join the new contexts with the exit rule
+// (g, emitting answers incrementally) and apply the recursive rule one
+// level deeper (f) until no new contexts appear. Each batch is split
+// across a bounded worker pool; the sharded seen-set deduplicates
+// concurrently discovered contexts, and the depth-0 answers from the
+// exit rule alone are emitted before the loop starts.
+func (p *Plan) evalContext(ctx context.Context, edb *storage.Database, emit func(storage.Tuple) bool) (*storage.Relation, EvalStats, error) {
+	syms := edb.Syms
+	nshards := edb.Shards()
+	ce := &contextEval{
+		p:       p,
+		syms:    syms,
+		resolve: func(pred string, alt bool) *storage.Relation { return edb.Relation(pred) },
+		workers: p.effectiveWorkers(),
+		emit:    emit,
+		ans:     storage.NewShardedRelation(p.Def.Arity(), &edb.Stats, nshards),
+	}
+	ce.nAnchors = len(p.foldedAnchors)
+	ce.carryWidth = ce.nAnchors + len(p.ctxCols)
+	ce.seen = storage.NewShardedRelation(ce.carryWidth, nil, nshards)
+	ce.stats = EvalStats{CarryArity: p.CarryArity, Workers: ce.workers, Shards: nshards}
+
+	// Depth-0: exit rule with the bound head columns substituted. These
+	// are the first streamed answers — no fixpoint work precedes them.
+	ce.stats.GProbes++
+	p.d0Join(syms, ce.resolve, ce.emitAnswer)
+	if ce.aborted.Load() {
+		return ce.finish(ctx)
+	}
+
+	// Factored groups: evaluate once with the selection constants; any
+	// empty group kills all depth>=1 derivations.
+	groups, ok := p.evalFactoredGroups(syms, ce.resolve)
+	if !ok {
+		// No depth>=1 derivations are possible; answers are depth-0 only.
+		return ce.finish(ctx)
+	}
+	ce.groups = groups
+
+	// Seed contexts, deduplicated through the shared seen-set.
+	var carry []storage.Tuple
+	p.forEachSeedContext(syms, ce.resolve, func(tup storage.Tuple) {
+		if ce.seen.Insert(tup) {
+			carry = append(carry, tup.Clone())
+		}
+	})
+
+	f := p.compileF(syms)
+	ce.fConj, ce.fProj, ce.fHeadSlots, ce.fNslots = f.conj, f.proj, f.headSlots, f.nslots
+
+	g := p.compileG(syms)
+	ce.gConj, ce.gCtxSlots, ce.gNslots = g.conj, g.ctxSlots, g.nslots
+	// Fill the query-constant sources (kind 0) with this plan's values.
+	ce.srcs = make([]colSrc, len(g.srcs))
+	copy(ce.srcs, g.srcs)
+	qc := p.queryConsts(syms)
+	for oi := range ce.srcs {
+		if ce.srcs[oi].kind == 0 {
+			ce.srcs[oi].val = qc[oi]
+		}
+	}
 
 	// Fig. 9 while loop, one parallel batch per level: g joins the new
 	// contexts (streaming their answers), f produces the next level.
@@ -913,6 +971,7 @@ func (ce *contextEval) fBatch(carry []storage.Tuple) []storage.Tuple {
 // is independent, so partitioning is safe; answer dedup happens in the
 // sharded answer relation.
 func (ce *contextEval) gBatch(batch []storage.Tuple) {
+	ce.stats.GProbes += len(batch)
 	parallelFor(ce.workers, len(batch), func(w, lo, hi int) {
 		gSlots := make([]storage.Value, ce.gNslots)
 		gBound := make([]bool, ce.gNslots)

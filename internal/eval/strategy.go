@@ -19,6 +19,23 @@ const (
 	StrategyEDB       = "edb"
 )
 
+// AdornedQuery is the planning input: a query atom together with its
+// binding pattern. Atom may be a ground query (real constants at bound
+// columns) or — the shape-sharing path — a plan skeleton produced by
+// ast.Skeletonize, with ast.SlotConst placeholders at bound columns.
+// Every analysis a strategy performs depends only on the adornment, so
+// a skeleton plan compiled once serves every ground query of that shape
+// via BindArgs.
+type AdornedQuery struct {
+	Atom      ast.Atom
+	Adornment ast.Adornment
+}
+
+// AdornQuery wraps a query atom (ground or skeleton) with its adornment.
+func AdornQuery(q ast.Atom) AdornedQuery {
+	return AdornedQuery{Atom: q, Adornment: ast.AdornmentOf(q)}
+}
+
 // Strategy is an evaluation method that can plan a query against a
 // program. Prepare runs the strategy's analysis once (for the one-sided
 // strategy that is the paper's optimize-then-detect procedure, Theorem
@@ -27,15 +44,31 @@ const (
 // registry. Strategies must be stateless and safe for concurrent use.
 type Strategy interface {
 	Name() string
-	Prepare(p *ast.Program, query ast.Atom) (PreparedStrategy, error)
+	Prepare(p *ast.Program, query AdornedQuery) (PreparedStrategy, error)
 }
 
 // PreparedStrategy is a query plan produced by a Strategy. Eval may be
 // called many times and concurrently against the same database; the plan
 // holds no per-evaluation state.
+//
+// A plan prepared from a skeleton query is parameterized: its constant
+// positions hold ast.SlotConst placeholders and it must not be evaluated
+// directly. BindArgs instantiates the slot table — one constant per slot,
+// in slot order — returning an evaluable plan; binding is a shallow
+// structural substitution, orders of magnitude cheaper than Prepare's
+// analysis. A plan prepared from a ground query has zero slots and
+// BindArgs() with no arguments returns it unchanged.
 type PreparedStrategy interface {
 	Explain() StrategyExplain
 	Eval(ctx context.Context, edb *storage.Database) (*storage.Relation, EvalStats, error)
+	BindArgs(consts ...ast.Term) (PreparedStrategy, error)
+}
+
+// errUnboundSkeleton rejects evaluation of a plan whose query still
+// holds slot placeholders: the skeleton is a template, not a plan.
+func errUnboundSkeleton(query ast.Atom) error {
+	return fmt.Errorf("eval: plan for %v is a skeleton with %d unbound slots; call BindArgs first",
+		query, query.SlotCount())
 }
 
 // StreamingPrepared is implemented by prepared plans that can emit
@@ -54,7 +87,11 @@ type StreamingPrepared interface {
 // mode, carry arity, and parallel worker bound for one-sided plans, and a
 // free-form detail line.
 type StrategyExplain struct {
-	Strategy   string
+	Strategy string
+	// Adornment is the query's bound/free pattern — the key the plan
+	// skeleton was compiled under (empty for plans prepared before the
+	// adornment threading, e.g. hand-built ones).
+	Adornment  string
 	Verdict    string
 	Mode       string
 	CarryArity int
@@ -66,6 +103,9 @@ type StrategyExplain struct {
 
 func (e StrategyExplain) String() string {
 	s := e.Strategy
+	if e.Adornment != "" {
+		s += " adornment=" + e.Adornment
+	}
 	if e.Mode != "" {
 		s += " mode=" + e.Mode
 	}
@@ -104,17 +144,17 @@ func OneSidedWorkers(workers int) Strategy {
 
 func (oneSidedStrategy) Name() string { return StrategyOneSided }
 
-func (s oneSidedStrategy) Prepare(p *ast.Program, query ast.Atom) (PreparedStrategy, error) {
-	dec, err := decideForQuery(p, query)
+func (s oneSidedStrategy) Prepare(p *ast.Program, q AdornedQuery) (PreparedStrategy, error) {
+	dec, err := decideForQuery(p, q.Atom)
 	if err != nil {
 		return nil, err
 	}
-	plan, err := CompileSelection(dec.Optimized, query)
+	plan, err := CompileSelection(dec.Optimized, q.Atom)
 	if err != nil {
 		return nil, err
 	}
 	plan.Workers = s.workers
-	return &oneSidedPrepared{plan: plan, verdict: dec.Verdict.String()}, nil
+	return &oneSidedPrepared{plan: plan, verdict: dec.Verdict.String(), adornment: q.Adornment}, nil
 }
 
 // decideForQuery extracts the two-rule recursion for the query predicate,
@@ -147,13 +187,15 @@ func decideForQuery(p *ast.Program, query ast.Atom) (*rewrite.Decision, error) {
 }
 
 type oneSidedPrepared struct {
-	plan    *Plan
-	verdict string
+	plan      *Plan
+	verdict   string
+	adornment ast.Adornment
 }
 
 func (o *oneSidedPrepared) Explain() StrategyExplain {
 	return StrategyExplain{
 		Strategy:   StrategyOneSided,
+		Adornment:  o.adornment.String(),
 		Verdict:    o.verdict,
 		Mode:       o.plan.Mode.String(),
 		CarryArity: o.plan.CarryArity,
@@ -190,30 +232,32 @@ func Counting(maxDepth int) Strategy {
 
 func (countingStrategy) Name() string { return StrategyCounting }
 
-func (c countingStrategy) Prepare(p *ast.Program, query ast.Atom) (PreparedStrategy, error) {
-	dec, err := decideForQuery(p, query)
+func (c countingStrategy) Prepare(p *ast.Program, q AdornedQuery) (PreparedStrategy, error) {
+	dec, err := decideForQuery(p, q.Atom)
 	if err != nil {
 		return nil, err
 	}
-	plan, err := CompileSelection(dec.Optimized, query)
+	plan, err := CompileSelection(dec.Optimized, q.Atom)
 	if err != nil {
 		return nil, err
 	}
 	if plan.Mode != ModeContext {
 		return nil, fmt.Errorf("counting needs a context-mode plan (have %v)", plan.Mode)
 	}
-	return &countingPrepared{plan: plan, verdict: dec.Verdict.String(), maxDepth: c.maxDepth}, nil
+	return &countingPrepared{plan: plan, verdict: dec.Verdict.String(), adornment: q.Adornment, maxDepth: c.maxDepth}, nil
 }
 
 type countingPrepared struct {
-	plan     *Plan
-	verdict  string
-	maxDepth int
+	plan      *Plan
+	verdict   string
+	adornment ast.Adornment
+	maxDepth  int
 }
 
 func (c *countingPrepared) Explain() StrategyExplain {
 	return StrategyExplain{
 		Strategy:   StrategyCounting,
+		Adornment:  c.adornment.String(),
 		Verdict:    c.verdict,
 		Mode:       c.plan.Mode.String(),
 		CarryArity: c.plan.CarryArity,
@@ -222,6 +266,9 @@ func (c *countingPrepared) Explain() StrategyExplain {
 }
 
 func (c *countingPrepared) Eval(ctx context.Context, edb *storage.Database) (*storage.Relation, EvalStats, error) {
+	if c.plan.NSlots > 0 {
+		return nil, EvalStats{}, errUnboundSkeleton(c.plan.Query)
+	}
 	return c.plan.EvalCountingCtx(ctx, edb, c.maxDepth)
 }
 
@@ -236,26 +283,31 @@ func Magic() Strategy { return magicStrategy{} }
 
 func (magicStrategy) Name() string { return StrategyMagic }
 
-func (magicStrategy) Prepare(p *ast.Program, query ast.Atom) (PreparedStrategy, error) {
-	mr, err := MagicTransform(p, query)
+func (magicStrategy) Prepare(p *ast.Program, q AdornedQuery) (PreparedStrategy, error) {
+	mr, err := MagicTransform(p, q.Atom)
 	if err != nil {
 		return nil, err
 	}
-	return &magicPrepared{mr: mr}, nil
+	return &magicPrepared{mr: mr, adornment: q.Adornment}, nil
 }
 
 type magicPrepared struct {
-	mr *MagicResult
+	mr        *MagicResult
+	adornment ast.Adornment
 }
 
 func (m *magicPrepared) Explain() StrategyExplain {
 	return StrategyExplain{
-		Strategy: StrategyMagic,
-		Detail:   fmt.Sprintf("answer predicate %s, %d rewritten rules", m.mr.AnswerPred, len(m.mr.Program.Rules)),
+		Strategy:  StrategyMagic,
+		Adornment: m.adornment.String(),
+		Detail:    fmt.Sprintf("answer predicate %s, %d rewritten rules", m.mr.AnswerPred, len(m.mr.Program.Rules)),
 	}
 }
 
 func (m *magicPrepared) Eval(ctx context.Context, edb *storage.Database) (*storage.Relation, EvalStats, error) {
+	if m.mr.Query.HasSlots() {
+		return nil, EvalStats{}, errUnboundSkeleton(m.mr.Query)
+	}
 	res, err := SemiNaiveCtx(ctx, m.mr.Program, edb)
 	if err != nil {
 		return nil, EvalStats{}, err
@@ -291,27 +343,32 @@ func NaiveStrategy() Strategy {
 
 func (s bottomUpStrategy) Name() string { return s.name }
 
-func (s bottomUpStrategy) Prepare(p *ast.Program, query ast.Atom) (PreparedStrategy, error) {
-	if !headPreds(p)[query.Pred] {
-		return nil, fmt.Errorf("predicate %s is not defined by the program", query.Pred)
+func (s bottomUpStrategy) Prepare(p *ast.Program, q AdornedQuery) (PreparedStrategy, error) {
+	if !headPreds(p)[q.Atom.Pred] {
+		return nil, fmt.Errorf("predicate %s is not defined by the program", q.Atom.Pred)
 	}
-	return &bottomUpPrepared{strategy: s, program: p, query: query.Clone()}, nil
+	return &bottomUpPrepared{strategy: s, program: p, query: q.Atom.Clone(), adornment: q.Adornment}, nil
 }
 
 type bottomUpPrepared struct {
-	strategy bottomUpStrategy
-	program  *ast.Program
-	query    ast.Atom
+	strategy  bottomUpStrategy
+	program   *ast.Program
+	query     ast.Atom
+	adornment ast.Adornment
 }
 
 func (b *bottomUpPrepared) Explain() StrategyExplain {
 	return StrategyExplain{
-		Strategy: b.strategy.name,
-		Detail:   "full materialization then selection",
+		Strategy:  b.strategy.name,
+		Adornment: b.adornment.String(),
+		Detail:    "full materialization then selection",
 	}
 }
 
 func (b *bottomUpPrepared) Eval(ctx context.Context, edb *storage.Database) (*storage.Relation, EvalStats, error) {
+	if b.query.HasSlots() {
+		return nil, EvalStats{}, errUnboundSkeleton(b.query)
+	}
 	res, err := b.strategy.eval(ctx, b.program, edb)
 	if err != nil {
 		return nil, EvalStats{}, err
@@ -339,22 +396,26 @@ func EDBLookup() Strategy { return edbStrategy{} }
 
 func (edbStrategy) Name() string { return StrategyEDB }
 
-func (edbStrategy) Prepare(p *ast.Program, query ast.Atom) (PreparedStrategy, error) {
-	if p != nil && p.IDBPreds()[query.Pred] {
-		return nil, fmt.Errorf("predicate %s is derived; use a rule strategy", query.Pred)
+func (edbStrategy) Prepare(p *ast.Program, q AdornedQuery) (PreparedStrategy, error) {
+	if p != nil && p.IDBPreds()[q.Atom.Pred] {
+		return nil, fmt.Errorf("predicate %s is derived; use a rule strategy", q.Atom.Pred)
 	}
-	return &edbPrepared{query: query.Clone()}, nil
+	return &edbPrepared{query: q.Atom.Clone(), adornment: q.Adornment}, nil
 }
 
 type edbPrepared struct {
-	query ast.Atom
+	query     ast.Atom
+	adornment ast.Adornment
 }
 
 func (e *edbPrepared) Explain() StrategyExplain {
-	return StrategyExplain{Strategy: StrategyEDB, Detail: "indexed base-relation lookup"}
+	return StrategyExplain{Strategy: StrategyEDB, Adornment: e.adornment.String(), Detail: "indexed base-relation lookup"}
 }
 
 func (e *edbPrepared) Eval(ctx context.Context, edb *storage.Database) (*storage.Relation, EvalStats, error) {
+	if e.query.HasSlots() {
+		return nil, EvalStats{}, errUnboundSkeleton(e.query)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, EvalStats{}, err
 	}

@@ -65,7 +65,7 @@ func TestStrategyAdaptersAgree(t *testing.T) {
 	ctx := context.Background()
 	var relations []*storage.Relation
 	for _, s := range []Strategy{OneSided(), Magic(), SemiNaiveStrategy(), NaiveStrategy()} {
-		ps, err := s.Prepare(prog, query)
+		ps, err := s.Prepare(prog, AdornQuery(query))
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -93,10 +93,10 @@ func TestEDBStrategyDeclinesDerived(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := EDBLookup().Prepare(prog, mustParseAtom(t, "t(a, Y)")); err == nil {
+	if _, err := EDBLookup().Prepare(prog, AdornQuery(mustParseAtom(t, "t(a, Y)"))); err == nil {
 		t.Fatal("edb strategy accepted a derived predicate")
 	}
-	if _, err := EDBLookup().Prepare(prog, mustParseAtom(t, "b(a, Y)")); err != nil {
+	if _, err := EDBLookup().Prepare(prog, AdornQuery(mustParseAtom(t, "b(a, Y)"))); err != nil {
 		t.Fatalf("edb strategy declined a base predicate: %v", err)
 	}
 }
@@ -112,7 +112,7 @@ func TestOneSidedStrategyDeclinesDerivedBody(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OneSided().Prepare(prog, mustParseAtom(t, "t(u, Y)")); err == nil {
+	if _, err := OneSided().Prepare(prog, AdornQuery(mustParseAtom(t, "t(u, Y)"))); err == nil {
 		t.Fatal("onesided strategy accepted a derived body atom")
 	}
 	// Magic handles it.
@@ -120,7 +120,7 @@ func TestOneSidedStrategyDeclinesDerivedBody(t *testing.T) {
 	db.AddFact("raw", "u", "v")
 	db.AddFact("ok", "u")
 	db.AddFact("b", "v", "goal")
-	ps, err := Magic().Prepare(prog, mustParseAtom(t, "t(u, Y)"))
+	ps, err := Magic().Prepare(prog, AdornQuery(mustParseAtom(t, "t(u, Y)")))
 	if err != nil {
 		t.Fatal(err)
 	}

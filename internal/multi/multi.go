@@ -29,6 +29,7 @@ import (
 	"repro/internal/avgraph"
 	"repro/internal/eval"
 	"repro/internal/expand"
+	"repro/internal/rewrite"
 	"repro/internal/storage"
 	"repro/internal/unify"
 )
@@ -418,12 +419,16 @@ func PrepareSelection(d *Definition, query ast.Atom) (*SelectionPlan, error) {
 			}
 		}
 	}
-	// Reduce every rule once; evaluation replays the reduced program.
+	// Reduce every rule once; evaluation replays the reduced program. The
+	// reduction substitutes whatever the query holds at each bound column
+	// — real constants for a ground query, slot placeholders for an
+	// adornment-keyed skeleton (instantiated later by Bind).
 	reducedProg := ast.NewProgram()
 	var keep []int
 	for i := range d.Recursive {
 		sub := d.SubDefinition(i)
-		red, kc := reduceFor(sub, bound, query)
+		red, kc := rewrite.ReducePersistent(sub, bound,
+			func(col int) ast.Term { return query.Args[col] })
 		reducedProg.Rules = append(reducedProg.Rules, red.Recursive)
 		keep = kc
 		if i == 0 {
@@ -433,9 +438,37 @@ func PrepareSelection(d *Definition, query ast.Atom) (*SelectionPlan, error) {
 	return &SelectionPlan{def: d, query: query.Clone(), reduced: reducedProg, keep: keep, bound: bound}, nil
 }
 
+// Bind instantiates a skeleton SelectionPlan's slot placeholders,
+// returning an evaluable copy sharing the structural analysis.
+func (sp *SelectionPlan) Bind(consts []ast.Term) (*SelectionPlan, error) {
+	want := sp.query.SlotCount()
+	if len(consts) != want {
+		return nil, fmt.Errorf("multi: bind got %d constants, plan has %d slots", len(consts), want)
+	}
+	for i, c := range consts {
+		if !c.IsConst() {
+			return nil, fmt.Errorf("multi: bind argument %d (%v) is not a constant", i, c)
+		}
+	}
+	if want == 0 {
+		return sp, nil
+	}
+	return &SelectionPlan{
+		def:     sp.def,
+		query:   ast.BindAtom(sp.query, consts),
+		reduced: ast.BindProgram(sp.reduced, consts),
+		keep:    sp.keep,
+		bound:   sp.bound,
+	}, nil
+}
+
 // Eval runs the reduced program bottom-up and re-expands the dropped
-// constant columns.
+// constant columns. A skeleton plan with unbound slots refuses to
+// evaluate; call Bind first.
 func (sp *SelectionPlan) Eval(ctx context.Context, db *storage.Database) (*storage.Relation, eval.EvalStats, error) {
+	if n := sp.query.SlotCount(); n > 0 {
+		return nil, eval.EvalStats{}, fmt.Errorf("multi: plan for %v is a skeleton with %d unbound slots; call Bind first", sp.query, n)
+	}
 	res, err := eval.SemiNaiveCtx(ctx, sp.reduced, db)
 	if err != nil {
 		return nil, eval.EvalStats{}, err
@@ -497,7 +530,8 @@ type strategy struct{}
 
 func (strategy) Name() string { return StrategyName }
 
-func (strategy) Prepare(p *ast.Program, query ast.Atom) (eval.PreparedStrategy, error) {
+func (strategy) Prepare(p *ast.Program, q eval.AdornedQuery) (eval.PreparedStrategy, error) {
+	query := q.Atom
 	d, err := Extract(p, query.Pred)
 	if err != nil {
 		return nil, err
@@ -517,16 +551,18 @@ func (strategy) Prepare(p *ast.Program, query ast.Atom) (eval.PreparedStrategy, 
 	if err != nil {
 		return nil, err
 	}
-	return &preparedStrategy{plan: sp}, nil
+	return &preparedStrategy{plan: sp, adornment: q.Adornment}, nil
 }
 
 type preparedStrategy struct {
-	plan *SelectionPlan
+	plan      *SelectionPlan
+	adornment ast.Adornment
 }
 
 func (ps *preparedStrategy) Explain() eval.StrategyExplain {
 	return eval.StrategyExplain{
 		Strategy:   StrategyName,
+		Adornment:  ps.adornment.String(),
 		Mode:       "reduced",
 		CarryArity: len(ps.plan.keep),
 		Detail:     fmt.Sprintf("%d recursive rules, persistent-column reduction", len(ps.plan.def.Recursive)),
@@ -537,41 +573,15 @@ func (ps *preparedStrategy) Eval(ctx context.Context, edb *storage.Database) (*s
 	return ps.plan.Eval(ctx, edb)
 }
 
-// reduceFor mirrors the single-rule persistent reduction.
-func reduceFor(sub *ast.Definition, bound []int, query ast.Atom) (*ast.Definition, []int) {
-	drop := make(map[int]bool)
-	for _, c := range bound {
-		drop[c] = true
+// BindArgs implements eval.PreparedStrategy: instantiate the skeleton's
+// slot table.
+func (ps *preparedStrategy) BindArgs(consts ...ast.Term) (eval.PreparedStrategy, error) {
+	bp, err := ps.plan.Bind(consts)
+	if err != nil {
+		return nil, err
 	}
-	substRule := func(r ast.Rule) ast.Rule {
-		s := make(ast.Subst)
-		for _, c := range bound {
-			if v := r.Head.Args[c]; v.IsVar() {
-				s[v.Name] = ast.C(query.Args[c].Name)
-			}
-		}
-		return s.ApplyRule(r)
+	if bp == ps.plan {
+		return ps, nil
 	}
-	dropCols := func(a ast.Atom) ast.Atom {
-		var args []ast.Term
-		for i, t := range a.Args {
-			if !drop[i] {
-				args = append(args, t)
-			}
-		}
-		return ast.Atom{Pred: a.Pred, Args: args}
-	}
-	rec := substRule(sub.Recursive)
-	exit := substRule(sub.Exit)
-	recIdx := sub.Recursive.RecursiveAtomIndex()
-	rec.Head = dropCols(rec.Head)
-	rec.Body[recIdx] = dropCols(rec.Body[recIdx])
-	exit.Head = dropCols(exit.Head)
-	var keep []int
-	for i := 0; i < sub.Arity(); i++ {
-		if !drop[i] {
-			keep = append(keep, i)
-		}
-	}
-	return &ast.Definition{Recursive: rec, Exit: exit}, keep
+	return &preparedStrategy{plan: bp, adornment: ps.adornment}, nil
 }

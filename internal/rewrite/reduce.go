@@ -1,0 +1,56 @@
+package rewrite
+
+import (
+	"repro/internal/ast"
+)
+
+// ReducePersistent applies the paper's Section 4 persistent-column
+// reduction to a definition for a selection binding the given columns:
+// the constant for each bound column (supplied by constFor — a real
+// constant for a ground query, an ast.SlotConst placeholder for an
+// adornment-keyed plan skeleton) is substituted for the head variable in
+// both rules, then the column is dropped from the head and the recursive
+// body atom. The result is the reduced definition plus, for each
+// remaining column, its original index (the re-expansion map).
+//
+// Every bound column must be persistent in d (same variable in that
+// position of the head and the recursive call); callers split the
+// adornment with analysis.SplitBinding first. The input is not modified.
+func ReducePersistent(d *ast.Definition, bound []int, constFor func(col int) ast.Term) (*ast.Definition, []int) {
+	drop := make(map[int]bool)
+	for _, c := range bound {
+		drop[c] = true
+	}
+	substRule := func(r ast.Rule) ast.Rule {
+		s := make(ast.Subst)
+		for _, c := range bound {
+			if v := r.Head.Args[c]; v.IsVar() {
+				s[v.Name] = constFor(c)
+			}
+		}
+		return s.ApplyRule(r)
+	}
+	dropCols := func(a ast.Atom) ast.Atom {
+		var args []ast.Term
+		for i, t := range a.Args {
+			if !drop[i] {
+				args = append(args, t)
+			}
+		}
+		return ast.Atom{Pred: a.Pred, Args: args}
+	}
+	rec := substRule(d.Recursive)
+	exit := substRule(d.Exit)
+	recIdx := d.Recursive.RecursiveAtomIndex()
+	rec.Head = dropCols(rec.Head)
+	rec.Body[recIdx] = dropCols(rec.Body[recIdx])
+	exit.Head = dropCols(exit.Head)
+
+	var keep []int
+	for i := 0; i < d.Arity(); i++ {
+		if !drop[i] {
+			keep = append(keep, i)
+		}
+	}
+	return &ast.Definition{Recursive: rec, Exit: exit}, keep
+}

@@ -26,7 +26,25 @@ type (
 	// Definition is a recursion: one linear recursive rule plus one exit
 	// rule (the paper's Section 2 class).
 	Definition = ast.Definition
+	// Adornment is a query's bound/free pattern (e.g. "bf" for
+	// t(paris, Y)) — the key the Engine's plan cache compiles skeletons
+	// under: queries of one adornment share one compiled plan with
+	// late-bound constants.
+	Adornment = ast.Adornment
 )
+
+// QueryAdornment computes the adornment of a query atom: 'b' at columns
+// holding constants, 'f' elsewhere.
+func QueryAdornment(q Atom) Adornment { return ast.AdornmentOf(q) }
+
+// QueryShape returns the canonical shape of a query — the plan-cache key
+// rendered for humans, e.g. "t($0, V0)" for t(paris, Y). Queries with
+// equal shapes share one compiled plan skeleton (PreparedQuery.BindAtom
+// rebinds across them); shapes differ when the predicate, the
+// adornment, or the variable-repetition pattern differs.
+func QueryShape(q Atom) string {
+	return displayShape(ast.Skeletonize(q).Key())
+}
 
 // Storage types.
 type (

@@ -17,8 +17,21 @@ import (
 // RegisterStrategy.
 type Strategy = eval.Strategy
 
-// PreparedStrategy is the reusable plan a Strategy produces.
+// PreparedStrategy is the reusable plan a Strategy produces. A plan
+// prepared from a skeleton query carries unbound constant slots;
+// BindArgs instantiates them (see the eval package for the contract).
 type PreparedStrategy = eval.PreparedStrategy
+
+// AdornedQuery is the planning input a Strategy receives: the query
+// atom (ground, or a skeleton with slot placeholders at bound columns)
+// plus its adornment.
+type AdornedQuery = eval.AdornedQuery
+
+// BatchPrepared is implemented by prepared plans that can evaluate
+// several same-shape queries over one shared traversal; Engine.QueryBatch
+// uses it to share seen-set exploration and g-join probes (one-sided
+// context plans) or magic-seed fixpoints (Magic Sets) across a batch.
+type BatchPrepared = eval.BatchPrepared
 
 // engineConfig collects Open options.
 type engineConfig struct {
@@ -58,8 +71,11 @@ func WithStrategies(names ...string) Option {
 	return func(c *engineConfig) { c.strategyNames = names }
 }
 
-// WithPlanCache sets the prepared-query cache capacity. 0 disables
-// caching. The default is 256 entries.
+// WithPlanCache sets the plan-skeleton cache capacity. Plans are keyed
+// by query shape (predicate + adornment + variable-repetition pattern)
+// and evicted least-recently-used when the cache exceeds the bound; a
+// hit moves the shape to the front. 0 disables caching. The default is
+// 256 entries.
 func WithPlanCache(entries int) Option {
 	return func(c *engineConfig) { c.planCacheSize = entries }
 }

@@ -1,0 +1,87 @@
+package onesided
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPrepareVsBind measures plan latency for the Fig. 9 chain
+// query shape t^bf: a cold Prepare runs the full optimize-then-detect
+// pipeline (redundancy removal, A/V-graph classification, selection
+// compilation) while Bind on the cached skeleton is a map hit plus a
+// shallow constant substitution. The acceptance bar is Bind >= 10x
+// faster than prepare-cold.
+func BenchmarkPrepareVsBind(b *testing.B) {
+	eng, _ := benchEngine(b, 1000)
+	atom := parserMustAtom(b, "t(n0, Y)")
+
+	b.Run("prepare-cold", func(b *testing.B) {
+		cold, q := benchEngine(b, 1000, WithPlanCache(0))
+		coldAtom := parserMustAtom(b, q)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cold.Prepare(nil, coldAtom); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepare-cached", func(b *testing.B) {
+		if _, err := eng.Prepare(nil, atom); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Prepare(nil, atom); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bind", func(b *testing.B) {
+		pq, err := eng.Prepare(nil, atom)
+		if err != nil {
+			b.Fatal(err)
+		}
+		consts := make([]string, 64)
+		for i := range consts {
+			consts[i] = fmt.Sprintf("n%d", i*3)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pq.Bind(consts[i%len(consts)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQueryBatch compares k same-adornment chain selections
+// evaluated independently against one QueryBatch call sharing the
+// owner-tagged traversal: the batch g-joins each distinct context once,
+// so its work shrinks toward the single longest query's.
+func BenchmarkQueryBatch(b *testing.B) {
+	ctx := context.Background()
+	for _, k := range []int{4, 16} {
+		eng, _ := benchEngine(b, 2000)
+		queries := make([]string, k)
+		for i := range queries {
+			queries[i] = fmt.Sprintf("t(n%d, Y)", (i*2000)/(2*k))
+		}
+		b.Run(fmt.Sprintf("k=%d/individual", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, err := eng.Query(ctx, q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("k=%d/batch", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.QueryBatch(ctx, queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
