@@ -8,7 +8,7 @@
 //	osr classify file.dl            # per-predicate classification + decision
 //	osr graph -pred t [-plain] file.dl
 //	osr expand -pred t -k 4 file.dl
-//	osr query [-engine onesided|magic|seminaive|naive|counting] file.dl
+//	osr query [-engine onesided|magic|seminaive|naive|counting] [-data dir] file.dl
 //
 // The query command drives the Engine façade: plans are prepared once
 // per query, the planner auto-selects the one-sided schema or a
@@ -63,10 +63,12 @@ subcommands:
   classify <file>                      classify every recursion in the file
   graph -pred <p> [-plain] <file>      render the (full) A/V graph
   expand -pred <p> [-k n] <file>       print expansion strings
-  query [-engine e] <file>             answer the file's ?- queries
+  query [-engine e] [-data dir] <file> answer the file's ?- queries
   prove -tuple "t(a, b)" <file>        find and minimize a derivation
 engines: onesided (default: auto-select with magic fallback),
-         magic, seminaive, naive, counting`)
+         magic, seminaive, naive, counting
+-data dir persists facts, rules, and plan shapes across runs (the
+engine checkpoints on exit and recovers on the next start)`)
 }
 
 func loadSource(path string) (*onesided.Program, []onesided.Atom, error) {
@@ -311,6 +313,7 @@ func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	engine := fs.String("engine", "onesided", "onesided | magic | seminaive | naive | counting")
 	verbose := fs.Bool("v", false, "print instrumentation counters")
+	dataDir := fs.String("data", "", "persist facts, rules, and plan shapes in this directory (survives restarts)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -325,17 +328,27 @@ func cmdQuery(args []string) error {
 	if chain != nil {
 		opts = append(opts, onesided.WithStrategies(chain...))
 	}
+	if *dataDir != "" {
+		opts = append(opts, onesided.WithPersistence(*dataDir))
+	}
 	eng, err := onesided.Open(opts...)
 	if err != nil {
 		return err
 	}
+	defer eng.Close()
 	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
 	}
+	// Loading is idempotent over a persistent data dir: facts dedup in
+	// storage, rules dedup in the engine, so re-running the CLI against
+	// the same file does not grow the state.
 	queries, err := eng.Load(string(data))
 	if err != nil {
 		return err
+	}
+	if *dataDir != "" {
+		fmt.Printf("[data=%s cache %s]\n", *dataDir, eng.CacheStats())
 	}
 	if len(queries) == 0 {
 		return fmt.Errorf("no ?- queries in file")
@@ -378,7 +391,15 @@ func cmdQuery(args []string) error {
 				c.TuplesExamined, c.IndexLookups, c.FullScans, c.Inserts)
 		}
 	}
-	return nil
+	if *dataDir != "" {
+		// Compact on clean exit so the next run recovers from a fresh
+		// snapshot (with the session's plan shapes) instead of replaying
+		// the whole log.
+		if err := eng.Checkpoint(); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	return eng.Close()
 }
 
 func pickDefinition(p *onesided.Program, pred string) (*onesided.Definition, error) {

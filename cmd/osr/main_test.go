@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -130,5 +131,32 @@ func TestPickDefinition(t *testing.T) {
 	}
 	if d.Pred() != "s" {
 		t.Fatalf("picked %s", d.Pred())
+	}
+}
+
+// TestCmdQueryPersistence runs the query command twice over one -data
+// directory: the second run must recover the first run's state (facts,
+// rules, plan shapes) and the directory must hold a checkpoint snapshot
+// after each clean exit.
+func TestCmdQueryPersistence(t *testing.T) {
+	path := write(t, "tc.dl", tcFile)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	for run := 0; run < 2; run++ {
+		if err := cmdQuery([]string{"-data", dataDir, path}); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+	}
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "snap-") {
+			snaps++
+		}
+	}
+	if snaps != 1 {
+		t.Fatalf("data dir holds %d snapshots, want 1 (checkpoint on exit)", snaps)
 	}
 }

@@ -69,6 +69,24 @@
 // Explain reports the parallelism actually used (workers, shards,
 // batches) alongside the strategy choice.
 //
+// # Durability
+//
+// WithPersistence(dir) backs the engine with a write-ahead segment log
+// and checkpoint snapshots (see internal/wal): every accepted fact,
+// fresh symbol, and loaded rule is journaled, Engine.Checkpoint
+// compacts the log, Engine.Close flushes it, and a later Open over the
+// same directory replays snapshot-then-tail — tolerating a torn final
+// record after a crash — and rewarms the plan cache from the persisted
+// query shapes (CacheStats.Rewarmed):
+//
+//	eng, _ := onesided.Open(onesided.WithPersistence("data/"))
+//	defer eng.Close()
+//	eng.Load(src)
+//	eng.Checkpoint()                   // snapshot + log truncation
+//
+// WithSyncPolicy selects the fsync cadence (SyncBatch, SyncAlways,
+// SyncOS).
+//
 // The lower-level analysis surface (Classify, Decide, CompileSelection,
 // A/V graphs, expansions, proofs) remains available for working with the
 // paper's constructions directly.

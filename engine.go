@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/multi"
 	"repro/internal/parser"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // Engine is the database/sql-style façade over the paper's machinery: it
@@ -41,6 +43,11 @@ type Engine struct {
 	db            *storage.Database
 	strategies    []Strategy
 	countingDepth int
+	// log is the durability subsystem (nil without WithPersistence):
+	// accepted inserts and fresh interns reach it through the database's
+	// journal hook, loaded rules through LoadProgram, and Checkpoint
+	// compacts it into a snapshot.
+	log *wal.Log
 
 	mu      sync.Mutex   // guards program, gen, cache, and lru
 	program *ast.Program // treated as immutable; LoadProgram swaps in a new one
@@ -51,7 +58,7 @@ type Engine struct {
 	lru      *list.List
 	cacheCap int
 
-	hits, misses, evictions atomic.Int64
+	hits, misses, evictions, rewarmed atomic.Int64
 }
 
 // Open creates an Engine. With no options it has an empty database
@@ -82,10 +89,73 @@ func Open(opts ...Option) (*Engine, error) {
 		lru:        list.New(),
 		cacheCap:   cfg.planCacheSize,
 	}
+	var shapes []string
+	var bootstrap bool
+	if cfg.persistDir != "" {
+		shapes, bootstrap, err = e.openPersistence(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if cfg.program != nil {
 		e.LoadProgram(cfg.program)
 	}
+	if e.log != nil {
+		// Rewarm after every program load: LoadProgram resets the cache.
+		e.rewarmShapes(shapes)
+		if bootstrap {
+			// WithDatabase handed us state that predates the journal;
+			// capture it in a snapshot so a crash before the first
+			// explicit Checkpoint still recovers it.
+			if err := e.Checkpoint(); err != nil {
+				e.log.Close()
+				return nil, err
+			}
+		}
+	}
 	return e, nil
+}
+
+// openPersistence recovers the state persisted in cfg.persistDir into
+// the engine's database and program, attaches the write-ahead log as
+// the database's journal, and returns the persisted plan-cache shapes
+// (to rewarm once all rules are loaded) plus whether the database held
+// pre-journal state that needs a bootstrap checkpoint.
+func (e *Engine) openPersistence(cfg engineConfig) (shapes []string, bootstrap bool, err error) {
+	db := e.db
+	bootstrap = db.Syms.Len() > 0 || db.TupleCount() > 0
+	var ruleSrcs []string
+	log, err := wal.Open(cfg.persistDir, cfg.syncPolicy, wal.Replay{
+		Sym:   func(name string) { db.Syms.Intern(name) },
+		Rel:   func(pred string, arity int) { db.Ensure(pred, arity) },
+		Fact:  func(pred string, consts []string) { db.AddFact(pred, consts...) },
+		Rule:  func(src string) { ruleSrcs = append(ruleSrcs, src) },
+		Shape: func(q string) { shapes = append(shapes, q) },
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	// Restore the program directly — these rules are already persisted;
+	// routing them through LoadProgram would journal them again.
+	prog := ast.NewProgram()
+	seen := make(map[string]bool, len(ruleSrcs))
+	for _, src := range ruleSrcs {
+		r, perr := parser.ParseRule(src)
+		if perr != nil {
+			log.Close()
+			return nil, false, fmt.Errorf("onesided: persisted rule %q: %w", src, perr)
+		}
+		if key := r.String(); !seen[key] {
+			seen[key] = true
+			prog.Rules = append(prog.Rules, r)
+		}
+	}
+	e.program = prog
+	// Replay inserts are recovery work, not workload instrumentation.
+	db.Stats.Reset()
+	e.log = log
+	db.SetJournal(log)
+	return shapes, bootstrap, nil
 }
 
 // DB returns the engine's database for direct fact loading and
@@ -111,18 +181,45 @@ func (e *Engine) Load(src string) ([]Atom, error) {
 
 // LoadProgram inserts the program's ground facts into the database and
 // appends its rules to the engine's program, invalidating the plan
-// cache. The engine's program is copy-on-write: in-flight queries keep
-// evaluating their consistent snapshot.
+// cache. Loading is idempotent: rules textually identical to ones
+// already loaded are skipped (so re-loading a source file over a
+// persistent engine — the CLI restart pattern — does not duplicate the
+// program), and fact inserts dedup in storage. With persistence, newly
+// added rules are journaled. The engine's program is copy-on-write:
+// in-flight queries keep evaluating their consistent snapshot.
 func (e *Engine) LoadProgram(p *Program) {
 	rules := eval.LoadFacts(p, e.db)
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	merged := ast.NewProgram()
-	merged.Rules = append(append(merged.Rules, e.program.Rules...), rules.Rules...)
-	e.program = merged
-	e.gen++
-	e.cache = make(map[string]*list.Element)
-	e.lru.Init()
+	merged.Rules = append(merged.Rules, e.program.Rules...)
+	seen := make(map[string]bool, len(merged.Rules)+len(rules.Rules))
+	for _, r := range merged.Rules {
+		seen[r.String()] = true
+	}
+	var added []ast.Rule
+	for _, r := range rules.Rules {
+		if key := r.String(); !seen[key] {
+			seen[key] = true
+			merged.Rules = append(merged.Rules, r)
+			added = append(added, r)
+		}
+	}
+	// Plans depend only on the rule set, so a load that added nothing —
+	// the CLI re-reading its source file over a persistent engine —
+	// keeps the cache (and its rewarmed skeletons) intact.
+	if len(added) > 0 {
+		e.program = merged
+		e.gen++
+		e.cache = make(map[string]*list.Element)
+		e.lru.Init()
+	}
+	log := e.log
+	e.mu.Unlock()
+	if log != nil {
+		for _, r := range added {
+			log.AppendRule(parser.RenderRule(r))
+		}
+	}
 }
 
 // Program returns a snapshot of the engine's current rule set.
@@ -271,25 +368,31 @@ func (e *Engine) Prepare(program *Program, query Atom) (*PreparedQuery, error) {
 			// the snapshot; caching the now-stale skeleton would serve it
 			// forever.
 			if e.gen == gen {
-				if el, ok := e.cache[ps.key]; ok {
-					// A concurrent Prepare of the same shape won the race;
-					// share its skeleton.
-					e.lru.MoveToFront(el)
-					ps = el.Value.(*planSkeleton)
-				} else {
-					e.cache[ps.key] = e.lru.PushFront(ps)
-					for e.lru.Len() > e.cacheCap {
-						oldest := e.lru.Back()
-						evicted := e.lru.Remove(oldest).(*planSkeleton)
-						delete(e.cache, evicted.key)
-						e.evictions.Add(1)
-					}
-				}
+				ps = e.cacheInsertLocked(ps)
 			}
 			e.mu.Unlock()
 		}
 	}
 	return e.bindSkeleton(ps, query, skel.Consts, state)
+}
+
+// cacheInsertLocked adds ps to the plan cache, evicting LRU overflow,
+// and returns the resident skeleton — the existing one when a
+// concurrent Prepare of the same shape won the race. The caller holds
+// e.mu and has checked the generation.
+func (e *Engine) cacheInsertLocked(ps *planSkeleton) *planSkeleton {
+	if el, ok := e.cache[ps.key]; ok {
+		e.lru.MoveToFront(el)
+		return el.Value.(*planSkeleton)
+	}
+	e.cache[ps.key] = e.lru.PushFront(ps)
+	for e.lru.Len() > e.cacheCap {
+		oldest := e.lru.Back()
+		evicted := e.lru.Remove(oldest).(*planSkeleton)
+		delete(e.cache, evicted.key)
+		e.evictions.Add(1)
+	}
+	return ps
 }
 
 // compileSkeleton walks the strategy chain for a canonical query shape.
@@ -602,17 +705,119 @@ func (e *Engine) QueryBatchAtoms(ctx context.Context, queries []Atom) ([]*Rows, 
 	return rows, nil
 }
 
+// Checkpoint compacts the persistence log: it seals the active segment,
+// writes a snapshot of the full engine state — symbol table, every
+// relation's tuples, the program's rules, and the plan cache's query
+// shapes — and deletes the log prefix the snapshot covers. Recovery
+// cost after a checkpoint is the snapshot plus whatever tail accumulated
+// since. On an engine opened without WithPersistence it is a no-op.
+// Checkpoint is safe to call concurrently with queries and inserts:
+// mutations racing the snapshot are also journaled in the fresh segment
+// and replay idempotently.
+func (e *Engine) Checkpoint() error {
+	if e.log == nil {
+		return nil
+	}
+	return e.log.Checkpoint(func() (*wal.Snapshot, error) {
+		prog := e.Program()
+		rules := make([]string, len(prog.Rules))
+		for i, r := range prog.Rules {
+			rules[i] = parser.RenderRule(r)
+		}
+		return wal.CollectDatabase(e.db, rules, e.cacheShapes()), nil
+	})
+}
+
+// Close flushes and closes the persistence log. It does not checkpoint;
+// call Checkpoint first for a compact restart. Facts inserted after
+// Close are not journaled. On an engine without persistence it is a
+// no-op. Close is idempotent.
+func (e *Engine) Close() error {
+	if e.log == nil {
+		return nil
+	}
+	e.db.SetJournal(nil)
+	return e.log.Close()
+}
+
+// cacheShapes renders the plan cache's resident skeletons as
+// representative ground queries, least-recently-used first, so a
+// rewarming engine reconstructs both the entries and their LRU order.
+func (e *Engine) cacheShapes() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	shapes := make([]string, 0, e.lru.Len())
+	for el := e.lru.Back(); el != nil; el = el.Prev() {
+		shapes = append(shapes, representativeQuery(el.Value.(*planSkeleton)))
+	}
+	return shapes
+}
+
+// representativeQuery renders a ground query whose Skeletonize
+// reproduces ps's shape: slot i becomes the constant "s<i>", canonical
+// variables stay. Planning depends only on the shape, so any constants
+// do for recompilation.
+func representativeQuery(ps *planSkeleton) string {
+	a := ps.adorned.Atom.Clone()
+	for i, t := range a.Args {
+		if s, ok := ast.SlotIndex(t); ok {
+			a.Args[i] = ast.C("s" + strconv.Itoa(s))
+		}
+	}
+	return parser.RenderAtom(a)
+}
+
+// rewarmShapes recompiles persisted query shapes into the plan cache so
+// a reopened engine serves its hot shapes without a cold Prepare. Shapes
+// that no longer compile (the program changed under them) are skipped;
+// rewarming counts in CacheStats.Rewarmed, not Misses.
+func (e *Engine) rewarmShapes(shapes []string) {
+	if e.cacheCap <= 0 {
+		return
+	}
+	for _, qs := range shapes {
+		q, err := parser.ParseAtom(qs)
+		if err != nil {
+			continue
+		}
+		skel := ast.Skeletonize(q)
+		e.mu.Lock()
+		program := e.program
+		gen := e.gen
+		_, cached := e.cache[skel.Key()]
+		e.mu.Unlock()
+		if cached {
+			continue
+		}
+		ps, err := e.compileSkeleton(program, skel, q)
+		if err != nil {
+			continue
+		}
+		e.mu.Lock()
+		if e.gen == gen {
+			if e.cacheInsertLocked(ps) == ps {
+				e.rewarmed.Add(1)
+			}
+		}
+		e.mu.Unlock()
+	}
+}
+
 // CacheStats reports the plan cache's effectiveness: hits and misses
-// since Open, entries evicted by the LRU bound, and the entries
-// currently resident.
+// since Open, entries evicted by the LRU bound, skeletons rewarmed from
+// a persistence snapshot at Open, and the entries currently resident.
 type CacheStats struct {
-	Hits, Misses, Evictions int64
-	Entries                 int
+	Hits, Misses, Evictions, Rewarmed int64
+	Entries                           int
 }
 
 func (cs CacheStats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d evictions=%d entries=%d",
+	s := fmt.Sprintf("hits=%d misses=%d evictions=%d entries=%d",
 		cs.Hits, cs.Misses, cs.Evictions, cs.Entries)
+	if cs.Rewarmed > 0 {
+		s += fmt.Sprintf(" rewarmed=%d", cs.Rewarmed)
+	}
+	return s
 }
 
 // CacheStats returns a snapshot of the plan cache counters.
@@ -624,6 +829,7 @@ func (e *Engine) CacheStats() CacheStats {
 		Hits:      e.hits.Load(),
 		Misses:    e.misses.Load(),
 		Evictions: e.evictions.Load(),
+		Rewarmed:  e.rewarmed.Load(),
 		Entries:   entries,
 	}
 }

@@ -13,6 +13,7 @@ package parser
 
 import (
 	"fmt"
+	"strings"
 	"unicode"
 	"unicode/utf8"
 )
@@ -160,19 +161,25 @@ func (l *lexer) next() (token, error) {
 		return token{tokQuery, "?-", line, col}, nil
 	case r == '\'':
 		l.advance()
-		start := l.pos
-		for l.pos < len(l.src) && l.peek() != '\'' {
-			if l.peek() == '\n' {
+		var text strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf("unterminated quoted atom")
+			}
+			c := l.peek()
+			if c == '\n' {
 				return token{}, l.errorf("newline in quoted atom")
 			}
-			l.advance()
+			if c == '\'' {
+				l.advance()
+				// A doubled quote is an escaped quote inside the atom.
+				if l.peek() != '\'' {
+					break
+				}
+			}
+			text.WriteRune(l.advance())
 		}
-		if l.pos >= len(l.src) {
-			return token{}, l.errorf("unterminated quoted atom")
-		}
-		text := l.src[start:l.pos]
-		l.advance() // closing quote
-		return token{tokConstant, text, line, col}, nil
+		return token{tokConstant, text.String(), line, col}, nil
 	case unicode.IsDigit(r):
 		start := l.pos
 		for l.pos < len(l.src) && isIdentRune(l.peek()) {

@@ -1,0 +1,59 @@
+package parser
+
+import (
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/quote"
+)
+
+// BareConstant reports whether name lexes as a constant without
+// quoting. See internal/quote (shared with storage's Dump).
+func BareConstant(name string) bool { return quote.Bare(name) }
+
+// QuoteAtom renders a constant name in a form the lexer reads back as
+// the same constant: bare when BareConstant allows it, single-quoted
+// with embedded quotes doubled otherwise.
+func QuoteAtom(name string) string { return quote.Atom(name) }
+
+// RenderAtom renders an atom in re-parseable concrete syntax: constant
+// names (and the predicate) are quoted when they need it, variables are
+// emitted raw. Unlike ast.Atom.String, the result survives a ParseAtom
+// round trip for every name the syntax can represent.
+func RenderAtom(a ast.Atom) string {
+	var b strings.Builder
+	b.WriteString(QuoteAtom(a.Pred))
+	if len(a.Args) == 0 {
+		return b.String()
+	}
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if t.IsConst() {
+			b.WriteString(QuoteAtom(t.Name))
+		} else {
+			b.WriteString(t.Name)
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// RenderRule renders a rule or fact, terminated with '.', in
+// re-parseable concrete syntax (see RenderAtom).
+func RenderRule(r ast.Rule) string {
+	var b strings.Builder
+	b.WriteString(RenderAtom(r.Head))
+	for i, a := range r.Body {
+		if i == 0 {
+			b.WriteString(" :- ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(RenderAtom(a))
+	}
+	b.WriteByte('.')
+	return b.String()
+}

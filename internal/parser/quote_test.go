@@ -1,0 +1,97 @@
+package parser
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+)
+
+func TestQuotedAtomEscape(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`p('')`, ""},
+		{`p('it''s')`, "it's"},
+		{`p('''')`, "'"},
+		{`p('New York')`, "New York"},
+		{`p('#3')`, "#3"},
+	}
+	for _, c := range cases {
+		a, err := ParseAtom(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if got := a.Args[0].Name; got != c.want {
+			t.Fatalf("%s parsed constant %q, want %q", c.src, got, c.want)
+		}
+	}
+	if _, err := ParseAtom("p('unterminated)"); err == nil {
+		t.Fatal("unterminated quoted atom must fail")
+	}
+	if _, err := ParseAtom("p('two\nlines')"); err == nil {
+		t.Fatal("newline in quoted atom must fail")
+	}
+}
+
+func TestQuoteAtomRoundTrip(t *testing.T) {
+	names := []string{
+		"paris", "n0", "0sector", "New York", "X", "_under", "it's", "''",
+		"", "#3", "a b c", "comma,paren(", "q'q'q", "ünïcode", "Ünïcode",
+	}
+	for _, name := range names {
+		a, err := ParseAtom("p(" + QuoteAtom(name) + ")")
+		if err != nil {
+			t.Fatalf("QuoteAtom(%q) = %s: %v", name, QuoteAtom(name), err)
+		}
+		if !a.Args[0].IsConst() || a.Args[0].Name != name {
+			t.Fatalf("QuoteAtom(%q) round-tripped to %q", name, a.Args[0].Name)
+		}
+	}
+}
+
+// TestQuickQuoteAtomRoundTrip property-tests the quoting over random
+// strings (newlines excluded: the syntax cannot carry them).
+func TestQuickQuoteAtomRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		for _, r := range s {
+			if r == '\n' || r == '\r' {
+				return true // vacuous: unrepresentable
+			}
+		}
+		a, err := ParseAtom("p(" + QuoteAtom(s) + ")")
+		if err != nil {
+			return false
+		}
+		return a.Args[0].IsConst() && a.Args[0].Name == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderRuleRoundTrip(t *testing.T) {
+	rules := []string{
+		"t(X, Y) :- a(X, Z), t(Z, Y).",
+		"p(a).",
+		"flag.",
+	}
+	for _, src := range rules {
+		r, err := ParseRule(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := RenderRule(r); got != src {
+			t.Fatalf("RenderRule = %q, want %q", got, src)
+		}
+	}
+	// Constants that need quoting must come back quoted.
+	r := ast.Rule{Head: ast.NewAtom("p", ast.C("New York"), ast.V("X")),
+		Body: []ast.Atom{ast.NewAtom("q", ast.V("X"), ast.C("it's"))}}
+	src := RenderRule(r)
+	back, err := ParseRule(src)
+	if err != nil {
+		t.Fatalf("RenderRule output %q: %v", src, err)
+	}
+	if back.Head.Args[0].Name != "New York" || back.Body[0].Args[1].Name != "it's" {
+		t.Fatalf("quoted rule round-tripped to %v", back)
+	}
+}

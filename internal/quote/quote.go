@@ -1,0 +1,50 @@
+// Package quote renders constant names under the concrete syntax's
+// quoting rules. It is a leaf package — no dependencies beyond the
+// standard library — so the storage layer can emit round-trippable
+// dumps without importing the parser. The character classes mirror the
+// lexer in internal/parser; keep them in sync.
+package quote
+
+import (
+	"strings"
+	"unicode"
+)
+
+// identRune mirrors the lexer's identifier-continuation class.
+func identRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Bare reports whether name lexes as a constant without quoting: a
+// nonempty identifier starting with a lower-case letter or a digit.
+// Anything else (capitalized names, operators, spaces, the empty
+// string) needs single quotes to round-trip through the parser.
+func Bare(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		if i == 0 {
+			if !unicode.IsLower(r) && !unicode.IsDigit(r) {
+				return false
+			}
+			continue
+		}
+		if !identRune(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Atom renders a constant name in a form the lexer reads back as the
+// same constant: bare when Bare allows it, single-quoted with embedded
+// quotes doubled otherwise. Names containing a newline cannot be
+// represented in the concrete syntax and are quoted best-effort (the
+// lexer rejects them on the way back in).
+func Atom(name string) string {
+	if Bare(name) {
+		return name
+	}
+	return "'" + strings.ReplaceAll(name, "'", "''") + "'"
+}

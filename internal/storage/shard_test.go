@@ -189,3 +189,56 @@ func TestShardRoutingSpread(t *testing.T) {
 		t.Fatalf("len = %d", r.Len())
 	}
 }
+
+// TestShardedLookupCountsPerShardProbes is the Property-3 accounting
+// regression: a lookup that a ShardColumn binding routes to one shard
+// costs exactly one IndexLookups, while a lookup bound only on other
+// columns must fan out and record one probe per shard — 8 on an 8-shard
+// relation — because each shard's index is a separate restricted probe.
+func TestShardedLookupCountsPerShardProbes(t *testing.T) {
+	var stats Counters
+	r := NewShardedRelation(2, &stats, 8)
+	if r.Shards() != 8 {
+		t.Fatalf("Shards() = %d", r.Shards())
+	}
+	for i := 0; i < 64; i++ {
+		r.Insert(Tuple{Value(i), Value(i % 7)})
+	}
+	stats.Reset()
+	// Routed: bound on ShardColumn, probes exactly one shard.
+	n := 0
+	r.Lookup([]Binding{{Col: ShardColumn, Val: 3}}, func(Tuple) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("routed lookup matched %d tuples", n)
+	}
+	if got := stats.Snapshot().IndexLookups; got != 1 {
+		t.Fatalf("routed lookup recorded %d probes, want 1", got)
+	}
+	stats.Reset()
+	// Unrouted: bound on column 1 only, must probe every shard.
+	n = 0
+	r.Lookup([]Binding{{Col: 1, Val: 2}}, func(Tuple) bool { n++; return true })
+	if n == 0 {
+		t.Fatal("unrouted lookup found nothing")
+	}
+	if got := stats.Snapshot().IndexLookups; got != 8 {
+		t.Fatalf("unrouted lookup over 8 shards recorded %d probes, want 8", got)
+	}
+	if got := stats.Snapshot().FullScans; got != 0 {
+		t.Fatalf("lookup recorded %d full scans", got)
+	}
+	// Early stop: probes only the shards actually visited.
+	stats.Reset()
+	r.Lookup([]Binding{{Col: 1, Val: 2}}, func(Tuple) bool { return false })
+	if got := stats.Snapshot().IndexLookups; got < 1 || got >= 8 {
+		t.Fatalf("early-stopped lookup recorded %d probes, want in [1, 8)", got)
+	}
+	// A single-shard relation keeps the historical 1-per-call accounting.
+	var sstats Counters
+	s := NewRelation(2, &sstats)
+	s.Insert(Tuple{1, 2})
+	s.Lookup([]Binding{{Col: 1, Val: 2}}, func(Tuple) bool { return true })
+	if got := sstats.Snapshot().IndexLookups; got != 1 {
+		t.Fatalf("single-shard lookup recorded %d probes, want 1", got)
+	}
+}

@@ -8,7 +8,24 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/quote"
 )
+
+// Journal receives every accepted mutation of a journaled database, in
+// happens-before order: a symbol's JournalSym call completes before any
+// JournalFact referencing its Value (Intern invokes the hook under the
+// symbol table's lock), and JournalFact is called exactly once per
+// accepted insert (duplicates are filtered by the relation's set
+// semantics before the hook fires). Implementations must be safe for
+// concurrent use; the write-ahead log in internal/wal is the canonical
+// one.
+type Journal interface {
+	// JournalSym records that name was interned as the next dense Value.
+	JournalSym(name string)
+	// JournalFact records an accepted insert of t into the named relation.
+	JournalFact(pred string, t Tuple)
+}
 
 // Value is an interned constant symbol.
 type Value int32
@@ -38,6 +55,9 @@ type SymbolTable struct {
 	mu    sync.RWMutex
 	names []string
 	ids   map[string]Value
+	// onIntern, when set, observes every fresh intern under mu (the
+	// write-ahead log's ordering hook). Set via SetInternHook.
+	onIntern func(name string)
 }
 
 // NewSymbolTable creates an empty symbol table.
@@ -61,7 +81,30 @@ func (st *SymbolTable) Intern(name string) Value {
 	v = Value(len(st.names))
 	st.names = append(st.names, name)
 	st.ids[name] = v
+	if st.onIntern != nil {
+		st.onIntern(name)
+	}
 	return v
+}
+
+// SetInternHook installs (or clears, with nil) the fresh-intern observer.
+// The hook runs with the table's write lock held, so its calls are
+// ordered exactly like the interns themselves; it must not call back into
+// the table.
+func (st *SymbolTable) SetInternHook(hook func(name string)) {
+	st.mu.Lock()
+	st.onIntern = hook
+	st.mu.Unlock()
+}
+
+// Names returns a copy of the interned names in Value order (Value(i) is
+// names[i]) — the symbol-table section of a snapshot.
+func (st *SymbolTable) Names() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]string, len(st.names))
+	copy(out, st.names)
+	return out
 }
 
 // Lookup returns the Value for name without interning.
@@ -90,10 +133,12 @@ func (st *SymbolTable) Len() int {
 }
 
 // Counters instruments relation access. TuplesExamined counts tuples
-// touched by lookups and scans; IndexLookups counts index probes;
-// FullScans counts scans with no bound column (the unrestricted lookups
-// Property 3 forbids); Inserts counts accepted tuple insertions (a proxy
-// for state size).
+// touched by lookups and scans; IndexLookups counts index probes — one
+// per shard a Lookup actually probes, so a lookup that cannot be routed
+// by a ShardColumn binding and fans out over an n-shard relation counts
+// n probes, not 1; FullScans counts scans with no bound column (the
+// unrestricted lookups Property 3 forbids); Inserts counts accepted
+// tuple insertions (a proxy for state size).
 //
 // All updates are atomic, so Counters may be shared across goroutines.
 // Direct field reads are fine when the database is quiesced (the usual
@@ -177,6 +222,12 @@ type Relation struct {
 	arity int
 	stats *Counters
 	count atomic.Int64
+	// name is the predicate this relation serves inside a Database ("" for
+	// free-standing relations such as answer sets); journal, when non-nil,
+	// receives every accepted insert. The pointer indirection lets a
+	// journal attach while readers are in flight (Database.SetJournal).
+	name    string
+	journal atomic.Pointer[Journal]
 	// shardShift turns the 32-bit hash of the routing value into a shard
 	// index: idx = hash >> shardShift. len(shards) is a power of two.
 	shardShift uint32
@@ -276,6 +327,9 @@ func (r *Relation) Insert(t Tuple) bool {
 	if r.stats != nil {
 		atomic.AddInt64(&r.stats.Inserts, 1)
 	}
+	if jp := r.journal.Load(); jp != nil {
+		(*jp).JournalFact(r.name, ct)
+	}
 	return true
 }
 
@@ -352,19 +406,20 @@ type Binding struct {
 // Lookup iterates the tuples matching all bindings. With at least one
 // binding it probes hash indexes — per shard, the index of the most
 // selective bound column, the one whose posting list for its value is
-// shortest — and filters the remaining bindings tuple by tuple
-// (instrumented as one index lookup per call); with none it degrades to a
-// full scan. A binding on ShardColumn restricts the probe to the single
-// shard that can hold matches; otherwise every shard is probed. Indexes
-// for bound columns are built per shard on first use, so selectivity is
+// shortest — and filters the remaining bindings tuple by tuple; with
+// none it degrades to a full scan. A binding on ShardColumn restricts
+// the probe to the single shard that can hold matches; otherwise every
+// shard is probed. IndexLookups counts one probe per shard actually
+// probed — a ShardColumn-bound lookup costs 1, an unrouted lookup over n
+// shards costs up to n (fewer when yield stops the iteration early) —
+// so the Property-3 accounting reflects the real number of restricted
+// index probes rather than the number of Lookup calls. Indexes for
+// bound columns are built per shard on first use, so selectivity is
 // compared on actual posting lists rather than guessed.
 func (r *Relation) Lookup(bindings []Binding, yield func(Tuple) bool) {
 	if len(bindings) == 0 {
 		r.Scan(yield)
 		return
-	}
-	if r.stats != nil {
-		atomic.AddInt64(&r.stats.IndexLookups, 1)
 	}
 	if len(r.shards) > 1 {
 		for _, b := range bindings {
@@ -381,9 +436,12 @@ func (r *Relation) Lookup(bindings []Binding, yield func(Tuple) bool) {
 	}
 }
 
-// lookup probes one shard, returning false when yield stopped the
-// iteration.
+// lookup probes one shard, recording one index probe, and returns false
+// when yield stopped the iteration.
 func (sh *shard) lookup(bindings []Binding, stats *Counters, yield func(Tuple) bool) bool {
+	if stats != nil {
+		atomic.AddInt64(&stats.IndexLookups, 1)
+	}
 	sh.mu.RLock()
 	missing := false
 	for _, b := range bindings {
@@ -490,9 +548,10 @@ type Database struct {
 	Stats Counters // first field: keeps the atomics 64-bit aligned on 32-bit platforms
 	Syms  *SymbolTable
 
-	mu     sync.RWMutex
-	rels   map[string]*Relation
-	shards int
+	mu      sync.RWMutex
+	rels    map[string]*Relation
+	shards  int
+	journal Journal
 }
 
 // NewDatabase creates an empty database with a fresh symbol table.
@@ -527,6 +586,45 @@ func (db *Database) Shards() int {
 	return db.shards
 }
 
+// SetJournal attaches a journal (or detaches, with nil) to the database:
+// every fresh symbol intern and every accepted insert into a relation of
+// this database is reported to it from now on. State already present is
+// not replayed — callers that need it durable write a snapshot (see
+// internal/wal). Derived databases sharing this database's symbol table
+// are not journaled: answer and magic relations live outside the
+// journaled database, while their fresh symbol interns still flow
+// through the shared table's hook, keeping logged Values dense and
+// replayable.
+func (db *Database) SetJournal(j Journal) {
+	// Ordering: the intern hook installs before any relation can journal
+	// a fact and uninstalls after the last relation detaches. A fact
+	// record referencing a Value whose sym record was skipped makes the
+	// log unrecoverable; the reverse — an orphan sym record — is
+	// harmless. (Interns that raced ahead of the hook install count as
+	// pre-attach state, covered by the caller's snapshot.)
+	if j != nil {
+		db.Syms.SetInternHook(j.JournalSym)
+	}
+	db.mu.Lock()
+	db.journal = j
+	for _, r := range db.rels {
+		r.setJournal(j)
+	}
+	db.mu.Unlock()
+	if j == nil {
+		db.Syms.SetInternHook(nil)
+	}
+}
+
+// setJournal installs the journal pointer (nil detaches).
+func (r *Relation) setJournal(j Journal) {
+	if j == nil {
+		r.journal.Store(nil)
+		return
+	}
+	r.journal.Store(&j)
+}
+
 // Relation returns the named relation, or nil.
 func (db *Database) Relation(pred string) *Relation {
 	db.mu.RLock()
@@ -555,6 +653,8 @@ func (db *Database) Ensure(pred string, arity int) *Relation {
 		return r
 	}
 	r = NewShardedRelation(arity, &db.Stats, db.shards)
+	r.name = pred
+	r.setJournal(db.journal)
 	db.rels[pred] = r
 	return r
 }
@@ -595,18 +695,41 @@ func (db *Database) TupleCount() int {
 	return n
 }
 
-// Dump renders the database deterministically, one fact per line, for
-// tests and the CLI.
+// Dump renders the database deterministically, one fact per line, in the
+// parser's concrete syntax: predicates in name order, each relation's
+// facts in rendered-text order, constant names quoted whenever the lexer
+// needs it ('New York', capitalized names, the '#N' rendering of an
+// out-of-range Value) and arity-0 facts written "p." rather than "p().".
+// The output re-parses to the same fact set — parser.Parse(db.Dump())
+// followed by a reload reproduces db — and, because lines are ordered by
+// their rendered text rather than by interned Values, the bytes are
+// stable across processes that interned the same facts in different
+// orders (the crash-recovery byte-identity check relies on this).
 func (db *Database) Dump() string {
 	var b strings.Builder
 	for _, p := range db.Preds() {
 		r := db.Relation(p)
-		for _, t := range r.SortedTuples() {
-			parts := make([]string, len(t))
-			for i, v := range t {
-				parts[i] = db.Syms.Name(v)
+		snap := r.Tuples()
+		lines := make([]string, len(snap))
+		for j, t := range snap {
+			var l strings.Builder
+			l.WriteString(quote.Atom(p))
+			if len(t) > 0 {
+				l.WriteByte('(')
+				for i, v := range t {
+					if i > 0 {
+						l.WriteString(", ")
+					}
+					l.WriteString(quote.Atom(db.Syms.Name(v)))
+				}
+				l.WriteByte(')')
 			}
-			fmt.Fprintf(&b, "%s(%s).\n", p, strings.Join(parts, ", "))
+			l.WriteString(".\n")
+			lines[j] = l.String()
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			b.WriteString(l)
 		}
 	}
 	return b.String()

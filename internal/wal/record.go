@@ -1,0 +1,120 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/storage"
+)
+
+// Record kinds (the first payload byte).
+const (
+	recSym  = 1 // body: constant name
+	recFact = 2 // body: pred string, uvarint arity, arity uvarint values
+	recRule = 3 // body: rule source text
+)
+
+// recordHeaderSize is the length + CRC prefix of every record.
+const recordHeaderSize = 8
+
+// maxRecordSize bounds a single record; a length field above it is
+// treated as a torn/corrupt tail rather than an allocation request.
+const maxRecordSize = 64 << 20
+
+// castagnoli is the CRC polynomial table shared by records and
+// snapshots.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// readString consumes a uvarint-length-prefixed string.
+func readString(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > uint64(len(b)-sz) {
+		return "", nil, fmt.Errorf("wal: truncated string")
+	}
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], nil
+}
+
+// encodeRecord frames a payload: length, CRC, payload.
+func encodeRecord(dst, payload []byte) []byte {
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	return append(append(dst, hdr[:]...), payload...)
+}
+
+// symPayload builds a recSym payload.
+func symPayload(name string) []byte {
+	b := make([]byte, 0, 1+len(name))
+	return append(append(b, recSym), name...)
+}
+
+// rulePayload builds a recRule payload.
+func rulePayload(src string) []byte {
+	b := make([]byte, 0, 1+len(src))
+	return append(append(b, recRule), src...)
+}
+
+// factPayload builds a recFact payload.
+func factPayload(pred string, t storage.Tuple) []byte {
+	b := make([]byte, 0, 1+len(pred)+2+4*len(t))
+	b = append(b, recFact)
+	b = appendString(b, pred)
+	b = binary.AppendUvarint(b, uint64(len(t)))
+	for _, v := range t {
+		b = binary.AppendUvarint(b, uint64(uint32(v)))
+	}
+	return b
+}
+
+// decodeFact parses a recFact body (the payload after the kind byte).
+func decodeFact(body []byte) (pred string, vals []storage.Value, err error) {
+	pred, body, err = readString(body)
+	if err != nil {
+		return "", nil, err
+	}
+	arity, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return "", nil, fmt.Errorf("wal: truncated fact arity")
+	}
+	body = body[sz:]
+	vals = make([]storage.Value, arity)
+	for i := range vals {
+		v, sz := binary.Uvarint(body)
+		if sz <= 0 || v > 0xFFFFFFFF {
+			return "", nil, fmt.Errorf("wal: truncated fact value")
+		}
+		vals[i] = storage.Value(uint32(v))
+		body = body[sz:]
+	}
+	if len(body) != 0 {
+		return "", nil, fmt.Errorf("wal: %d trailing bytes after fact", len(body))
+	}
+	return pred, vals, nil
+}
+
+// nextRecord splits the first framed record off data. ok is false when
+// data holds no complete valid record — the torn-tail condition; the
+// caller decides whether that is tolerable (final segment) or corruption
+// (sealed segment).
+func nextRecord(data []byte) (payload, rest []byte, ok bool) {
+	if len(data) < recordHeaderSize {
+		return nil, nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[0:]))
+	crc := binary.LittleEndian.Uint32(data[4:])
+	if n > maxRecordSize || n > len(data)-recordHeaderSize {
+		return nil, nil, false
+	}
+	payload = data[recordHeaderSize : recordHeaderSize+n]
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return nil, nil, false
+	}
+	return payload, data[recordHeaderSize+n:], true
+}

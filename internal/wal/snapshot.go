@@ -1,0 +1,228 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/storage"
+)
+
+// snapMagic heads every snapshot file, followed by the covered segment
+// sequence (uint64 LE), the body, and a trailing CRC32C of the body.
+const snapMagic = "OSRSNAP1"
+
+// RelSnap is one relation's block in a snapshot: the predicate, its
+// arity, and the tuples in sorted order (deterministic bytes for equal
+// states).
+type RelSnap struct {
+	Pred   string
+	Arity  int
+	Tuples []storage.Tuple
+}
+
+// Snapshot is the full persisted engine state at a checkpoint: the
+// symbol table in Value order (fact blocks reference Values, and replay
+// re-interns the names in this exact order), every relation, the
+// program's rules in concrete syntax, and the plan cache's query shapes
+// (representative atoms, LRU-oldest first) for rewarming.
+type Snapshot struct {
+	Syms   []string
+	Rels   []RelSnap
+	Rules  []string
+	Shapes []string
+}
+
+// CollectDatabase builds a snapshot of db plus the caller's rule and
+// shape sections. Relations are collected before the symbol table: every
+// Value in a tuple was interned before the tuple was inserted, so
+// reading the symbols last guarantees each collected Value resolves —
+// even while concurrent writers keep inserting during the collection
+// (their overlap is also journaled in the post-rotation segment, and
+// replay is idempotent).
+func CollectDatabase(db *storage.Database, rules, shapes []string) *Snapshot {
+	s := &Snapshot{Rules: rules, Shapes: shapes}
+	for _, pred := range db.Preds() {
+		r := db.Relation(pred)
+		s.Rels = append(s.Rels, RelSnap{Pred: pred, Arity: r.Arity(), Tuples: r.SortedTuples()})
+	}
+	s.Syms = db.Syms.Names()
+	return s
+}
+
+// encode renders the snapshot body (everything between the header and
+// the trailing CRC).
+func (s *Snapshot) encode() []byte {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(len(s.Syms)))
+	for _, name := range s.Syms {
+		b = appendString(b, name)
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.Rels)))
+	for _, r := range s.Rels {
+		b = appendString(b, r.Pred)
+		b = binary.AppendUvarint(b, uint64(r.Arity))
+		b = binary.AppendUvarint(b, uint64(len(r.Tuples)))
+		for _, t := range r.Tuples {
+			for _, v := range t {
+				b = binary.AppendUvarint(b, uint64(uint32(v)))
+			}
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.Rules)))
+	for _, r := range s.Rules {
+		b = appendString(b, r)
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.Shapes)))
+	for _, q := range s.Shapes {
+		b = appendString(b, q)
+	}
+	return b
+}
+
+// readUvarint consumes a uvarint.
+func readUvarint(b []byte) (uint64, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return 0, nil, fmt.Errorf("wal: truncated snapshot varint")
+	}
+	return n, b[sz:], nil
+}
+
+// decodeSnapshot parses a snapshot body.
+func decodeSnapshot(b []byte) (*Snapshot, error) {
+	s := &Snapshot{}
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	s.Syms = make([]string, n)
+	for i := range s.Syms {
+		if s.Syms[i], b, err = readString(b); err != nil {
+			return nil, err
+		}
+	}
+	if n, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	s.Rels = make([]RelSnap, n)
+	for i := range s.Rels {
+		r := &s.Rels[i]
+		if r.Pred, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		var arity, count uint64
+		if arity, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if count, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		r.Arity = int(arity)
+		r.Tuples = make([]storage.Tuple, count)
+		for j := range r.Tuples {
+			t := make(storage.Tuple, arity)
+			for k := range t {
+				var v uint64
+				if v, b, err = readUvarint(b); err != nil {
+					return nil, err
+				}
+				if v > 0xFFFFFFFF {
+					return nil, fmt.Errorf("wal: snapshot value out of range")
+				}
+				t[k] = storage.Value(uint32(v))
+			}
+			r.Tuples[j] = t
+		}
+	}
+	if n, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	s.Rules = make([]string, n)
+	for i := range s.Rules {
+		if s.Rules[i], b, err = readString(b); err != nil {
+			return nil, err
+		}
+	}
+	if n, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	s.Shapes = make([]string, n)
+	for i := range s.Shapes {
+		if s.Shapes[i], b, err = readString(b); err != nil {
+			return nil, err
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wal: %d trailing snapshot bytes", len(b))
+	}
+	return s, nil
+}
+
+// writeSnapshot atomically writes the snapshot covering segments <= seq:
+// temp file, fsync, rename, directory fsync. A crash at any point leaves
+// either the old snapshot or the new one intact, never a half-written
+// file under the final name.
+func writeSnapshot(dir string, seq uint64, s *Snapshot) error {
+	body := s.encode()
+	buf := make([]byte, 0, len(snapMagic)+12+len(body))
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = append(buf, body...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(body, castagnoli))
+
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapshotName(seq))); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readSnapshot loads and validates a snapshot file.
+func readSnapshot(path string) (uint64, *Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(data) < len(snapMagic)+12 || string(data[:len(snapMagic)]) != snapMagic {
+		return 0, nil, fmt.Errorf("wal: %s: not a snapshot file", path)
+	}
+	seq := binary.LittleEndian.Uint64(data[len(snapMagic):])
+	body := data[len(snapMagic)+8 : len(data)-4]
+	crc := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != crc {
+		return 0, nil, fmt.Errorf("wal: %s: snapshot checksum mismatch", path)
+	}
+	s, err := decodeSnapshot(body)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: %s: %w", path, err)
+	}
+	return seq, s, nil
+}
+
+// syncDir fsyncs a directory so renames and unlinks are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

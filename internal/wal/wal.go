@@ -1,0 +1,537 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// segMagic heads every segment file, followed by the segment's sequence
+// number (uint64 LE).
+const segMagic = "OSRWAL1\n"
+
+// segHeaderSize is the byte length of a segment header.
+const segHeaderSize = len(segMagic) + 8
+
+// batchBytes is the batch buffer threshold: under SyncBatch the log
+// fsyncs whenever at least this many bytes accumulated since the last
+// sync, amortizing the fsync over many records.
+const batchBytes = 64 << 10
+
+// SyncPolicy selects when appended records are fsynced to disk.
+type SyncPolicy int
+
+const (
+	// SyncBatch (the default) flushes and fsyncs whenever the batch
+	// buffer fills, and always at checkpoint rotation and Close. A crash
+	// loses at most the last partial batch.
+	SyncBatch SyncPolicy = iota
+	// SyncAlways flushes and fsyncs after every record — maximum
+	// durability, one fsync per accepted insert.
+	SyncAlways
+	// SyncOS hands filled batches to the OS page cache without fsync;
+	// the log only fsyncs at checkpoint rotation and Close. Fastest, and
+	// a power failure may lose everything since the last checkpoint.
+	SyncOS
+)
+
+// String names the policy for Explain-style output.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncOS:
+		return "os"
+	default:
+		return "batch"
+	}
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Replay receives the recovered state during Open, in replay order. Any
+// callback may be nil to skip that record type. Sym is called once per
+// interned name in Value order (snapshot first, then tail records), so
+// applying it to a fresh symbol table reproduces identical Values; Fact
+// receives constant names (already translated from logged Values), so it
+// can be applied to any database via AddFact.
+type Replay struct {
+	Sym   func(name string)
+	Rel   func(pred string, arity int)
+	Fact  func(pred string, consts []string)
+	Rule  func(src string)
+	Shape func(query string)
+}
+
+// Log is a write-ahead segment log bound to one directory. It implements
+// storage.Journal: attach it with Database.SetJournal and every accepted
+// insert and fresh symbol intern is appended as a record. Append errors
+// are sticky — the first one is remembered and surfaced by Sync,
+// Checkpoint, and Close — because the journal hooks have no error
+// channel of their own.
+type Log struct {
+	dir    string
+	policy SyncPolicy
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	seq     uint64 // active segment sequence
+	pending int    // bytes buffered since the last fsync
+	err     error  // sticky first failure
+	closed  bool
+
+	ckptMu sync.Mutex // serializes Checkpoint callers
+}
+
+// segmentName renders a segment file name for a sequence number.
+func segmentName(seq uint64) string { return fmt.Sprintf("seg-%016d.wal", seq) }
+
+// snapshotName renders a snapshot file name for a covered sequence.
+func snapshotName(seq uint64) string { return fmt.Sprintf("snap-%016d.snap", seq) }
+
+// parseSeq extracts the sequence number from a segment or snapshot file
+// name.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Open recovers the state persisted in dir (creating it if missing) —
+// newest readable snapshot first, then every segment above it in
+// sequence order, tolerating a torn final record in the last segment by
+// truncating it — streaming the state into the replay callbacks, and
+// returns a log appending to a fresh segment.
+func Open(dir string, policy SyncPolicy, replay Replay) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs, snaps []uint64
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), "seg-", ".wal"); ok {
+			segs = append(segs, seq)
+		}
+		if seq, ok := parseSeq(e.Name(), "snap-", ".snap"); ok {
+			snaps = append(snaps, seq)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
+
+	// Newest readable snapshot wins; an unreadable one (torn checkpoint
+	// racing a crash before its segment prune) falls back to its
+	// predecessor, whose covered segments are still on disk.
+	st := &replayState{replay: replay}
+	var snapSeq uint64
+	haveSnap := false
+	for _, seq := range snaps {
+		fileSeq, snap, err := readSnapshot(filepath.Join(dir, snapshotName(seq)))
+		if err != nil || fileSeq != seq {
+			continue
+		}
+		st.applySnapshot(snap)
+		snapSeq, haveSnap = seq, true
+		break
+	}
+
+	maxSeq := snapSeq
+	live := segs[:0]
+	for _, seq := range segs {
+		if haveSnap && seq <= snapSeq {
+			continue // covered by the snapshot; prune below
+		}
+		live = append(live, seq)
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	for i, seq := range live {
+		final := i == len(live)-1
+		if err := st.replaySegment(filepath.Join(dir, segmentName(seq)), seq, final); err != nil {
+			return nil, err
+		}
+	}
+
+	l := &Log{dir: dir, policy: policy, seq: maxSeq + 1}
+	if err := l.openSegment(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// replayState accumulates the Value->name translation while streaming
+// recovered records into the user's callbacks.
+type replayState struct {
+	replay Replay
+	names  []string
+	seen   map[string]bool
+}
+
+func (st *replayState) sym(name string) {
+	// A symbol interned between checkpoint rotation and snapshot
+	// collection appears both in the snapshot and as a tail record;
+	// appending it twice would shift the Value->name translation for
+	// everything after it. First occurrence wins — that is the original
+	// process's dense id order.
+	if st.seen == nil {
+		st.seen = make(map[string]bool)
+	}
+	if st.seen[name] {
+		return
+	}
+	st.seen[name] = true
+	st.names = append(st.names, name)
+	if st.replay.Sym != nil {
+		st.replay.Sym(name)
+	}
+}
+
+func (st *replayState) fact(pred string, vals []storage.Value) error {
+	consts := make([]string, len(vals))
+	for i, v := range vals {
+		if int(v) < 0 || int(v) >= len(st.names) {
+			return fmt.Errorf("wal: fact %s references unknown value %d", pred, v)
+		}
+		consts[i] = st.names[v]
+	}
+	if st.replay.Fact != nil {
+		st.replay.Fact(pred, consts)
+	}
+	return nil
+}
+
+func (st *replayState) applySnapshot(s *Snapshot) {
+	for _, name := range s.Syms {
+		st.sym(name)
+	}
+	for _, r := range s.Rels {
+		if st.replay.Rel != nil {
+			st.replay.Rel(r.Pred, r.Arity)
+		}
+		for _, t := range r.Tuples {
+			// Errors are impossible here: snapshot tuples were encoded
+			// against the snapshot's own symbol list.
+			st.fact(r.Pred, t)
+		}
+	}
+	for _, r := range s.Rules {
+		if st.replay.Rule != nil {
+			st.replay.Rule(r)
+		}
+	}
+	for _, q := range s.Shapes {
+		if st.replay.Shape != nil {
+			st.replay.Shape(q)
+		}
+	}
+}
+
+// replaySegment applies one segment's records. In the final segment a
+// torn tail — a record whose frame or checksum does not validate — ends
+// the replay and truncates the file to the valid prefix; anywhere else
+// it is corruption and fails recovery.
+func (st *replayState) replaySegment(path string, wantSeq uint64, final bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		// A crash between segment creation and header write (or a prior
+		// recovery's truncation of such a file) leaves an empty segment:
+		// no records, nothing to replay.
+		return nil
+	}
+	if len(data) < segHeaderSize || string(data[:len(segMagic)]) != segMagic {
+		if final {
+			return truncateSegment(path, 0, len(data))
+		}
+		return fmt.Errorf("wal: %s: bad segment header", path)
+	}
+	if got := binary.LittleEndian.Uint64(data[len(segMagic):]); got != wantSeq {
+		return fmt.Errorf("wal: %s: header sequence %d, file name says %d", path, got, wantSeq)
+	}
+	rest := data[segHeaderSize:]
+	offset := segHeaderSize
+	for len(rest) > 0 {
+		payload, next, ok := nextRecord(rest)
+		if !ok {
+			if final {
+				return truncateSegment(path, offset, len(data))
+			}
+			return fmt.Errorf("wal: %s: invalid record at offset %d in sealed segment", path, offset)
+		}
+		if err := st.applyPayload(payload); err != nil {
+			return fmt.Errorf("wal: %s: offset %d: %w", path, offset, err)
+		}
+		offset += len(rest) - len(next)
+		rest = next
+	}
+	return nil
+}
+
+// truncateSegment discards the torn tail of the crash-time active
+// segment so later recoveries (when this segment is no longer final)
+// see only valid records.
+func truncateSegment(path string, keep, total int) error {
+	if keep >= total {
+		return nil
+	}
+	return os.Truncate(path, int64(keep))
+}
+
+// applyPayload dispatches one decoded record to the callbacks.
+func (st *replayState) applyPayload(payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("wal: empty record payload")
+	}
+	kind, body := payload[0], payload[1:]
+	switch kind {
+	case recSym:
+		st.sym(string(body))
+		return nil
+	case recFact:
+		pred, vals, err := decodeFact(body)
+		if err != nil {
+			return err
+		}
+		return st.fact(pred, vals)
+	case recRule:
+		if st.replay.Rule != nil {
+			st.replay.Rule(string(body))
+		}
+		return nil
+	default:
+		return fmt.Errorf("wal: unknown record kind %d", kind)
+	}
+}
+
+// openSegment creates the active segment l.seq and writes its header.
+// Callers hold no lock (Open) or l.mu (rotate).
+func (l *Log) openSegment() error {
+	path := filepath.Join(l.dir, segmentName(l.seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, batchBytes)
+	hdr := make([]byte, 0, segHeaderSize)
+	hdr = append(hdr, segMagic...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, l.seq)
+	if _, err := w.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.w, l.pending = f, w, 0
+	return nil
+}
+
+// append frames and writes one payload under the sync policy.
+func (l *Log) append(payload []byte) {
+	rec := encodeRecord(nil, payload)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	if l.closed {
+		l.err = ErrClosed
+		return
+	}
+	if _, err := l.w.Write(rec); err != nil {
+		l.err = err
+		return
+	}
+	l.pending += len(rec)
+	switch l.policy {
+	case SyncAlways:
+		l.err = l.syncLocked()
+	case SyncBatch:
+		if l.pending >= batchBytes {
+			l.err = l.syncLocked()
+		}
+	case SyncOS:
+		// bufio flushes to the page cache on its own as the buffer
+		// fills; nothing to do per record.
+	}
+}
+
+// syncLocked flushes the buffer and fsyncs. Caller holds l.mu.
+func (l *Log) syncLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.pending = 0
+	return nil
+}
+
+// JournalSym implements storage.Journal.
+func (l *Log) JournalSym(name string) { l.append(symPayload(name)) }
+
+// JournalFact implements storage.Journal.
+func (l *Log) JournalFact(pred string, t storage.Tuple) { l.append(factPayload(pred, t)) }
+
+// AppendRule journals a rule in concrete syntax (parser.RenderRule).
+func (l *Log) AppendRule(src string) { l.append(rulePayload(src)) }
+
+// Err returns the sticky append error, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Sync flushes buffered records and fsyncs the active segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	l.err = l.syncLocked()
+	return l.err
+}
+
+// Checkpoint compacts the log: it seals the active segment and opens a
+// fresh one, calls collect for a snapshot of the state as of (at least)
+// the seal point, writes the snapshot atomically, and deletes the
+// segments and older snapshots it covers. collect runs after the
+// rotation, so any mutation it observes is either inside the snapshot
+// or journaled in the new segment — replay tolerates the overlap
+// because inserts are idempotent set operations.
+func (l *Log) Checkpoint(collect func() (*Snapshot, error)) error {
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if err := l.syncLocked(); err != nil {
+		l.err = err
+		l.mu.Unlock()
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		l.err = err
+		l.mu.Unlock()
+		return err
+	}
+	covered := l.seq
+	l.seq++
+	if err := l.openSegment(); err != nil {
+		l.err = err
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Unlock()
+
+	snap, err := collect()
+	if err != nil {
+		return err
+	}
+	if err := writeSnapshot(l.dir, covered, snap); err != nil {
+		return err
+	}
+	return l.prune(covered)
+}
+
+// prune deletes segments covered by the snapshot at seq and snapshots
+// older than it. Failures are returned but leave recovery correct: an
+// undeleted covered segment is skipped at Open, an undeleted old
+// snapshot is shadowed by the newer one.
+func (l *Log) prune(seq uint64) error {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, e := range entries {
+		if s, ok := parseSeq(e.Name(), "seg-", ".wal"); ok && s <= seq {
+			if err := os.Remove(filepath.Join(l.dir, e.Name())); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if s, ok := parseSeq(e.Name(), "snap-", ".snap"); ok && s < seq {
+			if err := os.Remove(filepath.Join(l.dir, e.Name())); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return syncDir(l.dir)
+}
+
+// Close flushes, fsyncs, and closes the active segment. Appends after
+// Close record ErrClosed as the sticky error. Close is idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return l.err
+	}
+	l.closed = true
+	if l.err == nil {
+		l.err = l.syncLocked()
+	}
+	if cerr := l.f.Close(); cerr != nil && l.err == nil {
+		l.err = cerr
+	}
+	if l.err != nil {
+		return l.err
+	}
+	// Leave the sticky error nil: Close succeeded; only later appends
+	// will set ErrClosed.
+	return nil
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Policy returns the log's sync policy.
+func (l *Log) Policy() SyncPolicy { return l.policy }

@@ -131,6 +131,19 @@ func (rs *Rows) All() iter.Seq[Row] {
 			for row := range rs.ch {
 				if !yield(row) {
 					rs.stop()
+					// Drain until the evaluation goroutine closes the
+					// channel: its in-flight send must never be left
+					// without a receiver. The emit path also selects on
+					// the cancelled context, so this loop ends as soon as
+					// the evaluator observes the stop — but draining makes
+					// the no-blocked-sender guarantee unconditional rather
+					// than a property every strategy's emit must uphold.
+					for range rs.ch {
+					}
+					<-rs.done
+					if rs.cancel != nil {
+						rs.cancel()
+					}
 					return
 				}
 			}

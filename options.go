@@ -6,6 +6,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/multi"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // Strategy is an evaluation method pluggable into an Engine: it plans a
@@ -42,6 +43,8 @@ type engineConfig struct {
 	countingDepth int
 	shards        int
 	workers       int
+	persistDir    string
+	syncPolicy    wal.SyncPolicy
 }
 
 // Option configures an Engine at Open time.
@@ -103,6 +106,39 @@ func WithShards(n int) Option {
 // GOMAXPROCS; 1 forces sequential evaluation.
 func WithWorkers(n int) Option {
 	return func(c *engineConfig) { c.workers = n }
+}
+
+// SyncPolicy selects when the persistence log fsyncs appended records:
+// SyncBatch (the default) amortizes one fsync over a filled batch
+// buffer, SyncAlways fsyncs every accepted insert, SyncOS leaves
+// flushing to the OS page cache between checkpoints. See the wal
+// package for the durability/throughput trade-off.
+type SyncPolicy = wal.SyncPolicy
+
+// Sync policy values for WithSyncPolicy.
+const (
+	SyncBatch  = wal.SyncBatch
+	SyncAlways = wal.SyncAlways
+	SyncOS     = wal.SyncOS
+)
+
+// WithPersistence makes the engine durable: dir holds an append-only,
+// CRC-checked segment log plus checkpoint snapshots. Open replays the
+// newest snapshot and the log tail into the database (tolerating a torn
+// final record from a crash), restores the program's rules, rewarms the
+// plan-skeleton cache from the persisted query shapes, and journals
+// every accepted fact insert, fresh symbol intern, and loaded rule from
+// then on. Pair with Engine.Checkpoint to compact the log and
+// Engine.Close to flush it on shutdown. With WithDatabase, state already
+// in the database at Open is captured by an immediate checkpoint.
+func WithPersistence(dir string) Option {
+	return func(c *engineConfig) { c.persistDir = dir }
+}
+
+// WithSyncPolicy sets the fsync policy of the persistence log (default
+// SyncBatch). It only has an effect together with WithPersistence.
+func WithSyncPolicy(p SyncPolicy) Option {
+	return func(c *engineConfig) { c.syncPolicy = p }
 }
 
 // defaultStrategyNames is the auto-selection chain.
