@@ -8,7 +8,7 @@
 //	osr classify file.dl            # per-predicate classification + decision
 //	osr graph -pred t [-plain] file.dl
 //	osr expand -pred t -k 4 file.dl
-//	osr query [-engine onesided|magic|seminaive|naive|counting] [-data dir] file.dl
+//	osr query [-engine onesided|magic|seminaive|naive|counting] [-data dir] [-checkpoint-every n] file.dl
 //
 // The query command drives the Engine façade: plans are prepared once
 // per query, the planner auto-selects the one-sided schema or a
@@ -63,12 +63,18 @@ subcommands:
   classify <file>                      classify every recursion in the file
   graph -pred <p> [-plain] <file>      render the (full) A/V graph
   expand -pred <p> [-k n] <file>       print expansion strings
-  query [-engine e] [-data dir] <file> answer the file's ?- queries
+  query [-engine e] [-data dir] [-checkpoint-every n] <file>
+                                       answer the file's ?- queries
   prove -tuple "t(a, b)" <file>        find and minimize a derivation
 engines: onesided (default: auto-select with magic fallback),
          magic, seminaive, naive, counting
 -data dir persists facts, rules, and plan shapes across runs (the
-engine checkpoints on exit and recovers on the next start)`)
+engine checkpoints on exit — differentially, skipping unchanged
+relations — and recovers on the next start); -checkpoint-every n also
+checkpoints automatically after every n accepted fact inserts.
+Repeated queries report result-cache=hit|updated|rebuilt in their
+explain line: the engine serves materialized answers and maintains
+them incrementally across inserts instead of recomputing.`)
 }
 
 func loadSource(path string) (*onesided.Program, []onesided.Atom, error) {
@@ -314,6 +320,7 @@ func cmdQuery(args []string) error {
 	engine := fs.String("engine", "onesided", "onesided | magic | seminaive | naive | counting")
 	verbose := fs.Bool("v", false, "print instrumentation counters")
 	dataDir := fs.String("data", "", "persist facts, rules, and plan shapes in this directory (survives restarts)")
+	ckptEvery := fs.Int("checkpoint-every", 0, "with -data: auto-checkpoint after N accepted fact inserts (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -324,12 +331,18 @@ func cmdQuery(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown engine %q", *engine)
 	}
+	if *ckptEvery > 0 && *dataDir == "" {
+		return fmt.Errorf("-checkpoint-every needs -data")
+	}
 	var opts []onesided.Option
 	if chain != nil {
 		opts = append(opts, onesided.WithStrategies(chain...))
 	}
 	if *dataDir != "" {
 		opts = append(opts, onesided.WithPersistence(*dataDir))
+		if *ckptEvery > 0 {
+			opts = append(opts, onesided.WithAutoCheckpoint(*ckptEvery))
+		}
 	}
 	eng, err := onesided.Open(opts...)
 	if err != nil {

@@ -3,6 +3,7 @@ package onesided
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -58,15 +59,36 @@ type Engine struct {
 	lru      *list.List
 	cacheCap int
 
+	// Bound-result cache: materialized answers keyed on (skeleton, slot
+	// values), each stamped with the database epoch it is current as of.
+	// A stale entry whose plan supports maintenance is Updated with
+	// DeltaSince(stamp) instead of re-evaluated. resMu guards only the
+	// map and LRU list; each entry carries its own lock (lock order:
+	// e.mu before resMu, entry locks outside both).
+	resMu       sync.Mutex
+	resCache    map[string]*list.Element
+	resLRU      *list.List
+	resCacheCap int
+
+	// autoEvery, when > 0, checkpoints automatically once that many
+	// accepted inserts accumulated since the last checkpoint; ckptMark
+	// remembers the mutation count at the last checkpoint and autoErr
+	// latches the first auto-checkpoint failure (surfaced by Close).
+	autoEvery int
+	ckptMark  atomic.Int64
+	autoErr   atomic.Pointer[error]
+
 	hits, misses, evictions, rewarmed atomic.Int64
+	resHits, resUpdated, resRebuilt   atomic.Int64
 }
 
 // Open creates an Engine. With no options it has an empty database
 // (relations sharded to GOMAXPROCS), an empty program, the default
-// strategy chain with GOMAXPROCS evaluation workers, and a 256-entry
-// plan cache.
+// strategy chain with GOMAXPROCS evaluation workers, a 256-entry plan
+// cache, and a 64-entry bound-result cache (maintained answers, see
+// WithResultCache).
 func Open(opts ...Option) (*Engine, error) {
-	cfg := engineConfig{planCacheSize: 256}
+	cfg := engineConfig{planCacheSize: 256, resultCacheSize: 64}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -82,12 +104,16 @@ func Open(opts ...Option) (*Engine, error) {
 		db.SetShards(cfg.shards)
 	}
 	e := &Engine{
-		db:         db,
-		strategies: strategies,
-		program:    ast.NewProgram(),
-		cache:      make(map[string]*list.Element),
-		lru:        list.New(),
-		cacheCap:   cfg.planCacheSize,
+		db:          db,
+		strategies:  strategies,
+		program:     ast.NewProgram(),
+		cache:       make(map[string]*list.Element),
+		lru:         list.New(),
+		cacheCap:    cfg.planCacheSize,
+		resCache:    make(map[string]*list.Element),
+		resLRU:      list.New(),
+		resCacheCap: cfg.resultCacheSize,
+		autoEvery:   cfg.autoCheckpoint,
 	}
 	var shapes []string
 	var bootstrap bool
@@ -163,8 +189,13 @@ func (e *Engine) openPersistence(cfg engineConfig) (shapes []string, bootstrap b
 func (e *Engine) DB() *Database { return e.db }
 
 // AddFact interns the constants and inserts the tuple into the named
-// relation.
-func (e *Engine) AddFact(pred string, consts ...string) { e.db.AddFact(pred, consts...) }
+// relation. The insert stamps the database epoch, so cached query
+// results notice the change; with auto-checkpointing configured it may
+// trigger a checkpoint.
+func (e *Engine) AddFact(pred string, consts ...string) {
+	e.db.AddFact(pred, consts...)
+	e.maybeAutoCheckpoint()
+}
 
 // Load parses a source text in Prolog syntax, inserts its ground facts
 // into the database, appends its rules to the engine's program, and
@@ -212,6 +243,11 @@ func (e *Engine) LoadProgram(p *Program) {
 		e.gen++
 		e.cache = make(map[string]*list.Element)
 		e.lru.Init()
+		// Result-cache entries hold fixpoint state of the old program.
+		e.resMu.Lock()
+		e.resCache = make(map[string]*list.Element)
+		e.resLRU.Init()
+		e.resMu.Unlock()
 	}
 	log := e.log
 	e.mu.Unlock()
@@ -220,6 +256,7 @@ func (e *Engine) LoadProgram(p *Program) {
 			log.AppendRule(parser.RenderRule(r))
 		}
 	}
+	e.maybeAutoCheckpoint()
 }
 
 // Program returns a snapshot of the engine's current rule set.
@@ -248,6 +285,14 @@ type Explain struct {
 	// "miss" (compiled and cached), "bind" (rebound from an existing
 	// PreparedQuery), or "" for uncached explicit-program planning.
 	PlanCache string
+	// ResultCache says how the bound-result cache served the answers:
+	// "hit" (materialized answers still current at the database epoch),
+	// "updated" (maintained answers extended with the delta since their
+	// stamp), "rebuilt" (evaluated in full — first build, eviction, or a
+	// delta the retained state could not absorb), or "" when the result
+	// cache did not participate (streaming, batch-shared traversals,
+	// explicit-program plans, or a disabled cache).
+	ResultCache string
 	// Shards is the database's relation shard count and Batches the
 	// number of carry batches the Fig. 9 loop dispatched to its worker
 	// pool. Both are filled on the Explain a Rows reports after
@@ -267,6 +312,9 @@ func (ex Explain) String() string {
 	}
 	if ex.PlanCache != "" {
 		fmt.Fprintf(&b, " plan-cache=%s", ex.PlanCache)
+	}
+	if ex.ResultCache != "" {
+		fmt.Fprintf(&b, " result-cache=%s", ex.ResultCache)
 	}
 	if ex.Mode != "" {
 		fmt.Fprintf(&b, " mode=%s carry-arity=%d", ex.Mode, ex.CarryArity)
@@ -324,6 +372,12 @@ type PreparedQuery struct {
 	skeleton *planSkeleton
 	prepared PreparedStrategy
 	cache    string // "hit", "miss", "bind", or "" for uncached planning
+	// consts are the slot values bound into the skeleton (the second half
+	// of the result-cache key); gen is the program generation the plan
+	// was obtained under — the result cache only serves plans of the
+	// current generation.
+	consts []ast.Term
+	gen    uint64
 }
 
 // Prepare plans a query. The program argument selects what to plan
@@ -340,7 +394,7 @@ func (e *Engine) Prepare(program *Program, query Atom) (*PreparedQuery, error) {
 		if err != nil {
 			return nil, err
 		}
-		return e.bindSkeleton(ps, query, skel.Consts, "")
+		return e.bindSkeleton(ps, query, skel.Consts, "", 0)
 	}
 	e.mu.Lock()
 	program = e.program
@@ -373,7 +427,7 @@ func (e *Engine) Prepare(program *Program, query Atom) (*PreparedQuery, error) {
 			e.mu.Unlock()
 		}
 	}
-	return e.bindSkeleton(ps, query, skel.Consts, state)
+	return e.bindSkeleton(ps, query, skel.Consts, state, gen)
 }
 
 // cacheInsertLocked adds ps to the plan cache, evicting LRU overflow,
@@ -418,13 +472,14 @@ func (e *Engine) compileSkeleton(program *ast.Program, skel ast.SkeletonQuery, q
 }
 
 // bindSkeleton instantiates a skeleton's constant slots with the ground
-// query's constants.
-func (e *Engine) bindSkeleton(ps *planSkeleton, query ast.Atom, consts []ast.Term, state string) (*PreparedQuery, error) {
+// query's constants. gen is the program generation the skeleton was
+// obtained under (0 for explicit-program plans, which bypass caching).
+func (e *Engine) bindSkeleton(ps *planSkeleton, query ast.Atom, consts []ast.Term, state string, gen uint64) (*PreparedQuery, error) {
 	bound, err := ps.prepared.BindArgs(consts...)
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedQuery{engine: e, query: query.Clone(), skeleton: ps, prepared: bound, cache: state}, nil
+	return &PreparedQuery{engine: e, query: query.Clone(), skeleton: ps, prepared: bound, cache: state, consts: consts, gen: gen}, nil
 }
 
 // Shape returns the canonical form of the query shape this prepared
@@ -446,7 +501,18 @@ func (pq *PreparedQuery) Bind(consts ...string) (*PreparedQuery, error) {
 		terms[i] = ast.C(c)
 	}
 	query := ast.BindAtom(pq.skeleton.adorned.Atom, terms)
-	return pq.engine.bindSkeleton(pq.skeleton, query, terms, "bind")
+	return pq.engine.bindSkeleton(pq.skeleton, query, terms, pq.bindState(), pq.gen)
+}
+
+// bindState is the plan-cache marker a rebind inherits: "bind" for
+// plans from the engine's cache, "" for explicit-program plans — the
+// latter must stay out of the bound-result cache (its keys encode no
+// program identity, only the engine's own generation-checked program).
+func (pq *PreparedQuery) bindState() string {
+	if pq.cache == "" {
+		return ""
+	}
+	return "bind"
 }
 
 // BindAtom is Bind for a parsed ground query atom, which must have the
@@ -458,7 +524,7 @@ func (pq *PreparedQuery) BindAtom(q Atom) (*PreparedQuery, error) {
 		return nil, fmt.Errorf("onesided: query %v has shape %s, prepared query has %s",
 			q, displayShape(skel.Key()), pq.skeleton.display())
 	}
-	return pq.engine.bindSkeleton(pq.skeleton, q, skel.Consts, "bind")
+	return pq.engine.bindSkeleton(pq.skeleton, q, skel.Consts, pq.bindState(), pq.gen)
 }
 
 // Explain reports the plan without evaluating it.
@@ -471,10 +537,28 @@ func (pq *PreparedQuery) Explain() Explain {
 // concurrently from many goroutines; ctx cancels the fixpoint loops
 // mid-evaluation. Use Stream to consume answers before the fixpoint
 // finishes.
+//
+// Plans obtained from the engine's plan cache consult the bound-result
+// cache first: a repeat of the same bound query whose answers are still
+// current at the database epoch is served without evaluating, and after
+// inserts a maintainable plan extends its retained fixpoint with just
+// the delta. Explain reports the path taken as result-cache=hit,
+// updated, or rebuilt.
 func (pq *PreparedQuery) Query(ctx context.Context) (*Rows, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if pq.resultCacheable() {
+		rows, handled, err := pq.engine.queryCached(ctx, pq, true)
+		if handled || err != nil {
+			return rows, err
+		}
+	}
+	return pq.queryDirect(ctx)
+}
+
+// queryDirect evaluates without consulting the result cache.
+func (pq *PreparedQuery) queryDirect(ctx context.Context) (*Rows, error) {
 	db := pq.engine.db
 	before := db.Stats.Snapshot()
 	rel, stats, err := pq.prepared.Eval(ctx, db)
@@ -490,6 +574,14 @@ func (pq *PreparedQuery) Query(ctx context.Context) (*Rows, error) {
 	}, nil
 }
 
+// resultCacheable reports whether this prepared query participates in
+// the bound-result cache: it must come from the engine's plan cache
+// (explicit-program plans have no generation to validate against) and
+// the cache must be enabled.
+func (pq *PreparedQuery) resultCacheable() bool {
+	return pq.cache != "" && pq.engine.resCacheCap > 0
+}
+
 // explainWithStats enriches the plan explanation with the parallelism
 // the evaluation actually used.
 func (pq *PreparedQuery) explainWithStats(stats eval.EvalStats) Explain {
@@ -500,6 +592,211 @@ func (pq *PreparedQuery) explainWithStats(stats eval.EvalStats) Explain {
 	ex.Shards = stats.Shards
 	ex.Batches = stats.Batches
 	return ex
+}
+
+// resultEntry is one bound-result cache slot: the materialized answers
+// of a (skeleton, slot values) pair, stamped with the database epoch
+// they are current as of, plus — for maintainable plans — the retained
+// fixpoint state that absorbs deltas. The entry lock serializes
+// concurrent queries of the same bound query, so a burst of identical
+// queries evaluates once.
+type resultEntry struct {
+	key string
+
+	mu    sync.Mutex
+	gen   uint64
+	stamp uint64
+	rel   *storage.Relation
+	stats eval.EvalStats
+	inc   eval.Incremental
+}
+
+// resultKey builds the bound-result cache key: the skeleton key plus the
+// length-prefixed slot constants (length-prefixing keeps adversarial
+// constant names from colliding).
+func resultKey(skelKey string, consts []ast.Term) string {
+	var b strings.Builder
+	b.WriteString(skelKey)
+	for _, c := range consts {
+		b.WriteByte(0)
+		b.WriteString(strconv.Itoa(len(c.Name)))
+		b.WriteByte(':')
+		b.WriteString(c.Name)
+	}
+	return b.String()
+}
+
+// currentGen reads the program generation.
+func (e *Engine) currentGen() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.gen
+}
+
+// resultEntryFor returns the cache entry for key, creating (and LRU-
+// bounding) it when create is set.
+func (e *Engine) resultEntryFor(key string, gen uint64, create bool) *resultEntry {
+	e.resMu.Lock()
+	defer e.resMu.Unlock()
+	if el, ok := e.resCache[key]; ok {
+		e.resLRU.MoveToFront(el)
+		return el.Value.(*resultEntry)
+	}
+	if !create {
+		return nil
+	}
+	entry := &resultEntry{key: key, gen: gen}
+	e.resCache[key] = e.resLRU.PushFront(entry)
+	for e.resLRU.Len() > e.resCacheCap {
+		oldest := e.resLRU.Back()
+		evicted := e.resLRU.Remove(oldest).(*resultEntry)
+		delete(e.resCache, evicted.key)
+	}
+	return entry
+}
+
+// collectDelta gathers, for every relation modified at or after stamp,
+// its DeltaSince tuples as an eval.Delta. ok is false when some
+// relation's delta tail was evicted (or the relation is untracked) and
+// the caller must fall back to a full re-evaluation.
+func (e *Engine) collectDelta(stamp uint64) (eval.Delta, bool) {
+	db := e.db
+	var d eval.Delta
+	for _, pred := range db.Preds() {
+		r := db.Relation(pred)
+		if r == nil || r.LastModified() < stamp {
+			continue
+		}
+		tuples, ok := r.DeltaSince(stamp)
+		if !ok {
+			return nil, false
+		}
+		if len(tuples) == 0 {
+			continue
+		}
+		nr := storage.NewRelation(r.Arity(), nil)
+		for _, t := range tuples {
+			nr.Insert(t)
+		}
+		if d == nil {
+			d = eval.Delta{}
+		}
+		d[pred] = nr
+	}
+	return d, true
+}
+
+// queryCached serves a prepared query through the bound-result cache.
+// handled is false when the cache stood aside (stale plan generation, or
+// allowBuild was false and serving would have required an evaluation) —
+// the caller then evaluates directly. The protocol that keeps stamps
+// sound under concurrent inserts: the new stamp is read from the epoch
+// counter BEFORE any relation is read, so an insert the evaluation
+// missed is stamped at or after it and DeltaSince(stamp) replays it.
+func (e *Engine) queryCached(ctx context.Context, pq *PreparedQuery, allowBuild bool) (rows *Rows, handled bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, true, err
+	}
+	db := e.db
+	curGen := e.currentGen()
+	if pq.gen != curGen {
+		return nil, false, nil
+	}
+	entry := e.resultEntryFor(resultKey(pq.skeleton.key, pq.consts), curGen, allowBuild)
+	if entry == nil {
+		return nil, false, nil
+	}
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	if e.currentGen() != curGen {
+		// The program changed while we waited; this entry is orphaned
+		// (LoadProgram cleared the cache). Evaluate outside it.
+		return nil, false, nil
+	}
+	before := db.Stats.Snapshot()
+	mode := ""
+	if entry.rel != nil && entry.gen == curGen {
+		if db.LastModified() < entry.stamp {
+			e.resHits.Add(1)
+			mode = "hit"
+		} else if entry.inc != nil {
+			newStamp := db.Epoch()
+			if delta, ok := e.collectDelta(entry.stamp); ok {
+				if len(delta) == 0 {
+					// Mutations happened, but every changed relation's
+					// delta was empty overlap — nothing to apply.
+					entry.stamp = newStamp
+					e.resHits.Add(1)
+					mode = "hit"
+				} else if uerr := entry.inc.Update(ctx, db, delta); uerr == nil {
+					entry.stamp = newStamp
+					entry.rel = entry.inc.Answers()
+					entry.stats = entry.inc.Stats()
+					e.resUpdated.Add(1)
+					mode = "updated"
+				} else {
+					// A failed Update (ErrRebuild or a mid-pass
+					// cancellation) leaves the retained state
+					// half-applied — its seen-set may already have
+					// claimed work it never finished, so replaying the
+					// delta would silently skip answers. Poison the
+					// entry: the next query rebuilds from scratch.
+					entry.inc, entry.rel = nil, nil
+					if !errors.Is(uerr, eval.ErrRebuild) {
+						return nil, true, uerr
+					}
+				}
+			}
+		}
+	}
+	if mode == "" {
+		if !allowBuild {
+			return nil, false, nil
+		}
+		newStamp := db.Epoch()
+		if ip, ok := pq.prepared.(eval.IncrementalPrepared); ok && ip.Incremental() {
+			inc, berr := ip.EvalIncremental(ctx, db)
+			if berr != nil {
+				return nil, true, berr
+			}
+			entry.inc, entry.rel, entry.stats = inc, inc.Answers(), inc.Stats()
+		} else {
+			rel, stats, berr := pq.prepared.Eval(ctx, db)
+			if berr != nil {
+				return nil, true, berr
+			}
+			entry.inc, entry.rel, entry.stats = nil, rel, stats
+		}
+		entry.gen = curGen
+		entry.stamp = newStamp
+		e.resRebuilt.Add(1)
+		mode = "rebuilt"
+	}
+	ex := pq.explainWithStats(entry.stats)
+	ex.ResultCache = mode
+	return &Rows{
+		rel:      entry.rel,
+		syms:     db.Syms,
+		stats:    entry.stats,
+		counters: db.Stats.Snapshot().Sub(before),
+		explain:  ex,
+	}, true, nil
+}
+
+// storeBatchResult caches one query's relation produced by a shared
+// batch traversal (no retained state: a later delta rebuilds it).
+func (e *Engine) storeBatchResult(pq *PreparedQuery, gen, stamp uint64, rel *storage.Relation, stats eval.EvalStats) {
+	if e.resCacheCap <= 0 || pq.gen != gen {
+		return
+	}
+	entry := e.resultEntryFor(resultKey(pq.skeleton.key, pq.consts), gen, true)
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	if e.currentGen() != gen {
+		return
+	}
+	entry.gen, entry.stamp = gen, stamp
+	entry.rel, entry.stats, entry.inc = rel, stats, nil
 }
 
 // Stream starts evaluating the prepared plan in a background goroutine
@@ -672,34 +969,65 @@ func (e *Engine) QueryBatchAtoms(ctx context.Context, queries []Atom) ([]*Rows, 
 	db := e.db
 	for _, key := range order {
 		g := groups[key]
+		// Bind one PreparedQuery per member and let the bound-result
+		// cache serve whatever it can without evaluating (current
+		// entries, and stale maintainable entries via their delta);
+		// only the rest joins the shared traversal.
+		pqs := make([]*PreparedQuery, len(g.idx))
+		var pending []int
+		for j, i := range g.idx {
+			pq := g.pq
+			if j > 0 {
+				var err error
+				pq, err = e.bindSkeleton(g.pq.skeleton, queries[i], g.binds[j], g.pq.bindState(), g.pq.gen)
+				if err != nil {
+					return nil, fmt.Errorf("query %v: %w", queries[i], err)
+				}
+			}
+			pqs[j] = pq
+			if pq.resultCacheable() {
+				r, handled, err := e.queryCached(ctx, pq, false)
+				if err != nil {
+					return nil, fmt.Errorf("query %v: %w", queries[i], err)
+				}
+				if handled {
+					rows[i] = r
+					continue
+				}
+			}
+			pending = append(pending, j)
+		}
+		if len(pending) == 0 {
+			continue
+		}
 		bp, batchable := g.pq.skeleton.prepared.(eval.BatchPrepared)
-		if batchable && len(g.idx) > 1 {
+		if batchable && len(pending) > 1 {
+			gen := g.pq.gen
+			stamp := db.Epoch()
+			binds := make([][]ast.Term, len(pending))
+			for bi, j := range pending {
+				binds[bi] = g.binds[j]
+			}
 			before := db.Stats.Snapshot()
-			rels, stats, err := bp.EvalBatch(ctx, db, g.binds)
+			rels, stats, err := bp.EvalBatch(ctx, db, binds)
 			if err != nil {
 				return nil, fmt.Errorf("batch %s: %w", g.pq.Shape(), err)
 			}
 			delta := db.Stats.Snapshot().Sub(before)
 			ex := g.pq.explainWithStats(stats)
-			for j, i := range g.idx {
-				rows[i] = &Rows{rel: rels[j], syms: db.Syms, stats: stats, counters: delta, explain: ex}
+			for bi, j := range pending {
+				i := g.idx[j]
+				rows[i] = &Rows{rel: rels[bi], syms: db.Syms, stats: stats, counters: delta, explain: ex}
+				e.storeBatchResult(pqs[j], gen, stamp, rels[bi], stats)
 			}
 			continue
 		}
-		for j, i := range g.idx {
-			pq := g.pq
-			if j > 0 {
-				var err error
-				pq, err = e.bindSkeleton(g.pq.skeleton, queries[i], g.binds[j], "bind")
-				if err != nil {
-					return nil, fmt.Errorf("query %v: %w", queries[i], err)
-				}
-			}
-			r, err := pq.Query(ctx)
+		for _, j := range pending {
+			r, err := pqs[j].Query(ctx)
 			if err != nil {
-				return nil, fmt.Errorf("query %v: %w", queries[i], err)
+				return nil, fmt.Errorf("query %v: %w", queries[g.idx[j]], err)
 			}
-			rows[i] = r
+			rows[g.idx[j]] = r
 		}
 	}
 	return rows, nil
@@ -718,7 +1046,7 @@ func (e *Engine) Checkpoint() error {
 	if e.log == nil {
 		return nil
 	}
-	return e.log.Checkpoint(func() (*wal.Snapshot, error) {
+	err := e.log.Checkpoint(func() (*wal.Snapshot, error) {
 		prog := e.Program()
 		rules := make([]string, len(prog.Rules))
 		for i, r := range prog.Rules {
@@ -726,18 +1054,51 @@ func (e *Engine) Checkpoint() error {
 		}
 		return wal.CollectDatabase(e.db, rules, e.cacheShapes()), nil
 	})
+	if err == nil {
+		e.ckptMark.Store(e.db.Mutations())
+	}
+	return err
+}
+
+// maybeAutoCheckpoint checkpoints when the accepted-insert count since
+// the last checkpoint crossed the WithAutoCheckpoint threshold. The CAS
+// on the mark makes exactly one of several racing mutators perform the
+// checkpoint; its first failure is latched for Close to surface.
+func (e *Engine) maybeAutoCheckpoint() {
+	if e.log == nil || e.autoEvery <= 0 {
+		return
+	}
+	cur := e.db.Mutations()
+	last := e.ckptMark.Load()
+	if cur-last < int64(e.autoEvery) {
+		return
+	}
+	if !e.ckptMark.CompareAndSwap(last, cur) {
+		return
+	}
+	if err := e.Checkpoint(); err != nil {
+		werr := fmt.Errorf("onesided: auto-checkpoint: %w", err)
+		e.autoErr.CompareAndSwap(nil, &werr)
+	}
 }
 
 // Close flushes and closes the persistence log. It does not checkpoint;
 // call Checkpoint first for a compact restart. Facts inserted after
 // Close are not journaled. On an engine without persistence it is a
-// no-op. Close is idempotent.
+// no-op (and always succeeds). Close also surfaces the first latched
+// auto-checkpoint failure, if any. Close is idempotent.
 func (e *Engine) Close() error {
 	if e.log == nil {
 		return nil
 	}
 	e.db.SetJournal(nil)
-	return e.log.Close()
+	err := e.log.Close()
+	if err == nil {
+		if p := e.autoErr.Load(); p != nil {
+			err = *p
+		}
+	}
+	return err
 }
 
 // cacheShapes renders the plan cache's resident skeletons as
@@ -803,12 +1164,30 @@ func (e *Engine) rewarmShapes(shapes []string) {
 	}
 }
 
+// ResultCacheStats reports the bound-result cache's effectiveness:
+// Hits served materialized answers still current at the database epoch,
+// Updated extended a retained fixpoint with just the delta, Rebuilt
+// evaluated in full (first build, LRU eviction, non-maintainable plan,
+// or a delta the retained state could not absorb). Entries counts the
+// resident answer sets.
+type ResultCacheStats struct {
+	Hits, Updated, Rebuilt int64
+	Entries                int
+}
+
+func (rs ResultCacheStats) String() string {
+	return fmt.Sprintf("hits=%d updated=%d rebuilt=%d entries=%d",
+		rs.Hits, rs.Updated, rs.Rebuilt, rs.Entries)
+}
+
 // CacheStats reports the plan cache's effectiveness: hits and misses
 // since Open, entries evicted by the LRU bound, skeletons rewarmed from
 // a persistence snapshot at Open, and the entries currently resident.
+// Results covers the bound-result cache (materialized answers).
 type CacheStats struct {
 	Hits, Misses, Evictions, Rewarmed int64
 	Entries                           int
+	Results                           ResultCacheStats
 }
 
 func (cs CacheStats) String() string {
@@ -816,6 +1195,10 @@ func (cs CacheStats) String() string {
 		cs.Hits, cs.Misses, cs.Evictions, cs.Entries)
 	if cs.Rewarmed > 0 {
 		s += fmt.Sprintf(" rewarmed=%d", cs.Rewarmed)
+	}
+	r := cs.Results
+	if r.Hits+r.Updated+r.Rebuilt > 0 || r.Entries > 0 {
+		s += " results[" + r.String() + "]"
 	}
 	return s
 }
@@ -825,12 +1208,21 @@ func (e *Engine) CacheStats() CacheStats {
 	e.mu.Lock()
 	entries := len(e.cache)
 	e.mu.Unlock()
+	e.resMu.Lock()
+	resEntries := len(e.resCache)
+	e.resMu.Unlock()
 	return CacheStats{
 		Hits:      e.hits.Load(),
 		Misses:    e.misses.Load(),
 		Evictions: e.evictions.Load(),
 		Rewarmed:  e.rewarmed.Load(),
 		Entries:   entries,
+		Results: ResultCacheStats{
+			Hits:    e.resHits.Load(),
+			Updated: e.resUpdated.Load(),
+			Rebuilt: e.resRebuilt.Load(),
+			Entries: resEntries,
+		},
 	}
 }
 

@@ -55,7 +55,9 @@ func TestQueryBatchMatchesIndividual(t *testing.T) {
 // fewer times than k independent queries, because overlapping contexts
 // are g-joined once (asserted via EvalStats.GProbes).
 func TestQueryBatchSharesGJoins(t *testing.T) {
-	eng, err := Open()
+	// Disable the result cache: this test measures the shared traversal,
+	// which only runs for queries the cache cannot serve.
+	eng, err := Open(WithResultCache(0))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,7 +12,9 @@ import (
 func benchEngine(b *testing.B, n int, opts ...Option) (*Engine, string) {
 	b.Helper()
 	w := datagen.ChainTC(n)
-	eng, err := Open(append([]Option{WithDatabase(w.DB)}, opts...)...)
+	// Result cache off by default: these benchmarks time planning and
+	// evaluation, not cached-answer serving (see BenchmarkIncrementalInsert).
+	eng, err := Open(append([]Option{WithDatabase(w.DB), WithResultCache(0)}, opts...)...)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -282,7 +282,9 @@ func TestEngineCancellationMidFixpoint(t *testing.T) {
 			name = strategies[0]
 		}
 		t.Run(name, func(t *testing.T) {
-			var opts []Option
+			// The result cache would serve the repeat query without
+			// evaluating; this test is about cancelling the fixpoint.
+			opts := []Option{WithResultCache(0)}
 			if strategies != nil {
 				opts = append(opts, WithStrategies(strategies...))
 			}

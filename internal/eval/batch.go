@@ -29,10 +29,48 @@ type BatchPrepared interface {
 	EvalBatch(ctx context.Context, edb *storage.Database, binds [][]ast.Term) ([]*storage.Relation, EvalStats, error)
 }
 
-// batchMaskWidth is the number of queries one shared traversal tracks:
-// owner sets are uint64 bitmasks. Larger batches are evaluated in
-// chunks.
-const batchMaskWidth = 64
+// ownerMask is a multi-word bitmask of batch query ordinals: bit q of
+// word q/64 marks query q as an owner. One shared traversal serves a
+// batch of any size — masks grow by the word, there is no 64-query
+// chunking.
+type ownerMask []uint64
+
+// newOwnerMask allocates a mask wide enough for k queries.
+func newOwnerMask(k int) ownerMask { return make(ownerMask, (k+63)/64) }
+
+// ownerBit returns a fresh mask with only bit q set.
+func ownerBit(k, q int) ownerMask {
+	m := newOwnerMask(k)
+	m[q/64] |= 1 << uint(q%64)
+	return m
+}
+
+// test reports whether query q owns the mask.
+func (m ownerMask) test(q int) bool { return m[q/64]&(1<<uint(q%64)) != 0 }
+
+// orNew ors src into m in place and returns the bits that were newly
+// set (nil when src added nothing) — the label-propagation step of the
+// shared traversal.
+func (m ownerMask) orNew(src ownerMask) ownerMask {
+	var fresh ownerMask
+	for w, sv := range src {
+		if nb := sv &^ m[w]; nb != 0 {
+			if fresh == nil {
+				fresh = make(ownerMask, len(m))
+			}
+			m[w] |= nb
+			fresh[w] = nb
+		}
+	}
+	return fresh
+}
+
+// orInto ors src into m in place.
+func (m ownerMask) orInto(src ownerMask) {
+	for w, sv := range src {
+		m[w] |= sv
+	}
+}
 
 // EvalBatch implements BatchPrepared for the one-sided planner.
 func (o *oneSidedPrepared) EvalBatch(ctx context.Context, edb *storage.Database, binds [][]ast.Term) ([]*storage.Relation, EvalStats, error) {
@@ -42,10 +80,10 @@ func (o *oneSidedPrepared) EvalBatch(ctx context.Context, edb *storage.Database,
 // EvalBatchCtx evaluates len(binds) same-skeleton selections, sharing
 // one Fig. 9 traversal when the plan is context-mode and its reduced
 // definition is constant-free (no bound persistent columns): contexts
-// are owner-tagged, so overlapping queries expand and g-join the shared
-// part of the context graph once. Other modes fall back to per-query
-// evaluation (for an all-free adornment the queries are identical and
-// evaluate once).
+// are owner-tagged with multi-word bitmasks, so overlapping queries
+// expand and g-join the shared part of the context graph once, however
+// large the batch. Other modes fall back to per-query evaluation (for
+// an all-free adornment the queries are identical and evaluate once).
 func (p *Plan) EvalBatchCtx(ctx context.Context, edb *storage.Database, binds [][]ast.Term) ([]*storage.Relation, EvalStats, error) {
 	k := len(binds)
 	if k == 0 {
@@ -62,20 +100,9 @@ func (p *Plan) EvalBatchCtx(ctx context.Context, edb *storage.Database, binds []
 	if !p.batchShareable() {
 		return evalBatchFallback(ctx, edb, bound, p.NSlots == 0)
 	}
-	// Chunk into owner-mask-sized traversals.
-	rels := make([]*storage.Relation, 0, k)
-	var stats EvalStats
-	for lo := 0; lo < k; lo += batchMaskWidth {
-		hi := lo + batchMaskWidth
-		if hi > k {
-			hi = k
-		}
-		rs, st, err := p.evalContextBatch(ctx, edb, bound[lo:hi])
-		if err != nil {
-			return nil, stats, err
-		}
-		rels = append(rels, rs...)
-		stats = addBatchStats(stats, st)
+	rels, stats, err := p.evalContextBatch(ctx, edb, bound)
+	if err != nil {
+		return nil, stats, err
 	}
 	stats.BatchQueries = k
 	return rels, stats, nil
@@ -146,19 +173,19 @@ func addBatchStats(a, b EvalStats) EvalStats {
 // (by index) plus the owners that newly reached it.
 type ownerItem struct {
 	idx  int
-	mask uint64
+	mask ownerMask
 }
 
 // taggedCtx is a successor context produced by a parallel f worker,
 // merged sequentially into the owner table after the level.
 type taggedCtx struct {
 	tup  storage.Tuple
-	mask uint64
+	mask ownerMask
 }
 
-// evalContextBatch is the shared Fig. 9 traversal for up to 64 bound
-// instances of one context-mode skeleton. Per query it evaluates the
-// depth-0 join, the factor groups, and the seed conjunction (those
+// evalContextBatch is the shared Fig. 9 traversal for arbitrarily many
+// bound instances of one context-mode skeleton. Per query it evaluates
+// the depth-0 join, the factor groups, and the seed conjunction (those
 // mention the query's constants); the f and g operators are compiled
 // once from the shared reduced definition. The traversal is a
 // multi-source label propagation: a context re-enters the frontier only
@@ -183,7 +210,7 @@ func (p *Plan) evalContextBatch(ctx context.Context, edb *storage.Database, boun
 		ans[q] = storage.NewShardedRelation(p.Def.Arity(), &edb.Stats, nshards)
 		// Depth-0 answers use the query's own constants; no sharing.
 		stats.GProbes++
-		bp.d0Join(syms, resolve, func(t storage.Tuple) bool {
+		bp.d0Join(syms, resolve, -1, func(t storage.Tuple) bool {
 			ans[q].Insert(t)
 			return true
 		})
@@ -201,24 +228,27 @@ func (p *Plan) evalContextBatch(ctx context.Context, edb *storage.Database, boun
 	nAnchors := len(p.foldedAnchors)
 	carryWidth := nAnchors + len(p.ctxCols)
 
-	// Owner table: every distinct context with the bitmask of queries
-	// that reach it.
+	// Owner table: every distinct context with the (multi-word) bitmask
+	// of queries that reach it.
 	seenIdx := make(map[string]int)
 	var ctxs []storage.Tuple
-	masks := []uint64{}
-	next := make(map[int]uint64)
-	merge := func(tup storage.Tuple, mask uint64) {
+	var masks []ownerMask
+	next := make(map[int]ownerMask)
+	merge := func(tup storage.Tuple, mask ownerMask) {
 		key := tup.Key()
 		i, ok := seenIdx[key]
 		if !ok {
 			i = len(ctxs)
 			seenIdx[key] = i
 			ctxs = append(ctxs, tup.Clone())
-			masks = append(masks, 0)
+			masks = append(masks, newOwnerMask(k))
 		}
-		if nb := mask &^ masks[i]; nb != 0 {
-			masks[i] |= nb
-			next[i] |= nb
+		if fresh := masks[i].orNew(mask); fresh != nil {
+			if nm, ok := next[i]; ok {
+				nm.orInto(fresh)
+			} else {
+				next[i] = fresh
+			}
 		}
 	}
 
@@ -226,12 +256,12 @@ func (p *Plan) evalContextBatch(ctx context.Context, edb *storage.Database, boun
 		if !alive[q] {
 			continue
 		}
-		bit := uint64(1) << uint(q)
-		bp.forEachSeedContext(syms, resolve, func(tup storage.Tuple) { merge(tup, bit) })
+		bit := ownerBit(k, q)
+		bp.forEachSeedContext(syms, resolve, -1, func(tup storage.Tuple) { merge(tup, bit) })
 	}
 
-	f := p.compileF(syms)
-	g := p.compileG(syms)
+	f := p.compileF(syms, -1)
+	g := p.compileG(syms, -1)
 
 	var frontier []ownerItem
 	flush := func() {
@@ -332,7 +362,7 @@ func (p *Plan) evalContextBatch(ctx context.Context, edb *storage.Database, boun
 			anchorPart := c[:nAnchors]
 			g.conj.run(resolve, gSlots, gBound, func(s []storage.Value) bool {
 				for q := 0; q < k; q++ {
-					if mask&(uint64(1)<<uint(q)) != 0 {
+					if mask.test(q) {
 						emitOwner(q, 0, s, anchorPart)
 					}
 				}

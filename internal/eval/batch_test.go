@@ -177,3 +177,58 @@ func TestMagicEvalBatch(t *testing.T) {
 		t.Fatalf("BatchQueries = %d", st.BatchQueries)
 	}
 }
+
+// TestEvalBatchWideMasks: batches far beyond 64 queries run as ONE
+// shared traversal with multi-word owner masks — each distinct context
+// is g-joined exactly once, so GProbes stays at (k depth-0 probes +
+// distinct contexts) instead of growing per chunk.
+func TestEvalBatchWideMasks(t *testing.T) {
+	const chain, k = 150, 150
+	prog, db := batchChainDB(t, chain)
+	skel := ast.Skeletonize(mustParseAtom(t, "t(n0, Y)"))
+	ps, err := OneSided().Prepare(prog, AdornedQuery{Atom: skel.Atom, Adornment: skel.Adornment})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := ps.(BatchPrepared)
+	binds := make([][]ast.Term, k)
+	for i := range binds {
+		binds[i] = []ast.Term{ast.C(fmt.Sprintf("n%d", i))}
+	}
+	rels, st, err := bp.EvalBatch(context.Background(), db, binds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BatchQueries != k {
+		t.Fatalf("BatchQueries = %d, want %d", st.BatchQueries, k)
+	}
+	// Distinct contexts reachable from any start: n1..n{chain} — the
+	// chunked implementation re-probed shared contexts once per 64-query
+	// chunk, which at k=150 meant nearly 3x this bound.
+	maxProbes := k + chain
+	if st.GProbes > maxProbes {
+		t.Fatalf("GProbes = %d, want <= %d (one probe per distinct context plus depth-0)", st.GProbes, maxProbes)
+	}
+	// Spot-check answers: every start reaches the single goal.
+	for i, rel := range rels {
+		if rel.Len() != 1 {
+			t.Fatalf("query %d: %d answers, want 1 (%v)", i, rel.Len(), AnswerStrings(rel, db.Syms))
+		}
+	}
+	// Owner-mask bit addressing above word 0 (queries 64..149) matches a
+	// direct evaluation.
+	for _, i := range []int{63, 64, 100, 149} {
+		one, err := ps.BindArgs(ast.C(fmt.Sprintf("n%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := one.Eval(context.Background(), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rels[i].Equal(want) {
+			t.Fatalf("query %d: batch %v != individual %v",
+				i, AnswerStrings(rels[i], db.Syms), AnswerStrings(want, db.Syms))
+		}
+	}
+}

@@ -1,0 +1,566 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// This file is the incremental-maintenance layer: prepared plans whose
+// evaluation can be RETAINED and then extended with base-relation deltas
+// instead of recomputed from scratch. The paper's Fig. 9 algorithms
+// already walk the expansion strings from the selection end; under
+// inserts the walk is monotone, so a retained seen-set plus
+// delta-restricted versions of the seed/f/g operators (standard
+// semi-naive view maintenance, specialized to the one-sided schema)
+// extend the fixpoint with exactly the new carry batches. Deletions are
+// out of scope — relations are insert-only sets.
+
+// Delta describes the base-relation changes since a retained
+// evaluation's build epoch: one relation of newly inserted tuples per
+// predicate (indexed like any relation, so delta-restricted conjunction
+// atoms probe it). Predicates absent from the map are unchanged. A
+// delta may overlap state the evaluation already saw — replaying
+// overlap is idempotent under set semantics.
+type Delta map[string]*storage.Relation
+
+// NewDelta builds a Delta entry set from per-predicate tuple slices,
+// dropping empty ones.
+func NewDelta(changes map[string][]storage.Tuple, arities func(pred string) int) Delta {
+	d := make(Delta, len(changes))
+	for pred, tuples := range changes {
+		if len(tuples) == 0 {
+			continue
+		}
+		rel := storage.NewRelation(arities(pred), nil)
+		for _, t := range tuples {
+			rel.Insert(t)
+		}
+		d[pred] = rel
+	}
+	return d
+}
+
+// ErrRebuild is returned by Incremental.Update when the retained state
+// cannot absorb the delta — an empty factor-group guard may have
+// flipped, or a relation shape changed. The caller falls back to a full
+// re-evaluation; answers are never silently wrong.
+var ErrRebuild = errors.New("eval: retained state cannot absorb the delta; re-evaluate")
+
+// Incremental is a maintained evaluation: the materialized answer
+// relation plus whatever fixpoint state Update needs to extend it with
+// newly inserted base tuples. Answers returns the live relation —
+// Update grows it in place. An Incremental is not safe for concurrent
+// use; callers serialize Update (the engine's result cache holds one
+// lock per cached entry).
+//
+// A non-nil Update error — ErrRebuild or a context cancellation —
+// POISONS the state: the pass may have claimed work into its retained
+// seen-sets without finishing it, so a retried Update would silently
+// skip answers. Discard the Incremental and re-evaluate.
+type Incremental interface {
+	Answers() *storage.Relation
+	Stats() EvalStats
+	Update(ctx context.Context, edb *storage.Database, delta Delta) error
+}
+
+// IncrementalPrepared is implemented by prepared plans that can
+// evaluate into a maintainable state. Incremental reports whether this
+// particular plan instance supports maintenance (a strategy may support
+// it only for some plan shapes); when false, EvalIncremental must not
+// be called and the caller re-evaluates on every change.
+type IncrementalPrepared interface {
+	PreparedStrategy
+	Incremental() bool
+	EvalIncremental(ctx context.Context, edb *storage.Database) (Incremental, error)
+}
+
+// ---------------------------------------------------------------------------
+// Context-mode (Fig. 9) incremental state.
+
+// incContext maintains a context-mode evaluation: the retained
+// contextEval (seen-set, answers, compiled full operators) plus
+// lazily compiled delta variants of the d0, seed, f, and g
+// conjunctions, cached by body-atom index so repeated maintenance
+// passes — the hot insert→re-query cycle — pay compilation once.
+type incContext struct {
+	plan  *Plan
+	ce    *contextEval
+	fVars map[int]fOps
+	gVars map[int]gVarOps
+	dVars map[int]d0Ops
+	sVars map[int]seedOps
+}
+
+// gVarOps is a compiled delta variant of g plus its query-constant-
+// filled source table (the sources reference the variant's own slot
+// space, so they cannot be shared with the full operator's).
+type gVarOps struct {
+	ops  gOps
+	srcs []colSrc
+}
+
+func (ic *incContext) Answers() *storage.Relation { return ic.ce.ans }
+func (ic *incContext) Stats() EvalStats           { return ic.ce.stats }
+
+// fVar returns the cached f delta variant for recursive-body index i.
+func (ic *incContext) fVar(i int) fOps {
+	if v, ok := ic.fVars[i]; ok {
+		return v
+	}
+	v := ic.plan.compileF(ic.ce.syms, i)
+	ic.fVars[i] = v
+	return v
+}
+
+// gVar returns the cached g delta variant for exit-body index i.
+func (ic *incContext) gVar(i int) gVarOps {
+	if v, ok := ic.gVars[i]; ok {
+		return v
+	}
+	ops := ic.plan.compileG(ic.ce.syms, i)
+	v := gVarOps{ops: ops, srcs: fillQueryConsts(ops.srcs, ic.plan.queryConsts(ic.ce.syms))}
+	ic.gVars[i] = v
+	return v
+}
+
+// d0Var returns the cached d0 delta variant for exit-body index i.
+func (ic *incContext) d0Var(i int) d0Ops {
+	if v, ok := ic.dVars[i]; ok {
+		return v
+	}
+	v := ic.plan.compileD0(ic.ce.syms, i)
+	ic.dVars[i] = v
+	return v
+}
+
+// seedVar returns the cached seed delta variant for seed-atom index i.
+func (ic *incContext) seedVar(i int) seedOps {
+	if v, ok := ic.sVars[i]; ok {
+		return v
+	}
+	v := ic.plan.compileSeed(ic.ce.syms, i)
+	ic.sVars[i] = v
+	return v
+}
+
+// Update extends the retained Fig. 9 fixpoint with the delta:
+//
+//  1. depth-0 answers that use a new exit-body tuple (d0 delta variants);
+//  2. new seed contexts from delta-restricted seed conjunctions;
+//  3. new transitions out of already-seen contexts (f delta variants run
+//     over the retained seen-set — the delta atom keeps each probe tiny);
+//  4. the ordinary Fig. 9 loop over the genuinely new contexts, using
+//     the retained full operators and the retained seen-set as the
+//     dedup/claim point;
+//  5. new answers for already-seen contexts that use a new exit-body
+//     tuple (g delta variants).
+//
+// Anchor-free factor groups are pure nonemptiness guards: new tuples in
+// them change nothing while the group stays non-empty, and a flip from
+// empty (noDepth) is reported as ErrRebuild.
+func (ic *incContext) Update(ctx context.Context, edb *storage.Database, delta Delta) error {
+	p, ce := ic.plan, ic.ce
+	syms := ce.syms
+	dres := func(pred string, alt bool) *storage.Relation {
+		if alt {
+			return delta[pred]
+		}
+		return edb.Relation(pred)
+	}
+	exitBody := p.reduced.Exit.Body
+	recBody := p.reduced.NonrecursiveBody()
+	touches := func(atoms []ast.Atom) bool {
+		for _, a := range atoms {
+			if delta[a.Pred] != nil {
+				return true
+			}
+		}
+		return false
+	}
+	exitChanged, recChanged := touches(exitBody), touches(recBody)
+	if !exitChanged && !recChanged {
+		return nil
+	}
+
+	if ce.noDepth {
+		// Depth-0-only state: a delta touching the recursive body (which
+		// includes every factor-group guard) could flip an empty guard
+		// and enable depth >= 1 derivations nothing retained can derive.
+		if recChanged {
+			return ErrRebuild
+		}
+		for i, a := range exitBody {
+			if delta[a.Pred] == nil {
+				continue
+			}
+			ce.stats.GProbes++
+			ic.d0Var(i).run(p, syms, dres, ce.emitAnswer)
+		}
+		return nil
+	}
+
+	// 1. Depth-0 delta answers.
+	for i, a := range exitBody {
+		if delta[a.Pred] == nil {
+			continue
+		}
+		ce.stats.GProbes++
+		ic.d0Var(i).run(p, syms, dres, ce.emitAnswer)
+	}
+
+	// Snapshot the contexts known before this update: the f/g delta
+	// variants below must cover exactly these; genuinely new contexts go
+	// through the full operators instead.
+	old := ce.seen.Tuples()
+
+	var frontier []storage.Tuple
+	claim := func(tup storage.Tuple) {
+		if ce.seen.Insert(tup) {
+			frontier = append(frontier, tup.Clone())
+		}
+	}
+
+	// 2. New seed contexts.
+	for i, a := range p.seedAtoms() {
+		if delta[a.Pred] == nil {
+			continue
+		}
+		ic.seedVar(i).run(p, syms, dres, claim)
+	}
+
+	// 3. New transitions out of already-seen contexts.
+	for i, a := range recBody {
+		if delta[a.Pred] == nil {
+			continue
+		}
+		fv := ic.fVar(i)
+		slots := make([]storage.Value, fv.nslots)
+		bound := make([]bool, fv.nslots)
+		tup := make(storage.Tuple, ce.carryWidth)
+		for _, c := range old {
+			for j := range bound {
+				bound[j] = false
+			}
+			for j, sl := range fv.headSlots {
+				slots[sl] = c[ce.nAnchors+j]
+				bound[sl] = true
+			}
+			anchorPart := c[:ce.nAnchors]
+			fv.conj.run(dres, slots, bound, func(s []storage.Value) bool {
+				if fv.proj.projectCtx(s, anchorPart, tup, syms) {
+					claim(tup)
+				}
+				return true
+			})
+		}
+	}
+
+	// 4. Fig. 9 loop over the new contexts, on the retained state.
+	if len(frontier) > 0 {
+		ce.stats.Batches++
+		ce.gBatch(frontier)
+		for len(frontier) > 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			ce.stats.Iterations++
+			ce.stats.Batches++
+			frontier = ce.fBatch(frontier)
+			ce.gBatch(frontier)
+		}
+	}
+
+	// 5. New answers for old contexts through new exit tuples.
+	for i, a := range exitBody {
+		if delta[a.Pred] == nil {
+			continue
+		}
+		gv := ic.gVar(i)
+		gSlots := make([]storage.Value, gv.ops.nslots)
+		gBound := make([]bool, gv.ops.nslots)
+		out := make(storage.Tuple, p.Def.Arity())
+		ce.stats.GProbes += len(old)
+		for _, c := range old {
+			for j := range gBound {
+				gBound[j] = false
+			}
+			for j, sl := range gv.ops.ctxSlots {
+				gSlots[sl] = c[ce.nAnchors+j]
+				gBound[sl] = true
+			}
+			anchorPart := c[:ce.nAnchors]
+			gv.ops.conj.run(dres, gSlots, gBound, func(s []storage.Value) bool {
+				return ce.emitProductsWith(gv.srcs, 0, s, anchorPart, out)
+			})
+		}
+	}
+
+	ce.stats.SeenSize = ce.seen.Len()
+	return ctx.Err()
+}
+
+// ---------------------------------------------------------------------------
+// Semi-naive-backed incremental states (reduced/full one-sided plans,
+// Magic Sets, and the plain semi-naive strategy).
+
+// incSemiNaive maintains a retained semi-naive fixpoint plus an answer
+// relation folded from one watched derived predicate.
+type incSemiNaive struct {
+	st    *snState
+	watch string
+	// apply folds one genuinely new watched tuple into the answers.
+	apply func(t storage.Tuple)
+	ans   *storage.Relation
+	// seenSize recomputes the post-update SeenSize statistic.
+	seenSize func() int
+	stats    EvalStats
+}
+
+func (s *incSemiNaive) Answers() *storage.Relation { return s.ans }
+func (s *incSemiNaive) Stats() EvalStats           { return s.stats }
+
+func (s *incSemiNaive) Update(ctx context.Context, edb *storage.Database, delta Delta) error {
+	err := s.st.update(ctx, delta, func(pred string, t storage.Tuple) {
+		if pred == s.watch {
+			s.apply(t)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	s.stats.Iterations = s.st.rounds
+	s.stats.SeenSize = s.seenSize()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// One-sided strategy.
+
+// Incremental reports whether this plan shape supports delta
+// maintenance: context-mode plans whose factor groups are anchor-free
+// (pure nonemptiness guards), and the reduced/full modes (maintained
+// through the retained semi-naive fixpoint). Context plans with
+// anchored factor groups would need the g-join solutions retained per
+// context to cross new group tuples in; they re-evaluate instead.
+func (o *oneSidedPrepared) Incremental() bool {
+	switch o.plan.Mode {
+	case ModeContext:
+		for _, fg := range o.plan.factored {
+			if len(fg.anchors) > 0 {
+				return false
+			}
+		}
+		return true
+	case ModeReduced, ModeFull:
+		return true
+	}
+	return false
+}
+
+// EvalIncremental evaluates the plan and retains its fixpoint state for
+// delta-driven updates.
+func (o *oneSidedPrepared) EvalIncremental(ctx context.Context, edb *storage.Database) (Incremental, error) {
+	p := o.plan
+	if p.NSlots > 0 {
+		return nil, errUnboundSkeleton(p.Query)
+	}
+	switch p.Mode {
+	case ModeContext:
+		ce := p.newContextEval(edb, nil)
+		if _, _, err := ce.run(ctx); err != nil {
+			return nil, err
+		}
+		return &incContext{
+			plan: p, ce: ce,
+			fVars: make(map[int]fOps), gVars: make(map[int]gVarOps),
+			dVars: make(map[int]d0Ops), sVars: make(map[int]seedOps),
+		}, nil
+	case ModeReduced:
+		return p.evalReducedIncremental(ctx, edb)
+	case ModeFull:
+		return p.evalFullIncremental(ctx, edb)
+	}
+	return nil, fmt.Errorf("eval: plan mode %v is not maintainable", p.Mode)
+}
+
+// evalReducedIncremental is evalReduced with the semi-naive state
+// retained: new reduced tuples re-expand through the dropped constant
+// columns as they are derived.
+func (p *Plan) evalReducedIncremental(ctx context.Context, edb *storage.Database) (Incremental, error) {
+	st, err := newSNState(p.reduced.Program(), edb, p.effectiveWorkers())
+	if err != nil {
+		return nil, err
+	}
+	if err := st.initialFixpoint(ctx); err != nil {
+		return nil, err
+	}
+	ans := storage.NewShardedRelation(p.Def.Arity(), &edb.Stats, edb.Shards())
+	out := make(storage.Tuple, p.Def.Arity())
+	for i, a := range p.Query.Args {
+		if a.IsConst() {
+			out[i] = edb.Syms.Intern(a.Name)
+		}
+	}
+	watch := p.reduced.Pred()
+	expand := func(t storage.Tuple) {
+		for ri, oi := range p.keepCols {
+			out[oi] = t[ri]
+		}
+		ans.Insert(out)
+	}
+	inc := &incSemiNaive{st: st, watch: watch, apply: expand, ans: ans}
+	redRel := st.idb.Relation(watch)
+	if redRel != nil {
+		for _, t := range redRel.Tuples() {
+			expand(t)
+		}
+	}
+	inc.seenSize = func() int {
+		if r := st.idb.Relation(watch); r != nil {
+			return r.Len()
+		}
+		return 0
+	}
+	inc.stats = EvalStats{
+		Iterations: st.rounds, CarryArity: p.CarryArity,
+		Workers: p.effectiveWorkers(), Shards: edb.Shards(),
+		SeenSize: inc.seenSize(),
+	}
+	return inc, nil
+}
+
+// evalFullIncremental maintains an unbound (ModeFull) plan: the whole
+// definition materializes semi-naively and the query selects from the
+// watched predicate.
+func (p *Plan) evalFullIncremental(ctx context.Context, edb *storage.Database) (Incremental, error) {
+	inc, err := newSelectIncremental(ctx, p.Def.Program(), p.Query, edb, p.effectiveWorkers())
+	if err != nil {
+		return nil, err
+	}
+	inc.stats.CarryArity = p.CarryArity
+	inc.stats.Workers = p.effectiveWorkers()
+	inc.stats.Shards = edb.Shards()
+	inc.stats.SeenSize = inc.ans.Len()
+	return inc, nil
+}
+
+// newSelectIncremental builds the materialize-then-select incremental
+// state shared by the full one-sided mode, Magic Sets, and the
+// semi-naive strategy: a retained fixpoint over prog, with new tuples
+// of the query predicate folded into the answer set when they match
+// the query's constants.
+func newSelectIncremental(ctx context.Context, prog *ast.Program, query ast.Atom, edb *storage.Database, workers int) (*incSemiNaive, error) {
+	return newSelectIncrementalFor(ctx, prog, query.Pred, query, edb, workers)
+}
+
+// ---------------------------------------------------------------------------
+// Magic Sets strategy.
+
+// Incremental: the rewritten program is negation-free Datalog, so the
+// retained semi-naive fixpoint (magic and answer predicates included)
+// extends under inserts.
+func (m *magicPrepared) Incremental() bool { return true }
+
+func (m *magicPrepared) EvalIncremental(ctx context.Context, edb *storage.Database) (Incremental, error) {
+	if m.mr.Query.HasSlots() {
+		return nil, errUnboundSkeleton(m.mr.Query)
+	}
+	return newSelectIncrementalFor(ctx, m.mr.Program, m.mr.AnswerPred, m.mr.Query, edb, 0)
+}
+
+// newSelectIncrementalFor is the general materialize-then-select
+// incremental builder: the watched predicate may differ from the query
+// predicate (Magic Sets watches the answer predicate while selecting
+// with the original query atom).
+func newSelectIncrementalFor(ctx context.Context, prog *ast.Program, watch string, query ast.Atom, edb *storage.Database, workers int) (*incSemiNaive, error) {
+	st, err := newSNState(prog, edb, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.initialFixpoint(ctx); err != nil {
+		return nil, err
+	}
+	ans := storage.NewRelation(query.Arity(), &edb.Stats)
+	syms := edb.Syms
+	apply := func(t storage.Tuple) {
+		if matchesQuery(t, query, syms) {
+			ans.Insert(t)
+		}
+	}
+	inc := &incSemiNaive{st: st, watch: watch, apply: apply, ans: ans}
+	if rel := st.idb.Relation(watch); rel != nil {
+		for _, t := range rel.Tuples() {
+			apply(t)
+		}
+	}
+	inc.seenSize = func() int { return st.idb.TupleCount() }
+	inc.stats = EvalStats{Iterations: st.rounds, SeenSize: inc.seenSize()}
+	return inc, nil
+}
+
+// ---------------------------------------------------------------------------
+// Bottom-up strategies.
+
+// Incremental: only the semi-naive variant maintains (naive has no
+// delta machinery to retain — it re-derives everything each round).
+func (b *bottomUpPrepared) Incremental() bool { return b.strategy.name == StrategySemiNaive }
+
+func (b *bottomUpPrepared) EvalIncremental(ctx context.Context, edb *storage.Database) (Incremental, error) {
+	if b.query.HasSlots() {
+		return nil, errUnboundSkeleton(b.query)
+	}
+	if !b.Incremental() {
+		return nil, fmt.Errorf("eval: %s strategy is not maintainable", b.strategy.name)
+	}
+	return newSelectIncremental(ctx, b.program, b.query, edb, 0)
+}
+
+// ---------------------------------------------------------------------------
+// EDB lookup strategy.
+
+// incEDB maintains a base-relation selection: the delta tuples of the
+// query predicate that match the selection join the answer set.
+type incEDB struct {
+	query ast.Atom
+	syms  *storage.SymbolTable
+	ans   *storage.Relation
+	stats EvalStats
+}
+
+func (e *incEDB) Answers() *storage.Relation { return e.ans }
+func (e *incEDB) Stats() EvalStats           { return e.stats }
+
+func (e *incEDB) Update(ctx context.Context, edb *storage.Database, delta Delta) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	d := delta[e.query.Pred]
+	if d == nil {
+		return nil
+	}
+	if d.Arity() != e.query.Arity() {
+		return ErrRebuild
+	}
+	for _, t := range d.Tuples() {
+		if matchesQuery(t, e.query, e.syms) {
+			e.ans.Insert(t)
+		}
+	}
+	e.stats.SeenSize = e.ans.Len()
+	return nil
+}
+
+// Incremental: a base-relation lookup is trivially maintainable.
+func (e *edbPrepared) Incremental() bool { return true }
+
+func (e *edbPrepared) EvalIncremental(ctx context.Context, edb *storage.Database) (Incremental, error) {
+	rel, stats, err := e.Eval(ctx, edb)
+	if err != nil {
+		return nil, err
+	}
+	return &incEDB{query: e.query, syms: edb.Syms, ans: rel, stats: stats}, nil
+}

@@ -565,6 +565,11 @@ type contextEval struct {
 	emitMu  sync.Mutex
 	aborted atomic.Bool
 
+	// noDepth records that an empty factor group killed every depth >= 1
+	// derivation: the answers are depth-0 only and no loop state was
+	// compiled. An update whose delta could change that must rebuild.
+	noDepth bool
+
 	stats EvalStats
 
 	fConj      *compiledConj
@@ -579,11 +584,40 @@ type contextEval struct {
 	srcs      []colSrc
 }
 
-// d0Join evaluates the depth-0 exit join of a bound context-mode plan —
-// the exit rule with the bound head columns substituted — and feeds each
-// assembled answer tuple to sink. The tuple is scratch; sink copies what
-// it keeps and returns false to stop.
-func (p *Plan) d0Join(syms *storage.SymbolTable, resolve resolver, sink func(storage.Tuple) bool) {
+// altFlagsFor builds the compileConj altFlags slice marking index
+// altIdx (no flags when altIdx < 0).
+func altFlagsFor(n, altIdx int) []bool {
+	if altIdx < 0 {
+		return nil
+	}
+	flags := make([]bool, n)
+	flags[altIdx] = true
+	return flags
+}
+
+// conjOptsFor wraps altFlagsFor in compileConjOpts (nil when unused).
+func conjOptsFor(n, altIdx int) *compileConjOpts {
+	if altIdx < 0 {
+		return nil
+	}
+	return &compileConjOpts{altFlags: altFlagsFor(n, altIdx)}
+}
+
+// d0Ops is the compiled depth-0 exit join of a bound context-mode plan:
+// the exit rule with the bound head columns substituted. Immutable after
+// compilation, so delta variants can be cached across maintenance
+// passes.
+type d0Ops struct {
+	conj     *compiledConj
+	headRefs catom
+	nslots   int
+}
+
+// compileD0 builds the depth-0 join. altIdx >= 0 marks that index of
+// the exit body as the delta atom (resolved with alt=true) — the
+// incremental-maintenance variant that derives only answers using at
+// least one newly inserted tuple of that atom's relation.
+func (p *Plan) compileD0(syms *storage.SymbolTable, altIdx int) d0Ops {
 	exitHead := p.reduced.Exit.Head
 	exitSubst := make(ast.Subst)
 	for rc, c := range p.boundCols {
@@ -594,19 +628,26 @@ func (p *Plan) d0Join(syms *storage.SymbolTable, resolve resolver, sink func(sto
 	d0Atoms := exitSubst.ApplyAtoms(p.reduced.Exit.Body)
 	d0Head := exitSubst.ApplyAtom(exitHead)
 	ss := newSlotSpace()
-	conj := compileConj(d0Atoms, nil, ss, syms, nil, d0Head.VarSet())
+	conj := compileConj(d0Atoms, conjOptsFor(len(d0Atoms), altIdx), ss, syms, nil, d0Head.VarSet())
 	headRefs := compileAtom(d0Head, ss, syms, false)
-	slots := make([]storage.Value, len(ss.varSlot))
-	bound := make([]bool, len(ss.varSlot))
+	return d0Ops{conj: conj, headRefs: headRefs, nslots: len(ss.varSlot)}
+}
+
+// run evaluates the compiled depth-0 join, feeding each assembled answer
+// tuple to sink. The tuple is scratch; sink copies what it keeps and
+// returns false to stop.
+func (d d0Ops) run(p *Plan, syms *storage.SymbolTable, resolve resolver, sink func(storage.Tuple) bool) {
+	slots := make([]storage.Value, d.nslots)
+	bound := make([]bool, d.nslots)
 	out := make(storage.Tuple, p.Def.Arity())
 	for i, a := range p.Query.Args {
 		if a.IsConst() {
 			out[i] = syms.Intern(a.Name)
 		}
 	}
-	conj.run(resolve, slots, bound, func(s []storage.Value) bool {
+	d.conj.run(resolve, slots, bound, func(s []storage.Value) bool {
 		for ri, oi := range p.keepCols {
-			ref := headRefs.args[ri]
+			ref := d.headRefs.args[ri]
 			if ref.isConst {
 				out[oi] = ref.val
 			} else {
@@ -615,6 +656,11 @@ func (p *Plan) d0Join(syms *storage.SymbolTable, resolve resolver, sink func(sto
 		}
 		return sink(out)
 	})
+}
+
+// d0Join compiles and evaluates the depth-0 exit join in one call.
+func (p *Plan) d0Join(syms *storage.SymbolTable, resolve resolver, altIdx int, sink func(storage.Tuple) bool) {
+	p.compileD0(syms, altIdx).run(p, syms, resolve, sink)
 }
 
 // evalFactoredGroups materializes the plan's factor groups with the
@@ -653,39 +699,66 @@ func (p *Plan) evalFactoredGroups(syms *storage.SymbolTable, resolve resolver) (
 	return groups, true
 }
 
-// forEachSeedContext runs the seed conjunction — all non-factored EDB
-// atoms with the selection constants substituted — and yields each
-// projected carry tuple (anchors then context columns). Tuples are
-// scratch and may repeat; the caller deduplicates.
-func (p *Plan) forEachSeedContext(syms *storage.SymbolTable, resolve resolver, yield func(storage.Tuple)) {
+// seedAtoms returns the seed conjunction's atoms: the reduced recursive
+// rule's non-factored EDB atoms, before bound-variable substitution
+// (substitution preserves predicates, so delta-variant indices computed
+// against this list line up with the compiled conjunction).
+func (p *Plan) seedAtoms() []ast.Atom {
 	factoredIdx := make(map[string]bool)
 	for _, fg := range p.factored {
 		for _, a := range fg.atoms {
 			factoredIdx[a.String()] = true
 		}
 	}
-	var seedAtoms []ast.Atom
+	var out []ast.Atom
 	for _, a := range p.reduced.NonrecursiveBody() {
 		if !factoredIdx[a.String()] {
-			seedAtoms = append(seedAtoms, a)
+			out = append(out, a)
 		}
 	}
-	seedAtoms = p.substBound(seedAtoms)
+	return out
+}
+
+// seedOps is the compiled seed conjunction — all non-factored EDB atoms
+// with the selection constants substituted — plus the carry projection.
+// Immutable after compilation.
+type seedOps struct {
+	conj   *compiledConj
+	proj   *carryProj
+	nslots int
+}
+
+// compileSeed builds the seed conjunction. altIdx >= 0 marks that seed
+// atom (index into seedAtoms) as the delta atom (see compileD0).
+func (p *Plan) compileSeed(syms *storage.SymbolTable, altIdx int) seedOps {
+	seedAtoms := p.substBound(p.seedAtoms())
 	// Bound head variables may occur in the recursive call too; the
 	// projection must see them as constants at seed depth.
 	seedRec := p.substBound([]ast.Atom{p.reduced.RecursiveAtom()})[0]
 	ss := newSlotSpace()
-	conj := compileConj(seedAtoms, nil, ss, syms, nil, p.carryNeeded(seedRec))
-	projSlots := p.carryProjection(ss, seedRec, syms)
-	slots := make([]storage.Value, len(ss.varSlot))
-	bound := make([]bool, len(ss.varSlot))
+	conj := compileConj(seedAtoms, conjOptsFor(len(seedAtoms), altIdx), ss, syms, nil, p.carryNeeded(seedRec))
+	return seedOps{conj: conj, proj: p.carryProjection(ss, seedRec, syms), nslots: len(ss.varSlot)}
+}
+
+// run evaluates the compiled seed conjunction, yielding each projected
+// carry tuple (anchors then context columns). Tuples are scratch and
+// may repeat; the caller deduplicates.
+func (so seedOps) run(p *Plan, syms *storage.SymbolTable, resolve resolver, yield func(storage.Tuple)) {
+	slots := make([]storage.Value, so.nslots)
+	bound := make([]bool, so.nslots)
 	tup := make(storage.Tuple, len(p.foldedAnchors)+len(p.ctxCols))
-	conj.run(resolve, slots, bound, func(s []storage.Value) bool {
-		if projSlots.project(s, tup, syms) {
+	so.conj.run(resolve, slots, bound, func(s []storage.Value) bool {
+		if so.proj.project(s, tup, syms) {
 			yield(tup)
 		}
 		return true
 	})
+}
+
+// forEachSeedContext compiles and evaluates the seed conjunction in one
+// call.
+func (p *Plan) forEachSeedContext(syms *storage.SymbolTable, resolve resolver, altIdx int, yield func(storage.Tuple)) {
+	p.compileSeed(syms, altIdx).run(p, syms, resolve, yield)
 }
 
 // fOps is the compiled carry-transition operator f: one application of
@@ -702,8 +775,10 @@ type fOps struct {
 // and the fixed call columns — never the selection constants at bound
 // head columns (those flow through the carried context) — so for a
 // slot-free reduced definition the operator is shared verbatim by every
-// query of the adornment.
-func (p *Plan) compileF(syms *storage.SymbolTable) fOps {
+// query of the adornment. altIdx >= 0 compiles the delta variant that
+// restricts the altIdx-th EDB body atom to newly inserted tuples (the
+// incremental transition from already-seen contexts).
+func (p *Plan) compileF(syms *storage.SymbolTable, altIdx int) fOps {
 	head := p.reduced.Recursive.Head
 	rec := p.reduced.RecursiveAtom()
 	edbAtoms := p.reduced.NonrecursiveBody()
@@ -723,7 +798,7 @@ func (p *Plan) compileF(syms *storage.SymbolTable) fOps {
 	}
 	fAtoms := fixedHead.ApplyAtoms(edbAtoms)
 	f := fOps{}
-	f.conj = compileConj(fAtoms, nil, fSS, syms, initBound, p.carryNeeded(fixedHead.ApplyAtom(rec)))
+	f.conj = compileConj(fAtoms, conjOptsFor(len(fAtoms), altIdx), fSS, syms, initBound, p.carryNeeded(fixedHead.ApplyAtom(rec)))
 	f.proj = p.carryProjection(fSS, fixedHead.ApplyAtom(rec), syms)
 	f.headSlots = make([]int, len(p.ctxCols))
 	for i, j := range p.ctxCols {
@@ -745,8 +820,11 @@ type gOps struct {
 	srcs     []colSrc
 }
 
-// compileG builds the g operator against the reduced exit rule.
-func (p *Plan) compileG(syms *storage.SymbolTable) gOps {
+// compileG builds the g operator against the reduced exit rule. altIdx
+// >= 0 compiles the delta variant restricting the altIdx-th exit body
+// atom to newly inserted tuples (the incremental answer join for
+// already-seen contexts).
+func (p *Plan) compileG(syms *storage.SymbolTable, altIdx int) gOps {
 	head := p.reduced.Recursive.Head
 	exitHead := p.reduced.Exit.Head
 	gSS := newSlotSpace()
@@ -764,7 +842,7 @@ func (p *Plan) compileG(syms *storage.SymbolTable) gOps {
 	}
 	gAtoms := gFixed.ApplyAtoms(p.reduced.Exit.Body)
 	g := gOps{}
-	g.conj = compileConj(gAtoms, nil, gSS, syms, gInitBound, exitHead.VarSet())
+	g.conj = compileConj(gAtoms, conjOptsFor(len(gAtoms), altIdx), gSS, syms, gInitBound, exitHead.VarSet())
 	g.ctxSlots = make([]int, len(p.ctxCols))
 	for i, j := range p.ctxCols {
 		g.ctxSlots[i] = gSS.slot(exitHead.Args[j].Name)
@@ -834,6 +912,15 @@ func (p *Plan) queryConsts(syms *storage.SymbolTable) storage.Tuple {
 // concurrently discovered contexts, and the depth-0 answers from the
 // exit rule alone are emitted before the loop starts.
 func (p *Plan) evalContext(ctx context.Context, edb *storage.Database, emit func(storage.Tuple) bool) (*storage.Relation, EvalStats, error) {
+	ce := p.newContextEval(edb, emit)
+	return ce.run(ctx)
+}
+
+// newContextEval constructs the evaluation state for a bound
+// context-mode plan: the answer and seen relations plus the environment
+// the compiled operators run in. run executes the Fig. 9 loop; the state
+// can be retained afterwards and extended with update.
+func (p *Plan) newContextEval(edb *storage.Database, emit func(storage.Tuple) bool) *contextEval {
 	syms := edb.Syms
 	nshards := edb.Shards()
 	ce := &contextEval{
@@ -848,11 +935,17 @@ func (p *Plan) evalContext(ctx context.Context, edb *storage.Database, emit func
 	ce.carryWidth = ce.nAnchors + len(p.ctxCols)
 	ce.seen = storage.NewShardedRelation(ce.carryWidth, nil, nshards)
 	ce.stats = EvalStats{CarryArity: p.CarryArity, Workers: ce.workers, Shards: nshards}
+	return ce
+}
+
+// run executes the full Fig. 9 evaluation over the state.
+func (ce *contextEval) run(ctx context.Context) (*storage.Relation, EvalStats, error) {
+	p, syms := ce.p, ce.syms
 
 	// Depth-0: exit rule with the bound head columns substituted. These
 	// are the first streamed answers — no fixpoint work precedes them.
 	ce.stats.GProbes++
-	p.d0Join(syms, ce.resolve, ce.emitAnswer)
+	p.d0Join(syms, ce.resolve, -1, ce.emitAnswer)
 	if ce.aborted.Load() {
 		return ce.finish(ctx)
 	}
@@ -862,32 +955,26 @@ func (p *Plan) evalContext(ctx context.Context, edb *storage.Database, emit func
 	groups, ok := p.evalFactoredGroups(syms, ce.resolve)
 	if !ok {
 		// No depth>=1 derivations are possible; answers are depth-0 only.
+		ce.noDepth = true
 		return ce.finish(ctx)
 	}
 	ce.groups = groups
 
 	// Seed contexts, deduplicated through the shared seen-set.
 	var carry []storage.Tuple
-	p.forEachSeedContext(syms, ce.resolve, func(tup storage.Tuple) {
+	p.forEachSeedContext(syms, ce.resolve, -1, func(tup storage.Tuple) {
 		if ce.seen.Insert(tup) {
 			carry = append(carry, tup.Clone())
 		}
 	})
 
-	f := p.compileF(syms)
+	f := p.compileF(syms, -1)
 	ce.fConj, ce.fProj, ce.fHeadSlots, ce.fNslots = f.conj, f.proj, f.headSlots, f.nslots
 
-	g := p.compileG(syms)
+	g := p.compileG(syms, -1)
 	ce.gConj, ce.gCtxSlots, ce.gNslots = g.conj, g.ctxSlots, g.nslots
 	// Fill the query-constant sources (kind 0) with this plan's values.
-	ce.srcs = make([]colSrc, len(g.srcs))
-	copy(ce.srcs, g.srcs)
-	qc := p.queryConsts(syms)
-	for oi := range ce.srcs {
-		if ce.srcs[oi].kind == 0 {
-			ce.srcs[oi].val = qc[oi]
-		}
-	}
+	ce.srcs = fillQueryConsts(g.srcs, p.queryConsts(syms))
 
 	// Fig. 9 while loop, one parallel batch per level: g joins the new
 	// contexts (streaming their answers), f produces the next level.
@@ -906,6 +993,19 @@ func (p *Plan) evalContext(ctx context.Context, edb *storage.Database, emit func
 		ce.gBatch(carry)
 	}
 	return ce.finish(ctx)
+}
+
+// fillQueryConsts copies a g operator's source table with the kind-0
+// (query constant) entries holding the plan's interned values.
+func fillQueryConsts(srcs []colSrc, qc storage.Tuple) []colSrc {
+	out := make([]colSrc, len(srcs))
+	copy(out, srcs)
+	for oi := range out {
+		if out[oi].kind == 0 {
+			out[oi].val = qc[oi]
+		}
+	}
+	return out
 }
 
 // finish closes out a context-mode evaluation. An abort latched by the
@@ -999,8 +1099,15 @@ func (ce *contextEval) gBatch(batch []storage.Tuple) {
 // factored groups, and routes them through emitAnswer. out is the
 // caller's scratch tuple. Returns false when the evaluation should stop.
 func (ce *contextEval) emitProducts(gi int, s []storage.Value, anchorPart, out storage.Tuple) bool {
+	return ce.emitProductsWith(ce.srcs, gi, s, anchorPart, out)
+}
+
+// emitProductsWith is emitProducts against an explicit source table —
+// delta variants of g compile their own slot spaces, so their kind-1
+// sources reference different slots than the retained full operator's.
+func (ce *contextEval) emitProductsWith(srcs []colSrc, gi int, s []storage.Value, anchorPart, out storage.Tuple) bool {
 	if gi == len(ce.groups) {
-		for oi, src := range ce.srcs {
+		for oi, src := range srcs {
 			switch src.kind {
 			case 0:
 				out[oi] = src.val
@@ -1013,12 +1120,12 @@ func (ce *contextEval) emitProducts(gi int, s []storage.Value, anchorPart, out s
 		return ce.emitAnswer(out)
 	}
 	for _, gt := range ce.groups[gi].tuples {
-		for oi, src := range ce.srcs {
+		for oi, src := range srcs {
 			if src.kind == 3 && src.idx == gi {
 				out[oi] = gt[src.pos]
 			}
 		}
-		if !ce.emitProducts(gi+1, s, anchorPart, out) {
+		if !ce.emitProductsWith(srcs, gi+1, s, anchorPart, out) {
 			return false
 		}
 	}

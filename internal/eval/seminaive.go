@@ -25,6 +25,11 @@ type compiledRule struct {
 	// body atoms there is a single variant with no delta atom.
 	variants []ruleVariant
 	headPred string
+	// edbVariants maps a body index holding an EDB atom to the variant
+	// that marks it as the delta atom — the incremental-maintenance
+	// counterpart of variants, built lazily on the first Update (see
+	// snState.update).
+	edbVariants map[int]ruleVariant
 }
 
 // program holds the compiled rules and the IDB/EDB split used by the
@@ -84,39 +89,45 @@ func compileProgram(p *ast.Program, syms *storage.SymbolTable) (*program, error)
 				idbIdx = append(idbIdx, i)
 			}
 		}
-		mkVariant := func(delta int) ruleVariant {
-			ss := newSlotSpace()
-			flags := make([]bool, len(r.Body))
-			if delta >= 0 {
-				flags[delta] = true
-			}
-			idbFlags := make([]bool, len(r.Body))
-			for i, a := range r.Body {
-				idbFlags[i] = cp.idb[a.Pred]
-			}
-			conj := compileConj(r.Body, &compileConjOpts{altFlags: flags, idbFlags: idbFlags}, ss, syms, nil, r.Head.VarSet())
-			// Head compiled against the same slot space; head variables
-			// occur in the body (safety), so their slots already exist.
-			head := make([]argRef, len(r.Head.Args))
-			for i, t := range r.Head.Args {
-				if t.IsConst() {
-					head[i] = argRef{isConst: true, val: syms.Intern(t.Name)}
-				} else {
-					head[i] = argRef{slot: ss.slot(t.Name)}
-				}
-			}
-			return ruleVariant{conj: conj, head: head}
-		}
 		if len(idbIdx) == 0 {
-			cr.variants = []ruleVariant{mkVariant(-1)}
+			cr.variants = []ruleVariant{compileRuleVariant(r, cp.idb, syms, -1)}
 		} else {
 			for _, i := range idbIdx {
-				cr.variants = append(cr.variants, mkVariant(i))
+				cr.variants = append(cr.variants, compileRuleVariant(r, cp.idb, syms, i))
 			}
 		}
 		cp.rules = append(cp.rules, cr)
 	}
 	return cp, nil
+}
+
+// compileRuleVariant compiles one delta variant of a rule: body index
+// delta (when >= 0) is marked as the alt atom the resolver redirects to
+// a delta relation. The variant works for IDB deltas (semi-naive rounds)
+// and EDB deltas (incremental maintenance) alike — the resolver decides
+// what the alt relation is.
+func compileRuleVariant(r ast.Rule, idb map[string]bool, syms *storage.SymbolTable, delta int) ruleVariant {
+	ss := newSlotSpace()
+	flags := make([]bool, len(r.Body))
+	if delta >= 0 {
+		flags[delta] = true
+	}
+	idbFlags := make([]bool, len(r.Body))
+	for i, a := range r.Body {
+		idbFlags[i] = idb[a.Pred]
+	}
+	conj := compileConj(r.Body, &compileConjOpts{altFlags: flags, idbFlags: idbFlags}, ss, syms, nil, r.Head.VarSet())
+	// Head compiled against the same slot space; head variables
+	// occur in the body (safety), so their slots already exist.
+	head := make([]argRef, len(r.Head.Args))
+	for i, t := range r.Head.Args {
+		if t.IsConst() {
+			head[i] = argRef{isConst: true, val: syms.Intern(t.Name)}
+		} else {
+			head[i] = argRef{slot: ss.slot(t.Name)}
+		}
+	}
+	return ruleVariant{conj: conj, head: head}
 }
 
 // Result is the outcome of bottom-up evaluation: the derived (IDB)
@@ -148,13 +159,38 @@ func SemiNaiveCtx(ctx context.Context, p *ast.Program, edb *storage.Database) (*
 // SemiNaiveWorkersCtx is SemiNaiveCtx with the per-round parallelism
 // bounded to workers (0 means GOMAXPROCS, 1 forces sequential rounds).
 func SemiNaiveWorkersCtx(ctx context.Context, p *ast.Program, edb *storage.Database, workers int) (*Result, error) {
+	st, err := newSNState(p, edb, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.initialFixpoint(ctx); err != nil {
+		return nil, err
+	}
+	return st.result(), nil
+}
+
+// snState is a retained semi-naive evaluation: the compiled program, the
+// derived database, and the round counter. After initialFixpoint it can
+// be extended in place with base-relation deltas (update) — the
+// delta-driven maintenance pass the engine's result cache runs instead
+// of recomputing the fixpoint from scratch. An snState is not safe for
+// concurrent use; callers serialize initialFixpoint/update.
+type snState struct {
+	cp      *program
+	edb     *storage.Database
+	idb     *storage.Database
+	workers int
+	rounds  int
+}
+
+// newSNState compiles the program and seeds the derived database with
+// the program's facts and same-name EDB relations.
+func newSNState(p *ast.Program, edb *storage.Database, workers int) (*snState, error) {
 	cp, err := compileProgram(p, edb.Syms)
 	if err != nil {
 		return nil, err
 	}
-	idb := storage.NewDatabaseWith(edb.Syms)
-	res := &Result{IDB: idb}
-
+	st := &snState{cp: cp, edb: edb, idb: storage.NewDatabaseWith(edb.Syms), workers: workers}
 	// Seed: program facts and same-name EDB relations. The seeds need no
 	// delta bookkeeping because the first round evaluates every rule
 	// against the full (seeded) relations.
@@ -163,7 +199,7 @@ func SemiNaiveWorkersCtx(ctx context.Context, p *ast.Program, edb *storage.Datab
 		if !ok {
 			continue
 		}
-		rel := idb.Ensure(pred, arity)
+		rel := st.idb.Ensure(pred, arity)
 		if seed := edb.Relation(pred); seed != nil {
 			for _, t := range seed.Tuples() {
 				rel.Insert(t)
@@ -175,73 +211,94 @@ func SemiNaiveWorkersCtx(ctx context.Context, p *ast.Program, edb *storage.Datab
 		for i, c := range f.Head.Args {
 			t[i] = edb.Syms.Intern(c.Name)
 		}
-		idb.Ensure(f.Head.Pred, len(t)).Insert(t)
+		st.idb.Ensure(f.Head.Pred, len(t)).Insert(t)
 	}
+	return st, nil
+}
 
-	resolve := func(useDelta map[string]*storage.Relation) resolver {
-		return func(pred string, alt bool) *storage.Relation {
-			if alt {
-				return useDelta[pred]
-			}
-			if cp.idb[pred] {
-				return idb.Relation(pred)
-			}
-			return edb.Relation(pred)
+// result wraps the current derived state.
+func (st *snState) result() *Result { return &Result{IDB: st.idb, Rounds: st.rounds} }
+
+// resolve builds a resolver over the retained state with the given delta
+// table serving alt (delta-atom) lookups.
+func (st *snState) resolve(useDelta map[string]*storage.Relation) resolver {
+	return func(pred string, alt bool) *storage.Relation {
+		if alt {
+			return useDelta[pred]
+		}
+		if st.cp.idb[pred] {
+			return st.idb.Relation(pred)
+		}
+		return st.edb.Relation(pred)
+	}
+}
+
+// freshDelta pre-creates one delta relation per derived predicate of
+// known arity so the map is read-only while a round's jobs run in
+// parallel (and so update's direct IDB-seed inserts always have a delta
+// relation to record into).
+func (st *snState) freshDelta() map[string]*storage.Relation {
+	m := make(map[string]*storage.Relation, len(st.cp.idb))
+	for pred := range st.cp.idb {
+		if arity, ok := st.cp.arity[pred]; ok {
+			m[pred] = storage.NewShardedRelation(arity, nil, st.idb.Shards())
 		}
 	}
+	return m
+}
 
-	// freshDelta pre-creates one delta relation per head predicate so the
-	// map is read-only while a round's jobs run in parallel.
-	freshDelta := func() map[string]*storage.Relation {
-		m := make(map[string]*storage.Relation, len(cp.rules))
-		for _, cr := range cp.rules {
-			if m[cr.headPred] == nil {
-				m[cr.headPred] = storage.NewShardedRelation(len(cr.src.Head.Args), nil, idb.Shards())
-			}
-		}
-		return m
-	}
-
-	// First round: evaluate all rules with no delta restriction. The
-	// rules are independent up to monotone inserts, so they run as one
-	// parallel round (see runRound).
+// initialFixpoint runs the full semi-naive evaluation: one unrestricted
+// first round, then delta rounds to fixpoint.
+func (st *snState) initialFixpoint(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	newDelta := freshDelta()
+	newDelta := st.freshDelta()
 	var first []roundJob
-	for _, cr := range cp.rules {
+	for _, cr := range st.cp.rules {
 		first = append(first, roundJob{cr: cr, variants: cr.variants[0:1]})
 	}
-	runRound(first, resolve(nil), idb, newDelta, true, workers)
-	res.Rounds++
+	runRound(first, st.resolve(nil), st.idb, newDelta, true, st.workers)
+	st.rounds++
+	return st.deltaLoop(ctx, newDelta, nil)
+}
 
-	// Delta rounds.
+// deltaLoop drives delta rounds until no new tuples appear. onNew, when
+// non-nil, observes every genuinely new derived tuple (including the
+// contents of the caller's seeding round) — the hook incremental
+// answer-relation maintenance rides on.
+func (st *snState) deltaLoop(ctx context.Context, newDelta map[string]*storage.Relation, onNew func(pred string, t storage.Tuple)) error {
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		// Promote.
 		delta := newDelta
 		empty := true
-		for _, d := range delta {
-			if d.Len() > 0 {
-				empty = false
+		for pred, d := range delta {
+			if d.Len() == 0 {
+				continue
+			}
+			empty = false
+			if onNew != nil {
+				for _, t := range d.Tuples() {
+					onNew(pred, t)
+				}
 			}
 		}
 		if empty {
-			break
+			return nil
 		}
-		newDelta = freshDelta()
+		newDelta = st.freshDelta()
 		var jobs []roundJob
-		for _, cr := range cp.rules {
+		for _, cr := range st.cp.rules {
 			if len(cr.variants) == 0 {
 				continue
 			}
 			// Rules with no IDB body atom produce nothing new after round 1.
 			hasDelta := false
 			for _, a := range cr.src.Body {
-				if cp.idb[a.Pred] {
+				if st.cp.idb[a.Pred] {
 					hasDelta = true
 				}
 			}
@@ -252,10 +309,67 @@ func SemiNaiveWorkersCtx(ctx context.Context, p *ast.Program, edb *storage.Datab
 				jobs = append(jobs, roundJob{cr: cr, variants: cr.variants[i : i+1]})
 			}
 		}
-		runRound(jobs, resolve(delta), idb, newDelta, false, workers)
-		res.Rounds++
+		runRound(jobs, st.resolve(delta), st.idb, newDelta, false, st.workers)
+		st.rounds++
 	}
-	return res, nil
+}
+
+// update extends the retained fixpoint with newly inserted base tuples —
+// the delta-driven maintenance pass. For every rule body occurrence of a
+// changed EDB predicate it evaluates the rule with that occurrence
+// restricted to the delta (the other atoms see the already-updated full
+// relations; under set semantics this covers every new combination), and
+// same-name EDB deltas of derived predicates seed directly. The new head
+// tuples then propagate through ordinary delta rounds. Insert-only
+// deltas keep the pass sound without DRed-style retraction: the program
+// is negation-free, so derivations are monotone.
+func (st *snState) update(ctx context.Context, delta Delta, onNew func(pred string, t storage.Tuple)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	newDelta := st.freshDelta()
+	// Same-name EDB deltas of derived predicates seed the IDB directly
+	// (the uniform-containment seeding, maintained).
+	for pred, rel := range delta {
+		if !st.cp.idb[pred] {
+			continue
+		}
+		arity, ok := st.cp.arity[pred]
+		if !ok || rel.Arity() != arity {
+			continue
+		}
+		idbRel := st.idb.Ensure(pred, arity)
+		for _, t := range rel.Tuples() {
+			if idbRel.Insert(t) {
+				if nd := newDelta[pred]; nd != nil {
+					nd.Insert(t)
+				}
+			}
+		}
+	}
+	// EDB-delta variants: one job per (rule, changed EDB occurrence).
+	var jobs []roundJob
+	for _, cr := range st.cp.rules {
+		for i, a := range cr.src.Body {
+			if st.cp.idb[a.Pred] || delta[a.Pred] == nil {
+				continue
+			}
+			if cr.edbVariants == nil {
+				cr.edbVariants = make(map[int]ruleVariant)
+			}
+			v, ok := cr.edbVariants[i]
+			if !ok {
+				v = compileRuleVariant(cr.src, st.cp.idb, st.edb.Syms, i)
+				cr.edbVariants[i] = v
+			}
+			jobs = append(jobs, roundJob{cr: cr, variants: []ruleVariant{v}})
+		}
+	}
+	if len(jobs) > 0 {
+		runRound(jobs, st.resolve(delta), st.idb, newDelta, false, st.workers)
+		st.rounds++
+	}
+	return st.deltaLoop(ctx, newDelta, onNew)
 }
 
 // roundJob is one unit of a semi-naive round: a rule restricted to a

@@ -1,0 +1,175 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// tupleSet renders tuples as a set of keys for comparison.
+func tupleSet(ts []Tuple) map[string]bool {
+	out := make(map[string]bool, len(ts))
+	for _, t := range ts {
+		out[t.Key()] = true
+	}
+	return out
+}
+
+// TestEpochStampingAndDeltaSince: inserts into a tracked database are
+// stamped with consecutive epochs, and DeltaSince returns exactly the
+// tuples at or above a stamp.
+func TestEpochStampingAndDeltaSince(t *testing.T) {
+	db := NewDatabase()
+	if db.Epoch() != 0 || db.LastModified() != 0 || db.Mutations() != 0 {
+		t.Fatalf("fresh database not at epoch zero: %d/%d/%d", db.Epoch(), db.LastModified(), db.Mutations())
+	}
+	db.AddFact("e", "a", "b")
+	db.AddFact("e", "b", "c")
+	if db.Epoch() != 2 || db.LastModified() != 1 || db.Mutations() != 2 {
+		t.Fatalf("after two inserts: epoch=%d lastMod=%d mutations=%d", db.Epoch(), db.LastModified(), db.Mutations())
+	}
+	// A duplicate insert is not accepted: no epoch movement.
+	db.AddFact("e", "a", "b")
+	if db.Epoch() != 2 || db.Mutations() != 2 {
+		t.Fatalf("duplicate insert moved the epoch: epoch=%d mutations=%d", db.Epoch(), db.Mutations())
+	}
+	stamp := db.Epoch() // everything below is already visible
+	db.AddFact("e", "c", "d")
+	r := db.Relation("e")
+	if r.LastModified() != 2 {
+		t.Fatalf("relation lastModified = %d, want 2", r.LastModified())
+	}
+	delta, ok := r.DeltaSince(stamp)
+	if !ok {
+		t.Fatal("DeltaSince fell back to full for a live tail")
+	}
+	if len(delta) != 1 || delta[0].Key() != (Tuple{db.Syms.Intern("c"), db.Syms.Intern("d")}).Key() {
+		t.Fatalf("delta = %v, want exactly the (c,d) insert", delta)
+	}
+	// Nothing newer than the current epoch.
+	if d, ok := r.DeltaSince(db.Epoch()); !ok || len(d) != 0 {
+		t.Fatalf("DeltaSince(current) = %v/%v, want empty/ok", d, ok)
+	}
+	// Epoch 0 covers the whole history while the tail is intact.
+	if d, ok := r.DeltaSince(0); !ok || len(d) != 3 {
+		t.Fatalf("DeltaSince(0) = %d tuples/%v, want 3/ok", len(d), ok)
+	}
+}
+
+// TestDeltaSinceUntracked: free-standing relations and derived databases
+// report the full fallback.
+func TestDeltaSinceUntracked(t *testing.T) {
+	r := NewRelation(2, nil)
+	r.Insert(Tuple{1, 2})
+	if _, ok := r.DeltaSince(0); ok {
+		t.Fatal("free-standing relation claimed delta tracking")
+	}
+	derived := NewDatabaseWith(NewSymbolTable())
+	derived.AddFact("p", "x")
+	if derived.Epoch() != 0 || derived.Mutations() != 0 {
+		t.Fatal("derived database tracked epochs")
+	}
+	if _, ok := derived.Relation("p").DeltaSince(0); ok {
+		t.Fatal("derived relation claimed delta tracking")
+	}
+}
+
+// TestDeltaTailEviction: overflowing the per-shard tail advances the
+// floor, and a request below it reports the full fallback while newer
+// stamps still answer exactly.
+func TestDeltaTailEviction(t *testing.T) {
+	db := NewDatabase()
+	db.SetShards(1)
+	n := deltaTailBound + deltaTailBound/2
+	for i := 0; i < n; i++ {
+		db.AddFact("e", fmt.Sprintf("x%d", i), "y")
+	}
+	r := db.Relation("e")
+	if _, ok := r.DeltaSince(0); ok {
+		t.Fatalf("DeltaSince(0) should have fallen back after %d inserts over a %d-entry tail", n, deltaTailBound)
+	}
+	// The most recent inserts are still covered.
+	stamp := uint64(n - 10)
+	delta, ok := r.DeltaSince(stamp)
+	if !ok {
+		t.Fatalf("DeltaSince(%d) fell back; floor too aggressive", stamp)
+	}
+	if len(delta) != 10 {
+		t.Fatalf("recent delta has %d tuples, want 10", len(delta))
+	}
+}
+
+// TestDeltaSinceSharded: deltas assemble across shards and contain
+// exactly the post-stamp inserts.
+func TestDeltaSinceSharded(t *testing.T) {
+	db := NewDatabase()
+	db.SetShards(8)
+	for i := 0; i < 100; i++ {
+		db.AddFact("e", fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i))
+	}
+	stamp := db.Epoch()
+	var want []Tuple
+	for i := 0; i < 50; i++ {
+		x, y := fmt.Sprintf("n%d", i), fmt.Sprintf("m%d", i)
+		db.AddFact("e", x, y)
+		want = append(want, Tuple{db.Syms.Intern(x), db.Syms.Intern(y)})
+	}
+	delta, ok := db.Relation("e").DeltaSince(stamp)
+	if !ok {
+		t.Fatal("sharded DeltaSince fell back")
+	}
+	got, wantSet := tupleSet(delta), tupleSet(want)
+	if len(got) != len(wantSet) {
+		t.Fatalf("delta has %d distinct tuples, want %d", len(got), len(wantSet))
+	}
+	for k := range wantSet {
+		if !got[k] {
+			t.Fatal("delta is missing an accepted insert")
+		}
+	}
+}
+
+// TestDeltaConcurrentInserts: the -race check for the tail bookkeeping —
+// parallel writers insert while a reader repeatedly takes deltas; every
+// delta must be a subset of the relation and the final delta from the
+// initial stamp must cover everything (tail large enough here).
+func TestDeltaConcurrentInserts(t *testing.T) {
+	db := NewDatabase()
+	db.SetShards(4)
+	db.Ensure("e", 2)
+	const writers, each = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				db.AddFact("e", fmt.Sprintf("w%d_%d", w, i), "t")
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if delta, ok := db.Relation("e").DeltaSince(0); ok {
+				r := db.Relation("e")
+				for _, tup := range delta {
+					if !r.Contains(tup) {
+						t.Error("delta tuple not in relation")
+						return
+					}
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	delta, ok := db.Relation("e").DeltaSince(0)
+	if !ok {
+		t.Fatal("final DeltaSince fell back (tail should hold all inserts)")
+	}
+	if len(delta) != writers*each {
+		t.Fatalf("final delta has %d tuples, want %d", len(delta), writers*each)
+	}
+}

@@ -27,4 +27,17 @@
 // the very relation it is scanning — the fixpoint loops rely on this —
 // without deadlock. Sharded relations do not preserve global insertion
 // order across shards; use SortedTuples for deterministic output.
+//
+// # Epochs and delta tracking
+//
+// A primary Database (NewDatabase) carries a monotone epoch counter:
+// every accepted insert into one of its relations is stamped with the
+// current epoch, recorded in a bounded per-shard delta tail, advances
+// the counter, and raises the database's LastModified watermark.
+// Relation.DeltaSince(epoch) returns exactly the tuples stamped at or
+// after a given epoch (falling back with ok=false once the tail
+// evicted the requested history), which is what the engine's
+// materialized-answer cache and the WAL's differential checkpoints run
+// on. Derived databases (NewDatabaseWith) and free-standing relations
+// skip all of this tracking.
 package storage

@@ -192,6 +192,21 @@ func (c *Counters) Add(other Counters) {
 	atomic.AddInt64(&c.Inserts, other.Inserts)
 }
 
+// deltaTailBound caps the per-shard delta tail: the number of recent
+// inserts a shard remembers for DeltaSince. When the tail overflows, the
+// oldest half is evicted and the shard's floor advances — DeltaSince
+// calls asking for history below the floor report a full fallback.
+const deltaTailBound = 1024
+
+// tailEntry records one accepted insert for delta tracking: the tuple's
+// ordinal in the shard plus the database epoch it was stamped with.
+// Epochs are non-decreasing in append order (the stamp is read under the
+// shard lock from a monotone counter), so DeltaSince can binary-search.
+type tailEntry struct {
+	ord   int
+	epoch uint64
+}
+
 // shard is one independently-locked partition of a Relation: a tuple set
 // with its own presence map and lazily built per-column hash indexes.
 type shard struct {
@@ -202,6 +217,11 @@ type shard struct {
 	// cols[i] maps a value to the ordinals of this shard's tuples holding
 	// it in column i (nil until built).
 	cols []map[Value][]int
+	// tail is the bounded recent-insert log for DeltaSince (tracked
+	// relations only); tailFloor is the lowest epoch the tail still covers
+	// completely.
+	tail      []tailEntry
+	tailFloor uint64
 }
 
 // ShardColumn is the column whose value routes a tuple to its shard. The
@@ -228,6 +248,15 @@ type Relation struct {
 	// journal attach while readers are in flight (Database.SetJournal).
 	name    string
 	journal atomic.Pointer[Journal]
+	// db, when non-nil, is the tracked database this relation belongs to:
+	// inserts are stamped with its epoch counter, recorded in the shard
+	// delta tails, and reflected in its modification watermark. Derived
+	// and free-standing relations (answer sets, seen-sets, semi-naive IDB
+	// databases) leave it nil and pay no tracking overhead.
+	db *Database
+	// lastMod is the epoch stamp of the newest accepted insert (0 when the
+	// relation is untracked or empty).
+	lastMod atomic.Uint64
 	// shardShift turns the 32-bit hash of the routing value into a shard
 	// index: idx = hash >> shardShift. len(shards) is a power of two.
 	shardShift uint32
@@ -301,7 +330,11 @@ func (r *Relation) Len() int { return int(r.count.Load()) }
 
 // Insert adds a tuple (copied), returning true when it was not already
 // present. Only the tuple's shard is locked, so inserts from parallel
-// workers serialize only on hash collisions.
+// workers serialize only on hash collisions. On a tracked relation (one
+// created by a Database) the accepted insert is stamped with the
+// database's current epoch, appended to the shard's delta tail, and the
+// epoch counter is advanced — the bookkeeping DeltaSince and the
+// engine's result cache run on.
 func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("storage: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
@@ -322,8 +355,28 @@ func (r *Relation) Insert(t Tuple) bool {
 			idx[ct[i]] = append(idx[ct[i]], ord)
 		}
 	}
+	var stamp uint64
+	if r.db != nil {
+		// The stamp is read inside the critical section so tail epochs are
+		// monotone per shard.
+		stamp = r.db.epoch.Load()
+		sh.tail = append(sh.tail, tailEntry{ord: ord, epoch: stamp})
+		if len(sh.tail) > deltaTailBound {
+			// Evict the oldest half; the floor rises past the newest
+			// evicted stamp, so incomplete coverage is never served.
+			drop := len(sh.tail) / 2
+			sh.tailFloor = sh.tail[drop-1].epoch + 1
+			sh.tail = append(sh.tail[:0], sh.tail[drop:]...)
+		}
+	}
 	sh.mu.Unlock()
 	r.count.Add(1)
+	if r.db != nil {
+		storeMax(&r.lastMod, stamp)
+		storeMax(&r.db.lastMod, stamp)
+		r.db.mutations.Add(1)
+		r.db.epoch.Add(1)
+	}
 	if r.stats != nil {
 		atomic.AddInt64(&r.stats.Inserts, 1)
 	}
@@ -331,6 +384,53 @@ func (r *Relation) Insert(t Tuple) bool {
 		(*jp).JournalFact(r.name, ct)
 	}
 	return true
+}
+
+// storeMax raises a to at least v.
+func storeMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// LastModified returns the epoch stamp of the relation's newest accepted
+// insert (0 for an untracked or empty relation). An entry built at stamp
+// S is stale exactly when LastModified() >= S.
+func (r *Relation) LastModified() uint64 { return r.lastMod.Load() }
+
+// DeltaSince returns the tuples accepted with an epoch stamp >= epoch.
+// ok is false when the delta cannot be reconstructed — the relation is
+// untracked, or some shard's tail evicted entries the request needs —
+// in which case the caller must fall back to treating the relation as
+// fully changed. Tuples in the returned slice are shared with the
+// relation and must not be modified. Tuples stamped exactly at the
+// requested epoch may overlap state the caller already has; replaying
+// them is idempotent under set semantics.
+func (r *Relation) DeltaSince(epoch uint64) ([]Tuple, bool) {
+	if r.db == nil {
+		return nil, false
+	}
+	if r.lastMod.Load() < epoch {
+		return nil, true
+	}
+	var out []Tuple
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		if sh.tailFloor > epoch {
+			sh.mu.RUnlock()
+			return nil, false
+		}
+		lo := sort.Search(len(sh.tail), func(k int) bool { return sh.tail[k].epoch >= epoch })
+		for _, te := range sh.tail[lo:] {
+			out = append(out, sh.tuples[te.ord])
+		}
+		sh.mu.RUnlock()
+	}
+	return out, true
 }
 
 // Contains reports membership, locking only the tuple's shard.
@@ -544,9 +644,23 @@ func defaultShards() int {
 // instrumentation counters. It is safe for concurrent use. Relations
 // created through Ensure/AddFact are sharded according to the database's
 // shard setting (default: smallest power of two >= GOMAXPROCS).
+//
+// A primary database (NewDatabase) tracks epochs: every accepted insert
+// into one of its relations is stamped with the current epoch, recorded
+// in a bounded per-shard delta tail (Relation.DeltaSince), and advances
+// the counter. Derived databases (NewDatabaseWith — semi-naive IDB
+// state, magic-set scratch space) skip the tracking entirely.
 type Database struct {
 	Stats Counters // first field: keeps the atomics 64-bit aligned on 32-bit platforms
 	Syms  *SymbolTable
+
+	// epoch is the monotone insert-batch counter; lastMod the highest
+	// stamp any accepted insert received; mutations the accepted-insert
+	// count (the auto-checkpoint trigger). All zero for derived databases.
+	epoch     atomic.Uint64
+	lastMod   atomic.Uint64
+	mutations atomic.Int64
+	track     bool
 
 	mu      sync.RWMutex
 	rels    map[string]*Relation
@@ -554,16 +668,33 @@ type Database struct {
 	journal Journal
 }
 
-// NewDatabase creates an empty database with a fresh symbol table.
+// NewDatabase creates an empty epoch-tracked database with a fresh
+// symbol table.
 func NewDatabase() *Database {
-	return &Database{Syms: NewSymbolTable(), rels: make(map[string]*Relation), shards: defaultShards()}
+	return &Database{Syms: NewSymbolTable(), rels: make(map[string]*Relation), shards: defaultShards(), track: true}
 }
 
 // NewDatabaseWith creates an empty database sharing an existing symbol
-// table (used for derived/IDB databases).
+// table (used for derived/IDB databases). Derived databases do not track
+// epochs: their relations stamp nothing and keep no delta tails.
 func NewDatabaseWith(syms *SymbolTable) *Database {
 	return &Database{Syms: syms, rels: make(map[string]*Relation), shards: defaultShards()}
 }
+
+// Epoch returns the database's current epoch. An evaluation that records
+// Epoch() before reading any relation may later reconstruct everything
+// it missed with DeltaSince(stamp) on each relation: every accepted
+// insert not visible to it carries a stamp >= that reading.
+func (db *Database) Epoch() uint64 { return db.epoch.Load() }
+
+// LastModified returns the highest epoch stamp any accepted insert into
+// this database received (0 when empty or untracked). State captured at
+// stamp S is current iff LastModified() < S.
+func (db *Database) LastModified() uint64 { return db.lastMod.Load() }
+
+// Mutations returns the number of accepted inserts into the database's
+// relations since creation (untracked databases always report 0).
+func (db *Database) Mutations() int64 { return db.mutations.Load() }
 
 // SetShards sets the shard count for relations created afterwards,
 // rounded up to a power of two so the stored value matches what the
@@ -654,6 +785,9 @@ func (db *Database) Ensure(pred string, arity int) *Relation {
 	}
 	r = NewShardedRelation(arity, &db.Stats, db.shards)
 	r.name = pred
+	if db.track {
+		r.db = db
+	}
 	r.setJournal(db.journal)
 	db.rels[pred] = r
 	return r

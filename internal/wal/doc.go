@@ -36,14 +36,28 @@
 // # Snapshots and recovery
 //
 // A snapshot (written by Engine.Checkpoint via Log.Checkpoint) is the
-// full engine state through a segment sequence number: the symbol table
-// in Value order, every relation's tuples (sorted, as compact value
-// blocks), the program's rules, and the plan cache's query shapes for
-// LRU rewarming. It is written to a temp file, fsynced, and renamed, so
-// a crash mid-checkpoint leaves the previous snapshot authoritative;
-// once the rename lands, segments the snapshot covers are deleted.
+// engine state through a segment sequence number: the symbol table in
+// Value order, every relation's tuples (sorted, as compact value
+// blocks) with per-relation epoch/count metadata, the program's rules,
+// and the plan cache's query shapes for LRU rewarming. It is written to
+// a temp file, fsynced, and renamed, so a crash mid-checkpoint leaves
+// the previous snapshot authoritative; once the rename lands, segments
+// the snapshot covers are deleted, along with snapshots outside the
+// live reference chain.
 //
-// Recovery (Log.Open) loads the newest readable snapshot, replays the
+// Snapshots are differential: a relation whose tuple count is unchanged
+// since the previous checkpoint (relations are insert-only sets, so an
+// equal count means an identical set) is written as a one-hop reference
+// to the snapshot that physically holds its full block, and the
+// append-only symbol table is written as a tail over the previous
+// head's (CRC-verified) prefix, rewritten in full every few snapshots
+// so chains stay short. A checkpoint after a small delta therefore
+// writes bytes proportional to the delta, and disk usage is bounded by
+// one retained full block per relation plus the symbol-chain depth.
+//
+// Recovery (Log.Open) loads the newest snapshot whose whole chain —
+// symbol tails and relation bases — reads and validates (a broken
+// chain falls back to the predecessor), stitches it, replays the
 // segments above it in sequence order, and appends to a fresh segment.
 // In the final — active at crash time — segment, replay stops at the
 // first invalid record and truncates the file there: a torn last append

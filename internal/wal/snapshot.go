@@ -10,17 +10,32 @@ import (
 	"repro/internal/storage"
 )
 
-// snapMagic heads every snapshot file, followed by the covered segment
-// sequence (uint64 LE), the body, and a trailing CRC32C of the body.
-const snapMagic = "OSRSNAP1"
+// Snapshot file magics: v1 (full relation blocks only) is still read
+// for backward compatibility; v2 adds per-relation epoch/count metadata
+// and differential (reference) blocks. Either magic is followed by the
+// covered segment sequence (uint64 LE), the body, and a trailing CRC32C
+// of the body.
+const (
+	snapMagicV1 = "OSRSNAP1"
+	snapMagicV2 = "OSRSNAP2"
+	snapMagic   = snapMagicV2 // written format
+)
 
 // RelSnap is one relation's block in a snapshot: the predicate, its
-// arity, and the tuples in sorted order (deterministic bytes for equal
-// states).
+// arity, the epoch stamp of its newest insert and its tuple count at
+// collection time, and either the tuples in sorted order (a full block;
+// deterministic bytes for equal states) or — in a differential
+// snapshot — a reference to the earlier snapshot whose full block for
+// this predicate still describes the identical tuple set (Ref set,
+// BaseSeq naming that snapshot, Tuples nil).
 type RelSnap struct {
-	Pred   string
-	Arity  int
-	Tuples []storage.Tuple
+	Pred    string
+	Arity   int
+	Epoch   uint64
+	Count   int
+	Ref     bool
+	BaseSeq uint64
+	Tuples  []storage.Tuple
 }
 
 // Snapshot is the full persisted engine state at a checkpoint: the
@@ -28,34 +43,53 @@ type RelSnap struct {
 // re-interns the names in this exact order), every relation, the
 // program's rules in concrete syntax, and the plan cache's query shapes
 // (representative atoms, LRU-oldest first) for rewarming.
+//
+// In a differential snapshot SymBase is non-zero and Syms holds only
+// the TAIL of the symbol table: the names interned since the snapshot
+// at sequence SymBase, whose resolved symbol list (recursively) forms
+// the prefix. The symbol table is append-only, so the prefix property
+// holds by construction; the writer verifies it with a CRC before
+// choosing the differential form.
 type Snapshot struct {
-	Syms   []string
-	Rels   []RelSnap
-	Rules  []string
-	Shapes []string
+	SymBase uint64
+	Syms    []string
+	Rels    []RelSnap
+	Rules   []string
+	Shapes  []string
 }
 
 // CollectDatabase builds a snapshot of db plus the caller's rule and
-// shape sections. Relations are collected before the symbol table: every
-// Value in a tuple was interned before the tuple was inserted, so
-// reading the symbols last guarantees each collected Value resolves —
-// even while concurrent writers keep inserting during the collection
-// (their overlap is also journaled in the post-rotation segment, and
-// replay is idempotent).
+// shape sections, recording each relation's last-modified epoch and
+// tuple count (the differential-checkpoint skip decision runs on the
+// count: relations are insert-only, so an unchanged count over the same
+// predicate means an identical tuple set). Relations are collected
+// before the symbol table: every Value in a tuple was interned before
+// the tuple was inserted, so reading the symbols last guarantees each
+// collected Value resolves — even while concurrent writers keep
+// inserting during the collection (their overlap is also journaled in
+// the post-rotation segment, and replay is idempotent).
 func CollectDatabase(db *storage.Database, rules, shapes []string) *Snapshot {
 	s := &Snapshot{Rules: rules, Shapes: shapes}
 	for _, pred := range db.Preds() {
 		r := db.Relation(pred)
-		s.Rels = append(s.Rels, RelSnap{Pred: pred, Arity: r.Arity(), Tuples: r.SortedTuples()})
+		tuples := r.SortedTuples()
+		s.Rels = append(s.Rels, RelSnap{
+			Pred:   pred,
+			Arity:  r.Arity(),
+			Epoch:  r.LastModified(),
+			Count:  len(tuples),
+			Tuples: tuples,
+		})
 	}
 	s.Syms = db.Syms.Names()
 	return s
 }
 
 // encode renders the snapshot body (everything between the header and
-// the trailing CRC).
+// the trailing CRC) in the v2 format.
 func (s *Snapshot) encode() []byte {
 	var b []byte
+	b = binary.AppendUvarint(b, s.SymBase)
 	b = binary.AppendUvarint(b, uint64(len(s.Syms)))
 	for _, name := range s.Syms {
 		b = appendString(b, name)
@@ -64,6 +98,14 @@ func (s *Snapshot) encode() []byte {
 	for _, r := range s.Rels {
 		b = appendString(b, r.Pred)
 		b = binary.AppendUvarint(b, uint64(r.Arity))
+		b = binary.AppendUvarint(b, r.Epoch)
+		if r.Ref {
+			b = append(b, 1)
+			b = binary.AppendUvarint(b, r.BaseSeq)
+			b = binary.AppendUvarint(b, uint64(r.Count))
+			continue
+		}
+		b = append(b, 0)
 		b = binary.AppendUvarint(b, uint64(len(r.Tuples)))
 		for _, t := range r.Tuples {
 			for _, v := range t {
@@ -91,11 +133,18 @@ func readUvarint(b []byte) (uint64, []byte, error) {
 	return n, b[sz:], nil
 }
 
-// decodeSnapshot parses a snapshot body.
-func decodeSnapshot(b []byte) (*Snapshot, error) {
+// decodeSnapshot parses a snapshot body. version is 1 for the legacy
+// full-blocks-only format or 2 for the differential format.
+func decodeSnapshot(b []byte, version int) (*Snapshot, error) {
 	s := &Snapshot{}
-	n, b, err := readUvarint(b)
-	if err != nil {
+	var n uint64
+	var err error
+	if version >= 2 {
+		if s.SymBase, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+	}
+	if n, b, err = readUvarint(b); err != nil {
 		return nil, err
 	}
 	s.Syms = make([]string, n)
@@ -113,14 +162,41 @@ func decodeSnapshot(b []byte) (*Snapshot, error) {
 		if r.Pred, b, err = readString(b); err != nil {
 			return nil, err
 		}
-		var arity, count uint64
+		var arity uint64
 		if arity, b, err = readUvarint(b); err != nil {
 			return nil, err
 		}
+		r.Arity = int(arity)
+		if version >= 2 {
+			if r.Epoch, b, err = readUvarint(b); err != nil {
+				return nil, err
+			}
+			if len(b) == 0 {
+				return nil, fmt.Errorf("wal: truncated relation block kind")
+			}
+			kind := b[0]
+			b = b[1:]
+			if kind == 1 {
+				r.Ref = true
+				var base, count uint64
+				if base, b, err = readUvarint(b); err != nil {
+					return nil, err
+				}
+				if count, b, err = readUvarint(b); err != nil {
+					return nil, err
+				}
+				r.BaseSeq, r.Count = base, int(count)
+				continue
+			}
+			if kind != 0 {
+				return nil, fmt.Errorf("wal: unknown relation block kind %d", kind)
+			}
+		}
+		var count uint64
 		if count, b, err = readUvarint(b); err != nil {
 			return nil, err
 		}
-		r.Arity = int(arity)
+		r.Count = int(count)
 		r.Tuples = make([]storage.Tuple, count)
 		for j := range r.Tuples {
 			t := make(storage.Tuple, arity)
@@ -195,13 +271,23 @@ func writeSnapshot(dir string, seq uint64, s *Snapshot) error {
 	return syncDir(dir)
 }
 
-// readSnapshot loads and validates a snapshot file.
+// readSnapshot loads and validates a snapshot file (either format
+// version).
 func readSnapshot(path string) (uint64, *Snapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0, nil, err
 	}
-	if len(data) < len(snapMagic)+12 || string(data[:len(snapMagic)]) != snapMagic {
+	if len(data) < len(snapMagic)+12 {
+		return 0, nil, fmt.Errorf("wal: %s: not a snapshot file", path)
+	}
+	version := 0
+	switch string(data[:len(snapMagic)]) {
+	case snapMagicV2:
+		version = 2
+	case snapMagicV1:
+		version = 1
+	default:
 		return 0, nil, fmt.Errorf("wal: %s: not a snapshot file", path)
 	}
 	seq := binary.LittleEndian.Uint64(data[len(snapMagic):])
@@ -210,7 +296,7 @@ func readSnapshot(path string) (uint64, *Snapshot, error) {
 	if crc32.Checksum(body, castagnoli) != crc {
 		return 0, nil, fmt.Errorf("wal: %s: snapshot checksum mismatch", path)
 	}
-	s, err := decodeSnapshot(body)
+	s, err := decodeSnapshot(body, version)
 	if err != nil {
 		return 0, nil, fmt.Errorf("wal: %s: %w", path, err)
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -91,7 +92,68 @@ type Log struct {
 	err     error  // sticky first failure
 	closed  bool
 
-	ckptMu sync.Mutex // serializes Checkpoint callers
+	ckptMu sync.Mutex // serializes Checkpoint callers and guards manifest/chain
+	// manifest records, per relation, the state the newest snapshot chain
+	// describes: its count/epoch at collection and the sequence of the
+	// snapshot physically holding its full tuple block. Checkpoint diffs
+	// fresh collections against it — a relation whose count is unchanged
+	// (relations are insert-only sets, so equal count over the same
+	// predicate means an identical tuple set) becomes a reference block
+	// and its prior full block is retained on disk.
+	manifest map[string]relManifest
+	// Symbol-table diff state: the resolved symbol count and prefix CRC
+	// of the newest snapshot chain, the head's sequence, and the sym-tail
+	// chain depth (bounded by maxSymChainDepth before a full rewrite) and
+	// ancestor set.
+	headSeq    uint64
+	symsLen    int
+	symsCRC    uint32
+	symDepth   int
+	symAnchors map[uint64]bool
+	// chain is the set of snapshot sequences the newest snapshot
+	// references (itself included); prune keeps exactly these.
+	chain map[uint64]bool
+}
+
+// relManifest is one relation's entry in the differential manifest.
+type relManifest struct {
+	arity int
+	epoch uint64
+	count int
+	seq   uint64 // snapshot holding this relation's full tuple block
+}
+
+// maxSymChainDepth bounds the symbol-tail chain: after this many
+// differential snapshots in a row, the next one rewrites the full
+// symbol table, so recovery reads at most this many extra files for
+// symbols and stale tails become prunable.
+const maxSymChainDepth = 3
+
+// symPrefixCRC fingerprints a symbol-list prefix (length-prefixed, so
+// name boundaries cannot alias).
+func symPrefixCRC(names []string) uint32 {
+	h := crc32.New(castagnoli)
+	var lenBuf [10]byte
+	for _, n := range names {
+		b := binary.AppendUvarint(lenBuf[:0], uint64(len(n)))
+		h.Write(b)
+		h.Write([]byte(n))
+	}
+	return h.Sum32()
+}
+
+// relManifestOf builds the per-relation manifest described by a
+// resolved snapshot at headSeq.
+func relManifestOf(headSeq uint64, s *Snapshot) map[string]relManifest {
+	man := make(map[string]relManifest, len(s.Rels))
+	for _, r := range s.Rels {
+		seq := headSeq
+		if r.Ref {
+			seq = r.BaseSeq
+		}
+		man[r.Pred] = relManifest{arity: r.Arity, epoch: r.Epoch, count: r.Count, seq: seq}
+	}
+	return man
 }
 
 // segmentName renders a segment file name for a sequence number.
@@ -138,19 +200,58 @@ func Open(dir string, policy SyncPolicy, replay Replay) (*Log, error) {
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
 
-	// Newest readable snapshot wins; an unreadable one (torn checkpoint
-	// racing a crash before its segment prune) falls back to its
-	// predecessor, whose covered segments are still on disk.
+	// Newest readable snapshot whose full differential chain resolves
+	// wins; an unreadable head or a broken chain (torn checkpoint racing
+	// a crash before its segment prune, a corrupted base) falls back to
+	// the predecessor, whose covered segments are still on disk.
 	st := &replayState{replay: replay}
 	var snapSeq uint64
-	haveSnap := false
+	var haveSnap bool
+	var manifest map[string]relManifest
+	var resolvedSyms []string
+	var symAncestors []uint64
+	chain := map[uint64]bool{}
+	cache := make(map[uint64]*Snapshot)
+	load := func(seq uint64) (*Snapshot, error) {
+		if s, ok := cache[seq]; ok {
+			return s, nil
+		}
+		fileSeq, s, err := readSnapshot(filepath.Join(dir, snapshotName(seq)))
+		if err != nil {
+			return nil, err
+		}
+		if fileSeq != seq {
+			return nil, fmt.Errorf("wal: snapshot %d claims sequence %d", seq, fileSeq)
+		}
+		cache[seq] = s
+		return s, nil
+	}
 	for _, seq := range snaps {
-		fileSeq, snap, err := readSnapshot(filepath.Join(dir, snapshotName(seq)))
-		if err != nil || fileSeq != seq {
+		snap, err := load(seq)
+		if err != nil {
 			continue
 		}
-		st.applySnapshot(snap)
+		syms, ancestors, err := resolveSyms(seq, snap, load)
+		if err != nil {
+			continue
+		}
+		bases, err := resolveRelRefs(seq, snap, len(syms), load)
+		if err != nil {
+			continue
+		}
+		st.applySnapshot(snap, syms, bases)
 		snapSeq, haveSnap = seq, true
+		manifest = relManifestOf(seq, snap)
+		resolvedSyms, symAncestors = syms, ancestors
+		chain[seq] = true
+		for _, a := range ancestors {
+			chain[a] = true
+		}
+		for _, r := range snap.Rels {
+			if r.Ref {
+				chain[r.BaseSeq] = true
+			}
+		}
 		break
 	}
 
@@ -172,11 +273,95 @@ func Open(dir string, policy SyncPolicy, replay Replay) (*Log, error) {
 		}
 	}
 
-	l := &Log{dir: dir, policy: policy, seq: maxSeq + 1}
+	l := &Log{dir: dir, policy: policy, seq: maxSeq + 1, manifest: manifest, chain: chain}
+	if haveSnap {
+		l.headSeq = snapSeq
+		l.symsLen = len(resolvedSyms)
+		l.symsCRC = symPrefixCRC(resolvedSyms)
+		l.symDepth = len(symAncestors)
+		l.symAnchors = make(map[uint64]bool, len(symAncestors))
+		for _, a := range symAncestors {
+			l.symAnchors[a] = true
+		}
+	}
 	if err := l.openSegment(); err != nil {
 		return nil, err
 	}
 	return l, nil
+}
+
+// resolveSyms resolves a snapshot's full symbol list: its own Syms when
+// self-contained, or the base snapshot's resolved list (recursively;
+// sequences strictly decrease, so the walk terminates) followed by the
+// tail. It also returns the ancestor sequences the resolution loaded.
+func resolveSyms(seq uint64, s *Snapshot, load func(uint64) (*Snapshot, error)) ([]string, []uint64, error) {
+	if s.SymBase == 0 {
+		return s.Syms, nil, nil
+	}
+	if s.SymBase >= seq {
+		return nil, nil, fmt.Errorf("wal: snapshot %d: symbol base %d is not earlier", seq, s.SymBase)
+	}
+	base, err := load(s.SymBase)
+	if err != nil {
+		return nil, nil, err
+	}
+	prefix, ancestors, err := resolveSyms(s.SymBase, base, load)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]string, 0, len(prefix)+len(s.Syms))
+	out = append(append(out, prefix...), s.Syms...)
+	return out, append(ancestors, s.SymBase), nil
+}
+
+// resolveRelRefs validates a candidate snapshot's differential relation
+// references: every Ref block must point at a readable earlier snapshot
+// holding a FULL block of the same predicate and arity (references are
+// always one hop — a new reference copies the base sequence of the
+// block it extends, never pointing at another reference), and every
+// referenced tuple value must resolve in the head's symbol list (the
+// append-only prefix property the writer verified). Returns the loaded
+// bases by sequence.
+func resolveRelRefs(headSeq uint64, head *Snapshot, nsyms int, load func(uint64) (*Snapshot, error)) (map[uint64]*Snapshot, error) {
+	bases := make(map[uint64]*Snapshot)
+	for _, r := range head.Rels {
+		if !r.Ref {
+			continue
+		}
+		if r.BaseSeq >= headSeq {
+			return nil, fmt.Errorf("wal: snapshot %d references non-earlier snapshot %d", headSeq, r.BaseSeq)
+		}
+		base, ok := bases[r.BaseSeq]
+		if !ok {
+			var err error
+			if base, err = load(r.BaseSeq); err != nil {
+				return nil, err
+			}
+			bases[r.BaseSeq] = base
+		}
+		blk := findRelBlock(base, r.Pred)
+		if blk == nil || blk.Ref || blk.Arity != r.Arity {
+			return nil, fmt.Errorf("wal: snapshot %d: base %d has no full block for %s", headSeq, r.BaseSeq, r.Pred)
+		}
+		for _, t := range blk.Tuples {
+			for _, v := range t {
+				if int(v) < 0 || int(v) >= nsyms {
+					return nil, fmt.Errorf("wal: snapshot %d: %s tuple value %d outside symbol table", headSeq, r.Pred, v)
+				}
+			}
+		}
+	}
+	return bases, nil
+}
+
+// findRelBlock returns the snapshot's block for pred, or nil.
+func findRelBlock(s *Snapshot, pred string) *RelSnap {
+	for i := range s.Rels {
+		if s.Rels[i].Pred == pred {
+			return &s.Rels[i]
+		}
+	}
+	return nil
 }
 
 // replayState accumulates the Value->name translation while streaming
@@ -220,17 +405,28 @@ func (st *replayState) fact(pred string, vals []storage.Value) error {
 	return nil
 }
 
-func (st *replayState) applySnapshot(s *Snapshot) {
-	for _, name := range s.Syms {
+// applySnapshot streams a resolved snapshot into the callbacks:
+// resolvedSyms is the full symbol list (sym-tail chains already
+// stitched), and ref blocks read their tuples from the base snapshots.
+// Tuple values — full and referenced alike — translate through the
+// resolved list: the symbol table is append-only, so every earlier
+// snapshot's values index into a prefix of it (resolveRelRefs bounds-
+// checked the referenced ones).
+func (st *replayState) applySnapshot(s *Snapshot, resolvedSyms []string, bases map[uint64]*Snapshot) {
+	for _, name := range resolvedSyms {
 		st.sym(name)
 	}
 	for _, r := range s.Rels {
 		if st.replay.Rel != nil {
 			st.replay.Rel(r.Pred, r.Arity)
 		}
-		for _, t := range r.Tuples {
-			// Errors are impossible here: snapshot tuples were encoded
-			// against the snapshot's own symbol list.
+		tuples := r.Tuples
+		if r.Ref {
+			tuples = findRelBlock(bases[r.BaseSeq], r.Pred).Tuples
+		}
+		for _, t := range tuples {
+			// Errors are impossible here: values were validated against
+			// (full blocks: encoded against) the resolved symbol list.
 			st.fact(r.Pred, t)
 		}
 	}
@@ -429,13 +625,18 @@ func (l *Log) Sync() error {
 	return l.err
 }
 
-// Checkpoint compacts the log: it seals the active segment and opens a
-// fresh one, calls collect for a snapshot of the state as of (at least)
-// the seal point, writes the snapshot atomically, and deletes the
-// segments and older snapshots it covers. collect runs after the
-// rotation, so any mutation it observes is either inside the snapshot
-// or journaled in the new segment — replay tolerates the overlap
-// because inserts are idempotent set operations.
+// Checkpoint compacts the log differentially: it seals the active
+// segment and opens a fresh one, calls collect for a full snapshot of
+// the state as of (at least) the seal point, converts each relation
+// whose tuple set is unchanged since the previous checkpoint into a
+// reference block (its prior snapshot's full block stays on disk and is
+// linked), writes the snapshot atomically, and deletes the segments it
+// covers plus every snapshot outside the new reference chain. Recovery
+// cost and checkpoint bytes therefore scale with what actually changed,
+// not with the database size. collect runs after the rotation, so any
+// mutation it observes is either inside the snapshot or journaled in
+// the new segment — replay tolerates the overlap because inserts are
+// idempotent set operations.
 func (l *Log) Checkpoint(collect func() (*Snapshot, error)) error {
 	l.ckptMu.Lock()
 	defer l.ckptMu.Unlock()
@@ -473,16 +674,61 @@ func (l *Log) Checkpoint(collect func() (*Snapshot, error)) error {
 	if err != nil {
 		return err
 	}
+	// Differential conversion. The prefix check re-fingerprints the
+	// first symsLen names: append-only symbol tables make it pass by
+	// construction, and if it ever does not, every reference is unsafe
+	// (referenced tuple values would translate through the wrong names),
+	// so the snapshot falls back to fully self-contained.
+	fullSyms := snap.Syms
+	fullLen := len(fullSyms)
+	prefixOK := l.headSeq != 0 && l.symsLen <= fullLen &&
+		symPrefixCRC(fullSyms[:l.symsLen]) == l.symsCRC
+	if prefixOK {
+		// Relations: an unchanged count over an insert-only relation
+		// means an identical tuple set, so the prior full block
+		// (wherever in the chain it physically lives) still describes it.
+		for i := range snap.Rels {
+			r := &snap.Rels[i]
+			if man, ok := l.manifest[r.Pred]; ok && man.arity == r.Arity && man.count == r.Count {
+				r.Ref, r.BaseSeq, r.Tuples = true, man.seq, nil
+			}
+		}
+	}
+	newAnchors := map[uint64]bool{}
+	newDepth := 0
+	if prefixOK && l.symDepth < maxSymChainDepth {
+		// Symbols: write only the tail interned since the previous head.
+		snap.SymBase = l.headSeq
+		snap.Syms = fullSyms[l.symsLen:]
+		for a := range l.symAnchors {
+			newAnchors[a] = true
+		}
+		newAnchors[l.headSeq] = true
+		newDepth = l.symDepth + 1
+	}
 	if err := writeSnapshot(l.dir, covered, snap); err != nil {
 		return err
+	}
+	l.headSeq = covered
+	l.manifest = relManifestOf(covered, snap)
+	l.symsLen, l.symsCRC = fullLen, symPrefixCRC(fullSyms)
+	l.symDepth, l.symAnchors = newDepth, newAnchors
+	l.chain = map[uint64]bool{covered: true}
+	for a := range newAnchors {
+		l.chain[a] = true
+	}
+	for _, r := range snap.Rels {
+		if r.Ref {
+			l.chain[r.BaseSeq] = true
+		}
 	}
 	return l.prune(covered)
 }
 
 // prune deletes segments covered by the snapshot at seq and snapshots
-// older than it. Failures are returned but leave recovery correct: an
-// undeleted covered segment is skipped at Open, an undeleted old
-// snapshot is shadowed by the newer one.
+// outside the current reference chain. Failures are returned but leave
+// recovery correct: an undeleted covered segment is skipped at Open, an
+// undeleted stale snapshot is shadowed by the newer chain.
 func (l *Log) prune(seq uint64) error {
 	entries, err := os.ReadDir(l.dir)
 	if err != nil {
@@ -495,7 +741,7 @@ func (l *Log) prune(seq uint64) error {
 				firstErr = err
 			}
 		}
-		if s, ok := parseSeq(e.Name(), "snap-", ".snap"); ok && s < seq {
+		if s, ok := parseSeq(e.Name(), "snap-", ".snap"); ok && s <= seq && !l.chain[s] {
 			if err := os.Remove(filepath.Join(l.dir, e.Name())); err != nil && firstErr == nil {
 				firstErr = err
 			}

@@ -50,6 +50,13 @@ func (r Row) Tuple() Tuple { return r.tuple }
 // single-pass and single-consumer: the first All call owns it (breaking
 // out stops the evaluation early), and later All calls, like every call
 // after completion, iterate the materialized answer set.
+//
+// A Rows served by the engine's bound-result cache (Explain reports
+// result-cache=hit|updated|rebuilt) views the cache's MAINTAINED answer
+// relation: an insert that later updates the cached entry grows the
+// same relation this Rows iterates. Relations are insert-only, so
+// already-yielded answers never disappear; iterate promptly or copy if
+// exact point-in-time contents matter.
 type Rows struct {
 	rel      *storage.Relation
 	syms     *storage.SymbolTable

@@ -36,15 +36,17 @@ type BatchPrepared = eval.BatchPrepared
 
 // engineConfig collects Open options.
 type engineConfig struct {
-	db            *storage.Database
-	program       *Program
-	strategyNames []string
-	planCacheSize int
-	countingDepth int
-	shards        int
-	workers       int
-	persistDir    string
-	syncPolicy    wal.SyncPolicy
+	db              *storage.Database
+	program         *Program
+	strategyNames   []string
+	planCacheSize   int
+	resultCacheSize int
+	autoCheckpoint  int
+	countingDepth   int
+	shards          int
+	workers         int
+	persistDir      string
+	syncPolicy      wal.SyncPolicy
 }
 
 // Option configures an Engine at Open time.
@@ -81,6 +83,34 @@ func WithStrategies(names ...string) Option {
 // 256 entries.
 func WithPlanCache(entries int) Option {
 	return func(c *engineConfig) { c.planCacheSize = entries }
+}
+
+// WithResultCache sets the bound-result cache capacity: materialized
+// answer sets keyed on (query shape, bound constants), each stamped with
+// the database epoch it was computed at. A repeated query whose stamp is
+// still current is served from the cache; after inserts, plans that
+// support incremental maintenance extend the retained fixpoint with
+// exactly the delta (Relation.DeltaSince) instead of re-evaluating, and
+// plans that do not are re-evaluated in full. Entries are evicted
+// least-recently-used. 0 disables the cache — every Query evaluates.
+// The default is 64 entries.
+//
+// Rows served from the cache share the maintained answer relation: a
+// later insert that updates the entry grows the same relation the
+// earlier Rows views. Iterate promptly or copy if exact point-in-time
+// contents matter.
+func WithResultCache(entries int) Option {
+	return func(c *engineConfig) { c.resultCacheSize = entries }
+}
+
+// WithAutoCheckpoint makes a persistent engine checkpoint automatically
+// once every inserts accepted fact inserts since the last checkpoint
+// (explicit or automatic). It only has an effect together with
+// WithPersistence; <= 0 (the default) disables auto-checkpointing.
+// Auto-checkpoints run synchronously on the mutating call that crosses
+// the threshold; the first failure is latched and surfaced by Close.
+func WithAutoCheckpoint(inserts int) Option {
+	return func(c *engineConfig) { c.autoCheckpoint = inserts }
 }
 
 // WithCountingDepth bounds the "counting" strategy's derivation depth

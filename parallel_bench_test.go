@@ -28,7 +28,8 @@ func BenchmarkOneSidedParallel(b *testing.B) {
 	ctx := context.Background()
 	b.Run("tc/random=30000x120000", func(b *testing.B) {
 		w := datagen.RandomTC(30000, 120000, 300, 7)
-		eng, err := Open(WithDatabase(w.DB))
+		// Result cache off: these benchmarks measure the evaluation itself.
+		eng, err := Open(WithDatabase(w.DB), WithResultCache(0))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func BenchmarkOneSidedParallel(b *testing.B) {
 		for i := 0; i < 200; i++ {
 			db.AddFact("b", fmt.Sprintf("n%d", rng.Intn(8000)), fmt.Sprintf("item%d", rng.Intn(16)))
 		}
-		eng, err := Open(WithDatabase(db))
+		eng, err := Open(WithDatabase(db), WithResultCache(0))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -134,7 +135,8 @@ func BenchmarkOneSidedIngest(b *testing.B) {
 func BenchmarkOneSidedStreamFirstAnswer(b *testing.B) {
 	w := datagen.ChainTC(20000)
 	w.DB.AddFact("b", w.Start, "zfirst")
-	eng, err := Open(WithDatabase(w.DB))
+	// Result cache off: the "full" sub measures repeated evaluation.
+	eng, err := Open(WithDatabase(w.DB), WithResultCache(0))
 	if err != nil {
 		b.Fatal(err)
 	}
