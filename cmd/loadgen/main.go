@@ -1,0 +1,367 @@
+// Command loadgen drives an osrd server with the five example
+// workloads (quickstart, flights, genealogy, marketbasket, appendixa)
+// and reports throughput and latency percentiles per program — the
+// CI bench artifact for the service layer.
+//
+// With -addr it targets a running osrd; without it, it self-hosts an
+// in-process server on an ephemeral port so CI needs no daemon
+// management. Each workload's predicates are prefixed (qs_, fl_, ge_,
+// mb_, ax_) so all five programs coexist in one engine. The run has
+// two phases per program: ingest (facts and rules through /v1/facts,
+// in chunks) and load (-clients concurrent clients issuing the
+// program's query mix against /v1/query for the program's share of
+// -duration).
+//
+// Usage:
+//
+//	loadgen [-addr host:port] [-clients 8] [-duration 5s]
+//	        [-out summary.txt] [-strict]
+//
+// -strict exits nonzero when any request got a 5xx or any program
+// measured zero QPS — the CI smoke-load gate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	onesided "repro"
+	"repro/internal/datagen"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+type fact struct {
+	Pred string   `json:"pred"`
+	Args []string `json:"args"`
+}
+
+// workload is one example program: its rules, its facts, and the query
+// mix the clients cycle through.
+type workload struct {
+	name    string
+	rules   []string
+	facts   []fact
+	queries []string
+}
+
+// dumpFacts enumerates a datagen-built database as ingest facts,
+// renaming predicates through prefix so the five programs coexist in
+// the one serving engine.
+func dumpFacts(db *storage.Database, prefix string, out []fact) []fact {
+	for _, pred := range db.Preds() {
+		rel := db.Relation(pred)
+		for _, t := range rel.Tuples() {
+			args := make([]string, len(t))
+			for i, v := range t {
+				args[i] = db.Syms.Name(v)
+			}
+			out = append(out, fact{Pred: prefix + pred, Args: args})
+		}
+	}
+	return out
+}
+
+func workloads() []workload {
+	// Quickstart: transitive closure over a 200-node chain (Example 2.1
+	// scaled up), the canonical one-sided recursion.
+	qs := workload{
+		name: "quickstart",
+		rules: []string{
+			"qs_t(X, Y) :- qs_a(X, Z), qs_t(Z, Y).",
+			"qs_t(X, Y) :- qs_b(X, Y).",
+		},
+		queries: []string{"qs_t(qn0, Y)", "qs_t(qn100, Y)", "qs_t(qn190, Y)"},
+	}
+	{
+		db := storage.NewDatabase()
+		_, last := datagen.Chain(db, "a", "qn", 200)
+		qs.facts = dumpFacts(db, "qs_", qs.facts)
+		qs.facts = append(qs.facts,
+			fact{Pred: "qs_b", Args: []string{last, "qend"}},
+			fact{Pred: "qs_b", Args: []string{"qn100", "qmid"}})
+	}
+
+	// Flights: reachability over the hub-and-spoke network from the
+	// flights example (400 airports, 1600 legs, 40 ferry links).
+	fl := workload{
+		name: "flights",
+		rules: []string{
+			"fl_reach(X, Y) :- fl_flight(X, Z), fl_reach(Z, Y).",
+			"fl_reach(X, Y) :- fl_ferry(X, Y).",
+		},
+		queries: []string{"fl_reach(apt0, Y)", "fl_reach(apt3, Y)", "fl_reach(apt17, Y)", "fl_reach(apt42, Y)"},
+	}
+	{
+		db := storage.NewDatabase()
+		datagen.RandomGraph(db, "flight", "apt", 400, 1600, 7)
+		fl.facts = dumpFacts(db, "fl_", fl.facts)
+		for i := 0; i < 40; i++ {
+			fl.facts = append(fl.facts, fact{Pred: "fl_ferry",
+				Args: []string{fmt.Sprintf("apt%d", i*10), fmt.Sprintf("island%d", i%5)}})
+		}
+	}
+
+	// Genealogy: same-generation, the canonical two-sided recursion; the
+	// planner falls back to Magic Sets. Forest of 5 trees, depth 6.
+	db, leafA, leafB := datagen.Genealogy(5, 6)
+	ge := workload{
+		name: "genealogy",
+		rules: []string{
+			"ge_sg(X, Y) :- ge_p(X, W), ge_p(Y, Z), ge_sg(W, Z).",
+			"ge_sg(X, Y) :- ge_sg0(X, Y).",
+		},
+		facts: dumpFacts(db, "ge_", nil),
+		queries: []string{
+			fmt.Sprintf("ge_sg(%s, Y)", leafA),
+			fmt.Sprintf("ge_sg(%s, %s)", leafA, leafB),
+		},
+	}
+
+	// Market basket: the Section 3 buys/likes/cheap recursion — two-sided
+	// as written, one-sided after the optimization step.
+	mb := workload{
+		name: "marketbasket",
+		rules: []string{
+			"mb_buys(X, Y) :- mb_knows(X, W), mb_buys(W, Y), mb_cheap(Y).",
+			"mb_buys(X, Y) :- mb_likes(X, Y), mb_cheap(Y).",
+		},
+		facts: append(dumpFacts(datagen.Market(40, 5, 20, 3), "mb_", nil),
+			fact{Pred: "mb_likes", Args: []string{"p7_5", "item2"}}),
+		queries: []string{"mb_buys(p7_0, Y)", "mb_buys(p3_0, Y)", "mb_buys(p12_0, Y)"},
+	}
+
+	// Appendix A: Example A.1's bounded P — the c(X1) condition is
+	// idempotent, so the recursion collapses at depth 1.
+	ax := workload{
+		name: "appendixa",
+		rules: []string{
+			"ax_p(X1, X2) :- ax_c(X1), ax_p(X1, X2).",
+			"ax_p(X1, X2) :- ax_c(X1), ax_p0(X1, X2).",
+		},
+		queries: []string{"ax_p(u0, Y)", "ax_p(u17, Y)", "ax_p(u31, Y)"},
+	}
+	for i := 0; i < 48; i++ {
+		ax.facts = append(ax.facts,
+			fact{Pred: "ax_c", Args: []string{fmt.Sprintf("u%d", i)}},
+			fact{Pred: "ax_p0", Args: []string{fmt.Sprintf("u%d", i), fmt.Sprintf("v%d", i)}})
+	}
+
+	return []workload{qs, fl, ge, mb, ax}
+}
+
+// result is one program's measured load phase.
+type result struct {
+	name                string
+	requests            int64
+	server5xx           int64
+	governed            int64 // 429/504: quota verdicts, not failures
+	errors              int64 // transport errors
+	elapsed             time.Duration
+	latencies           []time.Duration
+	p50, p95, p99, pMax time.Duration
+}
+
+func (r *result) qps() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.requests) / r.elapsed.Seconds()
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func main() {
+	addr := flag.String("addr", "", "osrd address (host:port); empty self-hosts an in-process server")
+	clients := flag.Int("clients", 8, "concurrent clients per program")
+	duration := flag.Duration("duration", 5*time.Second, "total load time, split across the five programs")
+	out := flag.String("out", "", "also write the summary to this file")
+	strict := flag.Bool("strict", false, "exit nonzero on any 5xx or any zero-QPS program")
+	flag.Parse()
+	if err := run(*addr, *clients, *duration, *out, *strict); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, clients int, duration time.Duration, outPath string, strict bool) error {
+	base := addr
+	if base == "" {
+		// Self-host: an in-process server on an ephemeral port.
+		eng, err := onesided.Open()
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		srv, err := server.New(server.Config{Engine: eng})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = ln.Addr().String()
+		fmt.Printf("self-hosted osrd on %s\n", base)
+	}
+	baseURL := "http://" + base
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: clients * 2,
+	}}
+
+	wls := workloads()
+	share := duration / time.Duration(len(wls))
+	results := make([]*result, 0, len(wls))
+	for _, wl := range wls {
+		if err := ingest(client, baseURL, wl); err != nil {
+			return fmt.Errorf("%s ingest: %w", wl.name, err)
+		}
+		res, err := load(client, baseURL, wl, clients, share)
+		if err != nil {
+			return fmt.Errorf("%s load: %w", wl.name, err)
+		}
+		results = append(results, res)
+	}
+
+	summary := render(results)
+	fmt.Print(summary)
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(summary), 0o644); err != nil {
+			return err
+		}
+	}
+	if strict {
+		for _, r := range results {
+			if r.server5xx > 0 {
+				return fmt.Errorf("strict: %s saw %d 5xx responses", r.name, r.server5xx)
+			}
+			if r.requests == 0 || r.qps() == 0 {
+				return fmt.Errorf("strict: %s measured zero QPS", r.name)
+			}
+			if r.errors > 0 {
+				return fmt.Errorf("strict: %s saw %d transport errors", r.name, r.errors)
+			}
+		}
+	}
+	return nil
+}
+
+// ingest pushes a workload's facts (chunked) and rules through /v1/facts.
+func ingest(client *http.Client, baseURL string, wl workload) error {
+	const chunk = 500
+	for i := 0; i < len(wl.facts); i += chunk {
+		end := min(i+chunk, len(wl.facts))
+		if err := postFacts(client, baseURL, wl.facts[i:end], nil); err != nil {
+			return err
+		}
+	}
+	return postFacts(client, baseURL, nil, wl.rules)
+}
+
+func postFacts(client *http.Client, baseURL string, facts []fact, rules []string) error {
+	body, err := json.Marshal(map[string]any{"facts": facts, "rules": rules})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(baseURL+"/v1/facts", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("/v1/facts: %s: %s", resp.Status, e.Error)
+	}
+	return nil
+}
+
+// load runs the query phase: clients goroutines cycling the workload's
+// query mix against /v1/query until the deadline.
+func load(client *http.Client, baseURL string, wl workload, clients int, d time.Duration) (*result, error) {
+	res := &result{name: wl.name}
+	var mu sync.Mutex
+	var requests, s5xx, governed, terrs atomic.Int64
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var lats []time.Duration
+			for i := c; time.Now().Before(deadline); i++ {
+				q := wl.queries[i%len(wl.queries)]
+				body, _ := json.Marshal(map[string]any{"query": q})
+				start := time.Now()
+				resp, err := client.Post(baseURL+"/v1/query", "application/json", bytes.NewReader(body))
+				lat := time.Since(start)
+				if err != nil {
+					terrs.Add(1)
+					continue
+				}
+				resp.Body.Close()
+				requests.Add(1)
+				lats = append(lats, lat)
+				switch {
+				case resp.StatusCode >= 500:
+					s5xx.Add(1)
+				case resp.StatusCode == http.StatusTooManyRequests ||
+					resp.StatusCode == http.StatusGatewayTimeout:
+					governed.Add(1)
+				}
+			}
+			mu.Lock()
+			res.latencies = append(res.latencies, lats...)
+			mu.Unlock()
+		}(c)
+	}
+	start := time.Now()
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	res.requests = requests.Load()
+	res.server5xx = s5xx.Load()
+	res.governed = governed.Load()
+	res.errors = terrs.Load()
+	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+	res.p50 = percentile(res.latencies, 0.50)
+	res.p95 = percentile(res.latencies, 0.95)
+	res.p99 = percentile(res.latencies, 0.99)
+	res.pMax = percentile(res.latencies, 1.0)
+	return res, nil
+}
+
+func render(results []*result) string {
+	var b strings.Builder
+	ms := func(d time.Duration) string {
+		return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+	}
+	fmt.Fprintf(&b, "%-14s %9s %10s %9s %9s %9s %9s %6s %9s\n",
+		"program", "requests", "qps", "p50ms", "p95ms", "p99ms", "maxms", "5xx", "governed")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-14s %9d %10.1f %9s %9s %9s %9s %6d %9d\n",
+			r.name, r.requests, r.qps(), ms(r.p50), ms(r.p95), ms(r.p99), ms(r.pMax),
+			r.server5xx, r.governed)
+	}
+	return b.String()
+}

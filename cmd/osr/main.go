@@ -8,7 +8,7 @@
 //	osr classify file.dl            # per-predicate classification + decision
 //	osr graph -pred t [-plain] file.dl
 //	osr expand -pred t -k 4 file.dl
-//	osr query [-engine onesided|magic|seminaive|naive|counting] [-data dir] [-checkpoint-every n] file.dl
+//	osr query [-engine onesided|magic|seminaive|naive|counting] [-data dir] [-checkpoint-every n] [-timeout d] file.dl
 //
 // The query command drives the Engine façade: plans are prepared once
 // per query, the planner auto-selects the one-sided schema or a
@@ -63,7 +63,7 @@ subcommands:
   classify <file>                      classify every recursion in the file
   graph -pred <p> [-plain] <file>      render the (full) A/V graph
   expand -pred <p> [-k n] <file>       print expansion strings
-  query [-engine e] [-data dir] [-checkpoint-every n] <file>
+  query [-engine e] [-data dir] [-checkpoint-every n] [-timeout d] <file>
                                        answer the file's ?- queries
   prove -tuple "t(a, b)" <file>        find and minimize a derivation
 engines: onesided (default: auto-select with magic fallback),
@@ -74,7 +74,9 @@ relations — and recovers on the next start); -checkpoint-every n also
 checkpoints automatically after every n accepted fact inserts.
 Repeated queries report result-cache=hit|updated|rebuilt in their
 explain line: the engine serves materialized answers and maintains
-them incrementally across inserts instead of recomputing.`)
+them incrementally across inserts instead of recomputing.
+-timeout d bounds each query's evaluation (e.g. -timeout 500ms); an
+expired query aborts mid-fixpoint and reports the deadline error.`)
 }
 
 func loadSource(path string) (*onesided.Program, []onesided.Atom, error) {
@@ -321,6 +323,7 @@ func cmdQuery(args []string) error {
 	verbose := fs.Bool("v", false, "print instrumentation counters")
 	dataDir := fs.String("data", "", "persist facts, rules, and plan shapes in this directory (survives restarts)")
 	ckptEvery := fs.Int("checkpoint-every", 0, "with -data: auto-checkpoint after N accepted fact inserts (0 disables)")
+	timeout := fs.Duration("timeout", 0, "per-query evaluation deadline, e.g. 500ms or 2s (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -385,7 +388,15 @@ func cmdQuery(args []string) error {
 		if err != nil {
 			return fmt.Errorf("query %v: %v", q, err)
 		}
-		rows, err := pq.Query(ctx)
+		qctx, cancel := ctx, context.CancelFunc(func() {})
+		if *timeout > 0 {
+			// The deadline rides the engine's context plumbing into the
+			// fixpoint loops; an expired query reports the error, not a
+			// partial answer set.
+			qctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		rows, err := pq.Query(qctx)
+		cancel()
 		if err != nil {
 			return fmt.Errorf("query %v: %v", q, err)
 		}

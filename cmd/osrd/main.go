@@ -1,0 +1,111 @@
+// Command osrd serves one-sided-recursion queries over HTTP: the
+// network face of the Engine façade with multi-tenant resource
+// governance (per-request deadlines, derived-fact gas, fact-count
+// admission, bounded concurrency). See internal/server for the API.
+//
+// Usage:
+//
+//	osrd [-addr :8080] [-program file.dl] [-data dir]
+//	     [-quota-facts n] [-quota-gas n] [-quota-deadline d]
+//	     [-max-concurrent n]
+//
+// Endpoints (all JSON; tenant identity via the X-Tenant header,
+// default "default"):
+//
+//	POST /v1/query        {"query":"t(a, Y)","timeout_ms":500}
+//	POST /v1/query/stream same request; NDJSON rows flushed as derived
+//	POST /v1/batch        {"queries":["t(a, Y)","t(b, Y)"]}
+//	POST /v1/facts        {"facts":[{"pred":"a","args":["x","y"]}],"rules":[...]}
+//	GET  /v1/stats        engine + per-tenant counters
+//
+// The quota flags set the default tenant quota: -quota-gas bounds the
+// derived tuples per query (exceeding it is a 429), -quota-deadline
+// caps each request's evaluation deadline (504 on expiry), and
+// -quota-facts caps stored tuples (429 on ingest past the limit).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	onesided "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	program := flag.String("program", "", "load this .dl file (facts + rules) at startup")
+	dataDir := flag.String("data", "", "persist facts, rules, and plan shapes in this directory")
+	quotaFacts := flag.Int64("quota-facts", 0, "max stored tuples; ingest past the limit is rejected (0 = unlimited)")
+	quotaGas := flag.Int64("quota-gas", 0, "derived-fact gas per query; exhaustion aborts with 429 (0 = unlimited)")
+	quotaDeadline := flag.Duration("quota-deadline", 0, "cap on each request's evaluation deadline (0 = uncapped)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "evaluations in flight before 503 (0 = 4 x GOMAXPROCS)")
+	flag.Parse()
+	if err := run(*addr, *program, *dataDir, onesided.Quota{
+		MaxFacts:    *quotaFacts,
+		MaxDerived:  *quotaGas,
+		MaxDeadline: *quotaDeadline,
+	}, *maxConcurrent); err != nil {
+		fmt.Fprintln(os.Stderr, "osrd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, program, dataDir string, quota onesided.Quota, maxConcurrent int) error {
+	opts := []onesided.Option{onesided.WithQuota(quota)}
+	if dataDir != "" {
+		opts = append(opts, onesided.WithPersistence(dataDir))
+	}
+	eng, err := onesided.Open(opts...)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	if program != "" {
+		data, err := os.ReadFile(program)
+		if err != nil {
+			return err
+		}
+		if _, err := eng.Load(string(data)); err != nil {
+			return fmt.Errorf("load %s: %w", program, err)
+		}
+		log.Printf("loaded %s: %d tuples", program, eng.DB().TupleCount())
+	}
+	srv, err := server.New(server.Config{
+		Engine:        eng,
+		DefaultQuota:  quota,
+		MaxConcurrent: maxConcurrent,
+	})
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Addr: addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("osrd listening on %s (quota: facts=%d gas=%d deadline=%s)",
+		addr, quota.MaxFacts, quota.MaxDerived, quota.MaxDeadline)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("received %s; shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	// Close (deferred) checkpoints and flushes the persistence log.
+	return nil
+}

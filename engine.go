@@ -78,6 +78,11 @@ type Engine struct {
 	ckptMark  atomic.Int64
 	autoErr   atomic.Pointer[error]
 
+	// quota is the engine's default resource bounds (see WithQuota):
+	// MaxFacts gates InsertFact, MaxDerived is the default per-query gas
+	// budget withGasCtx attaches.
+	quota Quota
+
 	hits, misses, evictions, rewarmed atomic.Int64
 	resHits, resUpdated, resRebuilt   atomic.Int64
 }
@@ -114,6 +119,7 @@ func Open(opts ...Option) (*Engine, error) {
 		resLRU:      list.New(),
 		resCacheCap: cfg.resultCacheSize,
 		autoEvery:   cfg.autoCheckpoint,
+		quota:       cfg.quota,
 	}
 	var shapes []string
 	var bootstrap bool
@@ -189,12 +195,15 @@ func (e *Engine) openPersistence(cfg engineConfig) (shapes []string, bootstrap b
 func (e *Engine) DB() *Database { return e.db }
 
 // AddFact interns the constants and inserts the tuple into the named
-// relation. The insert stamps the database epoch, so cached query
+// relation, reporting whether the tuple was genuinely new (false on a
+// duplicate). The insert stamps the database epoch, so cached query
 // results notice the change; with auto-checkpointing configured it may
-// trigger a checkpoint.
-func (e *Engine) AddFact(pred string, consts ...string) {
-	e.db.AddFact(pred, consts...)
+// trigger a checkpoint. AddFact never rejects; use InsertFact for
+// quota-gated admission.
+func (e *Engine) AddFact(pred string, consts ...string) bool {
+	added := e.db.AddFact(pred, consts...)
 	e.maybeAutoCheckpoint()
+	return added
 }
 
 // Load parses a source text in Prolog syntax, inserts its ground facts
@@ -548,6 +557,13 @@ func (pq *PreparedQuery) Query(ctx context.Context) (*Rows, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// A dead context fails uniformly, even when the result cache could
+	// have answered without evaluating: callers rely on errors.Is over
+	// Query's error to distinguish deadline/cancel aborts.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ctx = pq.engine.withGasCtx(ctx)
 	if pq.resultCacheable() {
 		rows, handled, err := pq.engine.queryCached(ctx, pq, true)
 		if handled || err != nil {
@@ -812,6 +828,7 @@ func (pq *PreparedQuery) Stream(ctx context.Context) *Rows {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx = pq.engine.withGasCtx(ctx)
 	ctx, cancel := context.WithCancel(ctx)
 	db := pq.engine.db
 	rows := &Rows{
@@ -943,6 +960,9 @@ func (e *Engine) QueryBatchAtoms(ctx context.Context, queries []Atom) ([]*Rows, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// One budget governs the whole batch: a shared traversal cannot
+	// attribute derived contexts to individual member queries.
+	ctx = e.withGasCtx(ctx)
 	rows := make([]*Rows, len(queries))
 	type group struct {
 		pq    *PreparedQuery

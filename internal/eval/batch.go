@@ -273,9 +273,15 @@ func (p *Plan) evalContextBatch(ctx context.Context, edb *storage.Database, boun
 	}
 	flush()
 
+	meter := MeterFrom(ctx)
 	stats.Batches++ // the seed batch
 	for len(frontier) > 0 {
 		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		// Gas: the frontier holds the contexts newly reached (or newly
+		// re-owned) this round — the shared traversal's unit of derivation.
+		if err := meter.Charge(len(frontier)); err != nil {
 			return nil, stats, err
 		}
 		stats.Iterations++
@@ -370,6 +376,13 @@ func (p *Plan) evalContextBatch(ctx context.Context, edb *storage.Database, boun
 			})
 		}
 	})
+	answers := 0
+	for _, r := range ans {
+		answers += r.Len()
+	}
+	if err := meter.Charge(answers); err != nil {
+		return nil, stats, err
+	}
 	return ans, stats, nil
 }
 

@@ -43,6 +43,9 @@ func (p *Plan) evalContextCounting(ctx context.Context, edb *storage.Database, m
 	red := p.reduced
 	syms := edb.Syms
 	stats := EvalStats{CarryArity: p.CarryArity}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 	ans := storage.NewRelation(p.Def.Arity(), &edb.Stats)
 	resolve := func(pred string, alt bool) *storage.Relation { return edb.Relation(pred) }
 
@@ -177,7 +180,11 @@ func (p *Plan) evalContextCounting(ctx context.Context, edb *storage.Database, m
 		}
 	}
 
-	// Level loop: no cross-level dedup (the counting discipline).
+	// Level loop: no cross-level dedup (the counting discipline). Gas is
+	// charged per level: the level's carry tuples plus the answers its
+	// g-join produced.
+	meter := MeterFrom(ctx)
+	ansCharged := ans.Len()
 	for depth := 0; len(level) > 0; depth++ {
 		if err := ctx.Err(); err != nil {
 			return nil, stats, err
@@ -188,6 +195,10 @@ func (p *Plan) evalContextCounting(ctx context.Context, edb *storage.Database, m
 		stats.Iterations++
 		stats.SeenSize += len(level)
 		answerLevel(level)
+		if err := meter.Charge(len(level) + ans.Len() - ansCharged); err != nil {
+			return nil, stats, err
+		}
+		ansCharged = ans.Len()
 
 		var next []storage.Tuple
 		slots := make([]storage.Value, len(fSS.varSlot))

@@ -186,6 +186,18 @@ func (ic *incContext) Update(ctx context.Context, edb *storage.Database, delta D
 		return nil
 	}
 
+	// Gas: like the initial run, the maintenance pass charges the growth
+	// of the retained seen-set plus answers at batch granularity. An
+	// exhausted budget poisons the state exactly as a cancellation does.
+	meter := MeterFrom(ctx)
+	charged := ce.seen.Len() + ce.ans.Len()
+	charge := func() error {
+		cur := ce.seen.Len() + ce.ans.Len()
+		err := meter.Charge(cur - charged)
+		charged = cur
+		return err
+	}
+
 	if ce.noDepth {
 		// Depth-0-only state: a delta touching the recursive body (which
 		// includes every factor-group guard) could flip an empty guard
@@ -200,7 +212,7 @@ func (ic *incContext) Update(ctx context.Context, edb *storage.Database, delta D
 			ce.stats.GProbes++
 			ic.d0Var(i).run(p, syms, dres, ce.emitAnswer)
 		}
-		return nil
+		return charge()
 	}
 
 	// 1. Depth-0 delta answers.
@@ -210,6 +222,9 @@ func (ic *incContext) Update(ctx context.Context, edb *storage.Database, delta D
 		}
 		ce.stats.GProbes++
 		ic.d0Var(i).run(p, syms, dres, ce.emitAnswer)
+	}
+	if err := charge(); err != nil {
+		return err
 	}
 
 	// Snapshot the contexts known before this update: the f/g delta
@@ -267,6 +282,9 @@ func (ic *incContext) Update(ctx context.Context, edb *storage.Database, delta D
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			if err := charge(); err != nil {
+				return err
+			}
 			ce.stats.Iterations++
 			ce.stats.Batches++
 			frontier = ce.fBatch(frontier)
@@ -300,6 +318,9 @@ func (ic *incContext) Update(ctx context.Context, edb *storage.Database, delta D
 	}
 
 	ce.stats.SeenSize = ce.seen.Len()
+	if err := charge(); err != nil {
+		return err
+	}
 	return ctx.Err()
 }
 

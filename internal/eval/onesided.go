@@ -449,6 +449,9 @@ func (p *Plan) EvalStreamCtx(ctx context.Context, edb *storage.Database, emit fu
 	if p.NSlots > 0 {
 		return nil, EvalStats{}, fmt.Errorf("eval: plan for %v is a skeleton with %d unbound slots; call Bind first", p.Query, p.NSlots)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, EvalStats{}, err
+	}
 	switch p.Mode {
 	case ModeFull:
 		ans, res, err := SelectEvalWorkersCtx(ctx, p.Def.Program(), p.Query, edb, p.effectiveWorkers())
@@ -942,12 +945,34 @@ func (p *Plan) newContextEval(edb *storage.Database, emit func(storage.Tuple) bo
 func (ce *contextEval) run(ctx context.Context) (*storage.Relation, EvalStats, error) {
 	p, syms := ce.p, ce.syms
 
+	// An already-expired context must fail even when the evaluation would
+	// finish without entering the while loop (empty carry): the serving
+	// layer relies on deadline errors surfacing deterministically.
+	if err := ctx.Err(); err != nil {
+		return nil, ce.stats, err
+	}
+
+	// Gas: the derived-tuple budget is charged at batch granularity — the
+	// growth of the seen-set plus the answer set since the last charge —
+	// so one check per Fig. 9 iteration bounds a runaway recursion.
+	meter := MeterFrom(ctx)
+	charged := 0
+	charge := func() error {
+		cur := ce.seen.Len() + ce.ans.Len()
+		err := meter.Charge(cur - charged)
+		charged = cur
+		return err
+	}
+
 	// Depth-0: exit rule with the bound head columns substituted. These
 	// are the first streamed answers — no fixpoint work precedes them.
 	ce.stats.GProbes++
 	p.d0Join(syms, ce.resolve, -1, ce.emitAnswer)
 	if ce.aborted.Load() {
 		return ce.finish(ctx)
+	}
+	if err := charge(); err != nil {
+		return nil, ce.stats, err
 	}
 
 	// Factored groups: evaluate once with the selection constants; any
@@ -984,6 +1009,10 @@ func (ce *contextEval) run(ctx context.Context) (*storage.Relation, EvalStats, e
 		if err := ctx.Err(); err != nil {
 			return nil, ce.stats, err
 		}
+		if err := charge(); err != nil {
+			ce.stats.SeenSize = ce.seen.Len()
+			return nil, ce.stats, err
+		}
 		ce.stats.Iterations++
 		ce.stats.Batches++
 		carry = ce.fBatch(carry)
@@ -991,6 +1020,10 @@ func (ce *contextEval) run(ctx context.Context) (*storage.Relation, EvalStats, e
 			p.TestIterHook(ce.stats.Iterations)
 		}
 		ce.gBatch(carry)
+	}
+	if err := charge(); err != nil {
+		ce.stats.SeenSize = ce.seen.Len()
+		return nil, ce.stats, err
 	}
 	return ce.finish(ctx)
 }

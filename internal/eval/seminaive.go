@@ -268,6 +268,7 @@ func (st *snState) initialFixpoint(ctx context.Context) error {
 // contents of the caller's seeding round) — the hook incremental
 // answer-relation maintenance rides on.
 func (st *snState) deltaLoop(ctx context.Context, newDelta map[string]*storage.Relation, onNew func(pred string, t storage.Tuple)) error {
+	meter := MeterFrom(ctx)
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -275,11 +276,13 @@ func (st *snState) deltaLoop(ctx context.Context, newDelta map[string]*storage.R
 		// Promote.
 		delta := newDelta
 		empty := true
+		fresh := 0
 		for pred, d := range delta {
 			if d.Len() == 0 {
 				continue
 			}
 			empty = false
+			fresh += d.Len()
 			if onNew != nil {
 				for _, t := range d.Tuples() {
 					onNew(pred, t)
@@ -288,6 +291,11 @@ func (st *snState) deltaLoop(ctx context.Context, newDelta map[string]*storage.R
 		}
 		if empty {
 			return nil
+		}
+		// Gas: the promoted delta is exactly the round's genuinely new
+		// derived tuples — one charge per semi-naive round.
+		if err := meter.Charge(fresh); err != nil {
+			return err
 		}
 		newDelta = st.freshDelta()
 		var jobs []roundJob
@@ -493,6 +501,7 @@ func NaiveCtx(ctx context.Context, p *ast.Program, edb *storage.Database) (*Resu
 		}
 		return edb.Relation(pred)
 	}
+	meter := MeterFrom(ctx)
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -502,7 +511,12 @@ func NaiveCtx(ctx context.Context, p *ast.Program, edb *storage.Database) (*Resu
 			applyRule(cr, cr.variants[0:1], res0, idb, map[string]*storage.Relation{}, true)
 		}
 		res.Rounds++
-		if idb.TupleCount() == before {
+		after := idb.TupleCount()
+		// Gas: charge the round's genuinely new tuples.
+		if err := meter.Charge(after - before); err != nil {
+			return nil, err
+		}
+		if after == before {
 			break
 		}
 	}

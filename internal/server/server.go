@@ -1,0 +1,558 @@
+// Package server is the network envelope around the engine: an HTTP API
+// (query, streaming query, batch, fact ingest, stats) with per-tenant
+// resource governance. The paper's one-sided recursions make recursive
+// queries cheap enough to answer on demand; this layer is what lets
+// many mutually untrusted clients demand them. Governance is enforced
+// with the engine's own primitives — per-request deadlines through the
+// context plumbing, derived-fact gas metered inside the fixpoint loops
+// (onesided.WithGas), fact-count admission on ingest — plus a
+// bounded-concurrency admission gate in front of evaluation.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	onesided "repro"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Engine serves every tenant's queries. Required.
+	Engine *onesided.Engine
+	// DefaultQuota governs tenants without an entry in Tenants. The zero
+	// value means ungoverned (no deadline cap, no gas, no fact limit).
+	DefaultQuota onesided.Quota
+	// Tenants maps a tenant name (the X-Tenant request header) to its
+	// quota, overriding DefaultQuota entirely for that tenant.
+	Tenants map[string]onesided.Quota
+	// MaxConcurrent bounds the evaluations in flight at once; requests
+	// beyond the bound wait briefly for a slot and are then rejected with
+	// 503. <= 0 means 4 x GOMAXPROCS.
+	MaxConcurrent int
+	// AdmissionWait is how long a request may wait for an evaluation
+	// slot before 503. <= 0 means 100ms.
+	AdmissionWait time.Duration
+	// MaxBodyBytes caps request bodies. <= 0 means 8 MiB.
+	MaxBodyBytes int64
+}
+
+// tenantState is the per-tenant accounting the server keeps: the facts
+// it accepted for the tenant (admission against Quota.MaxFacts) and the
+// tenant's request/rejection counters.
+type tenantState struct {
+	facts        atomic.Int64
+	requests     atomic.Int64
+	gasExhausted atomic.Int64
+	timeouts     atomic.Int64
+}
+
+// Server is the HTTP handler. It is safe for concurrent use; all state
+// beyond the engine's is atomic counters and the tenant map.
+type Server struct {
+	eng *onesided.Engine
+	cfg Config
+	mux *http.ServeMux
+	sem chan struct{}
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+
+	requests     atomic.Int64
+	served       atomic.Int64
+	streamed     atomic.Int64 // rows written on /v1/query/stream
+	badRequests  atomic.Int64
+	gasExhausted atomic.Int64
+	timeouts     atomic.Int64
+	saturated    atomic.Int64
+	factRejects  atomic.Int64
+	factsAdded   atomic.Int64
+}
+
+// New builds a Server over the config's engine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: Config.Engine is required")
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.AdmissionWait <= 0 {
+		cfg.AdmissionWait = 100 * time.Millisecond
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	s := &Server{
+		eng:     cfg.Engine,
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		tenants: make(map[string]*tenantState),
+	}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/query/stream", s.handleQueryStream)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/facts", s.handleFacts)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// defaultTenant is the identity of requests without an X-Tenant header.
+const defaultTenant = "default"
+
+// tenant resolves the request's tenant name and accounting state.
+func (s *Server) tenant(r *http.Request) (string, *tenantState) {
+	name := r.Header.Get("X-Tenant")
+	if name == "" {
+		name = defaultTenant
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, ok := s.tenants[name]
+	if !ok {
+		ts = &tenantState{}
+		s.tenants[name] = ts
+	}
+	return name, ts
+}
+
+// quotaFor returns the quota governing a tenant.
+func (s *Server) quotaFor(name string) onesided.Quota {
+	if q, ok := s.cfg.Tenants[name]; ok {
+		return q
+	}
+	return s.cfg.DefaultQuota
+}
+
+// govern derives the evaluation context for one request: the deadline is
+// the smaller of the request's timeout_ms and the tenant quota's
+// MaxDeadline, and the quota's MaxDerived attaches a fresh gas meter.
+// The returned cancel must always be called.
+func govern(ctx context.Context, q onesided.Quota, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := time.Duration(timeoutMS) * time.Millisecond
+	if q.MaxDeadline > 0 && (d <= 0 || d > q.MaxDeadline) {
+		d = q.MaxDeadline
+	}
+	cancel := context.CancelFunc(func() {})
+	if d > 0 {
+		ctx, cancel = context.WithTimeout(ctx, d)
+	}
+	return onesided.WithGas(ctx, q.MaxDerived), cancel
+}
+
+// admit acquires an evaluation slot, waiting at most AdmissionWait.
+// It reports false — and writes the 503 — when the server is saturated.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	t := time.NewTimer(s.cfg.AdmissionWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-t.C:
+		s.saturated.Add(1)
+		writeError(w, http.StatusServiceUnavailable, errors.New("server: saturated; retry later"))
+		return false
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// statusFor maps an evaluation error to its HTTP status: gas and fact
+// quota aborts are 429 (the tenant asked for too much), deadlines are
+// 504 (the evaluation ran out of time), a client disconnect is the
+// conventional 499, and everything else — parse errors, unplannable
+// queries — is a 400.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, onesided.ErrGasExhausted),
+		errors.Is(err, onesided.ErrFactLimitExceeded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// account tallies a failed evaluation on the server and tenant counters.
+func (s *Server) account(ts *tenantState, err error) {
+	switch {
+	case errors.Is(err, onesided.ErrGasExhausted):
+		s.gasExhausted.Add(1)
+		ts.gasExhausted.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		ts.timeouts.Add(1)
+	case errors.Is(err, context.Canceled):
+	default:
+		s.badRequests.Add(1)
+	}
+}
+
+type errorResponse struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error(), Status: status})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/query
+
+type queryRequest struct {
+	// Query is one ground query atom in Prolog syntax, e.g. "t(n0, Y)".
+	Query string `json:"query"`
+	// TimeoutMS bounds the evaluation; the tenant quota's MaxDeadline
+	// caps it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+type queryResponse struct {
+	Answers   [][]string `json:"answers"`
+	Count     int        `json:"count"`
+	Strategy  string     `json:"strategy,omitempty"`
+	Explain   string     `json:"explain,omitempty"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decode(w, r, &req) {
+		s.badRequests.Add(1)
+		return
+	}
+	name, ts := s.tenant(r)
+	ts.requests.Add(1)
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.release()
+	ctx, cancel := govern(r.Context(), s.quotaFor(name), req.TimeoutMS)
+	defer cancel()
+
+	start := time.Now()
+	rows, err := s.eng.Query(ctx, req.Query)
+	if err != nil {
+		s.account(ts, err)
+		writeError(w, statusFor(err), err)
+		return
+	}
+	resp := queryResponse{
+		Answers:   make([][]string, 0, rows.Len()),
+		Strategy:  rows.Explain().Strategy,
+		Explain:   rows.Explain().String(),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for row := range rows.Sorted() {
+		resp.Answers = append(resp.Answers, row.Strings())
+	}
+	resp.Count = len(resp.Answers)
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/query/stream
+
+// streamLine is one NDJSON line of a /v1/query/stream response: rows
+// carry Row, and the single terminal line carries Done plus either the
+// summary or the error. The HTTP status is committed (200) before
+// evaluation finishes — that is the point of streaming — so governance
+// verdicts that arrive mid-fixpoint travel in the terminal line's
+// Status field using the same mapping as /v1/query.
+type streamLine struct {
+	Row      []string `json:"row,omitempty"`
+	Done     bool     `json:"done,omitempty"`
+	Count    int      `json:"count,omitempty"`
+	Strategy string   `json:"strategy,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	Status   int      `json:"status,omitempty"`
+}
+
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decode(w, r, &req) {
+		s.badRequests.Add(1)
+		return
+	}
+	name, ts := s.tenant(r)
+	ts.requests.Add(1)
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.release()
+	ctx, cancel := govern(r.Context(), s.quotaFor(name), req.TimeoutMS)
+	defer cancel()
+
+	rows, err := s.eng.QueryStream(ctx, req.Query)
+	if err != nil {
+		// Planning failed before any evaluation started.
+		s.account(ts, err)
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	count := 0
+	for row := range rows.All() {
+		if r.Context().Err() != nil {
+			// The client went away; breaking out stops the evaluation
+			// (Rows.All's stop/drain protocol reclaims the goroutine).
+			break
+		}
+		enc.Encode(streamLine{Row: row.Strings()})
+		if fl != nil {
+			// Flush per row: first answers must reach the client while the
+			// fixpoint is still running.
+			fl.Flush()
+		}
+		count++
+		s.streamed.Add(1)
+	}
+	final := streamLine{Done: true, Count: count}
+	if err := rows.Err(); err != nil {
+		s.account(ts, err)
+		final.Error = err.Error()
+		final.Status = statusFor(err)
+	} else {
+		s.served.Add(1)
+		final.Strategy = rows.Explain().Strategy
+	}
+	enc.Encode(final)
+	if fl != nil {
+		fl.Flush()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/batch
+
+type batchRequest struct {
+	Queries   []string `json:"queries"`
+	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+}
+
+type batchResponse struct {
+	Results   []queryResponse `json:"results"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decode(w, r, &req) {
+		s.badRequests.Add(1)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, errors.New("server: batch has no queries"))
+		return
+	}
+	name, ts := s.tenant(r)
+	ts.requests.Add(1)
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.release()
+	// One deadline and one gas budget govern the whole batch: shared
+	// traversals cannot attribute derived contexts to member queries.
+	ctx, cancel := govern(r.Context(), s.quotaFor(name), req.TimeoutMS)
+	defer cancel()
+
+	start := time.Now()
+	rowsList, err := s.eng.QueryBatch(ctx, req.Queries)
+	if err != nil {
+		s.account(ts, err)
+		writeError(w, statusFor(err), err)
+		return
+	}
+	resp := batchResponse{Results: make([]queryResponse, len(rowsList))}
+	for i, rows := range rowsList {
+		qr := queryResponse{Strategy: rows.Explain().Strategy}
+		for row := range rows.Sorted() {
+			qr.Answers = append(qr.Answers, row.Strings())
+		}
+		qr.Count = len(qr.Answers)
+		resp.Results[i] = qr
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/facts
+
+type factsRequest struct {
+	Facts []fact `json:"facts,omitempty"`
+	// Rules are Prolog-syntax rule sources loaded into the engine's
+	// program (idempotent, like Engine.Load).
+	Rules []string `json:"rules,omitempty"`
+}
+
+type fact struct {
+	Pred string   `json:"pred"`
+	Args []string `json:"args"`
+}
+
+type factsResponse struct {
+	Added      int `json:"added"`
+	Duplicates int `json:"duplicates"`
+	Rules      int `json:"rules"`
+}
+
+func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
+	var req factsRequest
+	if !decode(w, r, &req) {
+		s.badRequests.Add(1)
+		return
+	}
+	name, ts := s.tenant(r)
+	ts.requests.Add(1)
+	quota := s.quotaFor(name)
+	var resp factsResponse
+	for _, f := range req.Facts {
+		if f.Pred == "" {
+			s.badRequests.Add(1)
+			writeError(w, http.StatusBadRequest, errors.New("server: fact with empty predicate"))
+			return
+		}
+		// Per-tenant admission first (the tenant's own accepted inserts),
+		// then the engine's global MaxFacts via InsertFact.
+		if quota.MaxFacts > 0 && ts.facts.Load() >= quota.MaxFacts {
+			s.factRejects.Add(1)
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Errorf("%w: tenant %s holds %d facts (limit %d)",
+					onesided.ErrFactLimitExceeded, name, ts.facts.Load(), quota.MaxFacts))
+			return
+		}
+		added, err := s.eng.InsertFact(f.Pred, f.Args...)
+		if err != nil {
+			s.factRejects.Add(1)
+			writeError(w, statusFor(err), err)
+			return
+		}
+		if added {
+			ts.facts.Add(1)
+			s.factsAdded.Add(1)
+			resp.Added++
+		} else {
+			resp.Duplicates++
+		}
+	}
+	if len(req.Rules) > 0 {
+		var src string
+		for _, rule := range req.Rules {
+			src += rule + "\n"
+		}
+		if _, err := s.eng.Load(src); err != nil {
+			s.badRequests.Add(1)
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp.Rules = len(req.Rules)
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------------------
+// GET /v1/stats
+
+type tenantStats struct {
+	Requests     int64 `json:"requests"`
+	Facts        int64 `json:"facts"`
+	GasExhausted int64 `json:"gas_exhausted"`
+	Timeouts     int64 `json:"timeouts"`
+}
+
+type statsResponse struct {
+	Requests     int64                  `json:"requests"`
+	Served       int64                  `json:"served"`
+	StreamedRows int64                  `json:"streamed_rows"`
+	BadRequests  int64                  `json:"bad_requests"`
+	GasExhausted int64                  `json:"gas_exhausted"`
+	Timeouts     int64                  `json:"timeouts"`
+	Saturated    int64                  `json:"saturated"`
+	FactRejects  int64                  `json:"fact_rejects"`
+	FactsAdded   int64                  `json:"facts_added"`
+	Tuples       int                    `json:"tuples"`
+	PlanCache    string                 `json:"plan_cache"`
+	Tenants      map[string]tenantStats `json:"tenants"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		Requests:     s.requests.Load(),
+		Served:       s.served.Load(),
+		StreamedRows: s.streamed.Load(),
+		BadRequests:  s.badRequests.Load(),
+		GasExhausted: s.gasExhausted.Load(),
+		Timeouts:     s.timeouts.Load(),
+		Saturated:    s.saturated.Load(),
+		FactRejects:  s.factRejects.Load(),
+		FactsAdded:   s.factsAdded.Load(),
+		Tuples:       s.eng.DB().TupleCount(),
+		PlanCache:    s.eng.CacheStats().String(),
+		Tenants:      make(map[string]tenantStats),
+	}
+	s.mu.Lock()
+	names := make([]string, 0, len(s.tenants))
+	for n := range s.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ts := s.tenants[n]
+		resp.Tenants[n] = tenantStats{
+			Requests:     ts.requests.Load(),
+			Facts:        ts.facts.Load(),
+			GasExhausted: ts.gasExhausted.Load(),
+			Timeouts:     ts.timeouts.Load(),
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}

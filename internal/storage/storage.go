@@ -805,13 +805,14 @@ func (db *Database) Preds() []string {
 	return out
 }
 
-// AddFact interns the constant names and inserts the tuple into pred.
-func (db *Database) AddFact(pred string, consts ...string) {
+// AddFact interns the constant names and inserts the tuple into pred,
+// reporting whether the tuple was genuinely new (false on a duplicate).
+func (db *Database) AddFact(pred string, consts ...string) bool {
 	t := make(Tuple, len(consts))
 	for i, c := range consts {
 		t[i] = db.Syms.Intern(c)
 	}
-	db.Ensure(pred, len(consts)).Insert(t)
+	return db.Ensure(pred, len(consts)).Insert(t)
 }
 
 // TupleCount returns the total number of tuples across relations.

@@ -47,6 +47,7 @@ type engineConfig struct {
 	workers         int
 	persistDir      string
 	syncPolicy      wal.SyncPolicy
+	quota           Quota
 }
 
 // Option configures an Engine at Open time.

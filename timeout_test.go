@@ -1,0 +1,255 @@
+package onesided
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ctxStrategyCases drives one engine per built-in strategy over a
+// program that strategy accepts, so the deadline/cancel regressions
+// below cover every fixpoint loop (and the edb lookup) uniformly.
+var ctxStrategyCases = []struct {
+	name  string
+	opts  []Option
+	src   string
+	query string
+	want  string // Explain().Strategy on a live context
+}{
+	{"onesided", nil, tcChainSrc(40), "t(x0, Y)", "onesided"},
+	{"multi", nil, `
+		t(X, Y) :- a(Y, Z), t(X, Z).
+		t(X, Y) :- c(Y, Z), t(X, Z).
+		t(X, Y) :- b(X, Y).
+		a(n2, n1). c(n3, n2). b(u, n1).
+	`, "t(u, Y)", "multi"},
+	{"magic", nil, `
+		sg(X, Y) :- p(X, W), p(Y, Z), sg(W, Z).
+		sg(X, Y) :- sg0(X, Y).
+		p(a, r). p(b, r). sg0(r, r).
+	`, "sg(a, Y)", "magic"},
+	{"seminaive", []Option{WithStrategies("seminaive", "edb")}, tcChainSrc(40), "t(x0, Y)", "seminaive"},
+	{"naive", []Option{WithStrategies("naive", "edb")}, tcChainSrc(40), "t(x0, Y)", "naive"},
+	{"counting", []Option{WithStrategies("counting")}, tcChainSrc(40), "t(x0, Y)", "counting"},
+	{"edb", nil, tcChainSrc(40), "a(x0, Y)", "edb"},
+}
+
+// tcChainSrc renders the canonical TC program over an n-edge a-chain
+// with a b-edge off every node.
+func tcChainSrc(n int) string {
+	var b strings.Builder
+	b.WriteString("t(X, Y) :- a(X, Z), t(Z, Y).\nt(X, Y) :- b(X, Y).\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "a(x%d, x%d). b(x%d, y%d).\n", i, i+1, i, i)
+	}
+	return b.String()
+}
+
+func openCtxCase(t *testing.T, opts []Option, src string) *Engine {
+	t.Helper()
+	eng, err := Open(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	if _, err := eng.Load(src); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestQueryDeadlinePerStrategy: an expired deadline surfaces from Query
+// as an error errors.Is-matching context.DeadlineExceeded, for every
+// strategy — and a live context still answers with the strategy the
+// case expects (so the regression is really exercising that loop).
+func TestQueryDeadlinePerStrategy(t *testing.T) {
+	for _, tc := range ctxStrategyCases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := openCtxCase(t, tc.opts, tc.src)
+			ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+			defer cancel()
+			if _, err := eng.Query(ctx, tc.query); !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("expired deadline: err = %v, want DeadlineExceeded", err)
+			}
+			rows, err := eng.Query(context.Background(), tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := rows.Explain().Strategy; got != tc.want {
+				t.Fatalf("live query strategy = %q, want %q", got, tc.want)
+			}
+			if rows.Len() == 0 {
+				t.Fatal("live query returned no answers")
+			}
+		})
+	}
+}
+
+// TestQueryCancelPerStrategy: a canceled context surfaces from Query as
+// context.Canceled, for every strategy.
+func TestQueryCancelPerStrategy(t *testing.T) {
+	for _, tc := range ctxStrategyCases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := openCtxCase(t, tc.opts, tc.src)
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if _, err := eng.Query(ctx, tc.query); !errors.Is(err, context.Canceled) {
+				t.Fatalf("canceled ctx: err = %v, want Canceled", err)
+			}
+		})
+	}
+}
+
+// TestStreamErrDeadlinePerStrategy: the streaming path must surface a
+// dead context through Rows.Err() (errors.Is-matchable), whether the
+// query dies at planning or mid-fixpoint.
+func TestStreamErrDeadlinePerStrategy(t *testing.T) {
+	for _, tc := range ctxStrategyCases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := openCtxCase(t, tc.opts, tc.src)
+			ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+			defer cancel()
+			rows, err := eng.QueryStream(ctx, tc.query)
+			if err != nil {
+				if !errors.Is(err, context.DeadlineExceeded) {
+					t.Fatalf("QueryStream err = %v, want DeadlineExceeded", err)
+				}
+				return
+			}
+			for range rows.All() {
+			}
+			if err := rows.Err(); !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("Rows.Err() = %v, want DeadlineExceeded", err)
+			}
+		})
+	}
+}
+
+// TestStreamErrCancelPerStrategy is the cancel twin of the deadline
+// stream regression.
+func TestStreamErrCancelPerStrategy(t *testing.T) {
+	for _, tc := range ctxStrategyCases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := openCtxCase(t, tc.opts, tc.src)
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			rows, err := eng.QueryStream(ctx, tc.query)
+			if err != nil {
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("QueryStream err = %v, want Canceled", err)
+				}
+				return
+			}
+			for range rows.All() {
+			}
+			if err := rows.Err(); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Rows.Err() = %v, want Canceled", err)
+			}
+		})
+	}
+}
+
+// TestStreamCancelMidFixpoint cancels a live one-sided stream after the
+// first answer: the terminal Rows.Err() must be the context error, not
+// a silent truncation.
+func TestStreamCancelMidFixpoint(t *testing.T) {
+	eng := openCtxCase(t, nil, tcChainSrc(400))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows, err := eng.QueryStream(ctx, "t(x0, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for range rows.All() {
+		seen++
+		if seen == 1 {
+			cancel()
+		}
+	}
+	if err := rows.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Rows.Err() = %v, want Canceled after mid-stream cancel", err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Gas quota
+
+// TestQuotaGasExhausted: a runaway TC under a small derived-fact budget
+// aborts with ErrGasExhausted — and the engine remains fully
+// serviceable for ungoverned callers afterwards.
+func TestQuotaGasExhausted(t *testing.T) {
+	eng := openCtxCase(t, []Option{WithQuota(Quota{MaxDerived: 20})}, tcChainSrc(300))
+	_, err := eng.Query(context.Background(), "t(x0, Y)")
+	if !errors.Is(err, ErrGasExhausted) {
+		t.Fatalf("err = %v, want ErrGasExhausted", err)
+	}
+	// A caller-supplied unlimited-enough meter overrides the engine
+	// default, so the same query completes.
+	rows, err := eng.Query(WithGas(context.Background(), 1_000_000), "t(x0, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() == 0 {
+		t.Fatal("governed engine gave no answers to a funded caller")
+	}
+}
+
+// TestWithGasPerStrategy: the gas meter is honored inside every
+// fixpoint strategy, not just the Fig. 9 loop. (The edb lookup derives
+// nothing and is exempt by design.)
+func TestWithGasPerStrategy(t *testing.T) {
+	for _, tc := range ctxStrategyCases {
+		if tc.name == "edb" {
+			continue
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			eng := openCtxCase(t, tc.opts, tc.src)
+			if _, err := eng.Query(WithGas(context.Background(), 1), tc.query); !errors.Is(err, ErrGasExhausted) {
+				t.Fatalf("gas=1: err = %v, want ErrGasExhausted", err)
+			}
+			rows, err := eng.Query(WithGas(context.Background(), 1_000_000), tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rows.Len() == 0 {
+				t.Fatal("funded query returned no answers")
+			}
+		})
+	}
+}
+
+// TestGasBatchShared: one budget governs a whole QueryBatch.
+func TestGasBatchShared(t *testing.T) {
+	eng := openCtxCase(t, nil, tcChainSrc(200))
+	ctx := WithGas(context.Background(), 30)
+	_, err := eng.QueryBatch(ctx, []string{"t(x0, Y)", "t(x1, Y)"})
+	if !errors.Is(err, ErrGasExhausted) {
+		t.Fatalf("batch err = %v, want ErrGasExhausted", err)
+	}
+	if rem := GasRemaining(ctx); rem != 0 {
+		t.Fatalf("GasRemaining = %d after exhaustion, want 0", rem)
+	}
+}
+
+// TestInsertFactQuota: MaxFacts is admission control on ingest, and a
+// rejected insert leaves querying untouched.
+func TestInsertFactQuota(t *testing.T) {
+	eng := openCtxCase(t, []Option{WithQuota(Quota{MaxFacts: 3})}, "t(X, Y) :- a(X, Y).\n")
+	for i := 0; i < 3; i++ {
+		added, err := eng.InsertFact("a", fmt.Sprintf("k%d", i), "v")
+		if err != nil || !added {
+			t.Fatalf("insert %d: added=%v err=%v", i, added, err)
+		}
+	}
+	if _, err := eng.InsertFact("a", "k3", "v"); !errors.Is(err, ErrFactLimitExceeded) {
+		t.Fatalf("over-limit insert err = %v, want ErrFactLimitExceeded", err)
+	}
+	rows, err := eng.Query(context.Background(), "t(k0, Y)")
+	if err != nil || rows.Len() != 1 {
+		t.Fatalf("query after rejection: rows=%v err=%v", rows, err)
+	}
+}
