@@ -14,8 +14,14 @@
 //
 // Usage:
 //
-//	loadgen [-addr host:port] [-clients 8] [-duration 5s]
-//	        [-out summary.txt] [-strict]
+//	loadgen [-addr host:port] [-ingest host:port] [-clients 8]
+//	        [-duration 5s] [-out summary.txt] [-strict]
+//
+// -ingest splits the two phases across nodes: facts and rules go to the
+// ingest address (the primary) while the load phase queries -addr (a
+// follower). Between the phases loadgen reads the primary's epoch from
+// /v1/stats and waits until the query target's epoch catches up, so a
+// replicated follower is measured only on data it has fully applied.
 //
 // -strict exits nonzero when any request got a 5xx or any program
 // measured zero QPS — the CI smoke-load gate.
@@ -189,18 +195,19 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 
 func main() {
 	addr := flag.String("addr", "", "osrd address (host:port); empty self-hosts an in-process server")
+	ingestAddr := flag.String("ingest", "", "ingest address (host:port) when it differs from -addr, e.g. the primary behind a follower")
 	clients := flag.Int("clients", 8, "concurrent clients per program")
 	duration := flag.Duration("duration", 5*time.Second, "total load time, split across the five programs")
 	out := flag.String("out", "", "also write the summary to this file")
 	strict := flag.Bool("strict", false, "exit nonzero on any 5xx or any zero-QPS program")
 	flag.Parse()
-	if err := run(*addr, *clients, *duration, *out, *strict); err != nil {
+	if err := run(*addr, *ingestAddr, *clients, *duration, *out, *strict); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, clients int, duration time.Duration, outPath string, strict bool) error {
+func run(addr, ingestAddr string, clients int, duration time.Duration, outPath string, strict bool) error {
 	base := addr
 	if base == "" {
 		// Self-host: an in-process server on an ephemeral port.
@@ -224,6 +231,10 @@ func run(addr string, clients int, duration time.Duration, outPath string, stric
 		fmt.Printf("self-hosted osrd on %s\n", base)
 	}
 	baseURL := "http://" + base
+	ingestURL := baseURL
+	if ingestAddr != "" {
+		ingestURL = "http://" + ingestAddr
+	}
 	client := &http.Client{Transport: &http.Transport{
 		MaxIdleConnsPerHost: clients * 2,
 	}}
@@ -232,8 +243,15 @@ func run(addr string, clients int, duration time.Duration, outPath string, stric
 	share := duration / time.Duration(len(wls))
 	results := make([]*result, 0, len(wls))
 	for _, wl := range wls {
-		if err := ingest(client, baseURL, wl); err != nil {
+		if err := ingest(client, ingestURL, wl); err != nil {
 			return fmt.Errorf("%s ingest: %w", wl.name, err)
+		}
+		if ingestURL != baseURL {
+			// Replicated pair: don't measure the follower until it has
+			// applied everything the ingest phase wrote.
+			if err := waitCaughtUp(client, ingestURL, baseURL); err != nil {
+				return fmt.Errorf("%s catch-up: %w", wl.name, err)
+			}
 		}
 		res, err := load(client, baseURL, wl, clients, share)
 		if err != nil {
@@ -295,6 +313,49 @@ func postFacts(client *http.Client, baseURL string, facts []fact, rules []string
 		return fmt.Errorf("/v1/facts: %s: %s", resp.Status, e.Error)
 	}
 	return nil
+}
+
+// epochOf reads a node's applied database epoch from /v1/stats.
+func epochOf(client *http.Client, baseURL string) (uint64, error) {
+	resp, err := client.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("/v1/stats: %s", resp.Status)
+	}
+	var st struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, err
+	}
+	return st.Epoch, nil
+}
+
+// waitCaughtUp blocks until the `to` node's epoch reaches the `from`
+// node's current epoch — the replication catch-up barrier between the
+// ingest and load phases.
+func waitCaughtUp(client *http.Client, from, to string) error {
+	want, err := epochOf(client, from)
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		got, err := epochOf(client, to)
+		if err == nil && got >= want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("target never reached epoch %d: %w", want, err)
+			}
+			return fmt.Errorf("target stuck at epoch %d, want %d", got, want)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }
 
 // load runs the query phase: clients goroutines cycling the workload's

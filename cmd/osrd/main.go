@@ -6,8 +6,19 @@
 // Usage:
 //
 //	osrd [-addr :8080] [-program file.dl] [-data dir]
+//	     [-follow primary-url] [-promote]
 //	     [-quota-facts n] [-quota-gas n] [-quota-deadline d]
 //	     [-max-concurrent n]
+//
+// Replication: a primary started with -data serves its write-ahead log
+// under /v1/repl/. A follower (-follow http://primary -data mirrordir)
+// bootstraps from the primary's newest checkpoint chain, tails its live
+// segments into mirrordir, and serves reads; writes are rejected with
+// 421 and a Location header naming the primary. /v1/stats reports the
+// follower's lag in epochs and bytes. To fail over, stop the follower
+// and restart it with -promote -data mirrordir: recovery selects the
+// longest validated chain in the mirror and the node comes up as a
+// primary over it.
 //
 // Endpoints (all JSON; tenant identity via the X-Tenant header,
 // default "default"):
@@ -37,6 +48,7 @@ import (
 	"time"
 
 	onesided "repro"
+	"repro/internal/replica"
 	"repro/internal/server"
 )
 
@@ -44,12 +56,14 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	program := flag.String("program", "", "load this .dl file (facts + rules) at startup")
 	dataDir := flag.String("data", "", "persist facts, rules, and plan shapes in this directory")
+	follow := flag.String("follow", "", "run as a read-only follower of this primary URL (-data is the mirror directory)")
+	promote := flag.Bool("promote", false, "open -data (a follower's mirror) as the primary log and accept writes")
 	quotaFacts := flag.Int64("quota-facts", 0, "max stored tuples; ingest past the limit is rejected (0 = unlimited)")
 	quotaGas := flag.Int64("quota-gas", 0, "derived-fact gas per query; exhaustion aborts with 429 (0 = unlimited)")
 	quotaDeadline := flag.Duration("quota-deadline", 0, "cap on each request's evaluation deadline (0 = uncapped)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "evaluations in flight before 503 (0 = 4 x GOMAXPROCS)")
 	flag.Parse()
-	if err := run(*addr, *program, *dataDir, onesided.Quota{
+	if err := run(*addr, *program, *dataDir, *follow, *promote, onesided.Quota{
 		MaxFacts:    *quotaFacts,
 		MaxDerived:  *quotaGas,
 		MaxDeadline: *quotaDeadline,
@@ -59,9 +73,24 @@ func main() {
 	}
 }
 
-func run(addr, program, dataDir string, quota onesided.Quota, maxConcurrent int) error {
+func run(addr, program, dataDir, follow string, promote bool, quota onesided.Quota, maxConcurrent int) error {
+	switch {
+	case follow != "" && promote:
+		return errors.New("-follow and -promote are mutually exclusive")
+	case follow != "" && dataDir == "":
+		return errors.New("-follow requires -data (the mirror directory)")
+	case follow != "" && program != "":
+		return errors.New("-program cannot be combined with -follow: a follower's program comes from the primary")
+	case promote && dataDir == "":
+		return errors.New("-promote requires -data (the mirror to take over)")
+	}
 	opts := []onesided.Option{onesided.WithQuota(quota)}
-	if dataDir != "" {
+	if dataDir != "" && follow == "" {
+		// Primary (or promotion): own the directory as the write-ahead
+		// log. Promotion is just recovery over the mirror — wal.Open
+		// selects the newest resolvable checkpoint chain and truncates a
+		// torn tail, so the promoted node serves exactly the validated
+		// replicated history.
 		opts = append(opts, onesided.WithPersistence(dataDir))
 	}
 	eng, err := onesided.Open(opts...)
@@ -69,6 +98,9 @@ func run(addr, program, dataDir string, quota onesided.Quota, maxConcurrent int)
 		return err
 	}
 	defer eng.Close()
+	if promote {
+		log.Printf("promoted %s: epoch %d, %d tuples", dataDir, eng.DB().Epoch(), eng.DB().TupleCount())
+	}
 	if program != "" {
 		data, err := os.ReadFile(program)
 		if err != nil {
@@ -79,11 +111,29 @@ func run(addr, program, dataDir string, quota onesided.Quota, maxConcurrent int)
 		}
 		log.Printf("loaded %s: %d tuples", program, eng.DB().TupleCount())
 	}
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Engine:        eng,
 		DefaultQuota:  quota,
 		MaxConcurrent: maxConcurrent,
-	})
+	}
+	if follow != "" {
+		f, err := replica.Start(replica.FollowerConfig{
+			Engine:  eng,
+			Primary: follow,
+			Dir:     dataDir,
+		})
+		if err != nil {
+			return fmt.Errorf("follow %s: %w", follow, err)
+		}
+		// Engine.Close stops the follower (Start registers an OnClose
+		// hook), so the deferred Close above covers both.
+		cfg.PrimaryURL = follow
+		cfg.Replication = f.Stats
+		log.Printf("following %s into %s", follow, dataDir)
+	} else if lg := eng.Log(); lg != nil {
+		cfg.Repl = replica.NewSource(lg, eng.DB())
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}

@@ -47,8 +47,22 @@ type Engine struct {
 	// log is the durability subsystem (nil without WithPersistence):
 	// accepted inserts and fresh interns reach it through the database's
 	// journal hook, loaded rules through LoadProgram, and Checkpoint
-	// compacts it into a snapshot.
-	log *wal.Log
+	// compacts it into a snapshot. It is an atomic pointer because a
+	// follower promotion attaches a log to a running engine
+	// (AttachPersistence) while queries and stats readers are active.
+	log atomic.Pointer[wal.Log]
+
+	// readOnly, when set, makes quota-gated write entry points
+	// (InsertFact) fail with ErrReadOnly. Replication appliers bypass it
+	// by writing through AddFact/the database directly; serving layers
+	// map it to a redirect at the primary.
+	readOnly atomic.Bool
+
+	// closersMu guards closers: hooks registered by OnClose that Close
+	// runs (LIFO) before closing the log — the follower tail loop uses
+	// one to stop its apply goroutine.
+	closersMu sync.Mutex
+	closers   []func() error
 
 	mu      sync.Mutex   // guards program, gen, cache, and lru
 	program *ast.Program // treated as immutable; LoadProgram swaps in a new one
@@ -132,7 +146,7 @@ func Open(opts ...Option) (*Engine, error) {
 	if cfg.program != nil {
 		e.LoadProgram(cfg.program)
 	}
-	if e.log != nil {
+	if lg := e.log.Load(); lg != nil {
 		// Rewarm after every program load: LoadProgram resets the cache.
 		e.rewarmShapes(shapes)
 		if bootstrap {
@@ -140,7 +154,7 @@ func Open(opts ...Option) (*Engine, error) {
 			// capture it in a snapshot so a crash before the first
 			// explicit Checkpoint still recovers it.
 			if err := e.Checkpoint(); err != nil {
-				e.log.Close()
+				lg.Close()
 				return nil, err
 			}
 		}
@@ -185,7 +199,7 @@ func (e *Engine) openPersistence(cfg engineConfig) (shapes []string, bootstrap b
 	e.program = prog
 	// Replay inserts are recovery work, not workload instrumentation.
 	db.Stats.Reset()
-	e.log = log
+	e.log.Store(log)
 	db.SetJournal(log)
 	return shapes, bootstrap, nil
 }
@@ -258,7 +272,7 @@ func (e *Engine) LoadProgram(p *Program) {
 		e.resLRU.Init()
 		e.resMu.Unlock()
 	}
-	log := e.log
+	log := e.log.Load()
 	e.mu.Unlock()
 	if log != nil {
 		for _, r := range added {
@@ -1063,10 +1077,11 @@ func (e *Engine) QueryBatchAtoms(ctx context.Context, queries []Atom) ([]*Rows, 
 // mutations racing the snapshot are also journaled in the fresh segment
 // and replay idempotently.
 func (e *Engine) Checkpoint() error {
-	if e.log == nil {
+	lg := e.log.Load()
+	if lg == nil {
 		return nil
 	}
-	err := e.log.Checkpoint(func() (*wal.Snapshot, error) {
+	err := lg.Checkpoint(func() (*wal.Snapshot, error) {
 		prog := e.Program()
 		rules := make([]string, len(prog.Rules))
 		for i, r := range prog.Rules {
@@ -1085,7 +1100,7 @@ func (e *Engine) Checkpoint() error {
 // on the mark makes exactly one of several racing mutators perform the
 // checkpoint; its first failure is latched for Close to surface.
 func (e *Engine) maybeAutoCheckpoint() {
-	if e.log == nil || e.autoEvery <= 0 {
+	if e.log.Load() == nil || e.autoEvery <= 0 {
 		return
 	}
 	cur := e.db.Mutations()
@@ -1102,23 +1117,81 @@ func (e *Engine) maybeAutoCheckpoint() {
 	}
 }
 
-// Close flushes and closes the persistence log. It does not checkpoint;
-// call Checkpoint first for a compact restart. Facts inserted after
-// Close are not journaled. On an engine without persistence it is a
+// Close runs the registered OnClose hooks (newest first), then flushes
+// and closes the persistence log. It does not checkpoint; call
+// Checkpoint first for a compact restart. Facts inserted after Close
+// are not journaled. On an engine without persistence or hooks it is a
 // no-op (and always succeeds). Close also surfaces the first latched
-// auto-checkpoint failure, if any. Close is idempotent.
+// auto-checkpoint failure, if any. Close is idempotent: hooks run once.
 func (e *Engine) Close() error {
-	if e.log == nil {
-		return nil
+	e.closersMu.Lock()
+	closers := e.closers
+	e.closers = nil
+	e.closersMu.Unlock()
+	var err error
+	for i := len(closers) - 1; i >= 0; i-- {
+		if cerr := closers[i](); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	lg := e.log.Load()
+	if lg == nil {
+		return err
 	}
 	e.db.SetJournal(nil)
-	err := e.log.Close()
+	if cerr := lg.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err == nil {
 		if p := e.autoErr.Load(); p != nil {
 			err = *p
 		}
 	}
 	return err
+}
+
+// OnClose registers a hook Close will run — before the persistence log
+// is closed, newest registration first. A replication follower uses it
+// to bind its tail goroutine's lifetime to the engine: Close must not
+// return while an applier is still writing.
+func (e *Engine) OnClose(fn func() error) {
+	e.closersMu.Lock()
+	e.closers = append(e.closers, fn)
+	e.closersMu.Unlock()
+}
+
+// Log returns the engine's write-ahead log, or nil when the engine has
+// no persistence attached (opened without WithPersistence and not yet
+// promoted).
+func (e *Engine) Log() *wal.Log { return e.log.Load() }
+
+// SetReadOnly switches the engine's write gate: while set, InsertFact
+// fails with ErrReadOnly. Followers run read-only so every mutation
+// arrives through the replication stream; promotion clears it.
+func (e *Engine) SetReadOnly(ro bool) { e.readOnly.Store(ro) }
+
+// ReadOnly reports whether the engine currently rejects writes.
+func (e *Engine) ReadOnly() bool { return e.readOnly.Load() }
+
+// AttachPersistence opens a write-ahead log over dir and attaches it as
+// the database's journal — without replaying anything: dir's on-disk
+// state must already equal the engine's in-memory state. This is the
+// follower promotion path: every record in the local mirror was applied
+// as it streamed in, so the mirror IS the engine's durable history, and
+// the fresh active segment wal.Open creates simply continues it. Facts
+// inserted from here on are journaled; Checkpoint compacts as usual.
+func (e *Engine) AttachPersistence(dir string, policy wal.SyncPolicy) error {
+	lg, err := wal.Open(dir, policy, wal.Replay{})
+	if err != nil {
+		return err
+	}
+	if !e.log.CompareAndSwap(nil, lg) {
+		lg.Close()
+		return fmt.Errorf("onesided: persistence already attached")
+	}
+	e.ckptMark.Store(e.db.Mutations())
+	e.db.SetJournal(lg)
+	return nil
 }
 
 // cacheShapes renders the plan cache's resident skeletons as

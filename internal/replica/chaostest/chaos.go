@@ -1,0 +1,192 @@
+// Package chaostest is the fault-injection harness for the replication
+// stream: a reverse proxy that sits between a follower and its primary
+// and damages /v1/repl/segments traffic in the ways real networks and
+// disks do — torn final records, flipped bytes, duplicated deliveries,
+// connections dropped mid-record. The contract under test is the
+// follower's: every fault either resumes cleanly (the follower
+// re-verifies and converges byte-identically) or fails typed; a wrong
+// answer is never served.
+package chaostest
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Fault is one kind of injected damage.
+type Fault int
+
+const (
+	// None passes traffic through untouched.
+	None Fault = iota
+	// Truncate drops the final byte of a segment response body: the
+	// follower receives a torn final record and must wait for the rest.
+	Truncate
+	// FlipByte inverts the final byte of a segment response body: the
+	// record CRC must catch it and the follower must refetch.
+	FlipByte
+	// Rewind rewrites the follower's requested offset downward so the
+	// response overlaps bytes already applied: duplicated delivery.
+	Rewind
+	// Disconnect advertises the full body but aborts the connection
+	// halfway through it: a mid-record transport failure.
+	Disconnect
+)
+
+// String names the fault for test output.
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case Truncate:
+		return "truncate"
+	case FlipByte:
+		return "flipbyte"
+	case Rewind:
+		return "rewind"
+	case Disconnect:
+		return "disconnect"
+	default:
+		return "unknown"
+	}
+}
+
+// rewindBytes is how far a Rewind pulls the requested offset back.
+const rewindBytes = 48
+
+// Proxy is the fault-injecting reverse proxy. Faults are queued with
+// Inject; each queued fault lands on the first segment exchange it can
+// actually damage (a body-carrying response, or for Rewind a request
+// with a nonzero offset) — long-poll timeouts with empty bodies are
+// passed through without consuming the queue, so an injected fault is
+// never silently wasted.
+type Proxy struct {
+	primary string
+	client  *http.Client
+
+	mu    sync.Mutex
+	queue []Fault
+	hits  int64
+}
+
+// New builds a proxy forwarding to the primary's base URL.
+func New(primary string) *Proxy {
+	return &Proxy{primary: primary, client: &http.Client{}}
+}
+
+// Inject queues n instances of a fault.
+func (p *Proxy) Inject(f Fault, n int) {
+	p.mu.Lock()
+	for i := 0; i < n; i++ {
+		p.queue = append(p.queue, f)
+	}
+	p.mu.Unlock()
+}
+
+// Injected reports how many faults have landed.
+func (p *Proxy) Injected() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits
+}
+
+// Pending reports how many queued faults have not landed yet.
+func (p *Proxy) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// take pops the queue head when it satisfies applies.
+func (p *Proxy) take(applies func(Fault) bool) Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queue) == 0 || !applies(p.queue[0]) {
+		return None
+	}
+	f := p.queue[0]
+	p.queue = p.queue[1:]
+	p.hits++
+	return f
+}
+
+// ServeHTTP forwards the request, damaging segment traffic per the
+// fault queue. Non-segment paths (manifest, snapshots) pass through.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if r.URL.Path == "/v1/repl/segments" {
+		// Rewind mutates the request before it is forwarded: the honest
+		// upstream response then carries bytes the follower already
+		// applied, with headers truthfully reporting the earlier offset.
+		p.take(func(f Fault) bool {
+			if f != Rewind {
+				return false
+			}
+			off, err := strconv.ParseInt(q.Get("offset"), 10, 64)
+			if err != nil || off <= 0 {
+				return false
+			}
+			off -= rewindBytes
+			if off < 0 {
+				off = 0
+			}
+			q.Set("offset", strconv.FormatInt(off, 10))
+			return true
+		})
+	}
+
+	u := p.primary + r.URL.Path
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	resp, err := p.client.Get(u)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+
+	fault := None
+	if r.URL.Path == "/v1/repl/segments" && resp.StatusCode == http.StatusOK && len(body) > 0 {
+		fault = p.take(func(f Fault) bool {
+			return f == Truncate || f == FlipByte || f == Disconnect
+		})
+	}
+	switch fault {
+	case Truncate:
+		body = body[:len(body)-1]
+	case FlipByte:
+		body[len(body)-1] ^= 0xFF
+	}
+
+	h := w.Header()
+	for k, vs := range resp.Header {
+		if k == "Content-Length" || k == "Transfer-Encoding" {
+			continue
+		}
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	if fault == Disconnect {
+		// Advertise the full body, deliver half, and kill the
+		// connection: the follower's body read fails mid-record.
+		h.Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body[:len(body)/2])
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}

@@ -1,0 +1,266 @@
+package chaostest
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	onesided "repro"
+	"repro/internal/replica"
+)
+
+// pair is a primary/follower pair with the fault proxy between them.
+type pair struct {
+	primary  *onesided.Engine
+	follower *onesided.Engine
+	f        *replica.Follower
+	proxy    *Proxy
+	mirror   string
+}
+
+// newPair starts a persistent primary, a fault proxy over its repl
+// endpoints, and a follower tailing through the proxy.
+func newPair(t *testing.T) *pair {
+	t.Helper()
+	peng, err := onesided.Open(onesided.WithPersistence(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { peng.Close() })
+	mux := http.NewServeMux()
+	mux.Handle("/v1/repl/", replica.NewSource(peng.Log(), peng.DB()))
+	upstream := httptest.NewServer(mux)
+	t.Cleanup(upstream.Close)
+
+	proxy := New(upstream.URL)
+	front := httptest.NewServer(proxy)
+	t.Cleanup(front.Close)
+
+	mirror := t.TempDir()
+	feng, f := startFollower(t, front.URL, mirror)
+	return &pair{primary: peng, follower: feng, f: f, proxy: proxy, mirror: mirror}
+}
+
+// startFollower starts a follower engine over the mirror dir with fast
+// test timings.
+func startFollower(t *testing.T, primary, mirror string) (*onesided.Engine, *replica.Follower) {
+	t.Helper()
+	feng, err := onesided.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { feng.Close() })
+	f, err := replica.Start(replica.FollowerConfig{
+		Engine:       feng,
+		Primary:      primary,
+		Dir:          mirror,
+		PollInterval: 50 * time.Millisecond,
+		RetryBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return feng, f
+}
+
+// converge waits until the follower's Dump is byte-identical to the
+// primary's and every queued fault has landed.
+func (p *pair) converge(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	want := p.primary.DB().Dump()
+	for time.Now().Before(deadline) {
+		if err := p.f.Err(); err != nil {
+			t.Fatalf("follower failed: %v (stats %+v)", err, p.f.Stats())
+		}
+		if p.proxy.Pending() == 0 && p.follower.DB().Dump() == want {
+			if pe, fe := p.primary.DB().Epoch(), p.follower.DB().Epoch(); pe != fe {
+				t.Fatalf("dumps equal but epochs diverge: primary %d, follower %d", pe, fe)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("never converged: %d faults pending, stats %+v\nfollower:\n%s\nprimary:\n%s",
+		p.proxy.Pending(), p.f.Stats(), p.follower.DB().Dump(), p.primary.DB().Dump())
+}
+
+// feed writes n facts into the primary under pred, spaced out so faults
+// queued on the proxy land on live tail traffic.
+func (p *pair) feed(t *testing.T, pred string, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		if _, err := p.primary.InsertFact(pred, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Fault sweep: each injected damage kind must end in a clean resume —
+// convergence to a byte-identical dump — with the follower's counters
+// showing the fault was actually seen, not skipped.
+
+func TestFaultTornFinalRecord(t *testing.T) {
+	p := newPair(t)
+	p.feed(t, "edge", 0, 10)
+	p.converge(t)
+
+	p.proxy.Inject(Truncate, 3)
+	p.feed(t, "edge", 10, 30)
+	p.converge(t)
+	if got := p.proxy.Injected(); got < 3 {
+		t.Fatalf("injected %d truncations, want 3", got)
+	}
+}
+
+func TestFaultFlippedCRCByte(t *testing.T) {
+	p := newPair(t)
+	p.feed(t, "edge", 0, 10)
+	p.converge(t)
+
+	p.proxy.Inject(FlipByte, 3)
+	p.feed(t, "edge", 10, 30)
+	p.converge(t)
+	if got := p.proxy.Injected(); got < 3 {
+		t.Fatalf("injected %d flips, want 3", got)
+	}
+	if st := p.f.Stats(); st.CorruptRetries == 0 {
+		t.Fatalf("flipped bytes never tripped CRC verification: %+v", st)
+	}
+}
+
+func TestFaultDuplicatedDelivery(t *testing.T) {
+	p := newPair(t)
+	p.feed(t, "edge", 0, 10)
+	p.converge(t)
+
+	p.proxy.Inject(Rewind, 3)
+	p.feed(t, "edge", 10, 30)
+	p.converge(t)
+	if got := p.proxy.Injected(); got < 3 {
+		t.Fatalf("injected %d rewinds, want 3", got)
+	}
+}
+
+func TestFaultMidRecordDisconnect(t *testing.T) {
+	p := newPair(t)
+	p.feed(t, "edge", 0, 10)
+	p.converge(t)
+
+	p.proxy.Inject(Disconnect, 3)
+	p.feed(t, "edge", 10, 30)
+	p.converge(t)
+	if got := p.proxy.Injected(); got < 3 {
+		t.Fatalf("injected %d disconnects, want 3", got)
+	}
+	if st := p.f.Stats(); st.Retries == 0 {
+		t.Fatalf("disconnects never surfaced as transport retries: %+v", st)
+	}
+}
+
+// TestFaultSweepMixed interleaves every damage kind with ongoing writes
+// and a checkpoint; one pass must still converge byte-identically.
+func TestFaultSweepMixed(t *testing.T) {
+	p := newPair(t)
+	p.feed(t, "edge", 0, 5)
+	if _, err := p.primary.Load("t(X, Y) :- edge(X, Y)."); err != nil {
+		t.Fatal(err)
+	}
+	p.converge(t)
+
+	kinds := []Fault{Truncate, FlipByte, Rewind, Disconnect}
+	for round, k := range kinds {
+		p.proxy.Inject(k, 2)
+		p.feed(t, "edge", 5+round*20, 20)
+		if round == 1 {
+			if err := p.primary.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.converge(t)
+	}
+	if got := p.proxy.Injected(); got < int64(2*len(kinds)) {
+		t.Fatalf("only %d faults landed, want %d", got, 2*len(kinds))
+	}
+}
+
+// TestPersistentCorruptionFailsTyped is the other side of the contract:
+// when the path stays damaged past the retry budget the follower must
+// stop with ErrCorrupt — and keep serving only the state it verified,
+// never a wrong answer.
+func TestPersistentCorruptionFailsTyped(t *testing.T) {
+	peng, err := onesided.Open(onesided.WithPersistence(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { peng.Close() })
+	mux := http.NewServeMux()
+	mux.Handle("/v1/repl/", replica.NewSource(peng.Log(), peng.DB()))
+	upstream := httptest.NewServer(mux)
+	t.Cleanup(upstream.Close)
+	proxy := New(upstream.URL)
+	proxy.Inject(FlipByte, 10000) // the damage never clears
+	front := httptest.NewServer(proxy)
+	t.Cleanup(front.Close)
+
+	feng, err := onesided.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { feng.Close() })
+	f, err := replica.Start(replica.FollowerConfig{
+		Engine:            feng,
+		Primary:           front.URL,
+		Dir:               t.TempDir(),
+		PollInterval:      50 * time.Millisecond,
+		RetryBackoff:      time.Millisecond,
+		MaxCorruptRetries: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		peng.AddFact("edge", fmt.Sprintf("k%d", i), "v")
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for f.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never failed: %+v", f.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := f.Err(); !errors.Is(err, replica.ErrCorrupt) {
+		t.Fatalf("terminal error = %v, want ErrCorrupt", err)
+	}
+	if st := f.Stats(); st.State != "failed" {
+		t.Fatalf("state = %q, want failed", st.State)
+	}
+	// Whatever the follower holds is a verified prefix: every tuple it
+	// serves exists on the primary, and its epoch never ran ahead.
+	if fe, pe := feng.DB().Epoch(), peng.DB().Epoch(); fe > pe {
+		t.Fatalf("failed follower epoch %d ahead of primary %d", fe, pe)
+	}
+	pdump := p2lines(peng.DB().Dump())
+	for line := range p2lines(feng.DB().Dump()) {
+		if !pdump[line] {
+			t.Fatalf("follower serves a tuple the primary never had: %q", line)
+		}
+	}
+}
+
+// p2lines splits a Dump into its line set.
+func p2lines(dump string) map[string]bool {
+	m := make(map[string]bool)
+	for _, line := range strings.Split(dump, "\n") {
+		if line != "" {
+			m[line] = true
+		}
+	}
+	return m
+}

@@ -1,0 +1,223 @@
+package chaostest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	onesided "repro"
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// postFact writes one fact over HTTP and reports the status code.
+func postFact(t *testing.T, client *http.Client, base, pred, k, v string) int {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{
+		"facts": []map[string]any{{"pred": pred, "args": []string{k, v}}},
+	})
+	resp, err := client.Post(base+"/v1/facts", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0 // transport failure: not acknowledged
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode
+}
+
+// queryCount runs one query over HTTP and returns (answers, status).
+func queryCount(t *testing.T, client *http.Client, base, q string) (int, int) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"query": q})
+	resp, err := client.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	var r struct {
+		Count int `json:"count"`
+	}
+	json.NewDecoder(resp.Body).Decode(&r)
+	return r.Count, resp.StatusCode
+}
+
+// TestFailoverPromoteServesAllAcknowledgedFacts is the failover drill:
+// a primary takes writes under concurrent follower read load, the
+// primary is killed, the follower is promoted over its mirror, and the
+// promoted node must (a) serve every fact the dead primary ever
+// acknowledged, (b) accept new writes, and (c) produce zero 5xx
+// throughout the post-promotion load. The kill happens after the
+// follower has drained the primary's log — the asynchronous-replication
+// window is the documented durability boundary, not a test subject.
+func TestFailoverPromoteServesAllAcknowledgedFacts(t *testing.T) {
+	// Primary: persistent engine + full server with the repl mount.
+	peng, err := onesided.Open(onesided.WithPersistence(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	psrv, err := server.New(server.Config{
+		Engine: peng,
+		Repl:   replica.NewSource(peng.Log(), peng.DB()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := httptest.NewServer(psrv)
+
+	// Follower: read-only engine + server tailing the primary.
+	feng, err := onesided.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { feng.Close() })
+	f, err := replica.Start(replica.FollowerConfig{
+		Engine:       feng,
+		Primary:      pts.URL,
+		Dir:          t.TempDir(),
+		PollInterval: 50 * time.Millisecond,
+		RetryBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrv, err := server.New(server.Config{
+		Engine:      feng,
+		PrimaryURL:  pts.URL,
+		Replication: f.Stats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fts := httptest.NewServer(fsrv)
+	t.Cleanup(fts.Close)
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	if _, err := peng.Load("acked_t(X, Y) :- acked(X, Y)."); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load phase: writers fill the primary while readers hammer the
+	// follower; every 200 on /v1/facts is an acknowledged fact.
+	const writers, perWriter = 4, 100
+	var ackMu sync.Mutex
+	acked := make([]string, 0, writers*perWriter)
+	var reader5xx atomic.Int64
+	stopReads := make(chan struct{})
+	var rwg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopReads:
+					return
+				default:
+				}
+				if _, code := queryCount(t, client, fts.URL, "acked_t(X, Y)"); code >= 500 {
+					reader5xx.Add(1)
+				}
+			}
+		}()
+	}
+	var wwg sync.WaitGroup
+	for wid := 0; wid < writers; wid++ {
+		wwg.Add(1)
+		go func(wid int) {
+			defer wwg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := fmt.Sprintf("w%d_%d", wid, i)
+				if postFact(t, client, pts.URL, "acked", k, "v") == http.StatusOK {
+					ackMu.Lock()
+					acked = append(acked, k)
+					ackMu.Unlock()
+				}
+			}
+		}(wid)
+	}
+	wwg.Wait()
+
+	// Drain: wait until the follower holds everything acknowledged.
+	deadline := time.Now().Add(15 * time.Second)
+	for feng.DB().Epoch() < peng.DB().Epoch() {
+		if err := f.Err(); err != nil {
+			t.Fatalf("follower failed during load: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never drained: %+v", f.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Kill the primary: connections die, the process is gone.
+	pts.CloseClientConnections()
+	pts.Close()
+	if err := peng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Promote the follower over its mirror.
+	if err := f.Promote(wal.SyncBatch); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	close(stopReads)
+	rwg.Wait()
+	if n := reader5xx.Load(); n > 0 {
+		t.Fatalf("follower reads saw %d 5xx during the load phase", n)
+	}
+
+	// The promoted node serves every acknowledged fact...
+	ackMu.Lock()
+	defer ackMu.Unlock()
+	if len(acked) != writers*perWriter {
+		t.Fatalf("only %d/%d writes acknowledged", len(acked), writers*perWriter)
+	}
+	var post5xx int
+	for _, k := range acked {
+		n, code := queryCount(t, client, fts.URL, fmt.Sprintf("acked_t(%s, Y)", k))
+		if code >= 500 {
+			post5xx++
+		}
+		if n != 1 {
+			t.Fatalf("acknowledged fact %s lost after failover (count %d, status %d)", k, n, code)
+		}
+	}
+	// ...and takes new writes itself (the 421 gate lifted with the role).
+	if code := postFact(t, client, fts.URL, "acked", "post_failover", "v"); code != http.StatusOK {
+		t.Fatalf("promoted node rejected a write: %d", code)
+	}
+	if n, code := queryCount(t, client, fts.URL, "acked_t(post_failover, Y)"); n != 1 || code != http.StatusOK {
+		t.Fatalf("post-failover write not served: count %d, status %d", n, code)
+	}
+	if post5xx > 0 {
+		t.Fatalf("%d 5xx responses against the promoted node", post5xx)
+	}
+
+	// Stats now report the new role.
+	resp, err := client.Get(fts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Role        string `json:"role"`
+		Replication *struct {
+			State string `json:"state"`
+		} `json:"replication"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "primary" {
+		t.Fatalf("promoted role = %q, want primary", st.Role)
+	}
+	if st.Replication == nil || st.Replication.State != "promoted" {
+		t.Fatalf("replication block = %+v, want state promoted", st.Replication)
+	}
+}

@@ -17,11 +17,13 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	onesided "repro"
+	"repro/internal/replica"
 )
 
 // Config assembles a Server.
@@ -43,6 +45,19 @@ type Config struct {
 	AdmissionWait time.Duration
 	// MaxBodyBytes caps request bodies. <= 0 means 8 MiB.
 	MaxBodyBytes int64
+	// Repl, when set, is mounted under /v1/repl/ — a primary serves its
+	// write-ahead log to followers through it (replica.NewSource).
+	Repl http.Handler
+	// PrimaryURL, on a follower, is where writes belong: write requests
+	// are rejected with 421 and a Location header pointing there.
+	PrimaryURL string
+	// Replication, when set, reports the follower's replication
+	// position in /v1/stats (lag in epochs and bytes).
+	Replication func() replica.Stats
+	// EpochWait bounds how long a read carrying an X-At-Epoch barrier
+	// may wait for the engine to apply up to that epoch before 425.
+	// <= 0 means 2s.
+	EpochWait time.Duration
 }
 
 // tenantState is the per-tenant accounting the server keeps: the facts
@@ -91,6 +106,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	if cfg.EpochWait <= 0 {
+		cfg.EpochWait = 2 * time.Second
+	}
 	s := &Server{
 		eng:     cfg.Engine,
 		cfg:     cfg,
@@ -103,6 +121,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/facts", s.handleFacts)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if cfg.Repl != nil {
+		s.mux.Handle("GET /v1/repl/", cfg.Repl)
+	}
 	return s, nil
 }
 
@@ -189,6 +210,10 @@ func statusFor(err error) int {
 	case errors.Is(err, onesided.ErrGasExhausted),
 		errors.Is(err, onesided.ErrFactLimitExceeded):
 		return http.StatusTooManyRequests
+	case errors.Is(err, onesided.ErrReadOnly):
+		// 421: this node cannot take the write; the Location header (when
+		// the follower knows its primary) says who can.
+		return http.StatusMisdirectedRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -210,6 +235,54 @@ func (s *Server) account(ts *tenantState, err error) {
 	case errors.Is(err, context.Canceled):
 	default:
 		s.badRequests.Add(1)
+	}
+}
+
+// atEpochHeader is the read-consistency barrier: a client that saw the
+// primary at epoch E sends "X-At-Epoch: E" and the read blocks until
+// this node has applied at least that far — read-your-writes across a
+// primary/follower pair. The barrier is a lower bound, not a point-in-
+// time view: relations are insert-only, so state at epoch >= E contains
+// everything E contained.
+const atEpochHeader = "X-At-Epoch"
+
+// epochHeader reports the serving node's applied epoch on responses, so
+// clients can thread it into a follower read's X-At-Epoch.
+const epochHeader = "X-Epoch"
+
+// barrierTick is how often an X-At-Epoch wait re-checks the epoch.
+const barrierTick = 5 * time.Millisecond
+
+// atEpoch enforces the X-At-Epoch barrier. It reports false — having
+// written the response — when the barrier cannot be satisfied: a 400
+// for an unparsable header, a 425 (Too Early) when the epoch does not
+// arrive within EpochWait.
+func (s *Server) atEpoch(w http.ResponseWriter, r *http.Request) bool {
+	v := r.Header.Get(atEpochHeader)
+	if v == "" {
+		return true
+	}
+	want, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad %s: %w", atEpochHeader, err))
+		return false
+	}
+	deadline := time.Now().Add(s.cfg.EpochWait)
+	for {
+		if at := s.eng.DB().Epoch(); at >= want {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			writeError(w, http.StatusTooEarly,
+				fmt.Errorf("server: epoch %d not yet applied here (at %d); retry", want, s.eng.DB().Epoch()))
+			return false
+		}
+		select {
+		case <-r.Context().Done():
+			return false
+		case <-time.After(barrierTick):
+		}
 	}
 }
 
@@ -263,6 +336,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	name, ts := s.tenant(r)
 	ts.requests.Add(1)
+	if !s.atEpoch(w, r) {
+		return
+	}
 	if !s.admit(w, r) {
 		return
 	}
@@ -288,6 +364,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Count = len(resp.Answers)
 	s.served.Add(1)
+	w.Header().Set(epochHeader, strconv.FormatUint(s.eng.DB().Epoch(), 10))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -317,6 +394,9 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	}
 	name, ts := s.tenant(r)
 	ts.requests.Add(1)
+	if !s.atEpoch(w, r) {
+		return
+	}
 	if !s.admit(w, r) {
 		return
 	}
@@ -332,6 +412,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set(epochHeader, strconv.FormatUint(s.eng.DB().Epoch(), 10))
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -392,6 +473,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	name, ts := s.tenant(r)
 	ts.requests.Add(1)
+	if !s.atEpoch(w, r) {
+		return
+	}
 	if !s.admit(w, r) {
 		return
 	}
@@ -419,6 +503,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	s.served.Add(1)
+	w.Header().Set(epochHeader, strconv.FormatUint(s.eng.DB().Epoch(), 10))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -443,7 +528,25 @@ type factsResponse struct {
 	Rules      int `json:"rules"`
 }
 
+// rejectReadOnly answers a write sent to a follower: 421 Misdirected
+// Request with a Location header naming the primary (when known), so a
+// client can redirect the write rather than guess. The gate reads the
+// engine's read-only flag, not the config — after promotion the same
+// node starts accepting writes without a restart.
+func (s *Server) rejectReadOnly(w http.ResponseWriter) {
+	s.factRejects.Add(1)
+	if s.cfg.PrimaryURL != "" {
+		w.Header().Set("Location", s.cfg.PrimaryURL+"/v1/facts")
+	}
+	writeError(w, http.StatusMisdirectedRequest,
+		fmt.Errorf("%w; writes go to the primary", onesided.ErrReadOnly))
+}
+
 func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
+	if s.eng.ReadOnly() {
+		s.rejectReadOnly(w)
+		return
+	}
 	var req factsRequest
 	if !decode(w, r, &req) {
 		s.badRequests.Add(1)
@@ -470,6 +573,12 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		}
 		added, err := s.eng.InsertFact(f.Pred, f.Args...)
 		if err != nil {
+			if errors.Is(err, onesided.ErrReadOnly) {
+				// The engine went read-only between the gate and the
+				// insert (a demotion race); same redirect.
+				s.rejectReadOnly(w)
+				return
+			}
 			s.factRejects.Add(1)
 			writeError(w, statusFor(err), err)
 			return
@@ -521,6 +630,13 @@ type statsResponse struct {
 	Tuples       int                    `json:"tuples"`
 	PlanCache    string                 `json:"plan_cache"`
 	Tenants      map[string]tenantStats `json:"tenants"`
+	// Epoch is this node's applied database epoch; Role is "primary" or
+	// "follower" (the engine's current write-acceptance, so a promoted
+	// follower reports "primary"); Replication carries the follower's
+	// stream position and lag when this node tails a primary.
+	Epoch       uint64         `json:"epoch"`
+	Role        string         `json:"role"`
+	Replication *replica.Stats `json:"replication,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -537,6 +653,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Tuples:       s.eng.DB().TupleCount(),
 		PlanCache:    s.eng.CacheStats().String(),
 		Tenants:      make(map[string]tenantStats),
+		Epoch:        s.eng.DB().Epoch(),
+		Role:         "primary",
+	}
+	if s.eng.ReadOnly() {
+		resp.Role = "follower"
+	}
+	if s.cfg.Replication != nil {
+		rs := s.cfg.Replication()
+		resp.Replication = &rs
 	}
 	s.mu.Lock()
 	names := make([]string, 0, len(s.tenants))

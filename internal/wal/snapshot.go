@@ -271,15 +271,13 @@ func writeSnapshot(dir string, seq uint64, s *Snapshot) error {
 	return syncDir(dir)
 }
 
-// readSnapshot loads and validates a snapshot file (either format
-// version).
-func readSnapshot(path string) (uint64, *Snapshot, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return 0, nil, err
-	}
+// DecodeSnapshotBytes parses and CRC-validates a complete snapshot file
+// image (either format version) and returns the covered sequence and
+// the decoded snapshot. A replication follower uses this on snapshot
+// bytes fetched over HTTP before writing them to its local mirror.
+func DecodeSnapshotBytes(data []byte) (uint64, *Snapshot, error) {
 	if len(data) < len(snapMagic)+12 {
-		return 0, nil, fmt.Errorf("wal: %s: not a snapshot file", path)
+		return 0, nil, fmt.Errorf("wal: not a snapshot file")
 	}
 	version := 0
 	switch string(data[:len(snapMagic)]) {
@@ -288,17 +286,31 @@ func readSnapshot(path string) (uint64, *Snapshot, error) {
 	case snapMagicV1:
 		version = 1
 	default:
-		return 0, nil, fmt.Errorf("wal: %s: not a snapshot file", path)
+		return 0, nil, fmt.Errorf("wal: not a snapshot file")
 	}
 	seq := binary.LittleEndian.Uint64(data[len(snapMagic):])
 	body := data[len(snapMagic)+8 : len(data)-4]
 	crc := binary.LittleEndian.Uint32(data[len(data)-4:])
 	if crc32.Checksum(body, castagnoli) != crc {
-		return 0, nil, fmt.Errorf("wal: %s: snapshot checksum mismatch", path)
+		return 0, nil, fmt.Errorf("wal: snapshot checksum mismatch")
 	}
 	s, err := decodeSnapshot(body, version)
 	if err != nil {
-		return 0, nil, fmt.Errorf("wal: %s: %w", path, err)
+		return 0, nil, err
+	}
+	return seq, s, nil
+}
+
+// readSnapshot loads and validates a snapshot file (either format
+// version).
+func readSnapshot(path string) (uint64, *Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	seq, s, err := DecodeSnapshotBytes(data)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return seq, s, nil
 }

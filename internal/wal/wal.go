@@ -175,12 +175,26 @@ func parseSeq(name, prefix, suffix string) (uint64, bool) {
 	return n, true
 }
 
-// Open recovers the state persisted in dir (creating it if missing) —
-// newest readable snapshot first, then every segment above it in
-// sequence order, tolerating a torn final record in the last segment by
-// truncating it — streaming the state into the replay callbacks, and
-// returns a log appending to a fresh segment.
-func Open(dir string, policy SyncPolicy, replay Replay) (*Log, error) {
+// recovered is the directory state recoverDir reconstructs: the
+// resolved snapshot chain, the differential manifest the next checkpoint
+// diffs against, and the segment high-water mark.
+type recovered struct {
+	snapSeq   uint64
+	haveSnap  bool
+	manifest  map[string]relManifest
+	syms      []string
+	ancestors []uint64
+	chain     map[uint64]bool
+	maxSeq    uint64
+	lastSeq   uint64 // newest live segment replayed (0 when none)
+}
+
+// recoverDir replays the state persisted in dir (creating it if
+// missing) — newest readable snapshot first, then every segment above
+// it in sequence order, tolerating a torn final record in the last
+// segment by truncating it — streaming the state into the replay
+// callbacks.
+func recoverDir(dir string, replay Replay) (*recovered, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -266,21 +280,41 @@ func Open(dir string, policy SyncPolicy, replay Replay) (*Log, error) {
 			maxSeq = seq
 		}
 	}
+	rec := &recovered{
+		snapSeq:   snapSeq,
+		haveSnap:  haveSnap,
+		manifest:  manifest,
+		syms:      resolvedSyms,
+		ancestors: symAncestors,
+		chain:     chain,
+		maxSeq:    maxSeq,
+	}
 	for i, seq := range live {
 		final := i == len(live)-1
 		if err := st.replaySegment(filepath.Join(dir, segmentName(seq)), seq, final); err != nil {
 			return nil, err
 		}
+		rec.lastSeq = seq
 	}
+	return rec, nil
+}
 
-	l := &Log{dir: dir, policy: policy, seq: maxSeq + 1, manifest: manifest, chain: chain}
-	if haveSnap {
-		l.headSeq = snapSeq
-		l.symsLen = len(resolvedSyms)
-		l.symsCRC = symPrefixCRC(resolvedSyms)
-		l.symDepth = len(symAncestors)
-		l.symAnchors = make(map[uint64]bool, len(symAncestors))
-		for _, a := range symAncestors {
+// Open recovers the state persisted in dir (creating it if missing),
+// streams it into the replay callbacks, and returns a log appending to
+// a fresh segment.
+func Open(dir string, policy SyncPolicy, replay Replay) (*Log, error) {
+	rec, err := recoverDir(dir, replay)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, policy: policy, seq: rec.maxSeq + 1, manifest: rec.manifest, chain: rec.chain}
+	if rec.haveSnap {
+		l.headSeq = rec.snapSeq
+		l.symsLen = len(rec.syms)
+		l.symsCRC = symPrefixCRC(rec.syms)
+		l.symDepth = len(rec.ancestors)
+		l.symAnchors = make(map[uint64]bool, len(rec.ancestors))
+		for _, a := range rec.ancestors {
 			l.symAnchors[a] = true
 		}
 	}
@@ -288,6 +322,39 @@ func Open(dir string, policy SyncPolicy, replay Replay) (*Log, error) {
 		return nil, err
 	}
 	return l, nil
+}
+
+// RecoverResult reports where a replay-only recovery left off, so a
+// replication cursor can resume exactly at the recovered boundary.
+type RecoverResult struct {
+	SnapshotSeq uint64 // newest resolved snapshot (0 when none)
+	LastSeq     uint64 // newest live segment replayed (0 when none)
+	LastSize    int64  // size of that segment after torn-tail truncation
+}
+
+// Recover replays the state persisted in dir into the callbacks without
+// opening a new active segment. A follower restarting from its local
+// mirror uses this: the primary is still appending to the mirrored
+// segments, so creating a successor segment here would collide with the
+// stream. The returned cursor (LastSeq, LastSize) is the first byte not
+// yet applied.
+func Recover(dir string, replay Replay) (RecoverResult, error) {
+	rec, err := recoverDir(dir, replay)
+	if err != nil {
+		return RecoverResult{}, err
+	}
+	res := RecoverResult{LastSeq: rec.lastSeq}
+	if rec.haveSnap {
+		res.SnapshotSeq = rec.snapSeq
+	}
+	if rec.lastSeq != 0 {
+		fi, err := os.Stat(filepath.Join(dir, segmentName(rec.lastSeq)))
+		if err != nil {
+			return RecoverResult{}, err
+		}
+		res.LastSize = fi.Size()
+	}
+	return res, nil
 }
 
 // resolveSyms resolves a snapshot's full symbol list: its own Syms when
@@ -623,6 +690,25 @@ func (l *Log) Sync() error {
 	}
 	l.err = l.syncLocked()
 	return l.err
+}
+
+// flushActive pushes buffered records of the active segment to the OS
+// (no fsync) so a reader opening the file sees every appended record.
+// pending is left untouched: the bytes still await their policy fsync.
+func (l *Log) flushActive() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.w.Flush(); err != nil {
+		l.err = err
+		return err
+	}
+	return nil
 }
 
 // Checkpoint compacts the log differentially: it seals the active

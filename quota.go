@@ -41,6 +41,12 @@ var ErrGasExhausted = eval.ErrGasExhausted
 // already holds the quota's MaxFacts tuples.
 var ErrFactLimitExceeded = errors.New("onesided: fact limit exceeded")
 
+// ErrReadOnly is returned by InsertFact on a read-only engine — a
+// replication follower, whose only legitimate mutation source is the
+// primary's log stream. Serving layers map it to a redirect pointing
+// writers at the primary.
+var ErrReadOnly = errors.New("onesided: engine is read-only (follower)")
+
 // WithQuota sets the engine's default resource quota: MaxFacts gates
 // InsertFact, and MaxDerived attaches a fresh gas meter to every query
 // whose context does not already carry one. Serving layers with
@@ -77,6 +83,9 @@ func (e *Engine) Quota() Quota { return e.quota }
 // inserters may overshoot the limit by at most their own in-flight
 // tuples.
 func (e *Engine) InsertFact(pred string, consts ...string) (bool, error) {
+	if e.readOnly.Load() {
+		return false, ErrReadOnly
+	}
 	if m := e.quota.MaxFacts; m > 0 && int64(e.db.TupleCount()) >= m {
 		return false, fmt.Errorf("%w: database holds %d tuples (limit %d)", ErrFactLimitExceeded, e.db.TupleCount(), m)
 	}
