@@ -1,0 +1,112 @@
+// Command benchjson converts `go test -bench` output into JSON so CI
+// can upload machine-readable benchmark trajectories (BENCH_results.json)
+// next to the raw text artifact.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_results.json
+//
+// Input files may be given as arguments instead of stdin. Non-benchmark
+// lines are ignored; each benchmark line becomes one record carrying
+// the name (with any -cpu suffix split out), iteration count, and every
+// "value unit" metric pair (ns/op, B/op, allocs/op, custom units).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here (default stdout)")
+	flag.Parse()
+
+	var readers []io.Reader
+	if flag.NArg() == 0 {
+		readers = append(readers, os.Stdin)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		readers = append(readers, f)
+	}
+
+	var records []record
+	for _, r := range readers {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			if rec, ok := parseLine(sc.Text()); ok {
+				records = append(records, rec)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one "BenchmarkName-P  N  v1 u1  v2 u2 ..." line.
+func parseLine(line string) (record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return record{}, false
+	}
+	rec := record{Name: fields[0], Metrics: map[string]float64{}}
+	// The trailing -P is the GOMAXPROCS suffix the bench runner appends;
+	// split it off so -cpu sweeps group under one name.
+	if i := strings.LastIndex(rec.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(rec.Name[i+1:]); err == nil {
+			rec.Name, rec.Procs = rec.Name[:i], p
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	rec.Iterations = n
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return record{}, false
+		}
+		rec.Metrics[fields[i+1]] = v
+	}
+	if len(rec.Metrics) == 0 {
+		return record{}, false
+	}
+	return rec, true
+}

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -62,7 +63,19 @@ func main() {
 	quotaGas := flag.Int64("quota-gas", 0, "derived-fact gas per query; exhaustion aborts with 429 (0 = unlimited)")
 	quotaDeadline := flag.Duration("quota-deadline", 0, "cap on each request's evaluation deadline (0 = uncapped)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "evaluations in flight before 503 (0 = 4 x GOMAXPROCS)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (off when empty; bind to localhost)")
 	flag.Parse()
+	if *debugAddr != "" {
+		// The pprof handlers register on http.DefaultServeMux at import;
+		// serving that mux on a separate opt-in listener keeps the
+		// profiling surface off the public API address.
+		go func() {
+			log.Printf("debug/pprof listening on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 	if err := run(*addr, *program, *dataDir, *follow, *promote, onesided.Quota{
 		MaxFacts:    *quotaFacts,
 		MaxDerived:  *quotaGas,

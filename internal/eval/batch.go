@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/ast"
+	"repro/internal/bitset"
 	"repro/internal/storage"
 )
 
@@ -29,47 +30,72 @@ type BatchPrepared interface {
 	EvalBatch(ctx context.Context, edb *storage.Database, binds [][]ast.Term) ([]*storage.Relation, EvalStats, error)
 }
 
-// ownerMask is a multi-word bitmask of batch query ordinals: bit q of
-// word q/64 marks query q as an owner. One shared traversal serves a
-// batch of any size — masks grow by the word, there is no 64-query
-// chunking.
-type ownerMask []uint64
+// Owner masks are multi-word bitmasks of batch query ordinals: bit q
+// marks query q as an owner. One shared traversal serves a batch of any
+// size — masks grow by the word, there is no 64-query chunking. The
+// representation lives in internal/bitset (Mask), shared with the
+// evaluator's other bit-vector sets.
 
-// newOwnerMask allocates a mask wide enough for k queries.
-func newOwnerMask(k int) ownerMask { return make(ownerMask, (k+63)/64) }
-
-// ownerBit returns a fresh mask with only bit q set.
-func ownerBit(k, q int) ownerMask {
-	m := newOwnerMask(k)
-	m[q/64] |= 1 << uint(q%64)
-	return m
+// ctxIndex maps context tuples to their dense ordinal via open
+// addressing over tuple hashes — the owner table's interner, with no
+// string keys on the batch hot path. slots holds ordinal+1 (0 = empty);
+// hashes holds each occupied slot's full tuple hash so growth rehashes
+// without re-reading tuples.
+type ctxIndex struct {
+	slots  []int32
+	hashes []uint32
+	ctxs   []storage.Tuple
 }
 
-// test reports whether query q owns the mask.
-func (m ownerMask) test(q int) bool { return m[q/64]&(1<<uint(q%64)) != 0 }
-
-// orNew ors src into m in place and returns the bits that were newly
-// set (nil when src added nothing) — the label-propagation step of the
-// shared traversal.
-func (m ownerMask) orNew(src ownerMask) ownerMask {
-	var fresh ownerMask
-	for w, sv := range src {
-		if nb := sv &^ m[w]; nb != 0 {
-			if fresh == nil {
-				fresh = make(ownerMask, len(m))
+// ordinalOf returns tup's ordinal, interning a clone when absent; fresh
+// reports whether the context is new.
+func (ix *ctxIndex) ordinalOf(tup storage.Tuple) (ord int, fresh bool) {
+	if 4*(len(ix.ctxs)+1) > 3*len(ix.slots) {
+		newCap := 2 * len(ix.slots)
+		if newCap < 16 {
+			newCap = 16
+		}
+		slots := make([]int32, newCap)
+		hashes := make([]uint32, newCap)
+		mask := uint32(newCap - 1)
+		for i, s := range ix.slots {
+			if s == 0 {
+				continue
 			}
-			m[w] |= nb
-			fresh[w] = nb
+			h := ix.hashes[i]
+			j := h & mask
+			for slots[j] != 0 {
+				j = (j + 1) & mask
+			}
+			slots[j], hashes[j] = s, h
+		}
+		ix.slots, ix.hashes = slots, hashes
+	}
+	h := storage.HashTuple(tup)
+	mask := uint32(len(ix.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		s := ix.slots[i]
+		if s == 0 {
+			ord = len(ix.ctxs)
+			ix.ctxs = append(ix.ctxs, tup.Clone())
+			ix.slots[i] = int32(ord + 1)
+			ix.hashes[i] = h
+			return ord, true
+		}
+		if ix.hashes[i] == h && tuplesEqual(ix.ctxs[s-1], tup) {
+			return int(s - 1), false
 		}
 	}
-	return fresh
 }
 
-// orInto ors src into m in place.
-func (m ownerMask) orInto(src ownerMask) {
-	for w, sv := range src {
-		m[w] |= sv
+// tuplesEqual compares two same-arity tuples.
+func tuplesEqual(a, b storage.Tuple) bool {
+	for i, v := range a {
+		if b[i] != v {
+			return false
+		}
 	}
+	return true
 }
 
 // EvalBatch implements BatchPrepared for the one-sided planner.
@@ -173,14 +199,14 @@ func addBatchStats(a, b EvalStats) EvalStats {
 // (by index) plus the owners that newly reached it.
 type ownerItem struct {
 	idx  int
-	mask ownerMask
+	mask bitset.Mask
 }
 
 // taggedCtx is a successor context produced by a parallel f worker,
 // merged sequentially into the owner table after the level.
 type taggedCtx struct {
 	tup  storage.Tuple
-	mask ownerMask
+	mask bitset.Mask
 }
 
 // evalContextBatch is the shared Fig. 9 traversal for arbitrarily many
@@ -230,24 +256,19 @@ func (p *Plan) evalContextBatch(ctx context.Context, edb *storage.Database, boun
 
 	// Owner table: every distinct context with the (multi-word) bitmask
 	// of queries that reach it.
-	seenIdx := make(map[string]int)
-	var ctxs []storage.Tuple
-	var masks []ownerMask
-	next := make(map[int]ownerMask)
-	merge := func(tup storage.Tuple, mask ownerMask) {
-		key := tup.Key()
-		i, ok := seenIdx[key]
-		if !ok {
-			i = len(ctxs)
-			seenIdx[key] = i
-			ctxs = append(ctxs, tup.Clone())
-			masks = append(masks, newOwnerMask(k))
+	var ix ctxIndex
+	var masks []bitset.Mask
+	next := make(map[int]bitset.Mask)
+	merge := func(tup storage.Tuple, mask bitset.Mask) {
+		i, fresh := ix.ordinalOf(tup)
+		if fresh {
+			masks = append(masks, bitset.NewMask(k))
 		}
-		if fresh := masks[i].orNew(mask); fresh != nil {
+		if nb := masks[i].OrNew(mask); nb != nil {
 			if nm, ok := next[i]; ok {
-				nm.orInto(fresh)
+				nm.OrInto(nb)
 			} else {
-				next[i] = fresh
+				next[i] = nb
 			}
 		}
 	}
@@ -256,7 +277,7 @@ func (p *Plan) evalContextBatch(ctx context.Context, edb *storage.Database, boun
 		if !alive[q] {
 			continue
 		}
-		bit := ownerBit(k, q)
+		bit := bitset.Bit(k, q)
 		bp.forEachSeedContext(syms, resolve, -1, func(tup storage.Tuple) { merge(tup, bit) })
 	}
 
@@ -291,9 +312,10 @@ func (p *Plan) evalContextBatch(ctx context.Context, edb *storage.Database, boun
 			slots := make([]storage.Value, f.nslots)
 			boundFlags := make([]bool, f.nslots)
 			tup := make(storage.Tuple, carryWidth)
+			sc := f.conj.newScratch()
 			var local []taggedCtx
 			for _, it := range frontier[lo:hi] {
-				c := ctxs[it.idx]
+				c := ix.ctxs[it.idx]
 				for i := range boundFlags {
 					boundFlags[i] = false
 				}
@@ -302,7 +324,7 @@ func (p *Plan) evalContextBatch(ctx context.Context, edb *storage.Database, boun
 					boundFlags[sl] = true
 				}
 				anchorPart := c[:nAnchors]
-				f.conj.run(resolve, slots, boundFlags, func(s []storage.Value) bool {
+				f.conj.runS(resolve, slots, boundFlags, sc, func(s []storage.Value) bool {
 					if f.proj.projectCtx(s, anchorPart, tup, syms) {
 						local = append(local, taggedCtx{tup: tup.Clone(), mask: it.mask})
 					}
@@ -321,15 +343,16 @@ func (p *Plan) evalContextBatch(ctx context.Context, edb *storage.Database, boun
 
 	// g phase: one probe per distinct context, answers fanned out to the
 	// owners — the probe count this whole refactor exists to cut.
-	stats.GProbes += len(ctxs)
-	stats.SeenSize = len(ctxs)
+	stats.GProbes += len(ix.ctxs)
+	stats.SeenSize = len(ix.ctxs)
 	if err := ctx.Err(); err != nil {
 		return nil, stats, err
 	}
-	parallelFor(workers, len(ctxs), func(w, lo, hi int) {
+	parallelFor(workers, len(ix.ctxs), func(w, lo, hi int) {
 		gSlots := make([]storage.Value, g.nslots)
 		gBound := make([]bool, g.nslots)
 		out := make(storage.Tuple, p.Def.Arity())
+		sc := g.conj.newScratch()
 		var emitOwner func(q, gi int, s []storage.Value, anchorPart storage.Tuple)
 		emitOwner = func(q, gi int, s []storage.Value, anchorPart storage.Tuple) {
 			if gi == len(groups[q]) {
@@ -356,7 +379,7 @@ func (p *Plan) evalContextBatch(ctx context.Context, edb *storage.Database, boun
 			}
 		}
 		for i := lo; i < hi; i++ {
-			c := ctxs[i]
+			c := ix.ctxs[i]
 			mask := masks[i]
 			for j := range gBound {
 				gBound[j] = false
@@ -366,9 +389,9 @@ func (p *Plan) evalContextBatch(ctx context.Context, edb *storage.Database, boun
 				gBound[sl] = true
 			}
 			anchorPart := c[:nAnchors]
-			g.conj.run(resolve, gSlots, gBound, func(s []storage.Value) bool {
+			g.conj.runS(resolve, gSlots, gBound, sc, func(s []storage.Value) bool {
 				for q := 0; q < k; q++ {
-					if mask.test(q) {
+					if mask.Test(q) {
 						emitOwner(q, 0, s, anchorPart)
 					}
 				}

@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 
+	"repro/internal/bitset"
 	"repro/internal/storage"
 )
 
@@ -17,18 +18,19 @@ import (
 // two-sided recursion is the content of Lemma 4.2.
 
 // unary is a set of values with insertion order (a unary relation).
+// Membership runs on a bitset over the dense interned Value space — one
+// word operation per test instead of a map probe.
 type unary struct {
 	order []storage.Value
-	set   map[storage.Value]bool
+	set   bitset.Set
 }
 
-func newUnary() *unary { return &unary{set: make(map[storage.Value]bool)} }
+func newUnary() *unary { return &unary{} }
 
 func (u *unary) insert(v storage.Value) bool {
-	if u.set[v] {
+	if !u.set.Add(int(v)) {
 		return false
 	}
-	u.set[v] = true
 	u.order = append(u.order, v)
 	return true
 }

@@ -37,6 +37,35 @@ type compiledConj struct {
 	// tuple suffices (a semijoin). This is what keeps the Example 3.4
 	// d-lookup a nonemptiness check instead of a scan per iteration.
 	existential []bool
+	// argOff[i] is atom i's segment offset into the scratch backing
+	// arrays (see conjScratch); totalArgs is the arrays' length and
+	// maxArity the widest atom (the lookup buffer size).
+	argOff    []int
+	totalArgs int
+	maxArity  int
+}
+
+// conjScratch is the reusable per-traversal state of a conjunction
+// evaluation: per-atom binding and newly-bound segments carved out of
+// two backing arrays, plus the buffer storage lookups yield rows into.
+// One scratch serves the whole step recursion — each atom index owns a
+// disjoint segment, and a yielded row is fully consumed before the next
+// lookup overwrites the buffer — but it must not be shared across
+// goroutines. Hot callers allocate one per worker and reuse it across
+// contexts via runS; run itself makes a fresh one per call.
+type conjScratch struct {
+	bindBack []storage.Binding
+	newBack  []int
+	tupBuf   storage.Tuple
+}
+
+// newScratch allocates a scratch sized for this conjunction.
+func (c *compiledConj) newScratch() *conjScratch {
+	return &conjScratch{
+		bindBack: make([]storage.Binding, c.totalArgs),
+		newBack:  make([]int, c.totalArgs),
+		tupBuf:   make(storage.Tuple, c.maxArity),
+	}
 }
 
 // resolver locates the relation for a predicate; alt requests the delta
@@ -139,6 +168,14 @@ func compileConj(atoms []ast.Atom, opts *compileConjOpts, ss *slotSpace, syms *s
 		}
 	}
 	c := &compiledConj{nslots: len(ss.varSlot), varSlot: ss.varSlot, atoms: ordered}
+	c.argOff = make([]int, len(ordered))
+	for i, a := range ordered {
+		c.argOff[i] = c.totalArgs
+		c.totalArgs += len(a.args)
+		if len(a.args) > c.maxArity {
+			c.maxArity = len(a.args)
+		}
+	}
 	c.existential = make([]bool, len(ordered))
 	if needed != nil {
 		// neededAfter accumulates slots read after position i: the
@@ -168,12 +205,20 @@ func compileConj(atoms []ast.Atom, opts *compileConjOpts, ss *slotSpace, syms *s
 // run evaluates the conjunction. slots/boundFlags carry the initial
 // bindings (length >= nslots); emit is called with the full slot array for
 // every solution and may return false to stop. The slot array is reused;
-// emit must copy what it keeps.
+// emit must copy what it keeps. run allocates a fresh scratch per call —
+// callers that evaluate many contexts should hold one scratch per
+// goroutine and use runS.
 func (c *compiledConj) run(res resolver, slots []storage.Value, boundFlags []bool, emit func([]storage.Value) bool) {
-	c.step(0, res, slots, boundFlags, emit)
+	c.step(0, res, slots, boundFlags, c.newScratch(), emit)
 }
 
-func (c *compiledConj) step(i int, res resolver, slots []storage.Value, bound []bool, emit func([]storage.Value) bool) bool {
+// runS is run with caller-owned scratch (from newScratch, one per
+// goroutine) — the zero-allocation traversal path.
+func (c *compiledConj) runS(res resolver, slots []storage.Value, boundFlags []bool, sc *conjScratch, emit func([]storage.Value) bool) {
+	c.step(0, res, slots, boundFlags, sc, emit)
+}
+
+func (c *compiledConj) step(i int, res resolver, slots []storage.Value, bound []bool, sc *conjScratch, emit func([]storage.Value) bool) bool {
 	if i == len(c.atoms) {
 		return emit(slots)
 	}
@@ -182,7 +227,8 @@ func (c *compiledConj) step(i int, res resolver, slots []storage.Value, bound []
 	if rel == nil {
 		return true
 	}
-	var bindings []storage.Binding
+	off := c.argOff[i]
+	bindings := sc.bindBack[off : off : off+len(at.args)]
 	for col, a := range at.args {
 		if a.isConst {
 			bindings = append(bindings, storage.Binding{Col: col, Val: a.val})
@@ -192,10 +238,11 @@ func (c *compiledConj) step(i int, res resolver, slots []storage.Value, bound []
 	}
 	cont := true
 	exist := len(c.existential) > 0 && c.existential[i]
-	rel.Lookup(bindings, func(t storage.Tuple) bool {
+	rel.LookupBuf(bindings, sc.tupBuf, func(t storage.Tuple) bool {
 		// Bind free slots; repeated free variables within the atom must
-		// agree.
-		var newlyBound []int
+		// agree. t is the lookup's reused buffer: everything read from it
+		// is copied into slots before the recursive step reuses it.
+		newlyBound := sc.newBack[off : off : off+len(at.args)]
 		ok := true
 		for col, a := range at.args {
 			if a.isConst {
@@ -213,7 +260,7 @@ func (c *compiledConj) step(i int, res resolver, slots []storage.Value, bound []
 			newlyBound = append(newlyBound, a.slot)
 		}
 		if ok {
-			cont = c.step(i+1, res, slots, bound, emit)
+			cont = c.step(i+1, res, slots, bound, sc, emit)
 		}
 		for _, s := range newlyBound {
 			bound[s] = false

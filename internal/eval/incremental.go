@@ -256,6 +256,7 @@ func (ic *incContext) Update(ctx context.Context, edb *storage.Database, delta D
 		slots := make([]storage.Value, fv.nslots)
 		bound := make([]bool, fv.nslots)
 		tup := make(storage.Tuple, ce.carryWidth)
+		sc := fv.conj.newScratch()
 		for _, c := range old {
 			for j := range bound {
 				bound[j] = false
@@ -265,7 +266,7 @@ func (ic *incContext) Update(ctx context.Context, edb *storage.Database, delta D
 				bound[sl] = true
 			}
 			anchorPart := c[:ce.nAnchors]
-			fv.conj.run(dres, slots, bound, func(s []storage.Value) bool {
+			fv.conj.runS(dres, slots, bound, sc, func(s []storage.Value) bool {
 				if fv.proj.projectCtx(s, anchorPart, tup, syms) {
 					claim(tup)
 				}
@@ -301,6 +302,7 @@ func (ic *incContext) Update(ctx context.Context, edb *storage.Database, delta D
 		gSlots := make([]storage.Value, gv.ops.nslots)
 		gBound := make([]bool, gv.ops.nslots)
 		out := make(storage.Tuple, p.Def.Arity())
+		sc := gv.ops.conj.newScratch()
 		ce.stats.GProbes += len(old)
 		for _, c := range old {
 			for j := range gBound {
@@ -311,7 +313,7 @@ func (ic *incContext) Update(ctx context.Context, edb *storage.Database, delta D
 				gBound[sl] = true
 			}
 			anchorPart := c[:ce.nAnchors]
-			gv.ops.conj.run(dres, gSlots, gBound, func(s []storage.Value) bool {
+			gv.ops.conj.runS(dres, gSlots, gBound, sc, func(s []storage.Value) bool {
 				return ce.emitProductsWith(gv.srcs, 0, s, anchorPart, out)
 			})
 		}

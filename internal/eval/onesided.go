@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/ast"
+	"repro/internal/bitset"
 	"repro/internal/rewrite"
 	"repro/internal/storage"
 )
@@ -557,7 +558,7 @@ type contextEval struct {
 	workers int
 
 	ans        *storage.Relation
-	seen       *storage.Relation
+	seen       seenSet
 	carryWidth int
 	nAnchors   int
 
@@ -936,9 +937,50 @@ func (p *Plan) newContextEval(edb *storage.Database, emit func(storage.Tuple) bo
 	}
 	ce.nAnchors = len(p.foldedAnchors)
 	ce.carryWidth = ce.nAnchors + len(p.ctxCols)
-	ce.seen = storage.NewShardedRelation(ce.carryWidth, nil, nshards)
+	if ce.carryWidth == 1 {
+		// Unary carry: the seen-set is a concurrent bitset over the dense
+		// interned Value space — the Fig. 9 membership test becomes a word
+		// operation. Sized to the symbol table now; values interned later
+		// (incremental updates) fall into the bitset's overflow.
+		ce.seen = &bitsetSeen{set: bitset.NewConcurrent(syms.Len())}
+	} else {
+		ce.seen = storage.NewShardedRelation(ce.carryWidth, nil, nshards)
+	}
 	ce.stats = EvalStats{CarryArity: p.CarryArity, Workers: ce.workers, Shards: nshards}
 	return ce
+}
+
+// seenSet is the carry-loop dedup/claim set: Insert returns true exactly
+// once per tuple under concurrent calls, Len reports the distinct
+// context count, and Tuples materializes the members (the incremental
+// layer snapshots the pre-update contexts through it).
+// *storage.Relation implements it directly; bitsetSeen replaces the
+// relation for unary carries.
+type seenSet interface {
+	Insert(storage.Tuple) bool
+	Len() int
+	Tuples() []storage.Tuple
+}
+
+// bitsetSeen adapts bitset.Concurrent to seenSet for width-1 carry
+// tuples.
+type bitsetSeen struct {
+	set *bitset.Concurrent
+}
+
+func (b *bitsetSeen) Insert(t storage.Tuple) bool { return b.set.Add(int(t[0])) }
+
+func (b *bitsetSeen) Len() int { return b.set.Len() }
+
+func (b *bitsetSeen) Tuples() []storage.Tuple {
+	members := b.set.Members()
+	arena := make([]storage.Value, len(members))
+	out := make([]storage.Tuple, len(members))
+	for i, v := range members {
+		arena[i] = storage.Value(v)
+		out[i] = arena[i : i+1]
+	}
+	return out
 }
 
 // run executes the full Fig. 9 evaluation over the state.
@@ -1066,6 +1108,7 @@ func (ce *contextEval) fBatch(carry []storage.Tuple) []storage.Tuple {
 		slots := make([]storage.Value, ce.fNslots)
 		bound := make([]bool, ce.fNslots)
 		tup := make(storage.Tuple, ce.carryWidth)
+		sc := ce.fConj.newScratch()
 		var local []storage.Tuple
 		for _, c := range carry[lo:hi] {
 			if ce.aborted.Load() {
@@ -1080,7 +1123,7 @@ func (ce *contextEval) fBatch(carry []storage.Tuple) []storage.Tuple {
 				bound[sl] = true
 			}
 			anchorPart := c[:ce.nAnchors]
-			ce.fConj.run(ce.resolve, slots, bound, func(s []storage.Value) bool {
+			ce.fConj.runS(ce.resolve, slots, bound, sc, func(s []storage.Value) bool {
 				if !ce.fProj.projectCtx(s, anchorPart, tup, ce.syms) {
 					return true
 				}
@@ -1109,6 +1152,7 @@ func (ce *contextEval) gBatch(batch []storage.Tuple) {
 		gSlots := make([]storage.Value, ce.gNslots)
 		gBound := make([]bool, ce.gNslots)
 		out := make(storage.Tuple, ce.p.Def.Arity())
+		sc := ce.gConj.newScratch()
 		for _, c := range batch[lo:hi] {
 			if ce.aborted.Load() {
 				return
@@ -1121,7 +1165,7 @@ func (ce *contextEval) gBatch(batch []storage.Tuple) {
 				gBound[sl] = true
 			}
 			anchorPart := c[:ce.nAnchors]
-			ce.gConj.run(ce.resolve, gSlots, gBound, func(s []storage.Value) bool {
+			ce.gConj.runS(ce.resolve, gSlots, gBound, sc, func(s []storage.Value) bool {
 				return ce.emitProducts(0, s, anchorPart, out)
 			})
 		}

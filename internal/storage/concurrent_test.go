@@ -23,8 +23,8 @@ func TestLookupMultiBindingComplete(t *testing.T) {
 			all = append(all, tup.Clone())
 		}
 	}
-	oracle := func(bindings []Binding) map[string]bool {
-		out := make(map[string]bool)
+	oracle := func(bindings []Binding) map[tupleKey]bool {
+		out := make(map[tupleKey]bool)
 		for _, tup := range all {
 			ok := true
 			for _, b := range bindings {
@@ -33,7 +33,7 @@ func TestLookupMultiBindingComplete(t *testing.T) {
 				}
 			}
 			if ok {
-				out[tup.Key()] = true
+				out[tkey(tup)] = true
 			}
 		}
 		return out
@@ -41,9 +41,9 @@ func TestLookupMultiBindingComplete(t *testing.T) {
 	check := func(bindings []Binding) {
 		t.Helper()
 		want := oracle(bindings)
-		got := make(map[string]bool)
+		got := make(map[tupleKey]bool)
 		r.Lookup(bindings, func(tup Tuple) bool {
-			got[tup.Key()] = true
+			got[tkey(tup)] = true
 			return true
 		})
 		if len(got) != len(want) {

@@ -7,10 +7,10 @@ import (
 )
 
 // tupleSet renders tuples as a set of keys for comparison.
-func tupleSet(ts []Tuple) map[string]bool {
-	out := make(map[string]bool, len(ts))
+func tupleSet(ts []Tuple) map[tupleKey]bool {
+	out := make(map[tupleKey]bool, len(ts))
 	for _, t := range ts {
-		out[t.Key()] = true
+		out[tkey(t)] = true
 	}
 	return out
 }
@@ -43,7 +43,7 @@ func TestEpochStampingAndDeltaSince(t *testing.T) {
 	if !ok {
 		t.Fatal("DeltaSince fell back to full for a live tail")
 	}
-	if len(delta) != 1 || delta[0].Key() != (Tuple{db.Syms.Intern("c"), db.Syms.Intern("d")}).Key() {
+	if len(delta) != 1 || tkey(delta[0]) != tkey(Tuple{db.Syms.Intern("c"), db.Syms.Intern("d")}) {
 		t.Fatalf("delta = %v, want exactly the (c,d) insert", delta)
 	}
 	// Nothing newer than the current epoch.

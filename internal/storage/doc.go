@@ -4,13 +4,28 @@
 // measure the paper's Property 3 ("never do an unrestricted lookup on a
 // nonrecursive relation").
 //
+// # Columnar layout
+//
+// Each shard stores its tuples column-major in arena blocks: a block is
+// one flat []Value slab holding 1024 rows of every column, and a tuple
+// is identified by its dense row id — there are no per-tuple slice
+// headers anywhere in the store. Inserts append to the current block
+// and dedup through an open-addressing hash table over row ids keyed by
+// a word-at-a-time tuple hash (HashTuple), so neither insertion nor
+// membership builds a string key. Per-column indexes are map[Value] ->
+// []rowID posting lists built lazily on first use. Scan and Lookup
+// yield rows through a reused buffer: the yielded Tuple is valid only
+// for the duration of the callback, and callers that keep tuples copy
+// them (Clone). Tuples, SortedTuples, and DeltaSince return fresh
+// arena-backed copies that never alias the live column arrays.
+//
 // # Sharding
 //
 // A Relation is hash-partitioned on ShardColumn into N independently
 // locked shards (N is 1 for NewRelation; NewShardedRelation and
 // Database.SetShards choose larger powers of two, defaulting to
-// GOMAXPROCS for databases). Each shard owns its tuples, presence map,
-// and lazily built per-column indexes, so concurrent inserts from
+// GOMAXPROCS for databases). Each shard owns its column blocks, dedup
+// table, and lazily built per-column indexes, so concurrent inserts from
 // parallel workers — the Fig. 9 carry-batch workers in particular —
 // serialize only when their tuples hash to the same partition. A Lookup
 // bound on ShardColumn probes exactly one shard; other lookups fan out
@@ -21,12 +36,14 @@
 // SymbolTable, Relation, and Database are safe for any number of
 // concurrent readers with concurrent writers, so one Engine can serve
 // parallel queries over a shared EDB while loaders insert. Iteration
-// (Scan, Lookup, Tuples) works on a snapshot of each shard's tuple set
-// taken at call time: tuples are append-only and never mutated in place,
-// so a snapshot is a consistent prefix, and a goroutine may insert into
-// the very relation it is scanning — the fixpoint loops rely on this —
-// without deadlock. Sharded relations do not preserve global insertion
-// order across shards; use SortedTuples for deterministic output.
+// (Scan, Lookup, Tuples) works on a snapshot of each shard's row count
+// captured at call time: blocks are append-only and rows are never
+// mutated in place, so the first `rows` rows are immutable and a
+// goroutine may insert into the very relation it is scanning — the
+// fixpoint loops rely on this — without deadlock. Sharded relations do
+// not preserve global insertion order across shards; use SortedTuples
+// (or SortedColumns, which the WAL snapshot writer consumes directly)
+// for deterministic output.
 //
 // # Epochs and delta tracking
 //

@@ -30,7 +30,7 @@ func TestShardedRelationMatchesSingleShard(t *testing.T) {
 	}
 	ss, os := sharded.SortedTuples(), one.SortedTuples()
 	for i := range os {
-		if os[i].Key() != ss[i].Key() {
+		if tkey(os[i]) != tkey(ss[i]) {
 			t.Fatalf("sorted tuple %d differs", i)
 		}
 	}
@@ -46,10 +46,10 @@ func TestShardedRelationMatchesSingleShard(t *testing.T) {
 		for _, c := range cols {
 			bindings = append(bindings, Binding{Col: c, Val: Value(rng.Intn(40))})
 		}
-		want := make(map[string]bool)
-		one.Lookup(bindings, func(tup Tuple) bool { want[tup.Key()] = true; return true })
-		got := make(map[string]bool)
-		sharded.Lookup(bindings, func(tup Tuple) bool { got[tup.Key()] = true; return true })
+		want := make(map[tupleKey]bool)
+		one.Lookup(bindings, func(tup Tuple) bool { want[tkey(tup)] = true; return true })
+		got := make(map[tupleKey]bool)
+		sharded.Lookup(bindings, func(tup Tuple) bool { got[tkey(tup)] = true; return true })
 		if len(got) != len(want) {
 			t.Fatalf("bindings %v: sharded found %d, single found %d", bindings, len(got), len(want))
 		}
@@ -180,7 +180,7 @@ func TestShardRoutingSpread(t *testing.T) {
 		r.Insert(Tuple{Value(i)})
 	}
 	for i := range r.shards {
-		n := len(r.shards[i].snapshot())
+		n := r.shards[i].rows
 		if n == 0 || n > 1024/2 {
 			t.Fatalf("shard %d holds %d of 1024 tuples; routing is skewed", i, n)
 		}

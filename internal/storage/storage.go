@@ -1,7 +1,6 @@
 package storage
 
 import (
-	"encoding/binary"
 	"fmt"
 	"runtime"
 	"sort"
@@ -17,9 +16,10 @@ import (
 // JournalFact referencing its Value (Intern invokes the hook under the
 // symbol table's lock), and JournalFact is called exactly once per
 // accepted insert (duplicates are filtered by the relation's set
-// semantics before the hook fires). Implementations must be safe for
-// concurrent use; the write-ahead log in internal/wal is the canonical
-// one.
+// semantics before the hook fires). The tuple passed to JournalFact is
+// only valid for the duration of the call — implementations must encode
+// or copy it before returning, and must be safe for concurrent use; the
+// write-ahead log in internal/wal is the canonical one.
 type Journal interface {
 	// JournalSym records that name was interned as the next dense Value.
 	JournalSym(name string)
@@ -33,20 +33,28 @@ type Value int32
 // Tuple is a fixed-arity row of interned values.
 type Tuple []Value
 
-// Key encodes a tuple as a map key.
-func (t Tuple) Key() string {
-	b := make([]byte, 4*len(t))
-	for i, v := range t {
-		binary.LittleEndian.PutUint32(b[4*i:], uint32(v))
-	}
-	return string(b)
-}
-
 // Clone returns a copy of the tuple.
 func (t Tuple) Clone() Tuple {
 	out := make(Tuple, len(t))
 	copy(out, t)
 	return out
+}
+
+// HashTuple returns a 32-bit hash of the tuple's values: word-at-a-time
+// FNV-1a with a final multiply-shift mix (interned Values are dense
+// small ints, so the plain FNV low bits would collide on consecutive
+// rows). It is the hash the shard dedup tables store, exported so other
+// layers can build tuple-keyed open-addressing tables without string
+// keys.
+func HashTuple(t Tuple) uint32 {
+	h := uint32(2166136261)
+	for _, v := range t {
+		h = (h ^ uint32(v)) * 16777619
+	}
+	h ^= h >> 15
+	h *= 2654435761
+	h ^= h >> 13
+	return h
 }
 
 // SymbolTable interns constant names as dense Values. It is safe for
@@ -199,29 +207,169 @@ func (c *Counters) Add(other Counters) {
 const deltaTailBound = 1024
 
 // tailEntry records one accepted insert for delta tracking: the tuple's
-// ordinal in the shard plus the database epoch it was stamped with.
+// row id in the shard plus the database epoch it was stamped with.
 // Epochs are non-decreasing in append order (the stamp is read under the
 // shard lock from a monotone counter), so DeltaSince can binary-search.
 type tailEntry struct {
-	ord   int
+	row   int
 	epoch uint64
 }
 
-// shard is one independently-locked partition of a Relation: a tuple set
-// with its own presence map and lazily built per-column hash indexes.
+// Arena-block geometry: rows are stored in fixed-size blocks of
+// blockRows rows each, one flat []Value slab per block holding every
+// column. Within a block the layout is column-major — column c of row r
+// lives at blocks[r>>blockShift][c<<blockShift | r&blockMask] — so each
+// column is a contiguous run and a whole block is a single allocation
+// covering arity*blockRows values (no per-tuple slice headers).
+const (
+	blockShift = 10
+	blockRows  = 1 << blockShift
+	blockMask  = blockRows - 1
+)
+
+// shard is one independently-locked partition of a Relation: a columnar
+// tuple store with an open-addressing dedup table over row ids and
+// lazily built per-column posting-list indexes. Tuple identity is the
+// dense row id; rows are append-only and blocks are never moved, which
+// is what makes lock-free snapshot iteration sound (see view).
 type shard struct {
-	mu     sync.RWMutex
-	tuples []Tuple
-	// present maps Tuple.Key() to membership within this shard.
-	present map[string]bool
-	// cols[i] maps a value to the ordinals of this shard's tuples holding
-	// it in column i (nil until built).
-	cols []map[Value][]int
+	mu sync.RWMutex
+	// blocks are the arena slabs (see the block geometry constants).
+	blocks [][]Value
+	rows   int
+	// Dedup table: open addressing with linear probing. slots holds
+	// row+1 (0 = empty); hashes holds each occupied slot's full tuple
+	// hash, so growth rehashes from stored hashes without re-reading
+	// columns and a probe compares columns only on a full hash match.
+	slots  []int32
+	hashes []uint32
+	// cols[i] maps a value to the row ids holding it in column i (nil
+	// until built).
+	cols []map[Value][]int32
 	// tail is the bounded recent-insert log for DeltaSince (tracked
 	// relations only); tailFloor is the lowest epoch the tail still covers
 	// completely.
 	tail      []tailEntry
 	tailFloor uint64
+}
+
+// valueAt reads one column of one row. The caller must hold the shard
+// lock or be reading a row captured by a view.
+func (sh *shard) valueAt(row, col int) Value {
+	return sh.blocks[row>>blockShift][col<<blockShift|row&blockMask]
+}
+
+// rowEqual reports whether the stored row equals t.
+func (sh *shard) rowEqual(row int, t Tuple) bool {
+	blk := sh.blocks[row>>blockShift]
+	off := row & blockMask
+	for c, v := range t {
+		if blk[c<<blockShift|off] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// findLocked probes the dedup table for t (hash h), returning its row id
+// or -1. Caller holds the shard lock (read or write).
+func (sh *shard) findLocked(t Tuple, h uint32) int {
+	if len(sh.slots) == 0 {
+		return -1
+	}
+	mask := uint32(len(sh.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		s := sh.slots[i]
+		if s == 0 {
+			return -1
+		}
+		if sh.hashes[i] == h && sh.rowEqual(int(s-1), t) {
+			return int(s - 1)
+		}
+	}
+}
+
+// growTableLocked (re)builds the dedup table at the next power-of-two
+// capacity, rehashing occupied slots from their stored hashes.
+func (sh *shard) growTableLocked() {
+	newCap := 2 * len(sh.slots)
+	if newCap < 16 {
+		newCap = 16
+	}
+	slots := make([]int32, newCap)
+	hashes := make([]uint32, newCap)
+	mask := uint32(newCap - 1)
+	for i, s := range sh.slots {
+		if s == 0 {
+			continue
+		}
+		h := sh.hashes[i]
+		j := h & mask
+		for slots[j] != 0 {
+			j = (j + 1) & mask
+		}
+		slots[j], hashes[j] = s, h
+	}
+	sh.slots, sh.hashes = slots, hashes
+}
+
+// insertLocked adds t (hash h) unless present, returning the row id and
+// whether the row is new. Caller holds the write lock.
+func (sh *shard) insertLocked(t Tuple, h uint32, arity int) (int, bool) {
+	// Grow at 3/4 load so probe chains stay short.
+	if 4*(sh.rows+1) > 3*len(sh.slots) {
+		sh.growTableLocked()
+	}
+	mask := uint32(len(sh.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		s := sh.slots[i]
+		if s == 0 {
+			row := sh.rows
+			if row&blockMask == 0 {
+				sh.blocks = append(sh.blocks, make([]Value, arity<<blockShift))
+			}
+			blk := sh.blocks[row>>blockShift]
+			off := row & blockMask
+			for c, v := range t {
+				blk[c<<blockShift|off] = v
+			}
+			sh.rows = row + 1
+			sh.slots[i] = int32(row + 1)
+			sh.hashes[i] = h
+			return row, true
+		}
+		if sh.hashes[i] == h && sh.rowEqual(int(s-1), t) {
+			return int(s - 1), false
+		}
+	}
+}
+
+// shardView is a consistent snapshot of a shard's rows, capturable in
+// O(1): the block list and the row count at capture time. Blocks are
+// append-only and rows are fully written before the row count (read
+// under the lock) covers them, so reading rows < v.rows off a view races
+// with nothing — concurrent inserts touch only elements the view never
+// reads.
+type shardView struct {
+	blocks [][]Value
+	rows   int
+}
+
+// view captures a snapshot of the shard.
+func (sh *shard) view() shardView {
+	sh.mu.RLock()
+	v := shardView{blocks: sh.blocks[:len(sh.blocks):len(sh.blocks)], rows: sh.rows}
+	sh.mu.RUnlock()
+	return v
+}
+
+// read copies row's columns into dst (len(dst) = arity).
+func (v shardView) read(row int, dst Tuple) {
+	blk := v.blocks[row>>blockShift]
+	off := row & blockMask
+	for c := range dst {
+		dst[c] = blk[c<<blockShift|off]
+	}
 }
 
 // ShardColumn is the column whose value routes a tuple to its shard. The
@@ -232,12 +380,15 @@ type shard struct {
 const ShardColumn = 0
 
 // Relation is a set of tuples of fixed arity, hash-sharded on ShardColumn
-// into independently-locked partitions with lazily built per-column hash
-// indexes. The zero value is not usable; construct with NewRelation (one
-// shard) or NewShardedRelation. Methods are safe for concurrent use; with
-// n shards, n concurrent writers make progress independently as long as
-// their tuples hash to different partitions. See the package comment for
-// the snapshot semantics of iteration.
+// into independently-locked partitions. Each shard stores its tuples
+// columnar in arena blocks with an open-addressing dedup table and
+// lazily built per-column posting-list indexes — inserts and membership
+// probes allocate nothing on the steady state. The zero value is not
+// usable; construct with NewRelation (one shard) or NewShardedRelation.
+// Methods are safe for concurrent use; with n shards, n concurrent
+// writers make progress independently as long as their tuples hash to
+// different partitions. See the package comment for the snapshot
+// semantics of iteration.
 type Relation struct {
 	arity int
 	stats *Counters
@@ -288,8 +439,7 @@ func NewShardedRelation(arity int, stats *Counters, nshards int) *Relation {
 		shards:     make([]shard, n),
 	}
 	for i := range r.shards {
-		r.shards[i].present = make(map[string]bool)
-		r.shards[i].cols = make([]map[Value][]int, arity)
+		r.shards[i].cols = make([]map[Value][]int32, arity)
 	}
 	return r
 }
@@ -328,31 +478,30 @@ func (r *Relation) Shards() int { return len(r.shards) }
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return int(r.count.Load()) }
 
-// Insert adds a tuple (copied), returning true when it was not already
-// present. Only the tuple's shard is locked, so inserts from parallel
-// workers serialize only on hash collisions. On a tracked relation (one
-// created by a Database) the accepted insert is stamped with the
-// database's current epoch, appended to the shard's delta tail, and the
-// epoch counter is advanced — the bookkeeping DeltaSince and the
-// engine's result cache run on.
+// Insert adds a tuple (copied into the shard's column blocks), returning
+// true when it was not already present. Only the tuple's shard is
+// locked, so inserts from parallel workers serialize only on hash
+// collisions; the steady-state path allocates nothing (block and table
+// growth amortize). On a tracked relation (one created by a Database)
+// the accepted insert is stamped with the database's current epoch,
+// appended to the shard's delta tail, and the epoch counter is
+// advanced — the bookkeeping DeltaSince and the engine's result cache
+// run on.
 func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("storage: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
 	}
-	k := t.Key()
+	h := HashTuple(t)
 	sh := r.shardFor(t)
 	sh.mu.Lock()
-	if sh.present[k] {
+	row, fresh := sh.insertLocked(t, h, r.arity)
+	if !fresh {
 		sh.mu.Unlock()
 		return false
 	}
-	sh.present[k] = true
-	ord := len(sh.tuples)
-	ct := t.Clone()
-	sh.tuples = append(sh.tuples, ct)
-	for i, idx := range sh.cols {
+	for c, idx := range sh.cols {
 		if idx != nil {
-			idx[ct[i]] = append(idx[ct[i]], ord)
+			idx[t[c]] = append(idx[t[c]], int32(row))
 		}
 	}
 	var stamp uint64
@@ -360,7 +509,7 @@ func (r *Relation) Insert(t Tuple) bool {
 		// The stamp is read inside the critical section so tail epochs are
 		// monotone per shard.
 		stamp = r.db.epoch.Load()
-		sh.tail = append(sh.tail, tailEntry{ord: ord, epoch: stamp})
+		sh.tail = append(sh.tail, tailEntry{row: row, epoch: stamp})
 		if len(sh.tail) > deltaTailBound {
 			// Evict the oldest half; the floor rises past the newest
 			// evicted stamp, so incomplete coverage is never served.
@@ -381,7 +530,7 @@ func (r *Relation) Insert(t Tuple) bool {
 		atomic.AddInt64(&r.stats.Inserts, 1)
 	}
 	if jp := r.journal.Load(); jp != nil {
-		(*jp).JournalFact(r.name, ct)
+		(*jp).JournalFact(r.name, t)
 	}
 	return true
 }
@@ -405,8 +554,10 @@ func (r *Relation) LastModified() uint64 { return r.lastMod.Load() }
 // ok is false when the delta cannot be reconstructed — the relation is
 // untracked, or some shard's tail evicted entries the request needs —
 // in which case the caller must fall back to treating the relation as
-// fully changed. Tuples in the returned slice are shared with the
-// relation and must not be modified. Tuples stamped exactly at the
+// fully changed. The returned tuples are fresh copies backed by one
+// arena per shard: they never alias the live column blocks, so they stay
+// valid (and immutable from the relation's point of view) however the
+// relation is mutated afterwards. Tuples stamped exactly at the
 // requested epoch may overlap state the caller already has; replaying
 // them is idempotent under set semantics.
 func (r *Relation) DeltaSince(epoch uint64) ([]Tuple, bool) {
@@ -425,73 +576,99 @@ func (r *Relation) DeltaSince(epoch uint64) ([]Tuple, bool) {
 			return nil, false
 		}
 		lo := sort.Search(len(sh.tail), func(k int) bool { return sh.tail[k].epoch >= epoch })
-		for _, te := range sh.tail[lo:] {
-			out = append(out, sh.tuples[te.ord])
+		if n := len(sh.tail) - lo; n > 0 {
+			arena := make([]Value, n*r.arity)
+			for j, te := range sh.tail[lo:] {
+				dst := Tuple(arena[j*r.arity : (j+1)*r.arity])
+				for c := range dst {
+					dst[c] = sh.valueAt(te.row, c)
+				}
+				out = append(out, dst)
+			}
 		}
 		sh.mu.RUnlock()
 	}
 	return out, true
 }
 
-// Contains reports membership, locking only the tuple's shard.
+// Contains reports membership, locking only the tuple's shard. It
+// allocates nothing.
 func (r *Relation) Contains(t Tuple) bool {
-	k := t.Key()
+	h := HashTuple(t)
 	sh := r.shardFor(t)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return sh.present[k]
+	return sh.findLocked(t, h) >= 0
 }
 
-// snapshot returns the shard's tuples as a capacity-clamped prefix slice.
-// Tuples are append-only, so the prefix stays consistent after unlock.
-func (sh *shard) snapshot() []Tuple {
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	return sh.tuples[:len(sh.tuples):len(sh.tuples)]
-}
-
-// Tuples returns a snapshot of the tuple set. Callers must not modify it.
-// For single-shard relations the snapshot is the backing slice (no copy)
-// in insertion order; for sharded relations it concatenates the per-shard
-// snapshots, so global insertion order is not preserved — use
-// SortedTuples for deterministic order. This accessor is not
-// instrumented; use Scan for measured access.
+// Tuples returns a materialized snapshot of the tuple set, backed by a
+// single value arena (two allocations however many tuples there are).
+// The snapshot never aliases live column blocks; callers must still not
+// modify it (tuples share the arena). For sharded relations the
+// per-shard segments concatenate, so global insertion order is not
+// preserved — use SortedTuples for deterministic order. This accessor is
+// not instrumented; use Scan for measured access.
 func (r *Relation) Tuples() []Tuple {
-	if len(r.shards) == 1 {
-		return r.shards[0].snapshot()
-	}
-	out := make([]Tuple, 0, r.Len())
+	views := make([]shardView, len(r.shards))
+	total := 0
 	for i := range r.shards {
-		out = append(out, r.shards[i].snapshot()...)
+		views[i] = r.shards[i].view()
+		total += views[i].rows
+	}
+	out := make([]Tuple, total)
+	arena := make([]Value, total*r.arity)
+	k := 0
+	for _, v := range views {
+		for row := 0; row < v.rows; row++ {
+			dst := Tuple(arena[k*r.arity : (k+1)*r.arity])
+			v.read(row, dst)
+			out[k] = dst
+			k++
+		}
 	}
 	return out
 }
 
-// Scan iterates a snapshot of the tuples, recording one full scan. Tuples
-// are counted as examined only up to the point the caller stops.
+// Scan iterates a snapshot of the tuples, recording one full scan. The
+// yielded tuple is a reused scratch buffer, valid only until yield
+// returns — copy it to keep it. Tuples are counted as examined only up
+// to the point the caller stops.
 func (r *Relation) Scan(yield func(Tuple) bool) {
+	r.scanBuf(make(Tuple, r.arity), yield)
+}
+
+// scanBuf is Scan yielding through the caller's buffer (len >= arity).
+func (r *Relation) scanBuf(buf Tuple, yield func(Tuple) bool) {
 	if r.stats != nil {
 		atomic.AddInt64(&r.stats.FullScans, 1)
 	}
+	scratch := buf[:r.arity]
+	examined := int64(0)
+	defer func() {
+		if r.stats != nil && examined > 0 {
+			atomic.AddInt64(&r.stats.TuplesExamined, examined)
+		}
+	}()
 	for i := range r.shards {
-		for _, t := range r.shards[i].snapshot() {
-			if r.stats != nil {
-				atomic.AddInt64(&r.stats.TuplesExamined, 1)
-			}
-			if !yield(t) {
+		v := r.shards[i].view()
+		for row := 0; row < v.rows; row++ {
+			v.read(row, scratch)
+			examined++
+			if !yield(scratch) {
 				return
 			}
 		}
 	}
 }
 
-// ensureIndexLocked builds the shard's hash index for a column. The
-// caller must hold the shard's write lock.
+// ensureIndexLocked builds the shard's posting-list index for a column.
+// The caller must hold the shard's write lock.
 func (sh *shard) ensureIndexLocked(col int) {
 	if sh.cols[col] == nil {
-		idx := make(map[Value][]int)
-		for ord, t := range sh.tuples {
-			idx[t[col]] = append(idx[t[col]], ord)
+		idx := make(map[Value][]int32)
+		for row := 0; row < sh.rows; row++ {
+			v := sh.valueAt(row, col)
+			idx[v] = append(idx[v], int32(row))
 		}
 		sh.cols[col] = idx
 	}
@@ -504,33 +681,44 @@ type Binding struct {
 }
 
 // Lookup iterates the tuples matching all bindings. With at least one
-// binding it probes hash indexes — per shard, the index of the most
-// selective bound column, the one whose posting list for its value is
-// shortest — and filters the remaining bindings tuple by tuple; with
-// none it degrades to a full scan. A binding on ShardColumn restricts
-// the probe to the single shard that can hold matches; otherwise every
-// shard is probed. IndexLookups counts one probe per shard actually
-// probed — a ShardColumn-bound lookup costs 1, an unrouted lookup over n
-// shards costs up to n (fewer when yield stops the iteration early) —
-// so the Property-3 accounting reflects the real number of restricted
-// index probes rather than the number of Lookup calls. Indexes for
-// bound columns are built per shard on first use, so selectivity is
-// compared on actual posting lists rather than guessed.
+// binding it probes posting-list indexes — per shard, the index of the
+// most selective bound column, the one whose posting list for its value
+// is shortest — and filters the remaining bindings row by row against
+// the column blocks; with none it degrades to a full scan. A binding on
+// ShardColumn restricts the probe to the single shard that can hold
+// matches; otherwise every shard is probed. IndexLookups counts one
+// probe per shard actually probed — a ShardColumn-bound lookup costs 1,
+// an unrouted lookup over n shards costs up to n (fewer when yield stops
+// the iteration early) — so the Property-3 accounting reflects the real
+// number of restricted index probes rather than the number of Lookup
+// calls. Indexes for bound columns are built per shard on first use, so
+// selectivity is compared on actual posting lists rather than guessed.
+//
+// The yielded tuple is a reused scratch buffer, valid only until yield
+// returns — copy it to keep it.
 func (r *Relation) Lookup(bindings []Binding, yield func(Tuple) bool) {
+	r.LookupBuf(bindings, make(Tuple, r.arity), yield)
+}
+
+// LookupBuf is Lookup yielding through the caller's buffer (len >=
+// arity) — the zero-allocation probe path for evaluator inner loops that
+// hold one buffer per goroutine.
+func (r *Relation) LookupBuf(bindings []Binding, buf Tuple, yield func(Tuple) bool) {
 	if len(bindings) == 0 {
-		r.Scan(yield)
+		r.scanBuf(buf, yield)
 		return
 	}
+	scratch := buf[:r.arity]
 	if len(r.shards) > 1 {
 		for _, b := range bindings {
 			if b.Col == ShardColumn {
-				r.shards[r.shardIndex(b.Val)].lookup(bindings, r.stats, yield)
+				r.shards[r.shardIndex(b.Val)].lookup(bindings, r.stats, scratch, yield)
 				return
 			}
 		}
 	}
 	for i := range r.shards {
-		if !r.shards[i].lookup(bindings, r.stats, yield) {
+		if !r.shards[i].lookup(bindings, r.stats, scratch, yield) {
 			return
 		}
 	}
@@ -538,7 +726,7 @@ func (r *Relation) Lookup(bindings []Binding, yield func(Tuple) bool) {
 
 // lookup probes one shard, recording one index probe, and returns false
 // when yield stopped the iteration.
-func (sh *shard) lookup(bindings []Binding, stats *Counters, yield func(Tuple) bool) bool {
+func (sh *shard) lookup(bindings []Binding, stats *Counters, scratch Tuple, yield func(Tuple) bool) bool {
 	if stats != nil {
 		atomic.AddInt64(&stats.IndexLookups, 1)
 	}
@@ -561,32 +749,40 @@ func (sh *shard) lookup(bindings []Binding, stats *Counters, yield func(Tuple) b
 	}
 	// Probe the most selective bound column: shortest posting list wins.
 	probe := 0
-	ords := sh.cols[bindings[0].Col][bindings[0].Val]
+	rows := sh.cols[bindings[0].Col][bindings[0].Val]
 	for i, b := range bindings[1:] {
-		if cand := sh.cols[b.Col][b.Val]; len(cand) < len(ords) {
-			probe, ords = i+1, cand
+		if cand := sh.cols[b.Col][b.Val]; len(cand) < len(rows) {
+			probe, rows = i+1, cand
 		}
 	}
-	tuples := sh.tuples[:len(sh.tuples):len(sh.tuples)]
+	// Posting entries reference rows fully written before the list grew
+	// (both under the write lock), so reading the blocks after release is
+	// race-free — see shardView.
+	v := shardView{blocks: sh.blocks[:len(sh.blocks):len(sh.blocks)], rows: sh.rows}
 	sh.mu.RUnlock()
 
+	examined := int64(0)
 outer:
-	for _, ord := range ords {
-		t := tuples[ord]
-		if stats != nil {
-			atomic.AddInt64(&stats.TuplesExamined, 1)
-		}
+	for _, row := range rows {
+		v.read(int(row), scratch)
+		examined++
 		for i, b := range bindings {
 			if i == probe {
 				continue
 			}
-			if t[b.Col] != b.Val {
+			if scratch[b.Col] != b.Val {
 				continue outer
 			}
 		}
-		if !yield(t) {
+		if !yield(scratch) {
+			if stats != nil && examined > 0 {
+				atomic.AddInt64(&stats.TuplesExamined, examined)
+			}
 			return false
 		}
+	}
+	if stats != nil && examined > 0 {
+		atomic.AddInt64(&stats.TuplesExamined, examined)
 	}
 	return true
 }
@@ -602,9 +798,12 @@ func (r *Relation) Equal(o *Relation) bool {
 	if r.Len() != o.Len() {
 		return false
 	}
+	scratch := make(Tuple, r.arity)
 	for i := range r.shards {
-		for _, t := range r.shards[i].snapshot() {
-			if !o.Contains(t) {
+		v := r.shards[i].view()
+		for row := 0; row < v.rows; row++ {
+			v.read(row, scratch)
+			if !o.Contains(scratch) {
 				return false
 			}
 		}
@@ -612,12 +811,10 @@ func (r *Relation) Equal(o *Relation) bool {
 	return true
 }
 
-// SortedTuples returns the tuples in lexicographic order (fresh slice),
-// for deterministic output.
+// SortedTuples returns the tuples in lexicographic order (fresh
+// arena-backed slice), for deterministic output.
 func (r *Relation) SortedTuples() []Tuple {
-	snap := r.Tuples()
-	out := make([]Tuple, len(snap))
-	copy(out, snap)
+	out := r.Tuples()
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		for k := range a {
@@ -628,6 +825,30 @@ func (r *Relation) SortedTuples() []Tuple {
 		return false
 	})
 	return out
+}
+
+// SortedColumns returns the tuple set column-major in lexicographic row
+// order: cols[c][i] is the i-th sorted tuple's value in column c, all
+// columns backed by one arena. rows is the tuple count (arity-0
+// relations have no columns, so rows alone carries their 0-or-1 count).
+// This is the WAL snapshot writer's extraction path: the whole relation
+// serializes from a handful of allocations, with no per-tuple re-boxing.
+func (r *Relation) SortedColumns() (cols [][]Value, rows int) {
+	ts := r.SortedTuples()
+	rows = len(ts)
+	if r.arity == 0 {
+		return nil, rows
+	}
+	arena := make([]Value, rows*r.arity)
+	cols = make([][]Value, r.arity)
+	for c := range cols {
+		col := arena[c*rows : (c+1)*rows]
+		for i, t := range ts {
+			col[i] = t[c]
+		}
+		cols[c] = col
+	}
+	return cols, rows
 }
 
 // defaultShards picks the shard count for a database's relations: the

@@ -159,7 +159,7 @@ func TestSortedTuples(t *testing.T) {
 	got := r.SortedTuples()
 	want := []Tuple{{1, 2}, {1, 9}, {2, 1}}
 	for i := range want {
-		if got[i].Key() != want[i].Key() {
+		if tkey(got[i]) != tkey(want[i]) {
 			t.Fatalf("sorted[%d] = %v", i, got[i])
 		}
 	}
@@ -217,9 +217,12 @@ func TestInsertArityPanics(t *testing.T) {
 	r.Insert(Tuple{1})
 }
 
-// TestQuickTupleKeyInjective property-tests the tuple key encoding: keys
-// collide exactly when tuples are equal.
-func TestQuickTupleKeyInjective(t *testing.T) {
+// TestQuickInsertDedupMatchesEquality property-tests the dedup table:
+// equal tuples must hash identically (growth rehashes from stored
+// hashes), and Insert must dedup on tuple equality exactly — hash
+// collisions between distinct tuples may occur but must not conflate
+// them.
+func TestQuickInsertDedupMatchesEquality(t *testing.T) {
 	f := func(a, b []int32) bool {
 		ta := make(Tuple, len(a))
 		for i, v := range a {
@@ -229,17 +232,22 @@ func TestQuickTupleKeyInjective(t *testing.T) {
 		for i, v := range b {
 			tb[i] = Value(v)
 		}
-		sameKey := ta.Key() == tb.Key()
-		same := len(ta) == len(tb)
-		if same {
-			for i := range ta {
-				if ta[i] != tb[i] {
-					same = false
-					break
-				}
+		if len(ta) != len(tb) {
+			return true // relations are fixed-arity
+		}
+		same := true
+		for i := range ta {
+			if ta[i] != tb[i] {
+				same = false
+				break
 			}
 		}
-		return sameKey == same
+		if same && HashTuple(ta) != HashTuple(tb) {
+			return false
+		}
+		r := NewRelation(len(ta), nil)
+		r.Insert(ta)
+		return r.Insert(tb) == !same
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)

@@ -23,11 +23,19 @@ const (
 
 // RelSnap is one relation's block in a snapshot: the predicate, its
 // arity, the epoch stamp of its newest insert and its tuple count at
-// collection time, and either the tuples in sorted order (a full block;
-// deterministic bytes for equal states) or — in a differential
+// collection time, and either the tuple set in sorted order (a full
+// block; deterministic bytes for equal states) or — in a differential
 // snapshot — a reference to the earlier snapshot whose full block for
 // this predicate still describes the identical tuple set (Ref set,
-// BaseSeq naming that snapshot, Tuples nil).
+// BaseSeq naming that snapshot, Cols nil).
+//
+// Full blocks hold their tuples as columns: Cols[c][j] is column c of
+// row j, with rows in sorted tuple order. The columnar relation layout
+// hands these arrays over in Arity+1 allocations (storage.SortedColumns)
+// and the encoder serializes them without ever materializing per-tuple
+// slices; the on-disk bytes remain row-major and identical to the
+// historical format. Arity-0 relations have nil Cols and carry their
+// 0-or-1 tuple count in Count.
 type RelSnap struct {
 	Pred    string
 	Arity   int
@@ -35,7 +43,7 @@ type RelSnap struct {
 	Count   int
 	Ref     bool
 	BaseSeq uint64
-	Tuples  []storage.Tuple
+	Cols    [][]storage.Value
 }
 
 // Snapshot is the full persisted engine state at a checkpoint: the
@@ -72,13 +80,13 @@ func CollectDatabase(db *storage.Database, rules, shapes []string) *Snapshot {
 	s := &Snapshot{Rules: rules, Shapes: shapes}
 	for _, pred := range db.Preds() {
 		r := db.Relation(pred)
-		tuples := r.SortedTuples()
+		cols, count := r.SortedColumns()
 		s.Rels = append(s.Rels, RelSnap{
-			Pred:   pred,
-			Arity:  r.Arity(),
-			Epoch:  r.LastModified(),
-			Count:  len(tuples),
-			Tuples: tuples,
+			Pred:  pred,
+			Arity: r.Arity(),
+			Epoch: r.LastModified(),
+			Count: count,
+			Cols:  cols,
 		})
 	}
 	s.Syms = db.Syms.Names()
@@ -106,10 +114,12 @@ func (s *Snapshot) encode() []byte {
 			continue
 		}
 		b = append(b, 0)
-		b = binary.AppendUvarint(b, uint64(len(r.Tuples)))
-		for _, t := range r.Tuples {
-			for _, v := range t {
-				b = binary.AppendUvarint(b, uint64(uint32(v)))
+		b = binary.AppendUvarint(b, uint64(r.Count))
+		// Row-major on disk (the historical byte layout), read straight
+		// out of the column arrays.
+		for j := 0; j < r.Count; j++ {
+			for _, col := range r.Cols {
+				b = binary.AppendUvarint(b, uint64(uint32(col[j])))
 			}
 		}
 	}
@@ -197,10 +207,14 @@ func decodeSnapshot(b []byte, version int) (*Snapshot, error) {
 			return nil, err
 		}
 		r.Count = int(count)
-		r.Tuples = make([]storage.Tuple, count)
-		for j := range r.Tuples {
-			t := make(storage.Tuple, arity)
-			for k := range t {
+		if arity > 0 {
+			r.Cols = make([][]storage.Value, arity)
+			for c := range r.Cols {
+				r.Cols[c] = make([]storage.Value, count)
+			}
+		}
+		for j := uint64(0); j < count; j++ {
+			for k := uint64(0); k < arity; k++ {
 				var v uint64
 				if v, b, err = readUvarint(b); err != nil {
 					return nil, err
@@ -208,9 +222,8 @@ func decodeSnapshot(b []byte, version int) (*Snapshot, error) {
 				if v > 0xFFFFFFFF {
 					return nil, fmt.Errorf("wal: snapshot value out of range")
 				}
-				t[k] = storage.Value(uint32(v))
+				r.Cols[k][j] = storage.Value(uint32(v))
 			}
-			r.Tuples[j] = t
 		}
 	}
 	if n, b, err = readUvarint(b); err != nil {

@@ -410,8 +410,8 @@ func resolveRelRefs(headSeq uint64, head *Snapshot, nsyms int, load func(uint64)
 		if blk == nil || blk.Ref || blk.Arity != r.Arity {
 			return nil, fmt.Errorf("wal: snapshot %d: base %d has no full block for %s", headSeq, r.BaseSeq, r.Pred)
 		}
-		for _, t := range blk.Tuples {
-			for _, v := range t {
+		for _, col := range blk.Cols {
+			for _, v := range col {
 				if int(v) < 0 || int(v) >= nsyms {
 					return nil, fmt.Errorf("wal: snapshot %d: %s tuple value %d outside symbol table", headSeq, r.Pred, v)
 				}
@@ -487,11 +487,16 @@ func (st *replayState) applySnapshot(s *Snapshot, resolvedSyms []string, bases m
 		if st.replay.Rel != nil {
 			st.replay.Rel(r.Pred, r.Arity)
 		}
-		tuples := r.Tuples
+		cols, count := r.Cols, r.Count
 		if r.Ref {
-			tuples = findRelBlock(bases[r.BaseSeq], r.Pred).Tuples
+			base := findRelBlock(bases[r.BaseSeq], r.Pred)
+			cols, count = base.Cols, base.Count
 		}
-		for _, t := range tuples {
+		t := make(storage.Tuple, r.Arity)
+		for j := 0; j < count; j++ {
+			for c := range cols {
+				t[c] = cols[c][j]
+			}
 			// Errors are impossible here: values were validated against
 			// (full blocks: encoded against) the resolved symbol list.
 			st.fact(r.Pred, t)
@@ -776,7 +781,7 @@ func (l *Log) Checkpoint(collect func() (*Snapshot, error)) error {
 		for i := range snap.Rels {
 			r := &snap.Rels[i]
 			if man, ok := l.manifest[r.Pred]; ok && man.arity == r.Arity && man.count == r.Count {
-				r.Ref, r.BaseSeq, r.Tuples = true, man.seq, nil
+				r.Ref, r.BaseSeq, r.Cols = true, man.seq, nil
 			}
 		}
 	}
