@@ -15,7 +15,7 @@
 // Usage:
 //
 //	loadgen [-addr host:port] [-ingest host:port] [-clients 8]
-//	        [-duration 5s] [-out summary.txt] [-strict]
+//	        [-duration 5s] [-out summary.txt] [-strict] [-churn]
 //
 // -ingest splits the two phases across nodes: facts and rules go to the
 // ingest address (the primary) while the load phase queries -addr (a
@@ -23,17 +23,28 @@
 // /v1/stats and waits until the query target's epoch catches up, so a
 // replicated follower is measured only on data it has fully applied.
 //
-// -strict exits nonzero when any request got a 5xx or any program
-// measured zero QPS — the CI smoke-load gate.
+// -churn appends a third phase per program: a /v1/subscribe stream is
+// held open on the query target while mixed inserts and retractions
+// flow through /v1/facts on the ingest target, and the signed batches
+// the subscriber receives are counted into the summary. Against a
+// replicated pair this is mixed insert/retract observed from a
+// subscribed follower.
+//
+// -strict exits nonzero when any request got a 5xx, any program
+// measured zero QPS, or (-churn) any churn mutation failed or the
+// subscriber saw no signed batches — the CI smoke-load gate.
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strings"
@@ -52,13 +63,16 @@ type fact struct {
 	Args []string `json:"args"`
 }
 
-// workload is one example program: its rules, its facts, and the query
-// mix the clients cycle through.
+// workload is one example program: its rules, its facts, the query mix
+// the clients cycle through, and a churn generator — the facts the
+// -churn phase inserts and retracts, built to change the answers of
+// queries[0] so a subscriber observes signed batches.
 type workload struct {
 	name    string
 	rules   []string
 	facts   []fact
 	queries []string
+	churn   func(i int) []fact
 }
 
 // dumpFacts enumerates a datagen-built database as ingest facts,
@@ -88,6 +102,9 @@ func workloads() []workload {
 			"qs_t(X, Y) :- qs_b(X, Y).",
 		},
 		queries: []string{"qs_t(qn0, Y)", "qs_t(qn100, Y)", "qs_t(qn190, Y)"},
+		churn: func(i int) []fact {
+			return []fact{{Pred: "qs_b", Args: []string{"qn0", fmt.Sprintf("qchurn%d", i)}}}
+		},
 	}
 	{
 		db := storage.NewDatabase()
@@ -107,6 +124,9 @@ func workloads() []workload {
 			"fl_reach(X, Y) :- fl_ferry(X, Y).",
 		},
 		queries: []string{"fl_reach(apt0, Y)", "fl_reach(apt3, Y)", "fl_reach(apt17, Y)", "fl_reach(apt42, Y)"},
+		churn: func(i int) []fact {
+			return []fact{{Pred: "fl_ferry", Args: []string{"apt0", fmt.Sprintf("chisland%d", i)}}}
+		},
 	}
 	{
 		db := storage.NewDatabase()
@@ -132,6 +152,9 @@ func workloads() []workload {
 			fmt.Sprintf("ge_sg(%s, Y)", leafA),
 			fmt.Sprintf("ge_sg(%s, %s)", leafA, leafB),
 		},
+		churn: func(i int) []fact {
+			return []fact{{Pred: "ge_sg0", Args: []string{leafA, fmt.Sprintf("chgen%d", i)}}}
+		},
 	}
 
 	// Market basket: the Section 3 buys/likes/cheap recursion — two-sided
@@ -145,6 +168,13 @@ func workloads() []workload {
 		facts: append(dumpFacts(datagen.Market(40, 5, 20, 3), "mb_", nil),
 			fact{Pred: "mb_likes", Args: []string{"p7_5", "item2"}}),
 		queries: []string{"mb_buys(p7_0, Y)", "mb_buys(p3_0, Y)", "mb_buys(p12_0, Y)"},
+		churn: func(i int) []fact {
+			item := fmt.Sprintf("chitem%d", i)
+			return []fact{
+				{Pred: "mb_cheap", Args: []string{item}},
+				{Pred: "mb_likes", Args: []string{"p7_0", item}},
+			}
+		},
 	}
 
 	// Appendix A: Example A.1's bounded P — the c(X1) condition is
@@ -156,6 +186,9 @@ func workloads() []workload {
 			"ax_p(X1, X2) :- ax_c(X1), ax_p0(X1, X2).",
 		},
 		queries: []string{"ax_p(u0, Y)", "ax_p(u17, Y)", "ax_p(u31, Y)"},
+		churn: func(i int) []fact {
+			return []fact{{Pred: "ax_p0", Args: []string{"u0", fmt.Sprintf("chv%d", i)}}}
+		},
 	}
 	for i := 0; i < 48; i++ {
 		ax.facts = append(ax.facts,
@@ -176,6 +209,12 @@ type result struct {
 	elapsed             time.Duration
 	latencies           []time.Duration
 	p50, p95, p99, pMax time.Duration
+
+	// -churn phase counters.
+	churned             bool
+	churnOps, churnErrs int64
+	subEvents           int64
+	subAdds, subRemoves int64 // signed rows the subscriber saw, net of the initial snapshot
 }
 
 func (r *result) qps() float64 {
@@ -200,14 +239,15 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "total load time, split across the five programs")
 	out := flag.String("out", "", "also write the summary to this file")
 	strict := flag.Bool("strict", false, "exit nonzero on any 5xx or any zero-QPS program")
+	churn := flag.Bool("churn", false, "after each load phase, drive mixed insert/retract churn under a live /v1/subscribe stream")
 	flag.Parse()
-	if err := run(*addr, *ingestAddr, *clients, *duration, *out, *strict); err != nil {
+	if err := run(*addr, *ingestAddr, *clients, *duration, *out, *strict, *churn); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, ingestAddr string, clients int, duration time.Duration, outPath string, strict bool) error {
+func run(addr, ingestAddr string, clients int, duration time.Duration, outPath string, strict, churn bool) error {
 	base := addr
 	if base == "" {
 		// Self-host: an in-process server on an ephemeral port.
@@ -257,6 +297,11 @@ func run(addr, ingestAddr string, clients int, duration time.Duration, outPath s
 		if err != nil {
 			return fmt.Errorf("%s load: %w", wl.name, err)
 		}
+		if churn {
+			if err := churnPhase(client, baseURL, ingestURL, wl, res); err != nil {
+				return fmt.Errorf("%s churn: %w", wl.name, err)
+			}
+		}
 		results = append(results, res)
 	}
 
@@ -278,6 +323,15 @@ func run(addr, ingestAddr string, clients int, duration time.Duration, outPath s
 			if r.errors > 0 {
 				return fmt.Errorf("strict: %s saw %d transport errors", r.name, r.errors)
 			}
+			if r.churned {
+				if r.churnErrs > 0 {
+					return fmt.Errorf("strict: %s churn saw %d failed mutations", r.name, r.churnErrs)
+				}
+				if r.subAdds == 0 || r.subRemoves == 0 {
+					return fmt.Errorf("strict: %s subscriber saw adds=%d removes=%d, want both > 0",
+						r.name, r.subAdds, r.subRemoves)
+				}
+			}
 		}
 	}
 	return nil
@@ -288,15 +342,15 @@ func ingest(client *http.Client, baseURL string, wl workload) error {
 	const chunk = 500
 	for i := 0; i < len(wl.facts); i += chunk {
 		end := min(i+chunk, len(wl.facts))
-		if err := postFacts(client, baseURL, wl.facts[i:end], nil); err != nil {
+		if err := postFacts(client, baseURL, wl.facts[i:end], nil, nil); err != nil {
 			return err
 		}
 	}
-	return postFacts(client, baseURL, nil, wl.rules)
+	return postFacts(client, baseURL, nil, wl.rules, nil)
 }
 
-func postFacts(client *http.Client, baseURL string, facts []fact, rules []string) error {
-	body, err := json.Marshal(map[string]any{"facts": facts, "rules": rules})
+func postFacts(client *http.Client, baseURL string, facts []fact, rules []string, retracts []fact) error {
+	body, err := json.Marshal(map[string]any{"facts": facts, "rules": rules, "retracts": retracts})
 	if err != nil {
 		return err
 	}
@@ -356,6 +410,92 @@ func waitCaughtUp(client *http.Client, from, to string) error {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
+}
+
+// churnPhase runs the -churn phase for one workload: it opens a
+// /v1/subscribe stream on the query target for the workload's first
+// query, then drives mixed inserts and retractions of the workload's
+// churn facts through /v1/facts on the ingest target — against a
+// replicated pair this exercises mixed insert/retract against a
+// subscribed follower. The subscriber's signed batches are counted into
+// the result; -strict demands zero failed mutations and at least one
+// add and one remove row observed beyond the initial snapshot.
+func churnPhase(client *http.Client, queryURL, ingestURL string, wl workload, res *result) error {
+	const cycles = 50
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET",
+		queryURL+"/v1/subscribe?query="+url.QueryEscape(wl.queries[0]), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/v1/subscribe: %s", resp.Status)
+	}
+	var events, adds, removes atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			var ev struct {
+				Add    [][]string `json:"add"`
+				Remove [][]string `json:"remove"`
+			}
+			if json.Unmarshal(sc.Bytes(), &ev) != nil {
+				continue
+			}
+			events.Add(1)
+			adds.Add(int64(len(ev.Add)))
+			removes.Add(int64(len(ev.Remove)))
+		}
+	}()
+	// waitAbove gives replication and the subscription pump time to
+	// surface batches before we judge what the subscriber saw.
+	waitAbove := func(c *atomic.Int64, above int64) {
+		deadline := time.Now().Add(10 * time.Second)
+		for c.Load() <= above && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitAbove(&events, 0) // the initial snapshot line
+	initAdds := adds.Load()
+
+	var inserted []fact
+	for i := 0; i < cycles; i++ {
+		fs := wl.churn(i)
+		if err := postFacts(client, ingestURL, fs, nil, nil); err != nil {
+			res.churnErrs++
+			continue
+		}
+		inserted = append(inserted, fs...)
+		res.churnOps++
+	}
+	waitAbove(&adds, initAdds)
+	const chunk = 100
+	for i := 0; i < len(inserted); i += chunk {
+		end := min(i+chunk, len(inserted))
+		if err := postFacts(client, ingestURL, nil, nil, inserted[i:end]); err != nil {
+			res.churnErrs++
+			continue
+		}
+		res.churnOps++
+	}
+	waitAbove(&removes, 0)
+
+	cancel()
+	<-done
+	res.churned = true
+	res.subEvents = events.Load()
+	res.subAdds = adds.Load() - initAdds
+	res.subRemoves = removes.Load()
+	return nil
 }
 
 // load runs the query phase: clients goroutines cycling the workload's
@@ -423,6 +563,21 @@ func render(results []*result) string {
 		fmt.Fprintf(&b, "%-14s %9d %10.1f %9s %9s %9s %9s %6d %9d\n",
 			r.name, r.requests, r.qps(), ms(r.p50), ms(r.p95), ms(r.p99), ms(r.pMax),
 			r.server5xx, r.governed)
+	}
+	churned := false
+	for _, r := range results {
+		churned = churned || r.churned
+	}
+	if churned {
+		fmt.Fprintf(&b, "\n%-14s %9s %9s %9s %9s %9s\n",
+			"churn", "ops", "errs", "events", "adds", "removes")
+		for _, r := range results {
+			if !r.churned {
+				continue
+			}
+			fmt.Fprintf(&b, "%-14s %9d %9d %9d %9d %9d\n",
+				r.name, r.churnOps, r.churnErrs, r.subEvents, r.subAdds, r.subRemoves)
+		}
 	}
 	return b.String()
 }

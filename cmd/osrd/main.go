@@ -62,6 +62,7 @@ func main() {
 	quotaFacts := flag.Int64("quota-facts", 0, "max stored tuples; ingest past the limit is rejected (0 = unlimited)")
 	quotaGas := flag.Int64("quota-gas", 0, "derived-fact gas per query; exhaustion aborts with 429 (0 = unlimited)")
 	quotaDeadline := flag.Duration("quota-deadline", 0, "cap on each request's evaluation deadline (0 = uncapped)")
+	quotaSubs := flag.Int("quota-subs", 0, "max concurrently open /v1/subscribe streams per tenant and engine-wide; excess gets 429 (0 = unlimited)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "evaluations in flight before 503 (0 = 4 x GOMAXPROCS)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (off when empty; bind to localhost)")
 	flag.Parse()
@@ -77,9 +78,10 @@ func main() {
 		}()
 	}
 	if err := run(*addr, *program, *dataDir, *follow, *promote, onesided.Quota{
-		MaxFacts:    *quotaFacts,
-		MaxDerived:  *quotaGas,
-		MaxDeadline: *quotaDeadline,
+		MaxFacts:         *quotaFacts,
+		MaxDerived:       *quotaGas,
+		MaxDeadline:      *quotaDeadline,
+		MaxSubscriptions: *quotaSubs,
 	}, *maxConcurrent); err != nil {
 		fmt.Fprintln(os.Stderr, "osrd:", err)
 		os.Exit(1)

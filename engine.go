@@ -99,6 +99,10 @@ type Engine struct {
 
 	hits, misses, evictions, rewarmed atomic.Int64
 	resHits, resUpdated, resRebuilt   atomic.Int64
+
+	// subs counts the open subscriptions (Subscribe), gated by the
+	// quota's MaxSubscriptions.
+	subs atomic.Int64
 }
 
 // Open creates an Engine. With no options it has an empty database
@@ -172,11 +176,12 @@ func (e *Engine) openPersistence(cfg engineConfig) (shapes []string, bootstrap b
 	bootstrap = db.Syms.Len() > 0 || db.TupleCount() > 0
 	var ruleSrcs []string
 	log, err := wal.Open(cfg.persistDir, cfg.syncPolicy, wal.Replay{
-		Sym:   func(name string) { db.Syms.Intern(name) },
-		Rel:   func(pred string, arity int) { db.Ensure(pred, arity) },
-		Fact:  func(pred string, consts []string) { db.AddFact(pred, consts...) },
-		Rule:  func(src string) { ruleSrcs = append(ruleSrcs, src) },
-		Shape: func(q string) { shapes = append(shapes, q) },
+		Sym:     func(name string) { db.Syms.Intern(name) },
+		Rel:     func(pred string, arity int) { db.Ensure(pred, arity) },
+		Fact:    func(pred string, consts []string) { db.AddFact(pred, consts...) },
+		Retract: func(pred string, consts []string) { db.RemoveFact(pred, consts...) },
+		Rule:    func(src string) { ruleSrcs = append(ruleSrcs, src) },
+		Shape:   func(q string) { shapes = append(shapes, q) },
 	})
 	if err != nil {
 		return nil, false, err
@@ -212,12 +217,29 @@ func (e *Engine) DB() *Database { return e.db }
 // relation, reporting whether the tuple was genuinely new (false on a
 // duplicate). The insert stamps the database epoch, so cached query
 // results notice the change; with auto-checkpointing configured it may
-// trigger a checkpoint. AddFact never rejects; use InsertFact for
-// quota-gated admission.
+// trigger a checkpoint. AddFact routes through the same admission and
+// journal path as InsertFact — the fact quota cannot be bypassed by
+// picking the error-free entry point; the only difference is that a
+// rejected insert (quota, read-only follower) reports false instead of
+// an error.
 func (e *Engine) AddFact(pred string, consts ...string) bool {
-	added := e.db.AddFact(pred, consts...)
-	e.maybeAutoCheckpoint()
+	added, _ := e.InsertFact(pred, consts...)
 	return added
+}
+
+// Retract removes the tuple from the named relation, reporting whether
+// it was present. A retraction journals like an insert (its own WAL
+// record kind), stamps the database epoch — so cached results observe
+// it as a signed delta and maintained plans run their delete-rederive
+// pass — and counts toward auto-checkpointing. A read-only engine
+// (replication follower) rejects with ErrReadOnly.
+func (e *Engine) Retract(pred string, consts ...string) (bool, error) {
+	if e.readOnly.Load() {
+		return false, ErrReadOnly
+	}
+	removed := e.db.RemoveFact(pred, consts...)
+	e.maybeAutoCheckpoint()
+	return removed, nil
 }
 
 // Load parses a source text in Prolog syntax, inserts its ground facts
@@ -686,7 +708,7 @@ func (e *Engine) resultEntryFor(key string, gen uint64, create bool) *resultEntr
 }
 
 // collectDelta gathers, for every relation modified at or after stamp,
-// its DeltaSince tuples as an eval.Delta. ok is false when some
+// its signed DeltaSince tuples as an eval.Delta. ok is false when some
 // relation's delta tail was evicted (or the relation is untracked) and
 // the caller must fall back to a full re-evaluation.
 func (e *Engine) collectDelta(stamp uint64) (eval.Delta, bool) {
@@ -697,21 +719,30 @@ func (e *Engine) collectDelta(stamp uint64) (eval.Delta, bool) {
 		if r == nil || r.LastModified() < stamp {
 			continue
 		}
-		tuples, ok := r.DeltaSince(stamp)
+		sd, ok := r.DeltaSince(stamp)
 		if !ok {
-			return nil, false
+			return eval.Delta{}, false
 		}
-		if len(tuples) == 0 {
-			continue
+		if len(sd.Added) > 0 {
+			nr := storage.NewRelation(r.Arity(), nil)
+			for _, t := range sd.Added {
+				nr.Insert(t)
+			}
+			if d.Add == nil {
+				d.Add = make(map[string]*storage.Relation)
+			}
+			d.Add[pred] = nr
 		}
-		nr := storage.NewRelation(r.Arity(), nil)
-		for _, t := range tuples {
-			nr.Insert(t)
+		if len(sd.Removed) > 0 {
+			nr := storage.NewRelation(r.Arity(), nil)
+			for _, t := range sd.Removed {
+				nr.Insert(t)
+			}
+			if d.Del == nil {
+				d.Del = make(map[string]*storage.Relation)
+			}
+			d.Del[pred] = nr
 		}
-		if d == nil {
-			d = eval.Delta{}
-		}
-		d[pred] = nr
 	}
 	return d, true
 }
@@ -752,7 +783,7 @@ func (e *Engine) queryCached(ctx context.Context, pq *PreparedQuery, allowBuild 
 		} else if entry.inc != nil {
 			newStamp := db.Epoch()
 			if delta, ok := e.collectDelta(entry.stamp); ok {
-				if len(delta) == 0 {
+				if delta.Empty() {
 					// Mutations happened, but every changed relation's
 					// delta was empty overlap — nothing to apply.
 					entry.stamp = newStamp

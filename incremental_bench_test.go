@@ -66,3 +66,66 @@ func BenchmarkIncrementalInsert(b *testing.B) {
 		run(b, incrementalBenchEngine(b, n, WithResultCache(0)), "")
 	})
 }
+
+// BenchmarkRetractMaintain measures the retract→re-query cycle: each
+// iteration retracts one chain edge near the head — severing the first
+// `cut` nodes from the goal — re-queries, restores the edge, and
+// re-queries again. The query t(X, goal) plans as the reduced-mode
+// one-sided plan, whose retained semi-naive state absorbs the deletion
+// with a DRed pass (over-delete the severed prefix, re-derive the
+// survivors); work is proportional to the retraction's blast radius,
+// not the chain. The "recompute" variant disables the result cache and
+// re-runs the fixpoint from the seed both times — the from-scratch
+// baseline the >= 5x acceptance criterion compares against.
+func BenchmarkRetractMaintain(b *testing.B) {
+	ctx := context.Background()
+	const n = 5000
+	const cut = 100
+	edge := [2]string{fmt.Sprintf("n%d", cut), fmt.Sprintf("n%d", cut+1)}
+	run := func(b *testing.B, eng *Engine, wantCache string) {
+		b.Helper()
+		pq, err := eng.Prepare(nil, parserMustAtom(b, "t(X, goal)"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := pq.Query(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		full := rows.Len()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if removed, err := eng.Retract("a", edge[0], edge[1]); err != nil || !removed {
+				b.Fatalf("iteration %d retract: removed=%v err=%v", i, removed, err)
+			}
+			rows, err := pq.Query(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := rows.Explain().ResultCache; got != wantCache {
+				b.Fatalf("iteration %d post-retract result-cache = %q, want %q", i, got, wantCache)
+			}
+			if got := rows.Len(); got != full-(cut+1) {
+				b.Fatalf("iteration %d post-retract answers = %d, want %d", i, got, full-(cut+1))
+			}
+			eng.AddFact("a", edge[0], edge[1])
+			rows, err = pq.Query(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := rows.Len(); got != full {
+				b.Fatalf("iteration %d post-restore answers = %d, want %d", i, got, full)
+			}
+		}
+		b.StopTimer()
+		cs := eng.CacheStats().Results
+		b.ReportMetric(float64(cs.Updated), "updated")
+		b.ReportMetric(float64(cs.Rebuilt), "rebuilt")
+	}
+	b.Run(fmt.Sprintf("chain=%d/maintained", n), func(b *testing.B) {
+		run(b, incrementalBenchEngine(b, n), "updated")
+	})
+	b.Run(fmt.Sprintf("chain=%d/recompute", n), func(b *testing.B) {
+		run(b, incrementalBenchEngine(b, n, WithResultCache(0)), "")
+	})
+}

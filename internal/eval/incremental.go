@@ -16,21 +16,50 @@ import (
 // inserts the walk is monotone, so a retained seen-set plus
 // delta-restricted versions of the seed/f/g operators (standard
 // semi-naive view maintenance, specialized to the one-sided schema)
-// extend the fixpoint with exactly the new carry batches. Deletions are
-// out of scope — relations are insert-only sets.
+// extend the fixpoint with exactly the new carry batches. Deletions
+// maintain through DRed (delete-rederive) on the semi-naive-backed
+// states — see snState.retractPass — and fall back to ErrRebuild on the
+// context-mode state, whose unary seen-sets cannot un-claim work.
 
 // Delta describes the base-relation changes since a retained
-// evaluation's build epoch: one relation of newly inserted tuples per
-// predicate (indexed like any relation, so delta-restricted conjunction
-// atoms probe it). Predicates absent from the map are unchanged. A
-// delta may overlap state the evaluation already saw — replaying
-// overlap is idempotent under set semantics.
-type Delta map[string]*storage.Relation
+// evaluation's build epoch, signed: Add holds one relation of newly
+// inserted tuples per predicate and Del one relation of retracted
+// tuples (each indexed like any relation, so delta-restricted
+// conjunction atoms probe them). Predicates absent from a map are
+// unchanged in that direction. An Add entry may overlap state the
+// evaluation already saw — replaying overlap is idempotent under set
+// semantics — and a Del entry may name tuples the base never held;
+// both directions net out against the maintained state.
+type Delta struct {
+	Add map[string]*storage.Relation
+	Del map[string]*storage.Relation
+}
 
-// NewDelta builds a Delta entry set from per-predicate tuple slices,
+// Empty reports whether the delta carries no change in either
+// direction.
+func (d Delta) Empty() bool { return len(d.Add) == 0 && len(d.Del) == 0 }
+
+// HasDel reports whether any predicate has retracted tuples.
+func (d Delta) HasDel() bool { return len(d.Del) > 0 }
+
+// NewDelta builds an insert-only Delta from per-predicate tuple slices,
 // dropping empty ones.
 func NewDelta(changes map[string][]storage.Tuple, arities func(pred string) int) Delta {
-	d := make(Delta, len(changes))
+	return Delta{Add: relationsOf(changes, arities)}
+}
+
+// NewSignedDelta builds a Delta with both directions populated from
+// per-predicate tuple slices, dropping empty ones.
+func NewSignedDelta(added, removed map[string][]storage.Tuple, arities func(pred string) int) Delta {
+	return Delta{Add: relationsOf(added, arities), Del: relationsOf(removed, arities)}
+}
+
+// relationsOf indexes per-predicate tuple slices into relations.
+func relationsOf(changes map[string][]storage.Tuple, arities func(pred string) int) map[string]*storage.Relation {
+	if len(changes) == 0 {
+		return nil
+	}
+	m := make(map[string]*storage.Relation, len(changes))
 	for pred, tuples := range changes {
 		if len(tuples) == 0 {
 			continue
@@ -39,9 +68,9 @@ func NewDelta(changes map[string][]storage.Tuple, arities func(pred string) int)
 		for _, t := range tuples {
 			rel.Insert(t)
 		}
-		d[pred] = rel
+		m[pred] = rel
 	}
-	return d
+	return m
 }
 
 // ErrRebuild is returned by Incremental.Update when the retained state
@@ -162,12 +191,34 @@ func (ic *incContext) seedVar(i int) seedOps {
 // Anchor-free factor groups are pure nonemptiness guards: new tuples in
 // them change nothing while the group stays non-empty, and a flip from
 // empty (noDepth) is reported as ErrRebuild.
+//
+// Deletions: the retained seen-set is a claim table, not a derivation
+// count — contexts and answers cannot be un-claimed without replaying
+// the carry graph. A Del entry touching any predicate the definition
+// reads (or the defined predicate itself, whose same-name EDB facts
+// seed answers) therefore reports ErrRebuild, the sanctioned safe
+// fallback; deletions confined to unrelated predicates are ignored.
 func (ic *incContext) Update(ctx context.Context, edb *storage.Database, delta Delta) error {
 	p, ce := ic.plan, ic.ce
+	if delta.HasDel() {
+		if delta.Del[p.Def.Pred()] != nil {
+			return ErrRebuild
+		}
+		for _, a := range p.Def.Recursive.Body {
+			if delta.Del[a.Pred] != nil {
+				return ErrRebuild
+			}
+		}
+		for _, a := range p.Def.Exit.Body {
+			if delta.Del[a.Pred] != nil {
+				return ErrRebuild
+			}
+		}
+	}
 	syms := ce.syms
 	dres := func(pred string, alt bool) *storage.Relation {
 		if alt {
-			return delta[pred]
+			return delta.Add[pred]
 		}
 		return edb.Relation(pred)
 	}
@@ -175,7 +226,7 @@ func (ic *incContext) Update(ctx context.Context, edb *storage.Database, delta D
 	recBody := p.reduced.NonrecursiveBody()
 	touches := func(atoms []ast.Atom) bool {
 		for _, a := range atoms {
-			if delta[a.Pred] != nil {
+			if delta.Add[a.Pred] != nil {
 				return true
 			}
 		}
@@ -206,7 +257,7 @@ func (ic *incContext) Update(ctx context.Context, edb *storage.Database, delta D
 			return ErrRebuild
 		}
 		for i, a := range exitBody {
-			if delta[a.Pred] == nil {
+			if delta.Add[a.Pred] == nil {
 				continue
 			}
 			ce.stats.GProbes++
@@ -217,7 +268,7 @@ func (ic *incContext) Update(ctx context.Context, edb *storage.Database, delta D
 
 	// 1. Depth-0 delta answers.
 	for i, a := range exitBody {
-		if delta[a.Pred] == nil {
+		if delta.Add[a.Pred] == nil {
 			continue
 		}
 		ce.stats.GProbes++
@@ -241,7 +292,7 @@ func (ic *incContext) Update(ctx context.Context, edb *storage.Database, delta D
 
 	// 2. New seed contexts.
 	for i, a := range p.seedAtoms() {
-		if delta[a.Pred] == nil {
+		if delta.Add[a.Pred] == nil {
 			continue
 		}
 		ic.seedVar(i).run(p, syms, dres, claim)
@@ -249,7 +300,7 @@ func (ic *incContext) Update(ctx context.Context, edb *storage.Database, delta D
 
 	// 3. New transitions out of already-seen contexts.
 	for i, a := range recBody {
-		if delta[a.Pred] == nil {
+		if delta.Add[a.Pred] == nil {
 			continue
 		}
 		fv := ic.fVar(i)
@@ -295,7 +346,7 @@ func (ic *incContext) Update(ctx context.Context, edb *storage.Database, delta D
 
 	// 5. New answers for old contexts through new exit tuples.
 	for i, a := range exitBody {
-		if delta[a.Pred] == nil {
+		if delta.Add[a.Pred] == nil {
 			continue
 		}
 		gv := ic.gVar(i)
@@ -337,7 +388,10 @@ type incSemiNaive struct {
 	watch string
 	// apply folds one genuinely new watched tuple into the answers.
 	apply func(t storage.Tuple)
-	ans   *storage.Relation
+	// applyDel removes one retracted watched tuple from the answers —
+	// the DRed settle phase's counterpart of apply.
+	applyDel func(t storage.Tuple)
+	ans      *storage.Relation
 	// seenSize recomputes the post-update SeenSize statistic.
 	seenSize func() int
 	stats    EvalStats
@@ -350,6 +404,10 @@ func (s *incSemiNaive) Update(ctx context.Context, edb *storage.Database, delta 
 	err := s.st.update(ctx, delta, func(pred string, t storage.Tuple) {
 		if pred == s.watch {
 			s.apply(t)
+		}
+	}, func(pred string, t storage.Tuple) {
+		if pred == s.watch {
+			s.applyDel(t)
 		}
 	})
 	if err != nil {
@@ -435,7 +493,15 @@ func (p *Plan) evalReducedIncremental(ctx context.Context, edb *storage.Database
 		}
 		ans.Insert(out)
 	}
-	inc := &incSemiNaive{st: st, watch: watch, apply: expand, ans: ans}
+	// unexpand mirrors expand for retracted reduced tuples (the buffer is
+	// shared — Update's hooks run sequentially).
+	unexpand := func(t storage.Tuple) {
+		for ri, oi := range p.keepCols {
+			out[oi] = t[ri]
+		}
+		ans.Retract(out)
+	}
+	inc := &incSemiNaive{st: st, watch: watch, apply: expand, applyDel: unexpand, ans: ans}
 	redRel := st.idb.Relation(watch)
 	if redRel != nil {
 		for _, t := range redRel.Tuples() {
@@ -514,7 +580,12 @@ func newSelectIncrementalFor(ctx context.Context, prog *ast.Program, watch strin
 			ans.Insert(t)
 		}
 	}
-	inc := &incSemiNaive{st: st, watch: watch, apply: apply, ans: ans}
+	applyDel := func(t storage.Tuple) {
+		if matchesQuery(t, query, syms) {
+			ans.Retract(t)
+		}
+	}
+	inc := &incSemiNaive{st: st, watch: watch, apply: apply, applyDel: applyDel, ans: ans}
 	if rel := st.idb.Relation(watch); rel != nil {
 		for _, t := range rel.Tuples() {
 			apply(t)
@@ -545,8 +616,9 @@ func (b *bottomUpPrepared) EvalIncremental(ctx context.Context, edb *storage.Dat
 // ---------------------------------------------------------------------------
 // EDB lookup strategy.
 
-// incEDB maintains a base-relation selection: the delta tuples of the
-// query predicate that match the selection join the answer set.
+// incEDB maintains a base-relation selection: delta tuples of the query
+// predicate that match the selection join (Add) or leave (Del) the
+// answer set.
 type incEDB struct {
 	query ast.Atom
 	syms  *storage.SymbolTable
@@ -561,16 +633,24 @@ func (e *incEDB) Update(ctx context.Context, edb *storage.Database, delta Delta)
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	d := delta[e.query.Pred]
-	if d == nil {
-		return nil
+	if d := delta.Del[e.query.Pred]; d != nil {
+		if d.Arity() != e.query.Arity() {
+			return ErrRebuild
+		}
+		for _, t := range d.Tuples() {
+			if matchesQuery(t, e.query, e.syms) {
+				e.ans.Retract(t)
+			}
+		}
 	}
-	if d.Arity() != e.query.Arity() {
-		return ErrRebuild
-	}
-	for _, t := range d.Tuples() {
-		if matchesQuery(t, e.query, e.syms) {
-			e.ans.Insert(t)
+	if d := delta.Add[e.query.Pred]; d != nil {
+		if d.Arity() != e.query.Arity() {
+			return ErrRebuild
+		}
+		for _, t := range d.Tuples() {
+			if matchesQuery(t, e.query, e.syms) {
+				e.ans.Insert(t)
+			}
 		}
 	}
 	e.stats.SeenSize = e.ans.Len()

@@ -27,13 +27,13 @@ func deltaOf(db *storage.Database, facts ...[]string) Delta {
 		}
 		byPred[pred] = append(byPred[pred], t)
 	}
-	d := make(Delta, len(byPred))
+	d := Delta{Add: make(map[string]*storage.Relation, len(byPred))}
 	for pred, tuples := range byPred {
 		rel := storage.NewRelation(len(tuples[0]), nil)
 		for _, t := range tuples {
 			rel.Insert(t)
 		}
-		d[pred] = rel
+		d.Add[pred] = rel
 	}
 	return d
 }
@@ -319,7 +319,7 @@ func TestSNStateUpdateDirect(t *testing.T) {
 		if pred == "reach" {
 			newReach = append(newReach, db.Syms.Name(tu[0]))
 		}
-	}); err != nil {
+	}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if len(newReach) != 1 || newReach[0] != "z" {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/ast"
@@ -30,6 +31,64 @@ type compiledRule struct {
 	// counterpart of variants, built lazily on the first Update (see
 	// snState.update).
 	edbVariants map[int]ruleVariant
+	// check is the head-bound satisfiability variant DRed's rederive
+	// phase probes ("is this head tuple still derivable by this rule?"),
+	// built lazily on the first retraction (see snState.derivable).
+	check *headCheck
+}
+
+// headCheck is a rule compiled for head-bound satisfiability: the head
+// argument slots are interned first and pre-bound from a candidate
+// tuple, and the body conjunction — fully existential, since no
+// solution values are read — stops at the first witness.
+type headCheck struct {
+	conj *compiledConj
+	head []argRef
+}
+
+// compileHeadCheck builds the head-bound satisfiability variant of a
+// rule.
+func compileHeadCheck(r ast.Rule, idb map[string]bool, syms *storage.SymbolTable) *headCheck {
+	ss := newSlotSpace()
+	head := make([]argRef, len(r.Head.Args))
+	bound := make(map[string]bool)
+	for i, t := range r.Head.Args {
+		if t.IsConst() {
+			head[i] = argRef{isConst: true, val: syms.Intern(t.Name)}
+			continue
+		}
+		head[i] = argRef{slot: ss.slot(t.Name)}
+		bound[t.Name] = true
+	}
+	idbFlags := make([]bool, len(r.Body))
+	for i, a := range r.Body {
+		idbFlags[i] = idb[a.Pred]
+	}
+	conj := compileConj(r.Body, &compileConjOpts{idbFlags: idbFlags}, ss, syms, bound, map[string]bool{})
+	return &headCheck{conj: conj, head: head}
+}
+
+// variantFor returns the delta variant of cr that marks body index i as
+// the delta atom, compiling (and caching) EDB variants on demand.
+func (cr *compiledRule) variantFor(i int, cp *program, syms *storage.SymbolTable) ruleVariant {
+	if cp.idb[cr.src.Body[i].Pred] {
+		k := 0
+		for j := 0; j < i; j++ {
+			if cp.idb[cr.src.Body[j].Pred] {
+				k++
+			}
+		}
+		return cr.variants[k]
+	}
+	if cr.edbVariants == nil {
+		cr.edbVariants = make(map[int]ruleVariant)
+	}
+	v, ok := cr.edbVariants[i]
+	if !ok {
+		v = compileRuleVariant(cr.src, cp.idb, syms, i)
+		cr.edbVariants[i] = v
+	}
+	return v
 }
 
 // program holds the compiled rules and the IDB/EDB split used by the
@@ -181,6 +240,16 @@ type snState struct {
 	idb     *storage.Database
 	workers int
 	rounds  int
+
+	// Deletion-maintenance machinery, built lazily by ensureStrata on
+	// the first retraction: the SCC condensation of the IDB dependency
+	// graph in dependencies-first order, which predicates sit in a cycle,
+	// the rules indexed by head, and the program's ground facts as
+	// relations (a fact survives any retraction).
+	strata      [][]string
+	recursive   map[string]bool
+	rulesByHead map[string][]*compiledRule
+	factRels    map[string]*storage.Relation
 }
 
 // newSNState compiles the program and seeds the derived database with
@@ -322,23 +391,36 @@ func (st *snState) deltaLoop(ctx context.Context, newDelta map[string]*storage.R
 	}
 }
 
-// update extends the retained fixpoint with newly inserted base tuples —
-// the delta-driven maintenance pass. For every rule body occurrence of a
-// changed EDB predicate it evaluates the rule with that occurrence
-// restricted to the delta (the other atoms see the already-updated full
-// relations; under set semantics this covers every new combination), and
-// same-name EDB deltas of derived predicates seed directly. The new head
-// tuples then propagate through ordinary delta rounds. Insert-only
-// deltas keep the pass sound without DRed-style retraction: the program
-// is negation-free, so derivations are monotone.
-func (st *snState) update(ctx context.Context, delta Delta, onNew func(pred string, t storage.Tuple)) error {
+// update extends the retained fixpoint with a signed base-relation
+// delta — the delta-driven maintenance pass. Retractions run first
+// through retractPass (DRed: over-delete, re-derive, propagate); then,
+// for every rule body occurrence of a changed EDB predicate, the rule
+// evaluates with that occurrence restricted to the insert delta (the
+// other atoms see the already-updated full relations; under set
+// semantics this covers every new combination), and same-name EDB
+// deltas of derived predicates seed directly. The new head tuples then
+// propagate through ordinary delta rounds. The program is negation-free,
+// so once retractions have settled the insert pass is monotone.
+//
+// onNew observes every genuinely new derived tuple and onDel every
+// tuple that actually left the fixpoint (over-deleted tuples that
+// re-derive are reported through neither); either hook may be nil.
+func (st *snState) update(ctx context.Context, delta Delta, onNew, onDel func(pred string, t storage.Tuple)) error {
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if delta.HasDel() {
+		if err := st.retractPass(ctx, delta.Del, onNew, onDel); err != nil {
+			return err
+		}
+	}
+	if len(delta.Add) == 0 {
+		return nil
 	}
 	newDelta := st.freshDelta()
 	// Same-name EDB deltas of derived predicates seed the IDB directly
 	// (the uniform-containment seeding, maintained).
-	for pred, rel := range delta {
+	for pred, rel := range delta.Add {
 		if !st.cp.idb[pred] {
 			continue
 		}
@@ -359,25 +441,404 @@ func (st *snState) update(ctx context.Context, delta Delta, onNew func(pred stri
 	var jobs []roundJob
 	for _, cr := range st.cp.rules {
 		for i, a := range cr.src.Body {
-			if st.cp.idb[a.Pred] || delta[a.Pred] == nil {
+			if st.cp.idb[a.Pred] || delta.Add[a.Pred] == nil {
 				continue
 			}
-			if cr.edbVariants == nil {
-				cr.edbVariants = make(map[int]ruleVariant)
-			}
-			v, ok := cr.edbVariants[i]
-			if !ok {
-				v = compileRuleVariant(cr.src, st.cp.idb, st.edb.Syms, i)
-				cr.edbVariants[i] = v
-			}
-			jobs = append(jobs, roundJob{cr: cr, variants: []ruleVariant{v}})
+			jobs = append(jobs, roundJob{cr: cr, variants: []ruleVariant{cr.variantFor(i, st.cp, st.edb.Syms)}})
 		}
 	}
 	if len(jobs) > 0 {
-		runRound(jobs, st.resolve(delta), st.idb, newDelta, false, st.workers)
+		runRound(jobs, st.resolve(delta.Add), st.idb, newDelta, false, st.workers)
 		st.rounds++
 	}
 	return st.deltaLoop(ctx, newDelta, onNew)
+}
+
+// ensureStrata lazily builds the deletion-maintenance indexes: Tarjan's
+// SCC over the IDB dependency graph (an edge from each rule head to
+// each derived body predicate), whose pop order is dependencies-first —
+// exactly the order retractPass wants — plus the recursive-component
+// marks, the head index, and the ground-fact relations.
+func (st *snState) ensureStrata() {
+	if st.strata != nil {
+		return
+	}
+	st.rulesByHead = make(map[string][]*compiledRule)
+	adj := make(map[string][]string)
+	for _, cr := range st.cp.rules {
+		st.rulesByHead[cr.headPred] = append(st.rulesByHead[cr.headPred], cr)
+		for _, a := range cr.src.Body {
+			if st.cp.idb[a.Pred] {
+				adj[cr.headPred] = append(adj[cr.headPred], a.Pred)
+			}
+		}
+	}
+	preds := make([]string, 0, len(st.cp.idb))
+	for pred := range st.cp.idb {
+		preds = append(preds, pred)
+	}
+	sort.Strings(preds)
+	index := make(map[string]int, len(preds))
+	low := make(map[string]int, len(preds))
+	onstack := make(map[string]bool)
+	var stack []string
+	counter := 0
+	var strong func(v string)
+	strong = func(v string) {
+		index[v], low[v] = counter, counter
+		counter++
+		stack = append(stack, v)
+		onstack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onstack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onstack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			st.strata = append(st.strata, comp)
+		}
+	}
+	for _, v := range preds {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+	st.recursive = make(map[string]bool, len(preds))
+	for _, comp := range st.strata {
+		rec := len(comp) > 1
+		if !rec {
+			for _, w := range adj[comp[0]] {
+				if w == comp[0] {
+					rec = true
+					break
+				}
+			}
+		}
+		for _, pred := range comp {
+			st.recursive[pred] = rec
+		}
+	}
+	st.factRels = make(map[string]*storage.Relation)
+	for _, f := range st.cp.facts {
+		t := make(storage.Tuple, len(f.Head.Args))
+		for i, c := range f.Head.Args {
+			t[i] = st.edb.Syms.Intern(c.Name)
+		}
+		fr := st.factRels[f.Head.Pred]
+		if fr == nil {
+			fr = storage.NewRelation(len(t), nil)
+			st.factRels[f.Head.Pred] = fr
+		}
+		fr.Insert(t)
+	}
+}
+
+// retractPass is DRed (delete-rederive) over the retained fixpoint,
+// stratified: components of the dependency graph settle in
+// dependencies-first order, so by the time a component runs, every
+// deletion below it is final — a non-recursive component needs exactly
+// one over-delete pass and a per-tuple support recheck (the on-demand
+// form of counting maintenance: a tuple dies exactly when its last
+// derivation does), while a recursive component additionally cascades
+// candidates within itself and rederives through the ordinary delta
+// rounds. Within a component: (1) collect over-delete candidates from
+// the settled deletions, with non-delta atoms reading the OLD state
+// (pre-deletion unions for settled predicates, the untouched idb for
+// in-component ones); (2) retract all candidates; (3) re-insert every
+// candidate still derivable from what remains and propagate those
+// survivors; (4) report the tuples that actually died and publish them
+// as settled deletions for the components above.
+func (st *snState) retractPass(ctx context.Context, del map[string]*storage.Relation, onNew, onDel func(pred string, t storage.Tuple)) error {
+	st.ensureStrata()
+	meter := MeterFrom(ctx)
+	syms := st.edb.Syms
+
+	// deleted holds the FINAL per-predicate deletions: the caller's Del
+	// sets for EDB predicates, and — filled in as each component
+	// settles — the tuples that actually left each derived predicate.
+	deleted := make(map[string]*storage.Relation, len(del))
+	for pred, rel := range del {
+		if !st.cp.idb[pred] && rel.Len() > 0 {
+			deleted[pred] = rel
+		}
+	}
+	// oldRel resolves a non-delta atom to the pre-deletion state: for
+	// settled predicates the live relation unioned with what left it;
+	// for in-component predicates the idb relation, untouched until
+	// step (2). Unions are cached — `deleted` entries never mutate once
+	// published.
+	unions := make(map[string]*storage.Relation)
+	oldRel := func(pred string) *storage.Relation {
+		if u, ok := unions[pred]; ok {
+			return u
+		}
+		var base *storage.Relation
+		if st.cp.idb[pred] {
+			base = st.idb.Relation(pred)
+		} else {
+			base = st.edb.Relation(pred)
+		}
+		d := deleted[pred]
+		if d == nil || base == nil {
+			return base
+		}
+		u := unionRels(base, d)
+		unions[pred] = u
+		return u
+	}
+
+	for _, comp := range st.strata {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rec := st.recursive[comp[0]]
+		cand := make(map[string]*storage.Relation)
+		roundDel := make(map[string]*storage.Relation)
+		addCand := func(pred string, t storage.Tuple) {
+			rel := st.idb.Relation(pred)
+			if rel == nil || !rel.Contains(t) {
+				return
+			}
+			c := cand[pred]
+			if c == nil {
+				c = storage.NewRelation(st.cp.arity[pred], nil)
+				cand[pred] = c
+			}
+			if c.Insert(t) {
+				rd := roundDel[pred]
+				if rd == nil {
+					rd = storage.NewRelation(st.cp.arity[pred], nil)
+					roundDel[pred] = rd
+				}
+				rd.Insert(t)
+			}
+		}
+		// Same-name removals of a derived predicate un-seed it directly
+		// (the uniform-containment seeding, maintained).
+		for _, pred := range comp {
+			if d := del[pred]; d != nil && d.Arity() == st.cp.arity[pred] {
+				for _, t := range d.Tuples() {
+					addCand(pred, t)
+				}
+			}
+		}
+		// (1) Candidates from the settled deletions below.
+		for _, pred := range comp {
+			for _, cr := range st.rulesByHead[pred] {
+				for i, a := range cr.src.Body {
+					d := deleted[a.Pred]
+					if d == nil || d.Len() == 0 {
+						continue
+					}
+					v := cr.variantFor(i, st.cp, syms)
+					res := func(p string, alt bool) *storage.Relation {
+						if alt {
+							return d
+						}
+						return oldRel(p)
+					}
+					deriveVariant(v, res, len(cr.src.Head.Args), func(t storage.Tuple) {
+						addCand(cr.headPred, t)
+					})
+				}
+			}
+		}
+		// In-component cascade: candidates beget candidates through the
+		// component's own cycles.
+		for rec && len(roundDel) > 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fresh := 0
+			for _, rd := range roundDel {
+				fresh += rd.Len()
+			}
+			if err := meter.Charge(fresh); err != nil {
+				return err
+			}
+			cur := roundDel
+			roundDel = make(map[string]*storage.Relation)
+			for _, pred := range comp {
+				for _, cr := range st.rulesByHead[pred] {
+					for i, a := range cr.src.Body {
+						d := cur[a.Pred]
+						if d == nil || d.Len() == 0 {
+							continue
+						}
+						v := cr.variantFor(i, st.cp, syms)
+						res := func(p string, alt bool) *storage.Relation {
+							if alt {
+								return d
+							}
+							return oldRel(p)
+						}
+						deriveVariant(v, res, len(cr.src.Head.Args), func(t storage.Tuple) {
+							addCand(cr.headPred, t)
+						})
+					}
+				}
+			}
+		}
+		total := 0
+		for _, c := range cand {
+			total += c.Len()
+		}
+		if total == 0 {
+			continue
+		}
+		// (2) Over-delete: retract every candidate.
+		for pred, c := range cand {
+			rel := st.idb.Relation(pred)
+			for _, t := range c.Tuples() {
+				rel.Retract(t)
+			}
+		}
+		// (3) Re-derive: a candidate survives when some derivation
+		// remains in the post-deletion state; survivors propagate like
+		// any insert delta (rederiving in-component dependents).
+		if err := meter.Charge(total); err != nil {
+			return err
+		}
+		rederived := st.freshDelta()
+		any := false
+		for pred, c := range cand {
+			rel := st.idb.Relation(pred)
+			for _, t := range c.Tuples() {
+				if st.derivable(pred, t) && rel.Insert(t) {
+					rederived[pred].Insert(t)
+					any = true
+				}
+			}
+		}
+		if any {
+			if err := st.deltaLoop(ctx, rederived, onNew); err != nil {
+				return err
+			}
+		}
+		// (4) Settle: report and publish what actually died.
+		for pred, c := range cand {
+			rel := st.idb.Relation(pred)
+			var dead *storage.Relation
+			for _, t := range c.Tuples() {
+				if rel.Contains(t) {
+					continue
+				}
+				if dead == nil {
+					dead = storage.NewRelation(st.cp.arity[pred], nil)
+				}
+				dead.Insert(t)
+				if onDel != nil {
+					onDel(pred, t)
+				}
+			}
+			if dead != nil {
+				deleted[pred] = dead
+			}
+		}
+	}
+	return ctx.Err()
+}
+
+// derivable reports whether t still has a derivation for pred in the
+// current state: a same-name EDB seed, a program fact, or a rule body
+// witness found by the head-bound satisfiability check.
+func (st *snState) derivable(pred string, t storage.Tuple) bool {
+	if seed := st.edb.Relation(pred); seed != nil && seed.Arity() == len(t) && seed.Contains(t) {
+		return true
+	}
+	if fr := st.factRels[pred]; fr != nil && fr.Contains(t) {
+		return true
+	}
+	res := st.resolve(nil)
+	for _, cr := range st.rulesByHead[pred] {
+		if cr.check == nil {
+			cr.check = compileHeadCheck(cr.src, st.cp.idb, st.edb.Syms)
+		}
+		hc := cr.check
+		slots := make([]storage.Value, hc.conj.nslots)
+		bound := make([]bool, hc.conj.nslots)
+		ok := true
+		for i, h := range hc.head {
+			if h.isConst {
+				if t[i] != h.val {
+					ok = false
+					break
+				}
+				continue
+			}
+			if bound[h.slot] {
+				if slots[h.slot] != t[i] {
+					ok = false
+					break
+				}
+				continue
+			}
+			slots[h.slot] = t[i]
+			bound[h.slot] = true
+		}
+		if !ok {
+			continue
+		}
+		found := false
+		sc := hc.conj.newScratch()
+		hc.conj.runS(res, slots, bound, sc, func([]storage.Value) bool {
+			found = true
+			return false
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// deriveVariant runs one delta variant of a rule, feeding every derived
+// head tuple (projected into a reused buffer) to sink — applyRule's
+// read-only cousin, used by the over-delete phase, which must not
+// insert.
+func deriveVariant(v ruleVariant, res resolver, arity int, sink func(t storage.Tuple)) {
+	slots := make([]storage.Value, v.conj.nslots)
+	bound := make([]bool, v.conj.nslots)
+	tuple := make(storage.Tuple, arity)
+	v.conj.run(res, slots, bound, func(s []storage.Value) bool {
+		for i, h := range v.head {
+			if h.isConst {
+				tuple[i] = h.val
+			} else {
+				tuple[i] = s[h.slot]
+			}
+		}
+		sink(tuple)
+		return true
+	})
+}
+
+// unionRels materializes a ∪ b — the pre-deletion image of a relation
+// that has since lost b's tuples.
+func unionRels(a, b *storage.Relation) *storage.Relation {
+	u := storage.NewRelation(a.Arity(), nil)
+	for _, t := range a.Tuples() {
+		u.Insert(t)
+	}
+	for _, t := range b.Tuples() {
+		u.Insert(t)
+	}
+	return u
 }
 
 // roundJob is one unit of a semi-naive round: a rule restricted to a

@@ -124,11 +124,12 @@ func Start(cfg FollowerConfig) (*Follower, error) {
 	// and — by routing the Sym callback through the Applier — seeds the
 	// applier's Value translation so tailed records resolve identically.
 	res, err := wal.Recover(cfg.Dir, wal.Replay{
-		Sym:   f.ap.ApplySym,
-		Rel:   cb.Rel,
-		Fact:  cb.Fact,
-		Rule:  cb.Rule,
-		Shape: cb.Shape,
+		Sym:     f.ap.ApplySym,
+		Rel:     cb.Rel,
+		Fact:    cb.Fact,
+		Retract: cb.Retract,
+		Rule:    cb.Rule,
+		Shape:   cb.Shape,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("replica: mirror recovery: %w", err)
@@ -159,6 +160,9 @@ func (f *Follower) replayCallbacks() wal.Replay {
 		Rel: func(pred string, arity int) { db.Ensure(pred, arity) },
 		Fact: func(pred string, consts []string) {
 			db.AddFact(pred, consts...)
+		},
+		Retract: func(pred string, consts []string) {
+			db.RemoveFact(pred, consts...)
 		},
 		Rule: func(src string) {
 			r, err := parser.ParseRule(src)

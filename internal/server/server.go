@@ -68,6 +68,7 @@ type tenantState struct {
 	requests     atomic.Int64
 	gasExhausted atomic.Int64
 	timeouts     atomic.Int64
+	subs         atomic.Int64 // open /v1/subscribe streams
 }
 
 // Server is the HTTP handler. It is safe for concurrent use; all state
@@ -90,6 +91,9 @@ type Server struct {
 	saturated    atomic.Int64
 	factRejects  atomic.Int64
 	factsAdded   atomic.Int64
+	subsOpen     atomic.Int64 // currently connected /v1/subscribe streams
+	subEvents    atomic.Int64 // subscription event lines written
+	subRejects   atomic.Int64 // subscriptions refused by quota
 }
 
 // New builds a Server over the config's engine.
@@ -120,6 +124,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/query/stream", s.handleQueryStream)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/facts", s.handleFacts)
+	s.mux.HandleFunc("GET /v1/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	if cfg.Repl != nil {
 		s.mux.Handle("GET /v1/repl/", cfg.Repl)
@@ -208,7 +213,8 @@ func (s *Server) release() { <-s.sem }
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, onesided.ErrGasExhausted),
-		errors.Is(err, onesided.ErrFactLimitExceeded):
+		errors.Is(err, onesided.ErrFactLimitExceeded),
+		errors.Is(err, onesided.ErrSubscriptionLimit):
 		return http.StatusTooManyRequests
 	case errors.Is(err, onesided.ErrReadOnly):
 		// 421: this node cannot take the write; the Location header (when
@@ -512,6 +518,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 type factsRequest struct {
 	Facts []fact `json:"facts,omitempty"`
+	// Retracts are facts to remove. Retractions are applied after the
+	// inserts in the same request; retracting an absent tuple counts in
+	// the response's Missing, not as an error.
+	Retracts []fact `json:"retracts,omitempty"`
 	// Rules are Prolog-syntax rule sources loaded into the engine's
 	// program (idempotent, like Engine.Load).
 	Rules []string `json:"rules,omitempty"`
@@ -525,6 +535,8 @@ type fact struct {
 type factsResponse struct {
 	Added      int `json:"added"`
 	Duplicates int `json:"duplicates"`
+	Retracted  int `json:"retracted"`
+	Missing    int `json:"missing"` // retracts of tuples that were not present
 	Rules      int `json:"rules"`
 }
 
@@ -591,6 +603,33 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 			resp.Duplicates++
 		}
 	}
+	for _, f := range req.Retracts {
+		if f.Pred == "" {
+			s.badRequests.Add(1)
+			writeError(w, http.StatusBadRequest, errors.New("server: retract with empty predicate"))
+			return
+		}
+		removed, err := s.eng.Retract(f.Pred, f.Args...)
+		if err != nil {
+			if errors.Is(err, onesided.ErrReadOnly) {
+				s.rejectReadOnly(w)
+				return
+			}
+			writeError(w, statusFor(err), err)
+			return
+		}
+		if removed {
+			// A retraction frees the tenant's fact-quota slot the insert
+			// consumed; the floor keeps a cross-tenant retraction from
+			// going negative.
+			if ts.facts.Add(-1) < 0 {
+				ts.facts.Store(0)
+			}
+			resp.Retracted++
+		} else {
+			resp.Missing++
+		}
+	}
 	if len(req.Rules) > 0 {
 		var src string
 		for _, rule := range req.Rules {
@@ -608,28 +647,118 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 }
 
 // ---------------------------------------------------------------------------
+// GET /v1/subscribe
+
+// handleSubscribe serves a standing maintained query as a chunked
+// NDJSON stream: one SubEvent line per answer-set change (the first
+// line carries the full initial answers in "add"), flushed as it
+// happens. The stream lives until the client disconnects — there is no
+// terminal line on the happy path; an evaluation failure mid-stream is
+// reported as a final {"error": ...} line. Subscriptions bypass the
+// admission semaphore (they are long-lived and mostly idle); the
+// per-tenant MaxSubscriptions quota bounds them instead, and no
+// deadline is imposed — a standing query has none.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	query := r.URL.Query().Get("query")
+	if query == "" {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, errors.New("server: missing ?query="))
+		return
+	}
+	name, ts := s.tenant(r)
+	ts.requests.Add(1)
+	if !s.atEpoch(w, r) {
+		return
+	}
+	quota := s.quotaFor(name)
+	if m := quota.MaxSubscriptions; m > 0 && ts.subs.Load() >= int64(m) {
+		s.subRejects.Add(1)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("server: tenant %s has %d open subscriptions (limit %d)", name, ts.subs.Load(), m))
+		return
+	}
+	// No gas meter is attached here: a meter on the stream's context
+	// would be a cumulative lifetime budget that eventually kills any
+	// long-lived subscription. The engine attaches its default budget
+	// fresh per re-derivation; the tenant's governance on this endpoint
+	// is the subscription count.
+	sub, err := s.eng.Subscribe(r.Context(), query)
+	if err != nil {
+		s.account(ts, err)
+		writeError(w, statusFor(err), err)
+		return
+	}
+	defer sub.Close()
+	ts.subs.Add(1)
+	s.subsOpen.Add(1)
+	defer ts.subs.Add(-1)
+	defer s.subsOpen.Add(-1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set(epochHeader, strconv.FormatUint(s.eng.DB().Epoch(), 10))
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for ev := range sub.Events() {
+		enc.Encode(ev)
+		if fl != nil {
+			fl.Flush()
+		}
+		s.subEvents.Add(1)
+	}
+	if err := sub.Err(); err != nil {
+		s.account(ts, err)
+		enc.Encode(streamLine{Done: true, Error: err.Error(), Status: statusFor(err)})
+		if fl != nil {
+			fl.Flush()
+		}
+		return
+	}
+	s.served.Add(1)
+}
+
+// ---------------------------------------------------------------------------
 // GET /v1/stats
 
 type tenantStats struct {
-	Requests     int64 `json:"requests"`
-	Facts        int64 `json:"facts"`
-	GasExhausted int64 `json:"gas_exhausted"`
-	Timeouts     int64 `json:"timeouts"`
+	Requests      int64 `json:"requests"`
+	Facts         int64 `json:"facts"`
+	GasExhausted  int64 `json:"gas_exhausted"`
+	Timeouts      int64 `json:"timeouts"`
+	Subscriptions int64 `json:"subscriptions,omitempty"`
+}
+
+// resultCacheStats is the bound-result cache's effectiveness as served
+// by /v1/stats: hits answered from still-current materialized answers,
+// updated extended a retained fixpoint with the signed delta, rebuilt
+// evaluated in full.
+type resultCacheStats struct {
+	Hits    int64 `json:"hits"`
+	Updated int64 `json:"updated"`
+	Rebuilt int64 `json:"rebuilt"`
+	Entries int   `json:"entries"`
 }
 
 type statsResponse struct {
-	Requests     int64                  `json:"requests"`
-	Served       int64                  `json:"served"`
-	StreamedRows int64                  `json:"streamed_rows"`
-	BadRequests  int64                  `json:"bad_requests"`
-	GasExhausted int64                  `json:"gas_exhausted"`
-	Timeouts     int64                  `json:"timeouts"`
-	Saturated    int64                  `json:"saturated"`
-	FactRejects  int64                  `json:"fact_rejects"`
-	FactsAdded   int64                  `json:"facts_added"`
-	Tuples       int                    `json:"tuples"`
-	PlanCache    string                 `json:"plan_cache"`
-	Tenants      map[string]tenantStats `json:"tenants"`
+	Requests     int64            `json:"requests"`
+	Served       int64            `json:"served"`
+	StreamedRows int64            `json:"streamed_rows"`
+	BadRequests  int64            `json:"bad_requests"`
+	GasExhausted int64            `json:"gas_exhausted"`
+	Timeouts     int64            `json:"timeouts"`
+	Saturated    int64            `json:"saturated"`
+	FactRejects  int64            `json:"fact_rejects"`
+	FactsAdded   int64            `json:"facts_added"`
+	Tuples       int              `json:"tuples"`
+	PlanCache    string           `json:"plan_cache"`
+	ResultCache  resultCacheStats `json:"result_cache"`
+	// Subscriptions is the number of currently connected /v1/subscribe
+	// streams; SubEvents counts event lines written across all of them
+	// and SubRejects the opens refused by a tenant's quota.
+	Subscriptions int64                  `json:"subscriptions"`
+	SubEvents     int64                  `json:"sub_events"`
+	SubRejects    int64                  `json:"sub_rejects"`
+	Tenants       map[string]tenantStats `json:"tenants"`
 	// Epoch is this node's applied database epoch; Role is "primary" or
 	// "follower" (the engine's current write-acceptance, so a promoted
 	// follower reports "primary"); Replication carries the follower's
@@ -640,6 +769,7 @@ type statsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs := s.eng.CacheStats()
 	resp := statsResponse{
 		Requests:     s.requests.Load(),
 		Served:       s.served.Load(),
@@ -651,10 +781,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		FactRejects:  s.factRejects.Load(),
 		FactsAdded:   s.factsAdded.Load(),
 		Tuples:       s.eng.DB().TupleCount(),
-		PlanCache:    s.eng.CacheStats().String(),
-		Tenants:      make(map[string]tenantStats),
-		Epoch:        s.eng.DB().Epoch(),
-		Role:         "primary",
+		PlanCache:    cs.String(),
+		ResultCache: resultCacheStats{
+			Hits:    cs.Results.Hits,
+			Updated: cs.Results.Updated,
+			Rebuilt: cs.Results.Rebuilt,
+			Entries: cs.Results.Entries,
+		},
+		Subscriptions: s.subsOpen.Load(),
+		SubEvents:     s.subEvents.Load(),
+		SubRejects:    s.subRejects.Load(),
+		Tenants:       make(map[string]tenantStats),
+		Epoch:         s.eng.DB().Epoch(),
+		Role:          "primary",
 	}
 	if s.eng.ReadOnly() {
 		resp.Role = "follower"
@@ -672,10 +811,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, n := range names {
 		ts := s.tenants[n]
 		resp.Tenants[n] = tenantStats{
-			Requests:     ts.requests.Load(),
-			Facts:        ts.facts.Load(),
-			GasExhausted: ts.gasExhausted.Load(),
-			Timeouts:     ts.timeouts.Load(),
+			Requests:      ts.requests.Load(),
+			Facts:         ts.facts.Load(),
+			GasExhausted:  ts.gasExhausted.Load(),
+			Timeouts:      ts.timeouts.Load(),
+			Subscriptions: ts.subs.Load(),
 		}
 	}
 	s.mu.Unlock()

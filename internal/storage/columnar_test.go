@@ -22,11 +22,11 @@ func TestDeltaSinceDoesNotAliasStore(t *testing.T) {
 	}
 	r := db.Relation("e")
 	delta, ok := r.DeltaSince(stamp)
-	if !ok || len(delta) != 50 {
-		t.Fatalf("delta = %d tuples, ok=%v; want 50", len(delta), ok)
+	if !ok || len(delta.Added) != 50 {
+		t.Fatalf("delta = %d tuples, ok=%v; want 50", len(delta.Added), ok)
 	}
-	saved := make([]Tuple, len(delta))
-	for i, tup := range delta {
+	saved := make([]Tuple, len(delta.Added))
+	for i, tup := range delta.Added {
 		saved[i] = tup.Clone()
 	}
 
@@ -35,14 +35,14 @@ func TestDeltaSinceDoesNotAliasStore(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		db.AddFact("e", fmt.Sprintf("post%d", i), "z")
 	}
-	for i, tup := range delta {
+	for i, tup := range delta.Added {
 		if tkey(tup) != tkey(saved[i]) {
 			t.Fatalf("delta tuple %d changed after later inserts: %v != %v", i, tup, saved[i])
 		}
 	}
 
 	// Scribble over the returned tuples: the relation must be intact.
-	for _, tup := range delta {
+	for _, tup := range delta.Added {
 		for c := range tup {
 			tup[c] = Value(0xFFFF)
 		}

@@ -43,16 +43,19 @@ func TestEpochStampingAndDeltaSince(t *testing.T) {
 	if !ok {
 		t.Fatal("DeltaSince fell back to full for a live tail")
 	}
-	if len(delta) != 1 || tkey(delta[0]) != tkey(Tuple{db.Syms.Intern("c"), db.Syms.Intern("d")}) {
-		t.Fatalf("delta = %v, want exactly the (c,d) insert", delta)
+	if len(delta.Added) != 1 || tkey(delta.Added[0]) != tkey(Tuple{db.Syms.Intern("c"), db.Syms.Intern("d")}) {
+		t.Fatalf("delta = %v, want exactly the (c,d) insert", delta.Added)
+	}
+	if len(delta.Removed) != 0 {
+		t.Fatalf("insert-only delta carries removals: %v", delta.Removed)
 	}
 	// Nothing newer than the current epoch.
-	if d, ok := r.DeltaSince(db.Epoch()); !ok || len(d) != 0 {
+	if d, ok := r.DeltaSince(db.Epoch()); !ok || len(d.Added) != 0 || len(d.Removed) != 0 {
 		t.Fatalf("DeltaSince(current) = %v/%v, want empty/ok", d, ok)
 	}
 	// Epoch 0 covers the whole history while the tail is intact.
-	if d, ok := r.DeltaSince(0); !ok || len(d) != 3 {
-		t.Fatalf("DeltaSince(0) = %d tuples/%v, want 3/ok", len(d), ok)
+	if d, ok := r.DeltaSince(0); !ok || len(d.Added) != 3 {
+		t.Fatalf("DeltaSince(0) = %d tuples/%v, want 3/ok", len(d.Added), ok)
 	}
 }
 
@@ -94,8 +97,8 @@ func TestDeltaTailEviction(t *testing.T) {
 	if !ok {
 		t.Fatalf("DeltaSince(%d) fell back; floor too aggressive", stamp)
 	}
-	if len(delta) != 10 {
-		t.Fatalf("recent delta has %d tuples, want 10", len(delta))
+	if len(delta.Added) != 10 {
+		t.Fatalf("recent delta has %d tuples, want 10", len(delta.Added))
 	}
 }
 
@@ -118,7 +121,7 @@ func TestDeltaSinceSharded(t *testing.T) {
 	if !ok {
 		t.Fatal("sharded DeltaSince fell back")
 	}
-	got, wantSet := tupleSet(delta), tupleSet(want)
+	got, wantSet := tupleSet(delta.Added), tupleSet(want)
 	if len(got) != len(wantSet) {
 		t.Fatalf("delta has %d distinct tuples, want %d", len(got), len(wantSet))
 	}
@@ -154,7 +157,7 @@ func TestDeltaConcurrentInserts(t *testing.T) {
 		for i := 0; i < 50; i++ {
 			if delta, ok := db.Relation("e").DeltaSince(0); ok {
 				r := db.Relation("e")
-				for _, tup := range delta {
+				for _, tup := range delta.Added {
 					if !r.Contains(tup) {
 						t.Error("delta tuple not in relation")
 						return
@@ -169,8 +172,8 @@ func TestDeltaConcurrentInserts(t *testing.T) {
 	if !ok {
 		t.Fatal("final DeltaSince fell back (tail should hold all inserts)")
 	}
-	if len(delta) != writers*each {
-		t.Fatalf("final delta has %d tuples, want %d", len(delta), writers*each)
+	if len(delta.Added) != writers*each {
+		t.Fatalf("final delta has %d tuples, want %d", len(delta.Added), writers*each)
 	}
 }
 

@@ -25,6 +25,9 @@ type Journal interface {
 	JournalSym(name string)
 	// JournalFact records an accepted insert of t into the named relation.
 	JournalFact(pred string, t Tuple)
+	// JournalRetract records an accepted retraction of t from the named
+	// relation (called exactly once per tuple that was actually present).
+	JournalRetract(pred string, t Tuple)
 }
 
 // Value is an interned constant symbol.
@@ -146,7 +149,8 @@ func (st *SymbolTable) Len() int {
 // by a ShardColumn binding and fans out over an n-shard relation counts
 // n probes, not 1; FullScans counts scans with no bound column (the
 // unrestricted lookups Property 3 forbids); Inserts counts accepted
-// tuple insertions (a proxy for state size).
+// tuple insertions (a proxy for state size); Retracts counts accepted
+// tuple retractions.
 //
 // All updates are atomic, so Counters may be shared across goroutines.
 // Direct field reads are fine when the database is quiesced (the usual
@@ -162,6 +166,7 @@ type Counters struct {
 	IndexLookups   int64
 	FullScans      int64
 	Inserts        int64
+	Retracts       int64
 }
 
 // Reset zeroes the counters.
@@ -170,6 +175,7 @@ func (c *Counters) Reset() {
 	atomic.StoreInt64(&c.IndexLookups, 0)
 	atomic.StoreInt64(&c.FullScans, 0)
 	atomic.StoreInt64(&c.Inserts, 0)
+	atomic.StoreInt64(&c.Retracts, 0)
 }
 
 // Snapshot returns an atomically read copy of the counters.
@@ -179,6 +185,7 @@ func (c *Counters) Snapshot() Counters {
 		IndexLookups:   atomic.LoadInt64(&c.IndexLookups),
 		FullScans:      atomic.LoadInt64(&c.FullScans),
 		Inserts:        atomic.LoadInt64(&c.Inserts),
+		Retracts:       atomic.LoadInt64(&c.Retracts),
 	}
 }
 
@@ -189,6 +196,7 @@ func (c Counters) Sub(other Counters) Counters {
 		IndexLookups:   c.IndexLookups - other.IndexLookups,
 		FullScans:      c.FullScans - other.FullScans,
 		Inserts:        c.Inserts - other.Inserts,
+		Retracts:       c.Retracts - other.Retracts,
 	}
 }
 
@@ -198,21 +206,26 @@ func (c *Counters) Add(other Counters) {
 	atomic.AddInt64(&c.IndexLookups, other.IndexLookups)
 	atomic.AddInt64(&c.FullScans, other.FullScans)
 	atomic.AddInt64(&c.Inserts, other.Inserts)
+	atomic.AddInt64(&c.Retracts, other.Retracts)
 }
 
 // deltaTailBound caps the per-shard delta tail: the number of recent
-// inserts a shard remembers for DeltaSince. When the tail overflows, the
-// oldest half is evicted and the shard's floor advances — DeltaSince
+// mutations a shard remembers for DeltaSince. When the tail overflows,
+// the oldest half is evicted and the shard's floor advances — DeltaSince
 // calls asking for history below the floor report a full fallback.
 const deltaTailBound = 1024
 
-// tailEntry records one accepted insert for delta tracking: the tuple's
-// row id in the shard plus the database epoch it was stamped with.
-// Epochs are non-decreasing in append order (the stamp is read under the
-// shard lock from a monotone counter), so DeltaSince can binary-search.
+// tailEntry records one accepted mutation for delta tracking: the
+// tuple's row id in the shard, the database epoch it was stamped with,
+// and the sign (del marks a retraction). Epochs are non-decreasing in
+// append order (the stamp is read under the shard lock from a monotone
+// counter), so DeltaSince can binary-search. Retraction entries keep
+// referencing the tombstoned row — rows never move, so the dead row's
+// column values remain readable for delta reconstruction.
 type tailEntry struct {
 	row   int
 	epoch uint64
+	del   bool
 }
 
 // Arena-block geometry: rows are stored in fixed-size blocks of
@@ -227,26 +240,49 @@ const (
 	blockMask  = blockRows - 1
 )
 
+// slotDead marks a dedup slot whose row was retracted: probes skip it
+// and keep walking (the chain must not break), inserts may reuse it.
+const slotDead = -1
+
+// deadWords is the tombstone-bitset words per block (one bit per row).
+const deadWords = blockRows / 64
+
 // shard is one independently-locked partition of a Relation: a columnar
 // tuple store with an open-addressing dedup table over row ids and
 // lazily built per-column posting-list indexes. Tuple identity is the
 // dense row id; rows are append-only and blocks are never moved, which
 // is what makes lock-free snapshot iteration sound (see view).
+// Retraction never moves rows either: it sets the row's bit in the
+// per-block tombstone bitset (readers check it with atomic loads) and
+// frees the dedup slot.
 type shard struct {
 	mu sync.RWMutex
 	// blocks are the arena slabs (see the block geometry constants).
 	blocks [][]Value
 	rows   int
+	// dead[b] is block b's tombstone bitset (deadWords uint64 words,
+	// allocated with the block). Bits are set with atomic stores under
+	// the write lock and read with atomic loads, possibly lock-free off a
+	// captured view; a set bit never clears (re-inserting a retracted
+	// tuple appends a fresh row). deadCnt counts set bits.
+	dead    [][]uint64
+	deadCnt int
 	// Dedup table: open addressing with linear probing. slots holds
-	// row+1 (0 = empty); hashes holds each occupied slot's full tuple
-	// hash, so growth rehashes from stored hashes without re-reading
-	// columns and a probe compares columns only on a full hash match.
+	// row+1 (0 = empty, slotDead = retracted); hashes holds each occupied
+	// slot's full tuple hash, so growth rehashes from stored hashes
+	// without re-reading columns and a probe compares columns only on a
+	// full hash match. used counts non-empty slots (occupied + dead) —
+	// the load-factor input, since dead slots still lengthen probes.
 	slots  []int32
 	hashes []uint32
+	used   int
 	// cols[i] maps a value to the row ids holding it in column i (nil
-	// until built).
+	// until built). Posting lists may reference tombstoned rows; lookups
+	// filter them lazily, and the whole index set is dropped for a
+	// from-live-rows rebuild when the shard passes half dead (the
+	// tombstone compaction rule).
 	cols []map[Value][]int32
-	// tail is the bounded recent-insert log for DeltaSince (tracked
+	// tail is the bounded recent-mutation log for DeltaSince (tracked
 	// relations only); tailFloor is the lowest epoch the tail still covers
 	// completely.
 	tail      []tailEntry
@@ -272,7 +308,8 @@ func (sh *shard) rowEqual(row int, t Tuple) bool {
 }
 
 // findLocked probes the dedup table for t (hash h), returning its row id
-// or -1. Caller holds the shard lock (read or write).
+// or -1. Dead slots are skipped but do not end the probe chain. Caller
+// holds the shard lock (read or write).
 func (sh *shard) findLocked(t Tuple, h uint32) int {
 	if len(sh.slots) == 0 {
 		return -1
@@ -283,14 +320,16 @@ func (sh *shard) findLocked(t Tuple, h uint32) int {
 		if s == 0 {
 			return -1
 		}
-		if sh.hashes[i] == h && sh.rowEqual(int(s-1), t) {
+		if s != slotDead && sh.hashes[i] == h && sh.rowEqual(int(s-1), t) {
 			return int(s - 1)
 		}
 	}
 }
 
 // growTableLocked (re)builds the dedup table at the next power-of-two
-// capacity, rehashing occupied slots from their stored hashes.
+// capacity, rehashing occupied slots from their stored hashes. Dead
+// slots are dropped, which is what reclaims probe-chain length after
+// retraction churn.
 func (sh *shard) growTableLocked() {
 	newCap := 2 * len(sh.slots)
 	if newCap < 16 {
@@ -299,8 +338,9 @@ func (sh *shard) growTableLocked() {
 	slots := make([]int32, newCap)
 	hashes := make([]uint32, newCap)
 	mask := uint32(newCap - 1)
+	used := 0
 	for i, s := range sh.slots {
-		if s == 0 {
+		if s == 0 || s == slotDead {
 			continue
 		}
 		h := sh.hashes[i]
@@ -309,24 +349,34 @@ func (sh *shard) growTableLocked() {
 			j = (j + 1) & mask
 		}
 		slots[j], hashes[j] = s, h
+		used++
 	}
-	sh.slots, sh.hashes = slots, hashes
+	sh.slots, sh.hashes, sh.used = slots, hashes, used
 }
 
 // insertLocked adds t (hash h) unless present, returning the row id and
 // whether the row is new. Caller holds the write lock.
 func (sh *shard) insertLocked(t Tuple, h uint32, arity int) (int, bool) {
-	// Grow at 3/4 load so probe chains stay short.
-	if 4*(sh.rows+1) > 3*len(sh.slots) {
+	// Grow at 3/4 load (counting dead slots, which probes still walk)
+	// so chains stay short.
+	if 4*(sh.used+1) > 3*len(sh.slots) {
 		sh.growTableLocked()
 	}
 	mask := uint32(len(sh.slots) - 1)
+	reuse := -1
 	for i := h & mask; ; i = (i + 1) & mask {
 		s := sh.slots[i]
+		if s == slotDead {
+			if reuse < 0 {
+				reuse = int(i)
+			}
+			continue
+		}
 		if s == 0 {
 			row := sh.rows
 			if row&blockMask == 0 {
 				sh.blocks = append(sh.blocks, make([]Value, arity<<blockShift))
+				sh.dead = append(sh.dead, make([]uint64, deadWords))
 			}
 			blk := sh.blocks[row>>blockShift]
 			off := row & blockMask
@@ -334,8 +384,14 @@ func (sh *shard) insertLocked(t Tuple, h uint32, arity int) (int, bool) {
 				blk[c<<blockShift|off] = v
 			}
 			sh.rows = row + 1
-			sh.slots[i] = int32(row + 1)
-			sh.hashes[i] = h
+			slot := uint32(i)
+			if reuse >= 0 {
+				slot = uint32(reuse) // reclaim a dead slot on the probe path
+			} else {
+				sh.used++
+			}
+			sh.slots[slot] = int32(row + 1)
+			sh.hashes[slot] = h
 			return row, true
 		}
 		if sh.hashes[i] == h && sh.rowEqual(int(s-1), t) {
@@ -344,14 +400,61 @@ func (sh *shard) insertLocked(t Tuple, h uint32, arity int) (int, bool) {
 	}
 }
 
-// shardView is a consistent snapshot of a shard's rows, capturable in
-// O(1): the block list and the row count at capture time. Blocks are
-// append-only and rows are fully written before the row count (read
-// under the lock) covers them, so reading rows < v.rows off a view races
-// with nothing — concurrent inserts touch only elements the view never
-// reads.
+// retractLocked tombstones t (hash h) if live, returning its row id or
+// -1 when absent. The dedup slot is marked dead (so the tuple can be
+// re-inserted as a fresh row) and the row's tombstone bit set. Caller
+// holds the write lock.
+func (sh *shard) retractLocked(t Tuple, h uint32) int {
+	if len(sh.slots) == 0 {
+		return -1
+	}
+	mask := uint32(len(sh.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		s := sh.slots[i]
+		if s == 0 {
+			return -1
+		}
+		if s != slotDead && sh.hashes[i] == h && sh.rowEqual(int(s-1), t) {
+			row := int(s - 1)
+			sh.slots[i] = slotDead
+			w := &sh.dead[row>>blockShift][(row&blockMask)>>6]
+			atomic.StoreUint64(w, atomic.LoadUint64(w)|1<<(uint(row)&63))
+			sh.deadCnt++
+			// Tombstone compaction: past half dead, drop the posting
+			// lists so the next lookup rebuilds them from live rows only.
+			if 2*sh.deadCnt > sh.rows {
+				for c := range sh.cols {
+					sh.cols[c] = nil
+				}
+			}
+			return row
+		}
+	}
+}
+
+// isDeadLocked reports whether row is tombstoned. Caller holds the shard
+// lock (read or write).
+func (sh *shard) isDeadLocked(row int) bool {
+	return atomic.LoadUint64(&sh.dead[row>>blockShift][(row&blockMask)>>6])>>(uint(row)&63)&1 == 1
+}
+
+// shardView is a snapshot of a shard's rows, capturable in O(1): the
+// block list and the row count at capture time. Blocks are append-only
+// and rows are fully written before the row count (read under the lock)
+// covers them, so reading rows < v.rows off a view races with nothing —
+// concurrent inserts touch only elements the view never reads.
+//
+// dead is the tombstone bitset list, captured only when the shard had
+// tombstones at capture time (nil otherwise, keeping the insert-only
+// fast path free of per-row checks). Tombstone bits are read with
+// atomic loads and set concurrently by writers, so a view may observe a
+// retraction that happened after capture: iteration yields rows live at
+// some instant during the scan rather than a frozen cut. The epoch/delta
+// protocol absorbs the skew — any mutation a reader misses or
+// half-observes carries a stamp the next DeltaSince reconstructs.
 type shardView struct {
 	blocks [][]Value
+	dead   [][]uint64
 	rows   int
 }
 
@@ -359,8 +462,20 @@ type shardView struct {
 func (sh *shard) view() shardView {
 	sh.mu.RLock()
 	v := shardView{blocks: sh.blocks[:len(sh.blocks):len(sh.blocks)], rows: sh.rows}
+	if sh.deadCnt > 0 {
+		v.dead = sh.dead[:len(sh.dead):len(sh.dead)]
+	}
 	sh.mu.RUnlock()
 	return v
+}
+
+// isDead reports whether row is tombstoned (always false for views
+// captured from shards with no tombstones).
+func (v shardView) isDead(row int) bool {
+	if v.dead == nil {
+		return false
+	}
+	return atomic.LoadUint64(&v.dead[row>>blockShift][(row&blockMask)>>6])>>(uint(row)&63)&1 == 1
 }
 
 // read copies row's columns into dst (len(dst) = arity).
@@ -400,14 +515,21 @@ type Relation struct {
 	name    string
 	journal atomic.Pointer[Journal]
 	// db, when non-nil, is the tracked database this relation belongs to:
-	// inserts are stamped with its epoch counter, recorded in the shard
+	// mutations are stamped with its epoch counter, recorded in the shard
 	// delta tails, and reflected in its modification watermark. Derived
 	// and free-standing relations (answer sets, seen-sets, semi-naive IDB
 	// databases) leave it nil and pay no tracking overhead.
 	db *Database
-	// lastMod is the epoch stamp of the newest accepted insert (0 when the
-	// relation is untracked or empty).
+	// lastMod is the epoch stamp of the newest accepted mutation (0 when
+	// the relation is untracked or empty).
 	lastMod atomic.Uint64
+	// tombs counts tombstoned rows across shards; retracts counts
+	// accepted retractions since creation (never reset — the WAL's
+	// differential-checkpoint decision compares it against the manifest,
+	// since "unchanged count" no longer implies "identical set" once a
+	// relation has seen removals).
+	tombs    atomic.Int64
+	retracts atomic.Int64
 	// shardShift turns the 32-bit hash of the routing value into a shard
 	// index: idx = hash >> shardShift. len(shards) is a power of two.
 	shardShift uint32
@@ -475,8 +597,12 @@ func (r *Relation) Arity() int { return r.arity }
 // Shards returns the number of partitions.
 func (r *Relation) Shards() int { return len(r.shards) }
 
-// Len returns the number of tuples.
+// Len returns the number of live tuples.
 func (r *Relation) Len() int { return int(r.count.Load()) }
+
+// Retracts returns the number of retractions the relation has accepted
+// since creation (monotone; it never decreases).
+func (r *Relation) Retracts() int64 { return r.retracts.Load() }
 
 // Insert adds a tuple (copied into the shard's column blocks), returning
 // true when it was not already present. Only the tuple's shard is
@@ -532,6 +658,63 @@ func (r *Relation) Insert(t Tuple) bool {
 	if jp := r.journal.Load(); jp != nil {
 		(*jp).JournalFact(r.name, t)
 	}
+	if r.db != nil {
+		r.db.notifyWatchers()
+	}
+	return true
+}
+
+// Retract removes a tuple, returning true when it was present. The row
+// is tombstoned in place — blocks never move, so lock-free views stay
+// sound — its dedup slot is freed (a later Insert of the same tuple
+// appends a fresh row), and posting lists filter the dead row lazily
+// until the shard's compaction threshold drops them for a rebuild. On a
+// tracked relation the accepted retraction is stamped with the
+// database's current epoch, appended to the shard's delta tail as a
+// signed (negative) entry, and advances the epoch counter, exactly like
+// an insert: Database.Epoch stays monotone, and DeltaSince reports the
+// tuple on the Removed side.
+func (r *Relation) Retract(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("storage: retracting arity-%d tuple from arity-%d relation", len(t), r.arity))
+	}
+	h := HashTuple(t)
+	sh := r.shardFor(t)
+	sh.mu.Lock()
+	row := sh.retractLocked(t, h)
+	if row < 0 {
+		sh.mu.Unlock()
+		return false
+	}
+	var stamp uint64
+	if r.db != nil {
+		stamp = r.db.epoch.Load()
+		sh.tail = append(sh.tail, tailEntry{row: row, epoch: stamp, del: true})
+		if len(sh.tail) > deltaTailBound {
+			drop := len(sh.tail) / 2
+			sh.tailFloor = sh.tail[drop-1].epoch + 1
+			sh.tail = append(sh.tail[:0], sh.tail[drop:]...)
+		}
+	}
+	sh.mu.Unlock()
+	r.count.Add(-1)
+	r.tombs.Add(1)
+	r.retracts.Add(1)
+	if r.db != nil {
+		storeMax(&r.lastMod, stamp)
+		storeMax(&r.db.lastMod, stamp)
+		r.db.mutations.Add(1)
+		r.db.epoch.Add(1)
+	}
+	if r.stats != nil {
+		atomic.AddInt64(&r.stats.Retracts, 1)
+	}
+	if jp := r.journal.Load(); jp != nil {
+		(*jp).JournalRetract(r.name, t)
+	}
+	if r.db != nil {
+		r.db.notifyWatchers()
+	}
 	return true
 }
 
@@ -550,30 +733,44 @@ func storeMax(a *atomic.Uint64, v uint64) {
 // S is stale exactly when LastModified() >= S.
 func (r *Relation) LastModified() uint64 { return r.lastMod.Load() }
 
-// DeltaSince returns the tuples accepted with an epoch stamp >= epoch.
-// ok is false when the delta cannot be reconstructed — the relation is
-// untracked, or some shard's tail evicted entries the request needs —
-// in which case the caller must fall back to treating the relation as
-// fully changed. The returned tuples are fresh copies backed by one
-// arena per shard: they never alias the live column blocks, so they stay
-// valid (and immutable from the relation's point of view) however the
-// relation is mutated afterwards. Tuples stamped exactly at the
-// requested epoch may overlap state the caller already has; replaying
-// them is idempotent under set semantics.
-func (r *Relation) DeltaSince(epoch uint64) ([]Tuple, bool) {
+// SignedDelta is DeltaSince's result: the tuples that entered and left
+// the relation over the requested window, netted against the current
+// state — a tuple retracted and later re-inserted appears only in Added,
+// one inserted and later retracted only in Removed, so applying "remove
+// Removed, add Added" to the caller's stale view converges on the
+// relation's present tuple set regardless of interleaving.
+type SignedDelta struct {
+	Added   []Tuple
+	Removed []Tuple
+}
+
+// Empty reports whether the delta carries no change.
+func (d SignedDelta) Empty() bool { return len(d.Added) == 0 && len(d.Removed) == 0 }
+
+// DeltaSince returns the signed delta of mutations accepted with an
+// epoch stamp >= epoch. ok is false when the delta cannot be
+// reconstructed — the relation is untracked, or some shard's tail
+// evicted entries the request needs — in which case the caller must
+// fall back to treating the relation as fully changed. The returned
+// tuples are fresh copies backed by one arena per shard: they never
+// alias the live column blocks, so they stay valid however the relation
+// is mutated afterwards. Tuples stamped exactly at the requested epoch
+// may overlap state the caller already has; replaying them is
+// idempotent under set semantics.
+func (r *Relation) DeltaSince(epoch uint64) (SignedDelta, bool) {
+	var out SignedDelta
 	if r.db == nil {
-		return nil, false
+		return out, false
 	}
 	if r.lastMod.Load() < epoch {
-		return nil, true
+		return out, true
 	}
-	var out []Tuple
 	for i := range r.shards {
 		sh := &r.shards[i]
 		sh.mu.RLock()
 		if sh.tailFloor > epoch {
 			sh.mu.RUnlock()
-			return nil, false
+			return SignedDelta{}, false
 		}
 		lo := sort.Search(len(sh.tail), func(k int) bool { return sh.tail[k].epoch >= epoch })
 		if n := len(sh.tail) - lo; n > 0 {
@@ -583,7 +780,16 @@ func (r *Relation) DeltaSince(epoch uint64) ([]Tuple, bool) {
 				for c := range dst {
 					dst[c] = sh.valueAt(te.row, c)
 				}
-				out = append(out, dst)
+				// Net each entry against the current state: an insert
+				// whose row has since died (or a retraction whose tuple
+				// is live again) cancelled out inside the window.
+				if te.del {
+					if sh.findLocked(dst, HashTuple(dst)) < 0 {
+						out.Removed = append(out.Removed, dst)
+					}
+				} else if !sh.isDeadLocked(te.row) {
+					out.Added = append(out.Added, dst)
+				}
 			}
 		}
 		sh.mu.RUnlock()
@@ -620,13 +826,16 @@ func (r *Relation) Tuples() []Tuple {
 	k := 0
 	for _, v := range views {
 		for row := 0; row < v.rows; row++ {
+			if v.isDead(row) {
+				continue
+			}
 			dst := Tuple(arena[k*r.arity : (k+1)*r.arity])
 			v.read(row, dst)
 			out[k] = dst
 			k++
 		}
 	}
-	return out
+	return out[:k]
 }
 
 // Scan iterates a snapshot of the tuples, recording one full scan. The
@@ -652,6 +861,9 @@ func (r *Relation) scanBuf(buf Tuple, yield func(Tuple) bool) {
 	for i := range r.shards {
 		v := r.shards[i].view()
 		for row := 0; row < v.rows; row++ {
+			if v.isDead(row) {
+				continue
+			}
 			v.read(row, scratch)
 			examined++
 			if !yield(scratch) {
@@ -661,12 +873,16 @@ func (r *Relation) scanBuf(buf Tuple, yield func(Tuple) bool) {
 	}
 }
 
-// ensureIndexLocked builds the shard's posting-list index for a column.
-// The caller must hold the shard's write lock.
+// ensureIndexLocked builds the shard's posting-list index for a column
+// from the live rows (tombstoned rows are left out — the compaction
+// path relies on this). The caller must hold the shard's write lock.
 func (sh *shard) ensureIndexLocked(col int) {
 	if sh.cols[col] == nil {
 		idx := make(map[Value][]int32)
 		for row := 0; row < sh.rows; row++ {
+			if sh.deadCnt > 0 && sh.isDeadLocked(row) {
+				continue
+			}
 			v := sh.valueAt(row, col)
 			idx[v] = append(idx[v], int32(row))
 		}
@@ -757,13 +973,20 @@ func (sh *shard) lookup(bindings []Binding, stats *Counters, scratch Tuple, yiel
 	}
 	// Posting entries reference rows fully written before the list grew
 	// (both under the write lock), so reading the blocks after release is
-	// race-free — see shardView.
+	// race-free — see shardView. Lists may still name rows tombstoned
+	// since they were built; the dead-bit check filters them lazily.
 	v := shardView{blocks: sh.blocks[:len(sh.blocks):len(sh.blocks)], rows: sh.rows}
+	if sh.deadCnt > 0 {
+		v.dead = sh.dead[:len(sh.dead):len(sh.dead)]
+	}
 	sh.mu.RUnlock()
 
 	examined := int64(0)
 outer:
 	for _, row := range rows {
+		if v.isDead(int(row)) {
+			continue
+		}
 		v.read(int(row), scratch)
 		examined++
 		for i, b := range bindings {
@@ -802,6 +1025,9 @@ func (r *Relation) Equal(o *Relation) bool {
 	for i := range r.shards {
 		v := r.shards[i].view()
 		for row := 0; row < v.rows; row++ {
+			if v.isDead(row) {
+				continue
+			}
 			v.read(row, scratch)
 			if !o.Contains(scratch) {
 				return false
@@ -875,9 +1101,10 @@ type Database struct {
 	Stats Counters // first field: keeps the atomics 64-bit aligned on 32-bit platforms
 	Syms  *SymbolTable
 
-	// epoch is the monotone insert-batch counter; lastMod the highest
-	// stamp any accepted insert received; mutations the accepted-insert
-	// count (the auto-checkpoint trigger). All zero for derived databases.
+	// epoch is the monotone mutation counter; lastMod the highest stamp
+	// any accepted mutation received; mutations the accepted-mutation
+	// count, inserts and retractions alike (the auto-checkpoint trigger).
+	// All zero for derived databases.
 	epoch     atomic.Uint64
 	lastMod   atomic.Uint64
 	mutations atomic.Int64
@@ -887,6 +1114,15 @@ type Database struct {
 	rels    map[string]*Relation
 	shards  int
 	journal Journal
+
+	// watchers are the mutation-notification channels handed out by
+	// Watch (live subscriptions block on them); hasWatch keeps the
+	// accepted-mutation hot path to a single atomic load when nobody is
+	// watching.
+	watchMu  sync.Mutex
+	watchers map[int]chan struct{}
+	watchSeq int
+	hasWatch atomic.Bool
 }
 
 // NewDatabase creates an empty epoch-tracked database with a fresh
@@ -913,9 +1149,53 @@ func (db *Database) Epoch() uint64 { return db.epoch.Load() }
 // stamp S is current iff LastModified() < S.
 func (db *Database) LastModified() uint64 { return db.lastMod.Load() }
 
-// Mutations returns the number of accepted inserts into the database's
-// relations since creation (untracked databases always report 0).
+// Mutations returns the number of accepted mutations — inserts plus
+// retractions — of the database's relations since creation (untracked
+// databases always report 0).
 func (db *Database) Mutations() int64 { return db.mutations.Load() }
+
+// Watch registers a mutation watcher: the returned channel receives a
+// (coalesced) signal after every accepted insert or retraction, and the
+// cancel function unregisters it. The channel has a one-slot buffer and
+// notification never blocks, so a slow watcher sees at least one signal
+// for any burst of mutations — it re-reads Epoch and DeltaSince to find
+// out what actually changed.
+func (db *Database) Watch() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	db.watchMu.Lock()
+	if db.watchers == nil {
+		db.watchers = make(map[int]chan struct{})
+	}
+	id := db.watchSeq
+	db.watchSeq++
+	db.watchers[id] = ch
+	db.hasWatch.Store(true)
+	db.watchMu.Unlock()
+	cancel := func() {
+		db.watchMu.Lock()
+		delete(db.watchers, id)
+		if len(db.watchers) == 0 {
+			db.hasWatch.Store(false)
+		}
+		db.watchMu.Unlock()
+	}
+	return ch, cancel
+}
+
+// notifyWatchers signals every registered watcher without blocking.
+func (db *Database) notifyWatchers() {
+	if !db.hasWatch.Load() {
+		return
+	}
+	db.watchMu.Lock()
+	for _, ch := range db.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	db.watchMu.Unlock()
+}
 
 // SetShards sets the shard count for relations created afterwards,
 // rounded up to a power of two so the stored value matches what the
@@ -1034,6 +1314,26 @@ func (db *Database) AddFact(pred string, consts ...string) bool {
 		t[i] = db.Syms.Intern(c)
 	}
 	return db.Ensure(pred, len(consts)).Insert(t)
+}
+
+// RemoveFact retracts the named tuple from pred, reporting whether it
+// was present. Unknown constants, an unknown predicate, or an arity
+// mismatch all mean the tuple cannot be stored, so the result is false
+// without interning anything.
+func (db *Database) RemoveFact(pred string, consts ...string) bool {
+	r := db.Relation(pred)
+	if r == nil || r.arity != len(consts) {
+		return false
+	}
+	t := make(Tuple, len(consts))
+	for i, c := range consts {
+		v, ok := db.Syms.Lookup(c)
+		if !ok {
+			return false
+		}
+		t[i] = v
+	}
+	return r.Retract(t)
 }
 
 // TupleCount returns the total number of tuples across relations.

@@ -10,9 +10,10 @@ import (
 
 // Record kinds (the first payload byte).
 const (
-	recSym  = 1 // body: constant name
-	recFact = 2 // body: pred string, uvarint arity, arity uvarint values
-	recRule = 3 // body: rule source text
+	recSym     = 1 // body: constant name
+	recFact    = 2 // body: pred string, uvarint arity, arity uvarint values
+	recRule    = 3 // body: rule source text
+	recRetract = 4 // body: same layout as recFact; the tuple leaves the set
 )
 
 // recordHeaderSize is the length + CRC prefix of every record.
@@ -63,8 +64,19 @@ func rulePayload(src string) []byte {
 
 // factPayload builds a recFact payload.
 func factPayload(pred string, t storage.Tuple) []byte {
+	return tuplePayload(recFact, pred, t)
+}
+
+// retractPayload builds a recRetract payload (recFact's layout under the
+// retract kind byte).
+func retractPayload(pred string, t storage.Tuple) []byte {
+	return tuplePayload(recRetract, pred, t)
+}
+
+// tuplePayload builds a kind-byte + pred + tuple payload.
+func tuplePayload(kind byte, pred string, t storage.Tuple) []byte {
 	b := make([]byte, 0, 1+len(pred)+2+4*len(t))
-	b = append(b, recFact)
+	b = append(b, kind)
 	b = appendString(b, pred)
 	b = binary.AppendUvarint(b, uint64(len(t)))
 	for _, v := range t {

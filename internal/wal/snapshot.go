@@ -10,15 +10,20 @@ import (
 	"repro/internal/storage"
 )
 
-// Snapshot file magics: v1 (full relation blocks only) is still read
-// for backward compatibility; v2 adds per-relation epoch/count metadata
-// and differential (reference) blocks. Either magic is followed by the
-// covered segment sequence (uint64 LE), the body, and a trailing CRC32C
-// of the body.
+// Snapshot file magics: v1 (full relation blocks only) and v2
+// (per-relation epoch/count metadata, differential reference blocks)
+// are still read for backward compatibility; v3 adds each relation's
+// cumulative retraction counter, the signal the differential-checkpoint
+// decision needs now that tuple sets can shrink. Snapshot bodies hold
+// only live rows in every version — tombstoned rows are omitted at
+// collection, so recovery from a snapshot starts compact. Any magic is
+// followed by the covered segment sequence (uint64 LE), the body, and a
+// trailing CRC32C of the body.
 const (
 	snapMagicV1 = "OSRSNAP1"
 	snapMagicV2 = "OSRSNAP2"
-	snapMagic   = snapMagicV2 // written format
+	snapMagicV3 = "OSRSNAP3"
+	snapMagic   = snapMagicV3 // written format
 )
 
 // RelSnap is one relation's block in a snapshot: the predicate, its
@@ -37,13 +42,18 @@ const (
 // historical format. Arity-0 relations have nil Cols and carry their
 // 0-or-1 tuple count in Count.
 type RelSnap struct {
-	Pred    string
-	Arity   int
-	Epoch   uint64
-	Count   int
-	Ref     bool
-	BaseSeq uint64
-	Cols    [][]storage.Value
+	Pred  string
+	Arity int
+	Epoch uint64
+	Count int
+	// Retracts is the relation's cumulative retraction counter at
+	// collection time (v3; zero when decoded from older formats, which
+	// predate retraction). The checkpoint manifest compares it to decide
+	// whether a reference block is still sound.
+	Retracts int64
+	Ref      bool
+	BaseSeq  uint64
+	Cols     [][]storage.Value
 }
 
 // Snapshot is the full persisted engine state at a checkpoint: the
@@ -82,11 +92,12 @@ func CollectDatabase(db *storage.Database, rules, shapes []string) *Snapshot {
 		r := db.Relation(pred)
 		cols, count := r.SortedColumns()
 		s.Rels = append(s.Rels, RelSnap{
-			Pred:  pred,
-			Arity: r.Arity(),
-			Epoch: r.LastModified(),
-			Count: count,
-			Cols:  cols,
+			Pred:     pred,
+			Arity:    r.Arity(),
+			Epoch:    r.LastModified(),
+			Count:    count,
+			Retracts: r.Retracts(),
+			Cols:     cols,
 		})
 	}
 	s.Syms = db.Syms.Names()
@@ -94,7 +105,7 @@ func CollectDatabase(db *storage.Database, rules, shapes []string) *Snapshot {
 }
 
 // encode renders the snapshot body (everything between the header and
-// the trailing CRC) in the v2 format.
+// the trailing CRC) in the v3 format.
 func (s *Snapshot) encode() []byte {
 	var b []byte
 	b = binary.AppendUvarint(b, s.SymBase)
@@ -107,6 +118,7 @@ func (s *Snapshot) encode() []byte {
 		b = appendString(b, r.Pred)
 		b = binary.AppendUvarint(b, uint64(r.Arity))
 		b = binary.AppendUvarint(b, r.Epoch)
+		b = binary.AppendUvarint(b, uint64(r.Retracts))
 		if r.Ref {
 			b = append(b, 1)
 			b = binary.AppendUvarint(b, r.BaseSeq)
@@ -144,7 +156,8 @@ func readUvarint(b []byte) (uint64, []byte, error) {
 }
 
 // decodeSnapshot parses a snapshot body. version is 1 for the legacy
-// full-blocks-only format or 2 for the differential format.
+// full-blocks-only format, 2 for the differential format, or 3 for the
+// differential format with retraction counters.
 func decodeSnapshot(b []byte, version int) (*Snapshot, error) {
 	s := &Snapshot{}
 	var n uint64
@@ -180,6 +193,13 @@ func decodeSnapshot(b []byte, version int) (*Snapshot, error) {
 		if version >= 2 {
 			if r.Epoch, b, err = readUvarint(b); err != nil {
 				return nil, err
+			}
+			if version >= 3 {
+				var ret uint64
+				if ret, b, err = readUvarint(b); err != nil {
+					return nil, err
+				}
+				r.Retracts = int64(ret)
 			}
 			if len(b) == 0 {
 				return nil, fmt.Errorf("wal: truncated relation block kind")
@@ -294,6 +314,8 @@ func DecodeSnapshotBytes(data []byte) (uint64, *Snapshot, error) {
 	}
 	version := 0
 	switch string(data[:len(snapMagic)]) {
+	case snapMagicV3:
+		version = 3
 	case snapMagicV2:
 		version = 2
 	case snapMagicV1:

@@ -64,14 +64,17 @@ var ErrClosed = errors.New("wal: log closed")
 // callback may be nil to skip that record type. Sym is called once per
 // interned name in Value order (snapshot first, then tail records), so
 // applying it to a fresh symbol table reproduces identical Values; Fact
-// receives constant names (already translated from logged Values), so it
-// can be applied to any database via AddFact.
+// and Retract receive constant names (already translated from logged
+// Values), so they can be applied to any database via AddFact and
+// RemoveFact. Retractions replay in log order interleaved with inserts,
+// reproducing the original mutation sequence exactly.
 type Replay struct {
-	Sym   func(name string)
-	Rel   func(pred string, arity int)
-	Fact  func(pred string, consts []string)
-	Rule  func(src string)
-	Shape func(query string)
+	Sym     func(name string)
+	Rel     func(pred string, arity int)
+	Fact    func(pred string, consts []string)
+	Retract func(pred string, consts []string)
+	Rule    func(src string)
+	Shape   func(query string)
 }
 
 // Log is a write-ahead segment log bound to one directory. It implements
@@ -94,12 +97,15 @@ type Log struct {
 
 	ckptMu sync.Mutex // serializes Checkpoint callers and guards manifest/chain
 	// manifest records, per relation, the state the newest snapshot chain
-	// describes: its count/epoch at collection and the sequence of the
-	// snapshot physically holding its full tuple block. Checkpoint diffs
-	// fresh collections against it — a relation whose count is unchanged
-	// (relations are insert-only sets, so equal count over the same
-	// predicate means an identical tuple set) becomes a reference block
-	// and its prior full block is retained on disk.
+	// describes: its count/epoch/retraction-counter at collection and the
+	// sequence of the snapshot physically holding its full tuple block.
+	// Checkpoint diffs fresh collections against it — a relation whose
+	// count AND cumulative retraction counter are both unchanged has seen
+	// neither retractions (counter equal) nor inserts (no retractions +
+	// equal count), so its tuple set is identical and it becomes a
+	// reference block, its prior full block retained on disk. Count alone
+	// stopped being sufficient when Retract arrived: a retract/insert
+	// pair leaves the count unchanged with a different set.
 	manifest map[string]relManifest
 	// Symbol-table diff state: the resolved symbol count and prefix CRC
 	// of the newest snapshot chain, the head's sequence, and the sym-tail
@@ -116,11 +122,15 @@ type Log struct {
 }
 
 // relManifest is one relation's entry in the differential manifest.
+// retracts is the relation's cumulative retraction counter at
+// collection; -1 marks an entry restored from disk whose counter is not
+// comparable to the live process's (see Open), forcing one full block.
 type relManifest struct {
-	arity int
-	epoch uint64
-	count int
-	seq   uint64 // snapshot holding this relation's full tuple block
+	arity    int
+	epoch    uint64
+	count    int
+	retracts int64
+	seq      uint64 // snapshot holding this relation's full tuple block
 }
 
 // maxSymChainDepth bounds the symbol-tail chain: after this many
@@ -151,7 +161,7 @@ func relManifestOf(headSeq uint64, s *Snapshot) map[string]relManifest {
 		if r.Ref {
 			seq = r.BaseSeq
 		}
-		man[r.Pred] = relManifest{arity: r.Arity, epoch: r.Epoch, count: r.Count, seq: seq}
+		man[r.Pred] = relManifest{arity: r.Arity, epoch: r.Epoch, count: r.Count, retracts: r.Retracts, seq: seq}
 	}
 	return man
 }
@@ -308,6 +318,19 @@ func Open(dir string, policy SyncPolicy, replay Replay) (*Log, error) {
 		return nil, err
 	}
 	l := &Log{dir: dir, policy: policy, seq: rec.maxSeq + 1, manifest: rec.manifest, chain: rec.chain}
+	// A persisted retraction counter is the ORIGINAL process's cumulative
+	// count; the restarted process's relations count from zero again, so
+	// equality against it would be coincidence, not proof of an identical
+	// set. Entries with retraction history are marked incomparable — their
+	// first post-restart checkpoint writes a full block and re-bases the
+	// counter. Never-retracted relations (counter 0) stay comparable: a
+	// live counter of 0 really does mean no retraction ever happened.
+	for pred, m := range l.manifest {
+		if m.retracts != 0 {
+			m.retracts = -1
+			l.manifest[pred] = m
+		}
+	}
 	if rec.haveSnap {
 		l.headSeq = rec.snapSeq
 		l.symsLen = len(rec.syms)
@@ -459,17 +482,36 @@ func (st *replayState) sym(name string) {
 }
 
 func (st *replayState) fact(pred string, vals []storage.Value) error {
-	consts := make([]string, len(vals))
-	for i, v := range vals {
-		if int(v) < 0 || int(v) >= len(st.names) {
-			return fmt.Errorf("wal: fact %s references unknown value %d", pred, v)
-		}
-		consts[i] = st.names[v]
+	consts, err := st.translate(pred, vals)
+	if err != nil {
+		return err
 	}
 	if st.replay.Fact != nil {
 		st.replay.Fact(pred, consts)
 	}
 	return nil
+}
+
+func (st *replayState) retract(pred string, vals []storage.Value) error {
+	consts, err := st.translate(pred, vals)
+	if err != nil {
+		return err
+	}
+	if st.replay.Retract != nil {
+		st.replay.Retract(pred, consts)
+	}
+	return nil
+}
+
+func (st *replayState) translate(pred string, vals []storage.Value) ([]string, error) {
+	consts := make([]string, len(vals))
+	for i, v := range vals {
+		if int(v) < 0 || int(v) >= len(st.names) {
+			return nil, fmt.Errorf("wal: fact %s references unknown value %d", pred, v)
+		}
+		consts[i] = st.names[v]
+	}
+	return consts, nil
 }
 
 // applySnapshot streams a resolved snapshot into the callbacks:
@@ -583,6 +625,12 @@ func (st *replayState) applyPayload(payload []byte) error {
 			return err
 		}
 		return st.fact(pred, vals)
+	case recRetract:
+		pred, vals, err := decodeFact(body)
+		if err != nil {
+			return err
+		}
+		return st.retract(pred, vals)
 	case recRule:
 		if st.replay.Rule != nil {
 			st.replay.Rule(string(body))
@@ -672,6 +720,9 @@ func (l *Log) JournalSym(name string) { l.append(symPayload(name)) }
 
 // JournalFact implements storage.Journal.
 func (l *Log) JournalFact(pred string, t storage.Tuple) { l.append(factPayload(pred, t)) }
+
+// JournalRetract implements storage.Journal.
+func (l *Log) JournalRetract(pred string, t storage.Tuple) { l.append(retractPayload(pred, t)) }
 
 // AppendRule journals a rule in concrete syntax (parser.RenderRule).
 func (l *Log) AppendRule(src string) { l.append(rulePayload(src)) }
@@ -775,12 +826,15 @@ func (l *Log) Checkpoint(collect func() (*Snapshot, error)) error {
 	prefixOK := l.headSeq != 0 && l.symsLen <= fullLen &&
 		symPrefixCRC(fullSyms[:l.symsLen]) == l.symsCRC
 	if prefixOK {
-		// Relations: an unchanged count over an insert-only relation
-		// means an identical tuple set, so the prior full block
-		// (wherever in the chain it physically lives) still describes it.
+		// Relations: an unchanged count plus an unchanged retraction
+		// counter means an identical tuple set (no retraction happened,
+		// so the set only grew, and equal count rules growth out), so the
+		// prior full block (wherever in the chain it physically lives)
+		// still describes it. A relation with removals since its base
+		// falls back to a full block.
 		for i := range snap.Rels {
 			r := &snap.Rels[i]
-			if man, ok := l.manifest[r.Pred]; ok && man.arity == r.Arity && man.count == r.Count {
+			if man, ok := l.manifest[r.Pred]; ok && man.arity == r.Arity && man.count == r.Count && man.retracts == r.Retracts {
 				r.Ref, r.BaseSeq, r.Cols = true, man.seq, nil
 			}
 		}

@@ -28,6 +28,10 @@ type Quota struct {
 	// MaxDeadline caps the evaluation deadline a serving layer grants a
 	// request from this tenant.
 	MaxDeadline time.Duration
+	// MaxSubscriptions caps concurrently open standing queries: as an
+	// engine quota it gates Subscribe itself; per-tenant, the server
+	// counts each tenant's open /v1/subscribe streams against it.
+	MaxSubscriptions int
 }
 
 // ErrGasExhausted is returned by a query whose evaluation derived more
@@ -76,12 +80,13 @@ func GasRemaining(ctx context.Context) int64 {
 // configured).
 func (e *Engine) Quota() Quota { return e.quota }
 
-// InsertFact is AddFact with fact-count admission: it rejects the insert
-// with ErrFactLimitExceeded once the database holds the quota's MaxFacts
-// tuples, and otherwise reports whether the tuple was genuinely new.
-// The check is admission control, not an invariant — concurrent
-// inserters may overshoot the limit by at most their own in-flight
-// tuples.
+// InsertFact inserts a fact with admission control: it rejects the
+// insert with ErrFactLimitExceeded once the database holds the quota's
+// MaxFacts tuples (and with ErrReadOnly on a follower), and otherwise
+// reports whether the tuple was genuinely new. The check is admission
+// control, not an invariant — concurrent inserters may overshoot the
+// limit by at most their own in-flight tuples. AddFact is the same path
+// with rejections flattened to false.
 func (e *Engine) InsertFact(pred string, consts ...string) (bool, error) {
 	if e.readOnly.Load() {
 		return false, ErrReadOnly
@@ -89,7 +94,9 @@ func (e *Engine) InsertFact(pred string, consts ...string) (bool, error) {
 	if m := e.quota.MaxFacts; m > 0 && int64(e.db.TupleCount()) >= m {
 		return false, fmt.Errorf("%w: database holds %d tuples (limit %d)", ErrFactLimitExceeded, e.db.TupleCount(), m)
 	}
-	return e.AddFact(pred, consts...), nil
+	added := e.db.AddFact(pred, consts...)
+	e.maybeAutoCheckpoint()
+	return added, nil
 }
 
 // withGasCtx attaches the engine's default gas budget to ctx unless the
