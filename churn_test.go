@@ -91,6 +91,58 @@ func TestChurnEquivalenceAcrossExamples(t *testing.T) {
 			prog := eng.Program()
 			live := snapshotLive(eng.DB())
 			rng := rand.New(rand.NewSource(int64(len(exm.name)) * 104729))
+
+			// A twin engine replays the same churn through the batched
+			// write path (InsertFacts/RetractFacts). At every flush the
+			// two engines must agree on admission counts and dump
+			// byte-identically: batching may only amortize, never change
+			// semantics.
+			twin := exm.open(t)
+			type op struct {
+				retract bool
+				f       Fact
+			}
+			var pending []op
+			var wantAdded, wantRemoved int
+			flush := func(step int) {
+				t.Helper()
+				gotAdded, gotRemoved := 0, 0
+				for i := 0; i < len(pending); {
+					j := i
+					for j < len(pending) && pending[j].retract == pending[i].retract {
+						j++
+					}
+					batch := make([]Fact, 0, j-i)
+					for _, o := range pending[i:j] {
+						batch = append(batch, o.f)
+					}
+					if pending[i].retract {
+						n, err := twin.RetractFacts(batch)
+						if err != nil {
+							t.Fatalf("step %d: RetractFacts: %v", step, err)
+						}
+						gotRemoved += n
+					} else {
+						n, err := twin.InsertFacts(batch)
+						if err != nil {
+							t.Fatalf("step %d: InsertFacts: %v", step, err)
+						}
+						gotAdded += n
+					}
+					i = j
+				}
+				pending = pending[:0]
+				if gotAdded != wantAdded || gotRemoved != wantRemoved {
+					t.Fatalf("step %d: batched path added %d / removed %d, per-fact path added %d / removed %d",
+						step, gotAdded, gotRemoved, wantAdded, wantRemoved)
+				}
+				wantAdded, wantRemoved = 0, 0
+				if got, want := twin.DB().Dump(), eng.DB().Dump(); got != want {
+					t.Fatalf("step %d: batched-path dump differs from per-fact dump\nbatched:\n%s\nper-fact:\n%s",
+						step, got, want)
+				}
+			}
+
 			for step := 0; step < 30; step++ {
 				for j := 0; j <= rng.Intn(2); j++ {
 					switch rng.Intn(3) {
@@ -99,7 +151,9 @@ func TestChurnEquivalenceAcrossExamples(t *testing.T) {
 						f := liveFact{pred: g.pred, args: g.args(rng, step)}
 						if eng.AddFact(f.pred, f.args...) {
 							live.add(f)
+							wantAdded++
 						}
+						pending = append(pending, op{f: Fact{Pred: f.pred, Args: f.args}})
 					default: // retract a random live fact
 						f, ok := live.random(rng)
 						if !ok {
@@ -113,6 +167,8 @@ func TestChurnEquivalenceAcrossExamples(t *testing.T) {
 							t.Fatalf("step %d: live fact %v not found by Retract", step, f)
 						}
 						live.remove(f)
+						wantRemoved++
+						pending = append(pending, op{retract: true, f: Fact{Pred: f.pred, Args: f.args}})
 					}
 				}
 				// Retracting a fact that is gone (or never existed) is a no-op.
@@ -134,7 +190,13 @@ func TestChurnEquivalenceAcrossExamples(t *testing.T) {
 					t.Fatalf("step %d %v: maintained %v != scratch %v",
 						step, ground, rows.Strings(), Answers(oracle, eng.DB()))
 				}
+				// Flush on a stride so batches span several steps and mix
+				// inserts with retracts.
+				if step%3 == 2 {
+					flush(step)
+				}
 			}
+			flush(30)
 			// Rebuild equivalence: a fresh database holding exactly the
 			// surviving facts dumps byte-identically to the churned one.
 			rebuilt := NewDatabase()

@@ -16,6 +16,14 @@
 //
 //	loadgen [-addr host:port] [-ingest host:port] [-clients 8]
 //	        [-duration 5s] [-out summary.txt] [-strict] [-churn]
+//	        [-sync always|batch|os]
+//
+// -sync gives the self-hosted engine a write-ahead log in a temporary
+// directory under the named durability policy, so the ingest phase
+// exercises the journal (under "always", the group-commit path). The
+// summary then includes a per-program ingest table: facts ingested,
+// facts/sec, and fsyncs/sec read from the server's WAL commit stats —
+// the group-commit amortization is (facts/sec)/(fsyncs/sec).
 //
 // -ingest splits the two phases across nodes: facts and rules go to the
 // ingest address (the primary) while the load phase queries -addr (a
@@ -215,6 +223,26 @@ type result struct {
 	churnOps, churnErrs int64
 	subEvents           int64
 	subAdds, subRemoves int64 // signed rows the subscriber saw, net of the initial snapshot
+
+	// Ingest-phase measurements: facts pushed, wall time, and the WAL
+	// fsyncs the phase cost (-1 when the target reports no WAL stats).
+	ingestFacts   int
+	ingestElapsed time.Duration
+	ingestFsyncs  int64
+}
+
+func (r *result) ingestQPS() float64 {
+	if r.ingestElapsed <= 0 {
+		return 0
+	}
+	return float64(r.ingestFacts) / r.ingestElapsed.Seconds()
+}
+
+func (r *result) fsyncsPerSec() float64 {
+	if r.ingestElapsed <= 0 || r.ingestFsyncs < 0 {
+		return 0
+	}
+	return float64(r.ingestFsyncs) / r.ingestElapsed.Seconds()
 }
 
 func (r *result) qps() float64 {
@@ -240,18 +268,49 @@ func main() {
 	out := flag.String("out", "", "also write the summary to this file")
 	strict := flag.Bool("strict", false, "exit nonzero on any 5xx or any zero-QPS program")
 	churn := flag.Bool("churn", false, "after each load phase, drive mixed insert/retract churn under a live /v1/subscribe stream")
+	syncMode := flag.String("sync", "", "self-hosted persistence sync policy: always|batch|os (empty = in-memory, no WAL)")
 	flag.Parse()
-	if err := run(*addr, *ingestAddr, *clients, *duration, *out, *strict, *churn); err != nil {
+	if err := run(*addr, *ingestAddr, *clients, *duration, *out, *strict, *churn, *syncMode); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, ingestAddr string, clients int, duration time.Duration, outPath string, strict, churn bool) error {
+// syncPolicy parses the -sync flag value.
+func syncPolicy(mode string) (onesided.SyncPolicy, error) {
+	switch mode {
+	case "always":
+		return onesided.SyncAlways, nil
+	case "batch":
+		return onesided.SyncBatch, nil
+	case "os":
+		return onesided.SyncOS, nil
+	}
+	return 0, fmt.Errorf("bad -sync %q: want always, batch, or os", mode)
+}
+
+func run(addr, ingestAddr string, clients int, duration time.Duration, outPath string, strict, churn bool, syncMode string) error {
+	if syncMode != "" && addr != "" {
+		return fmt.Errorf("-sync configures the self-hosted engine; it cannot apply to a running server at %s", addr)
+	}
 	base := addr
 	if base == "" {
-		// Self-host: an in-process server on an ephemeral port.
-		eng, err := onesided.Open()
+		// Self-host: an in-process server on an ephemeral port, with a
+		// temporary WAL under the -sync policy when one was requested.
+		var opts []onesided.Option
+		if syncMode != "" {
+			policy, err := syncPolicy(syncMode)
+			if err != nil {
+				return err
+			}
+			dir, err := os.MkdirTemp("", "loadgen-wal-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			opts = append(opts, onesided.WithPersistence(dir), onesided.WithSyncPolicy(policy))
+		}
+		eng, err := onesided.Open(opts...)
 		if err != nil {
 			return err
 		}
@@ -283,8 +342,17 @@ func run(addr, ingestAddr string, clients int, duration time.Duration, outPath s
 	share := duration / time.Duration(len(wls))
 	results := make([]*result, 0, len(wls))
 	for _, wl := range wls {
+		preFsyncs, haveWal := walFsyncs(client, ingestURL)
+		ingestStart := time.Now()
 		if err := ingest(client, ingestURL, wl); err != nil {
 			return fmt.Errorf("%s ingest: %w", wl.name, err)
+		}
+		ingestElapsed := time.Since(ingestStart)
+		ingestFsyncs := int64(-1)
+		if haveWal {
+			if post, ok := walFsyncs(client, ingestURL); ok {
+				ingestFsyncs = int64(post - preFsyncs)
+			}
 		}
 		if ingestURL != baseURL {
 			// Replicated pair: don't measure the follower until it has
@@ -297,6 +365,9 @@ func run(addr, ingestAddr string, clients int, duration time.Duration, outPath s
 		if err != nil {
 			return fmt.Errorf("%s load: %w", wl.name, err)
 		}
+		res.ingestFacts = len(wl.facts)
+		res.ingestElapsed = ingestElapsed
+		res.ingestFsyncs = ingestFsyncs
 		if churn {
 			if err := churnPhase(client, baseURL, ingestURL, wl, res); err != nil {
 				return fmt.Errorf("%s churn: %w", wl.name, err)
@@ -367,6 +438,29 @@ func postFacts(client *http.Client, baseURL string, facts []fact, rules []string
 		return fmt.Errorf("/v1/facts: %s: %s", resp.Status, e.Error)
 	}
 	return nil
+}
+
+// walFsyncs reads a node's cumulative WAL fsync count from /v1/stats.
+// ok is false when the node has no persistence attached (no "wal"
+// object in the stats) or the stats endpoint failed.
+func walFsyncs(client *http.Client, baseURL string) (uint64, bool) {
+	resp, err := client.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, false
+	}
+	var st struct {
+		Wal *struct {
+			Fsyncs uint64 `json:"fsyncs"`
+		} `json:"wal"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil || st.Wal == nil {
+		return 0, false
+	}
+	return st.Wal.Fsyncs, true
 }
 
 // epochOf reads a node's applied database epoch from /v1/stats.
@@ -563,6 +657,18 @@ func render(results []*result) string {
 		fmt.Fprintf(&b, "%-14s %9d %10.1f %9s %9s %9s %9s %6d %9d\n",
 			r.name, r.requests, r.qps(), ms(r.p50), ms(r.p95), ms(r.p99), ms(r.pMax),
 			r.server5xx, r.governed)
+	}
+	fmt.Fprintf(&b, "\n%-14s %9s %10s %9s %10s\n",
+		"ingest", "facts", "factsps", "fsyncs", "fsyncps")
+	for _, r := range results {
+		fsyncs := "-"
+		fsyncps := "-"
+		if r.ingestFsyncs >= 0 {
+			fsyncs = fmt.Sprintf("%d", r.ingestFsyncs)
+			fsyncps = fmt.Sprintf("%.1f", r.fsyncsPerSec())
+		}
+		fmt.Fprintf(&b, "%-14s %9d %10.1f %9s %10s\n",
+			r.name, r.ingestFacts, r.ingestQPS(), fsyncs, fsyncps)
 	}
 	churned := false
 	for _, r := range results {

@@ -9,6 +9,13 @@
 //	     [-follow primary-url] [-promote]
 //	     [-quota-facts n] [-quota-gas n] [-quota-deadline d]
 //	     [-max-concurrent n]
+//	     [-debug-addr 127.0.0.1:6060] [-debug-profile-rate n]
+//
+// -debug-addr serves net/http/pprof on a separate listener;
+// -debug-profile-rate additionally turns on mutex and block profiling
+// at the given sampling rate (1 = every event), which is what makes
+// write-path lock contention visible in /debug/pprof/mutex and
+// /debug/pprof/block.
 //
 // Replication: a primary started with -data serves its write-ahead log
 // under /v1/repl/. A follower (-follow http://primary -data mirrordir)
@@ -45,6 +52,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -65,7 +73,17 @@ func main() {
 	quotaSubs := flag.Int("quota-subs", 0, "max concurrently open /v1/subscribe streams per tenant and engine-wide; excess gets 429 (0 = unlimited)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "evaluations in flight before 503 (0 = 4 x GOMAXPROCS)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (off when empty; bind to localhost)")
+	debugProfileRate := flag.Int("debug-profile-rate", 0, "enable mutex and block profiling at this sampling rate (0 = off; 1 = every event; requires -debug-addr to be useful)")
 	flag.Parse()
+	if *debugProfileRate > 0 {
+		// Lock contention on the write path (shard mutexes, the WAL's
+		// commit-group handoff) only shows up in the mutex and block
+		// profiles, which are off by default because sampling costs a
+		// little on every contended event. Opt in at a chosen rate:
+		// /debug/pprof/mutex and /debug/pprof/block then have data.
+		runtime.SetMutexProfileFraction(*debugProfileRate)
+		runtime.SetBlockProfileRate(*debugProfileRate)
+	}
 	if *debugAddr != "" {
 		// The pprof handlers register on http.DefaultServeMux at import;
 		// serving that mux on a separate opt-in listener keeps the

@@ -285,7 +285,7 @@ func (ic *incContext) Update(ctx context.Context, edb *storage.Database, delta D
 
 	var frontier []storage.Tuple
 	claim := func(tup storage.Tuple) {
-		if ce.seen.Insert(tup) {
+		if ce.seen.Offer(tup) {
 			frontier = append(frontier, tup.Clone())
 		}
 	}

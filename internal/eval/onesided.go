@@ -667,6 +667,65 @@ func (p *Plan) d0Join(syms *storage.SymbolTable, resolve resolver, altIdx int, s
 	p.compileD0(syms, altIdx).run(p, syms, resolve, sink)
 }
 
+// runParallel splits the depth-0 join's outer scan across the worker
+// pool, exactly as seedOps.runParallel splits the seed conjunction.
+// sink must be safe for concurrent calls (ce.emitAnswer is); the tuple
+// passed to it is per-worker scratch. A sink returning false stops the
+// whole evaluation: the latching stop flag ends every worker's row loop
+// at its next row, so a few in-flight answers may still be delivered —
+// sink must tolerate calls after it first returns false.
+func (d d0Ops) runParallel(p *Plan, syms *storage.SymbolTable, resolve resolver, workers int, sink func(storage.Tuple) bool) {
+	c := d.conj
+	rows, arity, ok := outerScan(c, resolve, workers)
+	if !ok {
+		d.run(p, syms, resolve, sink)
+		return
+	}
+	var stop atomic.Bool
+	parallelFor(workers, len(rows)/arity, func(w, lo, hi int) {
+		slots := make([]storage.Value, d.nslots)
+		bound := make([]bool, d.nslots)
+		out := make(storage.Tuple, p.Def.Arity())
+		for i, a := range p.Query.Args {
+			if a.IsConst() {
+				out[i] = syms.Intern(a.Name)
+			}
+		}
+		sc := c.newScratch()
+		// Worker-local dedup in front of the shared sink: projections
+		// are duplicate-heavy (most join solutions collapse onto answers
+		// already produced), and re-offering them would have every
+		// worker hammering the shared answer set's shard locks. The
+		// local filter is uncontended, so only first sightings cross
+		// into shared state.
+		local := storage.NewRelation(p.Def.Arity(), nil)
+		emit := func(s []storage.Value) bool {
+			for ri, oi := range p.keepCols {
+				ref := d.headRefs.args[ri]
+				if ref.isConst {
+					out[oi] = ref.val
+				} else {
+					out[oi] = s[ref.slot]
+				}
+			}
+			if !local.Insert(out) {
+				return true
+			}
+			if !sink(out) {
+				stop.Store(true)
+				return false
+			}
+			return true
+		}
+		for ri := lo; ri < hi && !stop.Load(); ri++ {
+			t := storage.Tuple(rows[ri*arity : (ri+1)*arity])
+			if bindOuter(c.atoms[0], t, slots, bound) {
+				c.step(1, resolve, slots, bound, sc, emit)
+			}
+		}
+	})
+}
+
 // evalFactoredGroups materializes the plan's factor groups with the
 // selection constants substituted. ok is false when some group is empty,
 // in which case no depth >= 1 derivation exists and the caller stops
@@ -763,6 +822,103 @@ func (so seedOps) run(p *Plan, syms *storage.SymbolTable, resolve resolver, yiel
 // call.
 func (p *Plan) forEachSeedContext(syms *storage.SymbolTable, resolve resolver, altIdx int, yield func(storage.Tuple)) {
 	p.compileSeed(syms, altIdx).run(p, syms, resolve, yield)
+}
+
+// runParallel evaluates the seed conjunction with the outermost atom's
+// matches partitioned across the worker pool — the cold-fixpoint twin
+// of fBatch: the outer scan is materialized once, then each worker owns
+// a contiguous range of its rows plus private slots and scratch and
+// recurses through the remaining atoms. Rows are collected in shard
+// iteration order, so contiguous ranges keep each worker's posting-list
+// probes on a warm shard. yield receives the worker ordinal and a
+// scratch tuple (copy to retain) and must tolerate concurrent calls
+// from distinct workers; as with run, tuples may repeat and the caller
+// deduplicates. Falls back to the serial run (worker 0) when splitting
+// cannot help or would change the traversal: one worker, no atoms, an
+// arity-0 outer atom, or an existential outer atom (its first match is
+// supposed to decide the whole evaluation).
+func (so seedOps) runParallel(p *Plan, syms *storage.SymbolTable, resolve resolver, workers int, yield func(worker int, tup storage.Tuple)) {
+	c := so.conj
+	rows, arity, ok := outerScan(c, resolve, workers)
+	if !ok {
+		so.run(p, syms, resolve, func(tup storage.Tuple) { yield(0, tup) })
+		return
+	}
+	parallelFor(workers, len(rows)/arity, func(w, lo, hi int) {
+		slots := make([]storage.Value, so.nslots)
+		bound := make([]bool, so.nslots)
+		tup := make(storage.Tuple, len(p.foldedAnchors)+len(p.ctxCols))
+		sc := c.newScratch()
+		emit := func(s []storage.Value) bool {
+			if so.proj.project(s, tup, syms) {
+				yield(w, tup)
+			}
+			return true
+		}
+		for ri := lo; ri < hi; ri++ {
+			t := storage.Tuple(rows[ri*arity : (ri+1)*arity])
+			if bindOuter(c.atoms[0], t, slots, bound) {
+				c.step(1, resolve, slots, bound, sc, emit)
+			}
+		}
+	})
+}
+
+// outerScan materializes the conjunction's outermost atom matches as
+// flattened rows for range splitting across workers. ok is false when
+// the split cannot help or would change the traversal — one worker, no
+// atoms, an arity-0 outer atom, or an existential outer atom (its first
+// match is supposed to decide the whole evaluation) — or when the
+// relation is absent (then rows is empty and the caller's fallback
+// visits nothing either). Rows keep shard iteration order, so
+// contiguous ranges keep each worker's probes on a warm shard.
+func outerScan(c *compiledConj, resolve resolver, workers int) (rows []storage.Value, arity int, ok bool) {
+	if len(c.atoms) > 0 {
+		arity = len(c.atoms[0].args)
+	}
+	if workers <= 1 || arity == 0 || (len(c.existential) > 0 && c.existential[0]) {
+		return nil, 0, false
+	}
+	at := c.atoms[0]
+	rel := resolve(at.pred, at.alt)
+	if rel == nil {
+		return nil, arity, true
+	}
+	var bindings []storage.Binding
+	for col, a := range at.args {
+		if a.isConst {
+			bindings = append(bindings, storage.Binding{Col: col, Val: a.val})
+		}
+	}
+	rel.Lookup(bindings, func(t storage.Tuple) bool {
+		rows = append(rows, t...)
+		return true
+	})
+	return rows, arity, true
+}
+
+// bindOuter binds the outer atom's free slots from one of its matched
+// tuples, resetting bound first. Repeated free variables within the
+// atom must agree (constant columns were already filtered by the
+// lookup bindings); it reports whether the binding is consistent.
+func bindOuter(at catom, t storage.Tuple, slots []storage.Value, bound []bool) bool {
+	for i := range bound {
+		bound[i] = false
+	}
+	for col, a := range at.args {
+		if a.isConst {
+			continue
+		}
+		if bound[a.slot] {
+			if slots[a.slot] != t[col] {
+				return false
+			}
+			continue
+		}
+		slots[a.slot] = t[col]
+		bound[a.slot] = true
+	}
+	return true
 }
 
 // fOps is the compiled carry-transition operator f: one application of
@@ -950,14 +1106,15 @@ func (p *Plan) newContextEval(edb *storage.Database, emit func(storage.Tuple) bo
 	return ce
 }
 
-// seenSet is the carry-loop dedup/claim set: Insert returns true exactly
-// once per tuple under concurrent calls, Len reports the distinct
-// context count, and Tuples materializes the members (the incremental
-// layer snapshots the pre-update contexts through it).
+// seenSet is the carry-loop dedup/claim set: Offer returns true exactly
+// once per tuple under concurrent calls (the duplicate-tolerant claim
+// point parallel workers hammer), Len reports the distinct context
+// count, and Tuples materializes the members (the incremental layer
+// snapshots the pre-update contexts through it).
 // *storage.Relation implements it directly; bitsetSeen replaces the
 // relation for unary carries.
 type seenSet interface {
-	Insert(storage.Tuple) bool
+	Offer(storage.Tuple) bool
 	Len() int
 	Tuples() []storage.Tuple
 }
@@ -968,7 +1125,7 @@ type bitsetSeen struct {
 	set *bitset.Concurrent
 }
 
-func (b *bitsetSeen) Insert(t storage.Tuple) bool { return b.set.Add(int(t[0])) }
+func (b *bitsetSeen) Offer(t storage.Tuple) bool { return b.set.Add(int(t[0])) }
 
 func (b *bitsetSeen) Len() int { return b.set.Len() }
 
@@ -1008,8 +1165,12 @@ func (ce *contextEval) run(ctx context.Context) (*storage.Relation, EvalStats, e
 
 	// Depth-0: exit rule with the bound head columns substituted. These
 	// are the first streamed answers — no fixpoint work precedes them.
+	// The exit join's outer scan splits across the worker pool: for
+	// exit-heavy selections this join IS the evaluation, and emitAnswer
+	// is already safe for concurrent workers (sharded answer insert,
+	// mutex-guarded streaming emit).
 	ce.stats.GProbes++
-	p.d0Join(syms, ce.resolve, -1, ce.emitAnswer)
+	p.compileD0(syms, -1).runParallel(p, syms, ce.resolve, ce.workers, ce.emitAnswer)
 	if ce.aborted.Load() {
 		return ce.finish(ctx)
 	}
@@ -1027,13 +1188,20 @@ func (ce *contextEval) run(ctx context.Context) (*storage.Relation, EvalStats, e
 	}
 	ce.groups = groups
 
-	// Seed contexts, deduplicated through the shared seen-set.
-	var carry []storage.Tuple
-	p.forEachSeedContext(syms, ce.resolve, -1, func(tup storage.Tuple) {
-		if ce.seen.Insert(tup) {
-			carry = append(carry, tup.Clone())
+	// Seed contexts, deduplicated through the shared seen-set. The seed
+	// conjunction's outer scan is split across the worker pool (the
+	// seen-set's Insert is the concurrent claim point, exactly as in
+	// fBatch); per-worker slices keep the merge allocation-cheap.
+	seedLocal := make([][]storage.Tuple, ce.workers)
+	p.compileSeed(syms, -1).runParallel(p, syms, ce.resolve, ce.workers, func(w int, tup storage.Tuple) {
+		if ce.seen.Offer(tup) {
+			seedLocal[w] = append(seedLocal[w], tup.Clone())
 		}
 	})
+	var carry []storage.Tuple
+	for _, l := range seedLocal {
+		carry = append(carry, l...)
+	}
 
 	f := p.compileF(syms, -1)
 	ce.fConj, ce.fProj, ce.fHeadSlots, ce.fNslots = f.conj, f.proj, f.headSlots, f.nslots
@@ -1127,7 +1295,7 @@ func (ce *contextEval) fBatch(carry []storage.Tuple) []storage.Tuple {
 				if !ce.fProj.projectCtx(s, anchorPart, tup, ce.syms) {
 					return true
 				}
-				if ce.seen.Insert(tup) {
+				if ce.seen.Offer(tup) {
 					local = append(local, tup.Clone())
 				}
 				return true
@@ -1213,7 +1381,10 @@ func (ce *contextEval) emitProductsWith(srcs []colSrc, gi int, s []storage.Value
 // the streaming sink (serialized across workers). Returns false once the
 // sink has asked to stop.
 func (ce *contextEval) emitAnswer(out storage.Tuple) bool {
-	if !ce.ans.Insert(out) {
+	// Offer, not Insert: answer emission is duplicate-heavy, and the
+	// read-locked duplicate check keeps parallel workers off the answer
+	// shards' write locks.
+	if !ce.ans.Offer(out) {
 		return !ce.aborted.Load()
 	}
 	if ce.emit == nil {

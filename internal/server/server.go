@@ -568,22 +568,55 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 	ts.requests.Add(1)
 	quota := s.quotaFor(name)
 	var resp factsResponse
-	for _, f := range req.Facts {
-		if f.Pred == "" {
-			s.badRequests.Add(1)
-			writeError(w, http.StatusBadRequest, errors.New("server: fact with empty predicate"))
-			return
+	// Inserts ride the batched write path: one admission pass, one
+	// interning pass, and one journal run (a single group commit under
+	// SyncAlways) per predicate group instead of per fact. A fact with
+	// an empty predicate splits the run — the valid prefix inserts, as
+	// the per-fact loop would have, then the 400 reports the bad fact.
+	badFact := func(facts []fact) int {
+		for i, f := range facts {
+			if f.Pred == "" {
+				return i
+			}
 		}
-		// Per-tenant admission first (the tenant's own accepted inserts),
-		// then the engine's global MaxFacts via InsertFact.
-		if quota.MaxFacts > 0 && ts.facts.Load() >= quota.MaxFacts {
-			s.factRejects.Add(1)
-			writeError(w, http.StatusTooManyRequests,
-				fmt.Errorf("%w: tenant %s holds %d facts (limit %d)",
-					onesided.ErrFactLimitExceeded, name, ts.facts.Load(), quota.MaxFacts))
-			return
+		return -1
+	}
+	toBatch := func(facts []fact) []onesided.Fact {
+		out := make([]onesided.Fact, len(facts))
+		for i, f := range facts {
+			out[i] = onesided.Fact{Pred: f.Pred, Args: f.Args}
 		}
-		added, err := s.eng.InsertFact(f.Pred, f.Args...)
+		return out
+	}
+	bad := badFact(req.Facts)
+	valid := req.Facts
+	if bad >= 0 {
+		valid = req.Facts[:bad]
+	}
+	batch := toBatch(valid)
+	for len(batch) > 0 {
+		// Per-tenant admission first (the tenant's own accepted inserts
+		// bound the chunk), then the engine's global MaxFacts inside
+		// InsertFacts. Duplicates insert as no-ops and do not consume
+		// quota, so the loop re-checks after each chunk.
+		chunk := batch
+		if quota.MaxFacts > 0 {
+			remaining := quota.MaxFacts - ts.facts.Load()
+			if remaining <= 0 {
+				s.factRejects.Add(1)
+				writeError(w, http.StatusTooManyRequests,
+					fmt.Errorf("%w: tenant %s holds %d facts (limit %d)",
+						onesided.ErrFactLimitExceeded, name, ts.facts.Load(), quota.MaxFacts))
+				return
+			}
+			if int64(len(chunk)) > remaining {
+				chunk = batch[:remaining]
+			}
+		}
+		added, err := s.eng.InsertFacts(chunk)
+		ts.facts.Add(int64(added))
+		s.factsAdded.Add(int64(added))
+		resp.Added += added
 		if err != nil {
 			if errors.Is(err, onesided.ErrReadOnly) {
 				// The engine went read-only between the gate and the
@@ -595,21 +628,30 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 			writeError(w, statusFor(err), err)
 			return
 		}
-		if added {
-			ts.facts.Add(1)
-			s.factsAdded.Add(1)
-			resp.Added++
-		} else {
-			resp.Duplicates++
-		}
+		resp.Duplicates += len(chunk) - added
+		batch = batch[len(chunk):]
 	}
-	for _, f := range req.Retracts {
-		if f.Pred == "" {
-			s.badRequests.Add(1)
-			writeError(w, http.StatusBadRequest, errors.New("server: retract with empty predicate"))
-			return
+	if bad >= 0 {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, errors.New("server: fact with empty predicate"))
+		return
+	}
+	bad = badFact(req.Retracts)
+	valid = req.Retracts
+	if bad >= 0 {
+		valid = req.Retracts[:bad]
+	}
+	if len(valid) > 0 {
+		removed, err := s.eng.RetractFacts(toBatch(valid))
+		if removed > 0 {
+			// Retractions free the tenant's fact-quota slots the inserts
+			// consumed; the floor keeps cross-tenant retractions from
+			// going negative.
+			if ts.facts.Add(-int64(removed)) < 0 {
+				ts.facts.Store(0)
+			}
+			resp.Retracted += removed
 		}
-		removed, err := s.eng.Retract(f.Pred, f.Args...)
 		if err != nil {
 			if errors.Is(err, onesided.ErrReadOnly) {
 				s.rejectReadOnly(w)
@@ -618,17 +660,12 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 			writeError(w, statusFor(err), err)
 			return
 		}
-		if removed {
-			// A retraction frees the tenant's fact-quota slot the insert
-			// consumed; the floor keeps a cross-tenant retraction from
-			// going negative.
-			if ts.facts.Add(-1) < 0 {
-				ts.facts.Store(0)
-			}
-			resp.Retracted++
-		} else {
-			resp.Missing++
-		}
+		resp.Missing += len(valid) - removed
+	}
+	if bad >= 0 {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, errors.New("server: retract with empty predicate"))
+		return
 	}
 	if len(req.Rules) > 0 {
 		var src string
@@ -766,6 +803,21 @@ type statsResponse struct {
 	Epoch       uint64         `json:"epoch"`
 	Role        string         `json:"role"`
 	Replication *replica.Stats `json:"replication,omitempty"`
+	// Wal reports the write-ahead log's commit activity when persistence
+	// is attached: records and fsyncs since open, plus the group-commit
+	// sizes under SyncAlways (group_records/groups is the mean batch one
+	// fsync covered — the amortization factor).
+	Wal *walStats `json:"wal,omitempty"`
+}
+
+// walStats is the /v1/stats rendering of wal.CommitStats.
+type walStats struct {
+	Fsyncs       uint64 `json:"fsyncs"`
+	Records      uint64 `json:"records"`
+	Groups       uint64 `json:"groups"`
+	GroupRecords uint64 `json:"group_records"`
+	LastGroup    int    `json:"last_group"`
+	MaxGroup     int    `json:"max_group"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -801,6 +853,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Replication != nil {
 		rs := s.cfg.Replication()
 		resp.Replication = &rs
+	}
+	if lg := s.eng.Log(); lg != nil {
+		ws := lg.CommitStats()
+		resp.Wal = &walStats{
+			Fsyncs:       ws.Fsyncs,
+			Records:      ws.Records,
+			Groups:       ws.Groups,
+			GroupRecords: ws.GroupRecords,
+			LastGroup:    ws.LastGroup,
+			MaxGroup:     ws.MaxGroup,
+		}
 	}
 	s.mu.Lock()
 	names := make([]string, 0, len(s.tenants))

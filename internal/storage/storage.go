@@ -30,6 +30,22 @@ type Journal interface {
 	JournalRetract(pred string, t Tuple)
 }
 
+// BatchJournal is implemented by journals that can absorb a run of
+// same-predicate records as one buffered append covered by a single
+// policy sync (the write-ahead log fsyncs once per run instead of once
+// per record). InsertBatch and RetractBatch call it when available and
+// fall back to the per-tuple hooks otherwise. The Journal contracts
+// apply to the run as a whole: exactly one record per accepted
+// mutation, symbol records ordered before any tuple referencing them,
+// and the tuples valid only for the duration of the call.
+type BatchJournal interface {
+	Journal
+	// JournalFactBatch records a run of accepted inserts into pred.
+	JournalFactBatch(pred string, tuples []Tuple)
+	// JournalRetractBatch records a run of accepted retractions from pred.
+	JournalRetractBatch(pred string, tuples []Tuple)
+}
+
 // Value is an interned constant symbol.
 type Value int32
 
@@ -96,6 +112,41 @@ func (st *SymbolTable) Intern(name string) Value {
 		st.onIntern(name)
 	}
 	return v
+}
+
+// InternBatch interns every name into dst (which must have the same
+// length as names), taking the read lock once for the whole run and
+// escalating to the write lock only when some name is fresh — the
+// batched write path's amortization of Intern's per-call locking.
+func (st *SymbolTable) InternBatch(names []string, dst []Value) {
+	st.mu.RLock()
+	hit := true
+	for i, n := range names {
+		v, ok := st.ids[n]
+		if !ok {
+			hit = false
+			break
+		}
+		dst[i] = v
+	}
+	st.mu.RUnlock()
+	if hit {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i, n := range names {
+		v, ok := st.ids[n]
+		if !ok {
+			v = Value(len(st.names))
+			st.names = append(st.names, n)
+			st.ids[n] = v
+			if st.onIntern != nil {
+				st.onIntern(n)
+			}
+		}
+		dst[i] = v
+	}
 }
 
 // SetInternHook installs (or clears, with nil) the fresh-intern observer.
@@ -335,6 +386,27 @@ func (sh *shard) growTableLocked() {
 	if newCap < 16 {
 		newCap = 16
 	}
+	sh.rebuildTableLocked(newCap)
+}
+
+// reserveLocked grows the dedup table once to fit extra more entries
+// below the 3/4 load threshold, replacing the doubling-rehash cascade a
+// large batch would otherwise trigger. Caller holds the write lock.
+func (sh *shard) reserveLocked(extra int) {
+	need := sh.used + extra
+	newCap := len(sh.slots)
+	if newCap < 16 {
+		newCap = 16
+	}
+	for 4*need > 3*newCap {
+		newCap *= 2
+	}
+	if newCap != len(sh.slots) {
+		sh.rebuildTableLocked(newCap)
+	}
+}
+
+func (sh *shard) rebuildTableLocked(newCap int) {
 	slots := make([]int32, newCap)
 	hashes := make([]uint32, newCap)
 	mask := uint32(newCap - 1)
@@ -352,6 +424,25 @@ func (sh *shard) growTableLocked() {
 		used++
 	}
 	sh.slots, sh.hashes, sh.used = slots, hashes, used
+}
+
+// containsHash reports whether t (hash h) is present and live. Caller
+// holds the shard lock in either mode; the probe reads only slot, hash,
+// and block state, all of which mutate under the write lock.
+func (sh *shard) containsHash(t Tuple, h uint32) bool {
+	if len(sh.slots) == 0 {
+		return false
+	}
+	mask := uint32(len(sh.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		s := sh.slots[i]
+		if s == 0 {
+			return false
+		}
+		if s != slotDead && sh.hashes[i] == h && sh.rowEqual(int(s-1), t) {
+			return true
+		}
+	}
 }
 
 // insertLocked adds t (hash h) unless present, returning the row id and
@@ -635,14 +726,7 @@ func (r *Relation) Insert(t Tuple) bool {
 		// The stamp is read inside the critical section so tail epochs are
 		// monotone per shard.
 		stamp = r.db.epoch.Load()
-		sh.tail = append(sh.tail, tailEntry{row: row, epoch: stamp})
-		if len(sh.tail) > deltaTailBound {
-			// Evict the oldest half; the floor rises past the newest
-			// evicted stamp, so incomplete coverage is never served.
-			drop := len(sh.tail) / 2
-			sh.tailFloor = sh.tail[drop-1].epoch + 1
-			sh.tail = append(sh.tail[:0], sh.tail[drop:]...)
-		}
+		sh.tailAppendLocked(tailEntry{row: row, epoch: stamp})
 	}
 	sh.mu.Unlock()
 	r.count.Add(1)
@@ -662,6 +746,29 @@ func (r *Relation) Insert(t Tuple) bool {
 		r.db.notifyWatchers()
 	}
 	return true
+}
+
+// Offer is Insert tuned for duplicate-heavy concurrent callers — the
+// evaluator's answer and seen sets, where most offered tuples are
+// already present. A read-locked probe rejects duplicates without
+// touching the shard's write lock, so parallel workers re-offering
+// known tuples don't serialize; only first sightings fall through to
+// Insert (which re-checks under the write lock, keeping the claim
+// exactly-once under races). Fresh-heavy callers should use Insert
+// directly: the extra probe is pure overhead there.
+func (r *Relation) Offer(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("storage: offering arity-%d tuple to arity-%d relation", len(t), r.arity))
+	}
+	h := HashTuple(t)
+	sh := r.shardFor(t)
+	sh.mu.RLock()
+	dup := sh.containsHash(t, h)
+	sh.mu.RUnlock()
+	if dup {
+		return false
+	}
+	return r.Insert(t)
 }
 
 // Retract removes a tuple, returning true when it was present. The row
@@ -689,12 +796,7 @@ func (r *Relation) Retract(t Tuple) bool {
 	var stamp uint64
 	if r.db != nil {
 		stamp = r.db.epoch.Load()
-		sh.tail = append(sh.tail, tailEntry{row: row, epoch: stamp, del: true})
-		if len(sh.tail) > deltaTailBound {
-			drop := len(sh.tail) / 2
-			sh.tailFloor = sh.tail[drop-1].epoch + 1
-			sh.tail = append(sh.tail[:0], sh.tail[drop:]...)
-		}
+		sh.tailAppendLocked(tailEntry{row: row, epoch: stamp, del: true})
 	}
 	sh.mu.Unlock()
 	r.count.Add(-1)
@@ -716,6 +818,248 @@ func (r *Relation) Retract(t Tuple) bool {
 		r.db.notifyWatchers()
 	}
 	return true
+}
+
+// tailAppendLocked records one mutation in the shard's delta tail. Past
+// the bound the oldest half is evicted and the floor rises past the
+// newest evicted stamp, so incomplete coverage is never served. Caller
+// holds the write lock.
+func (sh *shard) tailAppendLocked(e tailEntry) {
+	sh.tail = append(sh.tail, e)
+	if len(sh.tail) > deltaTailBound {
+		drop := len(sh.tail) / 2
+		sh.tailFloor = sh.tail[drop-1].epoch + 1
+		sh.tail = append(sh.tail[:0], sh.tail[drop:]...)
+	}
+}
+
+// batchOrder groups a batch's tuple indexes by destination shard with a
+// counting sort, preserving input order within each shard: order holds
+// the indexes of shard 0's tuples, then shard 1's, and so on, with
+// starts[s] the offset of shard s's run. hashes carries each tuple's
+// precomputed HashTuple.
+func (r *Relation) batchOrder(tuples []Tuple) (order []int32, starts []int32, hashes []uint32) {
+	n := len(tuples)
+	hashes = make([]uint32, n)
+	nsh := len(r.shards)
+	if nsh == 1 {
+		order = make([]int32, n)
+		for i, t := range tuples {
+			hashes[i] = HashTuple(t)
+			order[i] = int32(i)
+		}
+		return order, []int32{0, int32(n)}, hashes
+	}
+	shardOf := make([]int32, n)
+	starts = make([]int32, nsh+1)
+	for i, t := range tuples {
+		hashes[i] = HashTuple(t)
+		s := int32(r.shardIndex(t[ShardColumn]))
+		shardOf[i] = s
+		starts[s+1]++
+	}
+	for s := 0; s < nsh; s++ {
+		starts[s+1] += starts[s]
+	}
+	order = make([]int32, n)
+	next := make([]int32, nsh)
+	copy(next, starts[:nsh])
+	for i := range tuples {
+		s := shardOf[i]
+		order[next[s]] = int32(i)
+		next[s]++
+	}
+	return order, starts, hashes
+}
+
+// journalRun reports a batch's accepted tuples to the journal: as one
+// buffered run when the journal is a BatchJournal (one policy sync for
+// the whole run), per tuple otherwise. accepted marks which input
+// tuples to report, in input order.
+func (r *Relation) journalRun(j Journal, tuples []Tuple, accepted []bool, added int, retract bool) {
+	run := make([]Tuple, 0, added)
+	for i, ok := range accepted {
+		if ok {
+			run = append(run, tuples[i])
+		}
+	}
+	if bj, ok := j.(BatchJournal); ok {
+		if retract {
+			bj.JournalRetractBatch(r.name, run)
+		} else {
+			bj.JournalFactBatch(r.name, run)
+		}
+		return
+	}
+	for _, t := range run {
+		if retract {
+			j.JournalRetract(r.name, t)
+		} else {
+			j.JournalFact(r.name, t)
+		}
+	}
+}
+
+// InsertBatch inserts a run of tuples under Insert's exact per-tuple
+// protocol with the fixed costs amortized across the batch: tuples are
+// grouped per shard, each touched shard is locked once and all of its
+// delta-tail entries stamped with one epoch reading (taken under that
+// shard's lock, keeping tail epochs monotone), the database epoch
+// advances once for the whole batch, accepted tuples reach the journal
+// as one buffered run (one fsync under SyncAlways when the journal is a
+// BatchJournal), and watchers are notified once — so a subscription
+// sees the batch as one delta round. Returns the number of tuples that
+// were genuinely new; duplicates inside the batch collapse exactly as
+// repeated Inserts would. The tuples are copied into the column blocks
+// as usual.
+func (r *Relation) InsertBatch(tuples []Tuple) int {
+	if len(tuples) == 0 {
+		return 0
+	}
+	if len(tuples) == 1 {
+		if r.Insert(tuples[0]) {
+			return 1
+		}
+		return 0
+	}
+	for _, t := range tuples {
+		if len(t) != r.arity {
+			panic(fmt.Sprintf("storage: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
+		}
+	}
+	order, starts, hashes := r.batchOrder(tuples)
+	accepted := make([]bool, len(tuples))
+	added := 0
+	var maxStamp uint64
+	for s := 0; s+1 < len(starts); s++ {
+		idxs := order[starts[s]:starts[s+1]]
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := &r.shards[s]
+		sh.mu.Lock()
+		sh.reserveLocked(len(idxs))
+		var stamp uint64
+		if r.db != nil {
+			stamp = r.db.epoch.Load()
+		}
+		for _, i := range idxs {
+			t := tuples[i]
+			row, fresh := sh.insertLocked(t, hashes[i], r.arity)
+			if !fresh {
+				continue
+			}
+			for c, idx := range sh.cols {
+				if idx != nil {
+					idx[t[c]] = append(idx[t[c]], int32(row))
+				}
+			}
+			if r.db != nil {
+				sh.tailAppendLocked(tailEntry{row: row, epoch: stamp})
+			}
+			accepted[i] = true
+			added++
+		}
+		sh.mu.Unlock()
+		if stamp > maxStamp {
+			maxStamp = stamp
+		}
+	}
+	if added == 0 {
+		return 0
+	}
+	r.count.Add(int64(added))
+	if r.db != nil {
+		storeMax(&r.lastMod, maxStamp)
+		storeMax(&r.db.lastMod, maxStamp)
+		r.db.mutations.Add(int64(added))
+		r.db.epoch.Add(1)
+	}
+	if r.stats != nil {
+		atomic.AddInt64(&r.stats.Inserts, int64(added))
+	}
+	if jp := r.journal.Load(); jp != nil {
+		r.journalRun(*jp, tuples, accepted, added, false)
+	}
+	if r.db != nil {
+		r.db.notifyWatchers()
+	}
+	return added
+}
+
+// RetractBatch retracts a run of tuples under Retract's exact per-tuple
+// protocol with the fixed costs amortized like InsertBatch: one lock
+// acquisition and one epoch stamp per touched shard, one epoch advance,
+// one journal run, one watcher notification. Returns the number of
+// tuples that were present (and are now tombstoned).
+func (r *Relation) RetractBatch(tuples []Tuple) int {
+	if len(tuples) == 0 {
+		return 0
+	}
+	if len(tuples) == 1 {
+		if r.Retract(tuples[0]) {
+			return 1
+		}
+		return 0
+	}
+	for _, t := range tuples {
+		if len(t) != r.arity {
+			panic(fmt.Sprintf("storage: retracting arity-%d tuple from arity-%d relation", len(t), r.arity))
+		}
+	}
+	order, starts, hashes := r.batchOrder(tuples)
+	accepted := make([]bool, len(tuples))
+	removed := 0
+	var maxStamp uint64
+	for s := 0; s+1 < len(starts); s++ {
+		idxs := order[starts[s]:starts[s+1]]
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := &r.shards[s]
+		sh.mu.Lock()
+		var stamp uint64
+		if r.db != nil {
+			stamp = r.db.epoch.Load()
+		}
+		for _, i := range idxs {
+			row := sh.retractLocked(tuples[i], hashes[i])
+			if row < 0 {
+				continue
+			}
+			if r.db != nil {
+				sh.tailAppendLocked(tailEntry{row: row, epoch: stamp, del: true})
+			}
+			accepted[i] = true
+			removed++
+		}
+		sh.mu.Unlock()
+		if stamp > maxStamp {
+			maxStamp = stamp
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	r.count.Add(int64(-removed))
+	r.tombs.Add(int64(removed))
+	r.retracts.Add(int64(removed))
+	if r.db != nil {
+		storeMax(&r.lastMod, maxStamp)
+		storeMax(&r.db.lastMod, maxStamp)
+		r.db.mutations.Add(int64(removed))
+		r.db.epoch.Add(1)
+	}
+	if r.stats != nil {
+		atomic.AddInt64(&r.stats.Retracts, int64(removed))
+	}
+	if jp := r.journal.Load(); jp != nil {
+		r.journalRun(*jp, tuples, accepted, removed, true)
+	}
+	if r.db != nil {
+		r.db.notifyWatchers()
+	}
+	return removed
 }
 
 // storeMax raises a to at least v.

@@ -76,13 +76,19 @@ func retractPayload(pred string, t storage.Tuple) []byte {
 // tuplePayload builds a kind-byte + pred + tuple payload.
 func tuplePayload(kind byte, pred string, t storage.Tuple) []byte {
 	b := make([]byte, 0, 1+len(pred)+2+4*len(t))
-	b = append(b, kind)
-	b = appendString(b, pred)
-	b = binary.AppendUvarint(b, uint64(len(t)))
+	return appendTuplePayload(b, kind, pred, t)
+}
+
+// appendTuplePayload appends a kind-byte + pred + tuple payload to dst,
+// so batch runs can reuse one scratch buffer across records.
+func appendTuplePayload(dst []byte, kind byte, pred string, t storage.Tuple) []byte {
+	dst = append(dst, kind)
+	dst = appendString(dst, pred)
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
 	for _, v := range t {
-		b = binary.AppendUvarint(b, uint64(uint32(v)))
+		dst = binary.AppendUvarint(dst, uint64(uint32(v)))
 	}
-	return b
+	return dst
 }
 
 // decodeFact parses a recFact body (the payload after the kind byte).

@@ -8,10 +8,12 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/storage"
 )
@@ -36,8 +38,11 @@ const (
 	// buffer fills, and always at checkpoint rotation and Close. A crash
 	// loses at most the last partial batch.
 	SyncBatch SyncPolicy = iota
-	// SyncAlways flushes and fsyncs after every record — maximum
-	// durability, one fsync per accepted insert.
+	// SyncAlways acknowledges no append before a covering fsync —
+	// maximum durability. Concurrent appends commit in groups: one
+	// leader flushes and fsyncs once for every record buffered by the
+	// group, then releases all of its waiters, so the fsync rate scales
+	// with commit groups rather than with records (see SetCommitWindow).
 	SyncAlways
 	// SyncOS hands filled batches to the OS page cache without fsync;
 	// the log only fsyncs at checkpoint rotation and Close. Fastest, and
@@ -94,6 +99,28 @@ type Log struct {
 	pending int    // bytes buffered since the last fsync
 	err     error  // sticky first failure
 	closed  bool
+
+	// Write-path counters, guarded by mu (CommitStats reads them).
+	statFsyncs    uint64
+	statRecords   uint64
+	statGroups    uint64
+	statGroupRecs uint64
+	statLastGroup int
+	statMaxGroup  int
+
+	// Group commit (SyncAlways). Appenders join the open commit group
+	// under gcMu — NOT mu, so arrivals can keep joining while the
+	// previous group's leader holds mu for its fsync; those arrivals
+	// form the next group and share its single fsync (natural
+	// batching). The first member of a group is its designated leader:
+	// it commits immediately when no commit is in flight, otherwise it
+	// parks on the group's start channel and the finishing leader hands
+	// off to it.
+	gcMu     sync.Mutex
+	gcCur    *commitGroup
+	gcActive bool          // a leader currently owns the commit pipeline
+	gcWait   time.Duration // extra window a leader holds its group open
+	gcBytes  int           // seal the window early at this many bytes
 
 	ckptMu sync.Mutex // serializes Checkpoint callers and guards manifest/chain
 	// manifest records, per relation, the state the newest snapshot chain
@@ -676,30 +703,161 @@ func (l *Log) openSegment() error {
 // append frames and writes one payload under the sync policy.
 func (l *Log) append(payload []byte) {
 	rec := encodeRecord(nil, payload)
+	if l.policy == SyncAlways {
+		l.groupCommit(rec, 1)
+		return
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.err != nil {
+	if !l.writeLocked(rec, 1) {
 		return
+	}
+	if l.policy == SyncBatch && l.pending >= batchBytes {
+		l.err = l.syncLocked()
+	}
+	// SyncOS: bufio flushes to the page cache on its own as the buffer
+	// fills; nothing to do per record.
+}
+
+// writeLocked buffers one framed run of records records. It reports
+// false when the log has failed or closed. Caller holds l.mu.
+func (l *Log) writeLocked(rec []byte, records int) bool {
+	if l.err != nil {
+		return false
 	}
 	if l.closed {
 		l.err = ErrClosed
-		return
+		return false
 	}
 	if _, err := l.w.Write(rec); err != nil {
 		l.err = err
-		return
+		return false
 	}
 	l.pending += len(rec)
-	switch l.policy {
-	case SyncAlways:
-		l.err = l.syncLocked()
-	case SyncBatch:
-		if l.pending >= batchBytes {
-			l.err = l.syncLocked()
+	l.statRecords += uint64(records)
+	return true
+}
+
+// commitGroup is one SyncAlways commit window: the framed records of
+// every appender that joined, flushed and fsynced as a unit.
+type commitGroup struct {
+	buf   []byte
+	count int
+	start chan struct{} // closed when this group's leader may commit
+	done  chan struct{} // closed after the group's covering fsync
+}
+
+// groupCommit appends a framed run under the group-commit protocol and
+// returns only after a covering fsync (or the sticky error): the
+// durability contract of SyncAlways is unchanged, only the fsync is
+// shared. The first member of a group leads it; members that join while
+// a commit is in flight park until the group's own fsync completes.
+func (l *Log) groupCommit(rec []byte, records int) {
+	l.gcMu.Lock()
+	g := l.gcCur
+	leader := g == nil
+	if leader {
+		g = &commitGroup{start: make(chan struct{}), done: make(chan struct{})}
+		l.gcCur = g
+		if !l.gcActive {
+			// No commit in flight: lead immediately.
+			l.gcActive = true
+			close(g.start)
 		}
-	case SyncOS:
-		// bufio flushes to the page cache on its own as the buffer
-		// fills; nothing to do per record.
+	}
+	g.buf = append(g.buf, rec...)
+	g.count += records
+	l.gcMu.Unlock()
+	if !leader {
+		<-g.done
+		return
+	}
+
+	<-g.start
+	l.gcMu.Lock()
+	if l.gcWait > 0 && (l.gcBytes <= 0 || len(g.buf) < l.gcBytes) {
+		// Tunable window: hold the group open briefly so concurrent
+		// appenders can still join, unless it already buffered gcBytes.
+		wait := l.gcWait
+		l.gcMu.Unlock()
+		time.Sleep(wait)
+		l.gcMu.Lock()
+	} else if l.gcBytes <= 0 || len(g.buf) < l.gcBytes {
+		// Zero-window opportunistic grouping: yield the scheduler a few
+		// times before sealing so appenders already mid-flight on other
+		// procs can join. A solo writer pays only a few empty yields
+		// (sub-microsecond); under concurrency this collects near-full
+		// groups without any timer.
+		for i := 0; i < 4; i++ {
+			l.gcMu.Unlock()
+			runtime.Gosched()
+			l.gcMu.Lock()
+		}
+	}
+	l.gcCur = nil // seal: later arrivals form the next group
+	l.gcMu.Unlock()
+
+	l.mu.Lock()
+	if l.writeLocked(g.buf, g.count) {
+		if l.err = l.syncLocked(); l.err == nil {
+			l.statGroups++
+			l.statGroupRecs += uint64(g.count)
+			l.statLastGroup = g.count
+			if g.count > l.statMaxGroup {
+				l.statMaxGroup = g.count
+			}
+		}
+	}
+	l.mu.Unlock()
+
+	l.gcMu.Lock()
+	if next := l.gcCur; next != nil {
+		close(next.start) // hand the pipeline to the next group's leader
+	} else {
+		l.gcActive = false
+	}
+	l.gcMu.Unlock()
+	close(g.done)
+}
+
+// SetCommitWindow tunes the SyncAlways group-commit window: a leader
+// holds its group open for up to maxWait before sealing, letting
+// concurrent appenders join, and seals early once the group buffers
+// maxBytes. The zero window (the default) relies on natural batching
+// alone — appenders that arrive while a commit's fsync is in flight
+// form the next group and share its single fsync — which costs a lone
+// writer nothing. A non-zero maxWait trades that writer's latency for
+// larger groups under bursty concurrency.
+func (l *Log) SetCommitWindow(maxWait time.Duration, maxBytes int) {
+	l.gcMu.Lock()
+	l.gcWait, l.gcBytes = maxWait, maxBytes
+	l.gcMu.Unlock()
+}
+
+// CommitStats are the write-path durability counters: every fsync of
+// the active segment, every framed record, and — under SyncAlways —
+// the commit groups driven and their sizes. Records/Fsyncs is the
+// amortization the group-commit protocol (or SyncBatch batching) won.
+type CommitStats struct {
+	Fsyncs       uint64 // fsyncs of the active segment (all policies)
+	Records      uint64 // framed records buffered
+	Groups       uint64 // completed SyncAlways commit groups
+	GroupRecords uint64 // records covered by those groups
+	LastGroup    int    // size of the most recent commit group
+	MaxGroup     int    // largest commit group observed
+}
+
+// CommitStats returns a snapshot of the write-path counters.
+func (l *Log) CommitStats() CommitStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return CommitStats{
+		Fsyncs:       l.statFsyncs,
+		Records:      l.statRecords,
+		Groups:       l.statGroups,
+		GroupRecords: l.statGroupRecs,
+		LastGroup:    l.statLastGroup,
+		MaxGroup:     l.statMaxGroup,
 	}
 }
 
@@ -711,18 +869,71 @@ func (l *Log) syncLocked() error {
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	l.statFsyncs++
 	l.pending = 0
 	return nil
 }
 
-// JournalSym implements storage.Journal.
-func (l *Log) JournalSym(name string) { l.append(symPayload(name)) }
+// JournalSym implements storage.Journal. Under SyncAlways the record is
+// buffered without forcing its own group commit: a symbol's durability
+// requirement is only "no later than any fact referencing it", and the
+// first group fsync that covers such a fact flushes the whole buffer in
+// write order, symbol included. A crash before that loses the symbol
+// only alongside every unacknowledged fact that mentions it.
+func (l *Log) JournalSym(name string) {
+	if l.policy == SyncAlways {
+		rec := encodeRecord(nil, symPayload(name))
+		l.mu.Lock()
+		l.writeLocked(rec, 1)
+		l.mu.Unlock()
+		return
+	}
+	l.append(symPayload(name))
+}
 
 // JournalFact implements storage.Journal.
 func (l *Log) JournalFact(pred string, t storage.Tuple) { l.append(factPayload(pred, t)) }
 
 // JournalRetract implements storage.Journal.
 func (l *Log) JournalRetract(pred string, t storage.Tuple) { l.append(retractPayload(pred, t)) }
+
+// JournalFactBatch implements storage.BatchJournal: the batch's records
+// are framed into one buffer, written under one lock acquisition, and
+// covered by one policy sync — under SyncAlways, one group commit (one
+// fsync) for the whole run instead of one per fact.
+func (l *Log) JournalFactBatch(pred string, tuples []storage.Tuple) {
+	l.appendRun(recFact, pred, tuples)
+}
+
+// JournalRetractBatch implements storage.BatchJournal; see
+// JournalFactBatch.
+func (l *Log) JournalRetractBatch(pred string, tuples []storage.Tuple) {
+	l.appendRun(recRetract, pred, tuples)
+}
+
+// appendRun frames tuples under kind into one buffered run.
+func (l *Log) appendRun(kind byte, pred string, tuples []storage.Tuple) {
+	if len(tuples) == 0 {
+		return
+	}
+	var buf, scratch []byte
+	for _, t := range tuples {
+		scratch = appendTuplePayload(scratch[:0], kind, pred, t)
+		buf = encodeRecord(buf, scratch)
+	}
+	if l.policy == SyncAlways {
+		l.groupCommit(buf, len(tuples))
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.writeLocked(buf, len(tuples)) {
+		return
+	}
+	if l.policy == SyncBatch && l.pending >= batchBytes {
+		l.err = l.syncLocked()
+	}
+}
 
 // AppendRule journals a rule in concrete syntax (parser.RenderRule).
 func (l *Log) AppendRule(src string) { l.append(rulePayload(src)) }

@@ -104,6 +104,56 @@ func BenchmarkOneSidedParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkOneSidedSeedJoin is the seed-bound cold fixpoint: the exit
+// rule opens with a wide free scan (s2) joined against the anchored
+// selection (s1), while the recursion itself is shallow — so nearly all
+// of the evaluation is the seed conjunction, the phase ce.run splits
+// across the worker pool. Run with -cpu 1,4 to see the seed scaling in
+// isolation from the per-level batch parallelism.
+func BenchmarkOneSidedSeedJoin(b *testing.B) {
+	ctx := context.Background()
+	db := storage.NewDatabase()
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 200000; i++ {
+		db.AddFact("s2", fmt.Sprintf("z%d", rng.Intn(1000)), fmt.Sprintf("y%d", rng.Intn(2000)))
+	}
+	for i := 0; i < 500; i++ {
+		db.AddFact("s1", "c0", fmt.Sprintf("z%d", rng.Intn(1000)))
+	}
+	// A short chain keeps the recursion live but negligible.
+	for i := 0; i < 8; i++ {
+		db.AddFact("e", fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", i+1))
+		db.AddFact("s1", fmt.Sprintf("c%d", i+1), fmt.Sprintf("z%d", i))
+	}
+	eng, err := Open(WithDatabase(db), WithResultCache(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Load(`
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- s2(Z, Y), s1(X, Z).
+	`); err != nil {
+		b.Fatal(err)
+	}
+	pq, err := eng.Prepare(nil, parserMustAtom(b, "t(c0, Y)"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rows *Rows
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err = pq.Query(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := rows.Stats()
+	b.ReportMetric(float64(rows.Len()), "answers")
+	b.ReportMetric(float64(st.Workers), "workers")
+	b.ReportMetric(float64(st.Batches), "batches")
+}
+
 // BenchmarkOneSidedIngest measures raw concurrent insert throughput into
 // a relation, the contention the sharding removes: all procs hammer one
 // relation, sharded to GOMAXPROCS versus a single partition.
